@@ -1,0 +1,103 @@
+//! Self-force evaluation — step 3 of the loop.
+//!
+//! The kernels produce the effective potential `Φ = φ − β A` on the grid;
+//! the self-force on a particle is the negative gradient of `Φ`, computed by
+//! central differences on the grid and gathered bilinearly at the particle
+//! position.
+
+use beamdyn_par::ThreadPool;
+use beamdyn_pic::GridGeometry;
+
+use crate::particle::Beam;
+use crate::push::Forces;
+
+/// A scalar field sampled on the simulation grid (row-major `iy·nx + ix`).
+#[derive(Debug, Clone)]
+pub struct ScalarField {
+    geometry: GridGeometry,
+    values: Vec<f64>,
+}
+
+impl ScalarField {
+    /// Wraps a row-major value vector.
+    ///
+    /// # Panics
+    /// Panics when the length does not match the geometry.
+    pub fn new(geometry: GridGeometry, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), geometry.len(), "field size mismatch");
+        Self { geometry, values }
+    }
+
+    /// An all-zero field.
+    pub fn zeros(geometry: GridGeometry) -> Self {
+        Self::new(geometry, vec![0.0; geometry.len()])
+    }
+
+    /// Geometry of the field.
+    pub fn geometry(&self) -> GridGeometry {
+        self.geometry
+    }
+
+    /// Value at cell `(ix, iy)`.
+    #[inline]
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        self.values[iy * self.geometry.nx + ix]
+    }
+
+    /// Mutable value access.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, v: f64) {
+        self.values[iy * self.geometry.nx + ix] = v;
+    }
+
+    /// Raw values.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Bilinear sample at a physical point (clamped at the borders).
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let g = self.geometry;
+        let (fx, fy) = g.fractional(x, y);
+        let ix0 = (fx.floor() as isize).clamp(0, g.nx as isize - 2) as usize;
+        let iy0 = (fy.floor() as isize).clamp(0, g.ny as isize - 2) as usize;
+        let tx = (fx - ix0 as f64).clamp(0.0, 1.0);
+        let ty = (fy - iy0 as f64).clamp(0.0, 1.0);
+        (1.0 - tx) * (1.0 - ty) * self.get(ix0, iy0)
+            + tx * (1.0 - ty) * self.get(ix0 + 1, iy0)
+            + (1.0 - tx) * ty * self.get(ix0, iy0 + 1)
+            + tx * ty * self.get(ix0 + 1, iy0 + 1)
+    }
+
+    /// Negative-gradient fields `(−∂Φ/∂x, −∂Φ/∂y)` by central differences
+    /// (one-sided at the borders).
+    pub fn neg_gradient(&self) -> (ScalarField, ScalarField) {
+        let g = self.geometry;
+        let (dx, dy) = (g.dx(), g.dy());
+        let mut fx = ScalarField::zeros(g);
+        let mut fy = ScalarField::zeros(g);
+        for iy in 0..g.ny {
+            for ix in 0..g.nx {
+                let ddx = match ix {
+                    0 => (self.get(1, iy) - self.get(0, iy)) / dx,
+                    i if i == g.nx - 1 => (self.get(i, iy) - self.get(i - 1, iy)) / dx,
+                    i => (self.get(i + 1, iy) - self.get(i - 1, iy)) / (2.0 * dx),
+                };
+                let ddy = match iy {
+                    0 => (self.get(ix, 1) - self.get(ix, 0)) / dy,
+                    j if j == g.ny - 1 => (self.get(ix, j) - self.get(ix, j - 1)) / dy,
+                    j => (self.get(ix, j + 1) - self.get(ix, j - 1)) / (2.0 * dy),
+                };
+                fx.set(ix, iy, -ddx);
+                fy.set(ix, iy, -ddy);
+            }
+        }
+        (fx, fy)
+    }
+}
+
+/// Gathers the self-force at every particle from a potential field.
+pub fn gather_forces(pool: &ThreadPool, potential: &ScalarField, beam: &Beam) -> Forces {
+    let (fx, fy) = potential.neg_gradient();
+    pool.parallel_map(&beam.particles, |p| (fx.sample(p.x, p.y), fy.sample(p.x, p.y)))
+}

@@ -1,0 +1,74 @@
+//! Bend-lattice parameters.
+
+/// A circular bending magnet traversed by the bunch — the setting in which
+//  collective (CSR) effects arise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BendLattice {
+    /// Bend radius R₀ in metres.
+    pub radius_m: f64,
+    /// Bend angle θ_b in radians.
+    pub angle_rad: f64,
+    /// Longitudinal rms bunch size σ_s in metres.
+    pub sigma_s_m: f64,
+    /// Geometric emittance in metres.
+    pub emittance_m: f64,
+    /// Total bunch charge in Coulombs.
+    pub charge_c: f64,
+    /// Lorentz factor of the reference particle.
+    pub gamma: f64,
+}
+
+/// Named lattice presets used by the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatticePreset {
+    /// The LCLS bend of Fig. 2: R₀ = 25.13 m, θ_b = 11.4°, σ_s = 50 µm,
+    /// ε = 1 nm, Q = 1 nC.
+    LclsBend,
+}
+
+impl BendLattice {
+    /// Builds a named preset.
+    pub fn preset(which: LatticePreset) -> Self {
+        match which {
+            LatticePreset::LclsBend => Self {
+                radius_m: 25.13,
+                angle_rad: 11.4f64.to_radians(),
+                sigma_s_m: 50.0e-6,
+                emittance_m: 1.0e-9,
+                charge_c: 1.0e-9,
+                gamma: 9000.0, // ≈ 4.6 GeV electrons at the LCLS bend
+            },
+        }
+    }
+
+    /// Arc length of the bend, metres.
+    pub fn arc_length_m(&self) -> f64 {
+        self.radius_m * self.angle_rad
+    }
+
+    /// Transverse rms size from emittance with unit beta function (a
+    /// conventional normalisation when the optics are not modelled).
+    pub fn sigma_y_m(&self) -> f64 {
+        (self.emittance_m * self.radius_m).sqrt().min(self.sigma_s_m)
+    }
+
+    /// The CSR overtaking length `(24 σ_s R²)^{1/3}` — the characteristic
+    /// retardation distance that sets how far back in time the rp-integral
+    /// must reach (and therefore a physical anchor for the paper's κ).
+    pub fn overtaking_length_m(&self) -> f64 {
+        (24.0 * self.sigma_s_m * self.radius_m * self.radius_m).cbrt()
+    }
+
+    /// Normalises the lattice onto simulation units where σ_s = `sigma_sim`
+    /// and c = 1: returns the length scale `L` (metres per simulation unit).
+    pub fn length_scale_m(&self, sigma_sim: f64) -> f64 {
+        self.sigma_s_m / sigma_sim
+    }
+
+    /// The steady-state longitudinal CSR wake amplitude prefactor
+    /// `2 / (3^{1/3} R^{2/3} σ_s^{4/3})` (per unit charge², Gaussian units);
+    /// used to scale the analytic Fig. 2 curves.
+    pub fn csr_wake_prefactor(&self) -> f64 {
+        2.0 / (3.0f64.cbrt() * self.radius_m.powf(2.0 / 3.0) * self.sigma_s_m.powf(4.0 / 3.0))
+    }
+}

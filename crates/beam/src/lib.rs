@@ -1,0 +1,41 @@
+//! Beam-dynamics physics substrate.
+//!
+//! Implements everything around the paper's four-step simulation loop
+//! (Sec. II-A) except the retarded-potential *kernels* themselves, which
+//! live in `beamdyn-core`:
+//!
+//! * [`bunch`] — Gaussian bunch specification, Monte-Carlo sampling, and the
+//!   continuous (noise-free) density/current fields used as the exact
+//!   reference for validation.
+//! * [`lattice`] — bend-lattice parameters with the LCLS bend preset used in
+//!   the paper's Fig. 2.
+//! * [`particle`] — particle state and beam-level statistics.
+//! * [`push`] — leap-frog particle pusher (step 4).
+//! * [`forces`] — potential-gradient self-force gather (step 3).
+//! * [`rp`] — the rp-integrand (Eq. 1): outer radial variable, inner
+//!   Newton–Cotes angular integral, moments read through the 27-point
+//!   space-time stencil, with a [`rp::TapSink`] hook that lets the SIMT
+//!   kernels trace every grid access.
+//! * [`csr`] — the analytic steady-state 1-D rigid-bunch CSR wake
+//!   (Derbenev/Saldin form) used by the validation experiments.
+//!
+//! Units are normalised: `c = 1`, grid coordinates are O(1). Physical
+//! prefactors are carried symbolically in the experiment harness where the
+//! paper's parameter values (R₀ = 25.13 m, σ_s = 50 µm, …) enter only as
+//! documented scalings.
+
+pub mod bunch;
+pub mod csr;
+pub mod forces;
+pub mod lattice;
+pub mod particle;
+pub mod push;
+pub mod rp;
+
+pub use bunch::GaussianBunch;
+pub use lattice::{BendLattice, LatticePreset};
+pub use particle::{Beam, Particle};
+pub use rp::{AnalyticRp, GridRp, NullSink, RpConfig, TapSink};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,75 @@
+//! Leap-frog particle pusher — step 4 of the loop.
+//!
+//! The scheme is the standard kick–drift–kick (velocity Verlet) form the
+//! paper cites for solving the Lorentz equation:
+//!
+//! ```text
+//! v ← v + F(x)·dt/2        (half kick)     [`kick`]
+//! x ← x + v·dt             (drift)         [`drift`]
+//! v ← v + F(x')·dt/2       (half kick with refreshed forces)
+//! ```
+//!
+//! The two half-kicks use forces evaluated at *different* positions, so a
+//! full step is `kick(F, dt/2); drift(dt); recompute forces; kick(F', dt/2)`.
+//! The driver in `beamdyn-core` folds the trailing half-kick of one step into
+//! the leading half-kick of the next (one field solve per step, as usual in
+//! PIC codes). The convenience wrapper [`half_step`] performs the first two
+//! substeps.
+
+use beamdyn_par::ThreadPool;
+
+use crate::particle::Beam;
+
+/// Per-particle force samples, one per beam particle, in beam order.
+pub type Forces = Vec<(f64, f64)>;
+
+/// Applies a velocity kick `v += F·dt` (use `dt/2` for a half kick).
+pub fn kick(pool: &ThreadPool, beam: &mut Beam, forces: &Forces, dt: f64) {
+    assert_eq!(beam.len(), forces.len(), "one force sample per particle");
+    let n = beam.particles.len();
+    let ptr = ParticlesPtr(beam.particles.as_mut_ptr());
+    pool.parallel_for_chunks(0..n, 1024, |range| {
+        let ptr = ptr;
+        for i in range {
+            // SAFETY: chunks are disjoint; each particle touched once.
+            let p = unsafe { &mut *ptr.0.add(i) };
+            let (fx, fy) = forces[i];
+            p.vx += dt * fx;
+            p.vy += dt * fy;
+        }
+    });
+}
+
+/// Advances positions `x += v·dt`.
+pub fn drift(pool: &ThreadPool, beam: &mut Beam, dt: f64) {
+    let n = beam.particles.len();
+    let ptr = ParticlesPtr(beam.particles.as_mut_ptr());
+    pool.parallel_for_chunks(0..n, 1024, |range| {
+        let ptr = ptr;
+        for i in range {
+            // SAFETY: chunks are disjoint; each particle touched once.
+            let p = unsafe { &mut *ptr.0.add(i) };
+            p.x += dt * p.vx;
+            p.y += dt * p.vy;
+        }
+    });
+}
+
+/// The first half of a leap-frog step: half kick then drift. The caller must
+/// finish the step with `kick(…, dt/2)` after refreshing the forces at the
+/// new positions.
+pub fn half_step(pool: &ThreadPool, beam: &mut Beam, forces: &Forces, dt: f64) {
+    kick(pool, beam, forces, 0.5 * dt);
+    drift(pool, beam, dt);
+}
+
+struct ParticlesPtr(*mut crate::particle::Particle);
+impl Clone for ParticlesPtr {
+    fn clone(&self) -> Self {
+        Self(self.0)
+    }
+}
+impl Copy for ParticlesPtr {}
+// SAFETY: disjoint index ranges per worker (see parallel_for_chunks usage).
+unsafe impl Send for ParticlesPtr {}
+unsafe impl Sync for ParticlesPtr {}

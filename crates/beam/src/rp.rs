@@ -1,0 +1,292 @@
+//! The retarded-potential integrand (paper Eq. 1).
+//!
+//! The rp-integral at a grid point `p` and time step `k` is
+//!
+//! ```text
+//! I(p) = ∫₀^{R(p)} dr' ∫_{θmin}^{θmax} f⁽ᵖ⁾(r', θ', t') dθ',   t' = kΔt − r'/c
+//! ```
+//!
+//! where `f⁽ᵖ⁾` is the *moment field* (a fixed combination of deposited
+//! charge and current densities) evaluated at the polar point
+//! `p + r'(cos θ', sin θ')` and at the retarded time `t'` — approximated
+//! from the 27 neighbouring grid values of `D_{i−1}, D_i, D_{i+1}` where
+//! `i = ⌊t'/Δt⌋`. (The 1/|x−x'| Green's-function denominator cancels against
+//! the polar Jacobian r', which is why no kernel factor appears.)
+//!
+//! Two implementations share this structure:
+//! * [`GridRp`] — reads moments from a [`GridHistory`] through the 27-point
+//!   stencil, reporting every tap to a [`TapSink`] (the SIMT kernels turn
+//!   taps into traced loads).
+//! * [`AnalyticRp`] — evaluates the *continuous* rigid-bunch moments, giving
+//!   an exact reference value for the same integral (the validation target
+//!   of Fig. 2: a rigid monochromatic bunch has time-independent moments,
+//!   the one case with an exact solution).
+
+use beamdyn_pic::{GridHistory, Stencil27, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY};
+use beamdyn_quad::NewtonCotes;
+
+use crate::bunch::GaussianBunch;
+
+/// Observer of individual grid-memory taps made while evaluating the
+/// integrand. The Predictive-RP kernels map taps to device addresses.
+pub trait TapSink {
+    /// One moment-grid read: time step of the grid, component, cell indices.
+    fn tap(&mut self, step: usize, component: usize, ix: usize, iy: usize);
+    /// `n` double-precision flops spent since the previous call.
+    fn flops(&mut self, n: u32);
+}
+
+/// A sink that discards everything (plain numerical evaluation).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TapSink for NullSink {
+    #[inline]
+    fn tap(&mut self, _step: usize, _component: usize, _ix: usize, _iy: usize) {}
+    #[inline]
+    fn flops(&mut self, _n: u32) {}
+}
+
+/// Geometry and discretisation of the rp-integral.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpConfig {
+    /// Maximum retardation depth κ in time steps: `R(p) ≤ κ·c·Δt`.
+    pub kappa: usize,
+    /// Simulation step Δt (with c = 1, also the subregion width `c·Δt`).
+    pub dt: f64,
+    /// Points of the inner Newton–Cotes angular rule.
+    pub inner_points: usize,
+    /// Reference velocity factor β: the integrand is
+    /// `ρ − β (J_x cos θ + J_y sin θ)` (the effective potential `φ − β·A`
+    /// combination whose gradient gives the CSR force). β = 0 reads only
+    /// the charge moment (27 taps/sample instead of 81).
+    pub beta: f64,
+    /// Support half-width of the source ellipse along x (≈ 3.5 σ_x): no
+    /// charge lives beyond it, so integrating past the farthest ellipse
+    /// point is pointless.
+    pub support_x: f64,
+    /// Support half-width along y (≈ 3.5 σ_y). Beams are elongated
+    /// (σ_s ≫ σ_y in the paper's LCLS setting), which is what makes access
+    /// patterns stripe-shaped over the grid rather than annular.
+    pub support_y: f64,
+    /// Bunch centre used for the support cut.
+    pub center: (f64, f64),
+}
+
+impl RpConfig {
+    /// A reasonable default for unit-square experiments.
+    pub fn standard(kappa: usize, dt: f64) -> Self {
+        Self {
+            kappa,
+            dt,
+            inner_points: 3,
+            beta: 0.5,
+            support_x: 0.35,
+            support_y: 0.12,
+            center: (0.5, 0.5),
+        }
+    }
+
+    /// Width of one outer subregion `S_j` (c = 1).
+    pub fn subregion_width(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of subregions available at time step `k` (limited by history).
+    pub fn num_subregions(&self, step: usize) -> usize {
+        step.min(self.kappa).max(1)
+    }
+
+    /// Upper bound of the integration domain at step `k`.
+    pub fn max_radius(&self, step: usize) -> f64 {
+        self.num_subregions(step) as f64 * self.subregion_width()
+    }
+
+    /// The paper's `R(p)`: retardation horizon clipped to the farthest
+    /// point of the source support ellipse (no charge contributes beyond
+    /// it). Always at least one subregion so every point performs an
+    /// integral.
+    pub fn point_radius(&self, step: usize, px: f64, py: f64) -> f64 {
+        let (cx, cy) = self.center;
+        let dx = (px - cx).abs() + self.support_x;
+        let dy = (py - cy).abs() + self.support_y;
+        (dx * dx + dy * dy)
+            .sqrt()
+            .min(self.max_radius(step))
+            .max(self.subregion_width())
+    }
+
+    /// Index `j` of the subregion containing radius `r`.
+    pub fn subregion_of(&self, r: f64) -> usize {
+        ((r / self.subregion_width()) as usize).min(self.kappa.saturating_sub(1))
+    }
+
+    /// Bounds `[a, b]` of subregion `j`.
+    pub fn subregion_bounds(&self, j: usize) -> (f64, f64) {
+        let w = self.subregion_width();
+        (j as f64 * w, (j + 1) as f64 * w)
+    }
+
+    /// Retarded stencil centre step `i` and time fraction `s ∈ [0, 1]` for
+    /// radius `r` at current step `k` (`t' = kΔt − r`, `i = ⌊t'/Δt⌋`).
+    pub fn retarded(&self, step: usize, r: f64) -> (usize, f64) {
+        let t_ret = step as f64 - r / self.dt; // in units of Δt
+        let i = t_ret.floor().max(0.0) as usize;
+        let s = (t_ret - i as f64).clamp(0.0, 1.0);
+        (i, s)
+    }
+
+    /// Moment components the integrand reads (1 when β = 0, else 3).
+    pub fn components(&self) -> usize {
+        if self.beta == 0.0 {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+/// Grid-backed integrand: the thing the GPU kernels evaluate.
+pub struct GridRp<'a> {
+    history: &'a GridHistory,
+    config: RpConfig,
+    /// Current simulation step `k`.
+    step: usize,
+}
+
+/// Flop cost of building one 27-tap stencil sample (weights + accumulate),
+/// charged per component actually read. Constants are nominal but uniform
+/// across all three kernels, which is what the comparisons need.
+const FLOPS_STENCIL_SETUP: u32 = 30;
+const FLOPS_PER_TAP: u32 = 2;
+const FLOPS_COMBINE: u32 = 12;
+
+impl<'a> GridRp<'a> {
+    /// Creates the integrand view for step `k`.
+    pub fn new(history: &'a GridHistory, config: RpConfig, step: usize) -> Self {
+        Self {
+            history,
+            config,
+            step,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RpConfig {
+        &self.config
+    }
+
+    /// Current step `k`.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Evaluates the *inner* (angular) integral at outer radius `r` for the
+    /// grid point at `(px, py)`, reporting taps and flops to `sink`.
+    pub fn eval<S: TapSink>(&self, px: f64, py: f64, r: f64, sink: &mut S) -> f64 {
+        let geometry = self.history.geometry();
+        let (i, s) = self.config.retarded(self.step, r);
+        let rule = NewtonCotes::new(self.config.inner_points);
+        let weights = rule.weights();
+        let n = weights.len();
+        // Closed rule on [0, 2π): endpoint wraps; fold its weight into θ₀.
+        let mut acc = 0.0;
+        for (jj, &w) in weights.iter().enumerate().take(n - 1) {
+            let w = if jj == 0 { w + weights[n - 1] } else { w };
+            let theta = std::f64::consts::TAU * jj as f64 / (n - 1) as f64;
+            let (sin_t, cos_t) = theta.sin_cos();
+            // Samples falling outside the moment grid are clamped to the
+            // border, where the deposited field is (by the support cut)
+            // negligible. This keeps every SIMD lane's control flow
+            // identical — the role the paper's analytic angular bounds play
+            // — instead of branching per sample.
+            let qx = (px + r * cos_t).clamp(geometry.x_min, geometry.x_max);
+            let qy = (py + r * sin_t).clamp(geometry.y_min, geometry.y_max);
+            sink.flops(8); // polar→cartesian + trig (nominal)
+            let Some(grid) = self.history.get_clamped(i) else {
+                continue;
+            };
+            let stencil = Stencil27::new(grid, qx, qy, s);
+            sink.flops(FLOPS_STENCIL_SETUP);
+            let mut moment = [0.0f64; 3];
+            let comps: &[usize] = if self.config.beta == 0.0 {
+                &[MOMENT_CHARGE]
+            } else {
+                &[MOMENT_CHARGE, MOMENT_JX, MOMENT_JY]
+            };
+            for &c in comps {
+                let mut v = 0.0;
+                for tap in stencil.taps() {
+                    let tap_step = i.saturating_add_signed(tap.dt as isize);
+                    sink.tap(tap_step, c, tap.ix, tap.iy);
+                    if let Some(g) = self.history.get_clamped(tap_step) {
+                        v += tap.weight * g.get(c, tap.ix, tap.iy);
+                    }
+                }
+                sink.flops(27 * FLOPS_PER_TAP);
+                moment[c] = v;
+            }
+            let f = moment[MOMENT_CHARGE]
+                - self.config.beta * (moment[MOMENT_JX] * cos_t + moment[MOMENT_JY] * sin_t);
+            sink.flops(FLOPS_COMBINE);
+            acc += w * f;
+        }
+        acc * std::f64::consts::TAU
+    }
+}
+
+/// Continuous-moment integrand for the rigid-bunch validation case: the
+/// bunch density is time-independent, so the retarded-time machinery is
+/// exercised but the exact value is known to quadrature precision.
+#[derive(Debug, Clone)]
+pub struct AnalyticRp {
+    /// The rigid bunch.
+    pub bunch: GaussianBunch,
+    /// Same discretisation parameters as the grid evaluation.
+    pub config: RpConfig,
+}
+
+impl AnalyticRp {
+    /// Creates the reference integrand.
+    pub fn new(bunch: GaussianBunch, config: RpConfig) -> Self {
+        Self { bunch, config }
+    }
+
+    /// Inner angular integral at radius `r` around `(px, py)`, using the
+    /// same Newton–Cotes rule as the grid path but exact moments.
+    pub fn eval(&self, px: f64, py: f64, r: f64) -> f64 {
+        let rule = NewtonCotes::new(self.config.inner_points);
+        let weights = rule.weights();
+        let n = weights.len();
+        let mut acc = 0.0;
+        for (jj, &w) in weights.iter().enumerate().take(n - 1) {
+            let w = if jj == 0 { w + weights[n - 1] } else { w };
+            let theta = std::f64::consts::TAU * jj as f64 / (n - 1) as f64;
+            let (sin_t, cos_t) = theta.sin_cos();
+            let qx = px + r * cos_t;
+            let qy = py + r * sin_t;
+            let rho = self.bunch.density(qx, qy);
+            let jx = self.bunch.current_x(qx, qy);
+            let f = rho - self.config.beta * jx * cos_t;
+            acc += w * f;
+        }
+        acc * std::f64::consts::TAU
+    }
+
+    /// High-accuracy reference value of the full rp-integral at a point,
+    /// via densely-sampled composite Simpson over `[0, R(p)]`.
+    pub fn reference_integral(&self, step: usize, px: f64, py: f64, cells: usize) -> f64 {
+        let r_max = self.config.point_radius(step, px, py);
+        let cells = cells.max(8);
+        let h = r_max / cells as f64;
+        let mut total = 0.0;
+        for c in 0..cells {
+            let a = c as f64 * h;
+            let m = a + 0.5 * h;
+            let b = a + h;
+            total += h / 6.0
+                * (self.eval(px, py, a) + 4.0 * self.eval(px, py, m) + self.eval(px, py, b));
+        }
+        total
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation: the RP-CLUSTERING stage — k-means on access patterns vs the
+//! spatial-tile heuristic vs no clustering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use beamdyn_beam::RpConfig;
+use beamdyn_core::clustering::{cluster_by_pattern, cluster_heuristic, cluster_none};
+use beamdyn_core::pattern::AccessPattern;
+use beamdyn_core::points::build_points;
+use beamdyn_par::ThreadPool;
+use beamdyn_pic::GridGeometry;
+
+fn bench(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let g = GridGeometry::unit(64, 64);
+    let cfg = RpConfig::standard(8, 0.05);
+    let mut points = build_points(g, &cfg, 20);
+    for p in &mut points {
+        let d = ((p.x - 0.5).powi(2) + (p.y - 0.5).powi(2)).sqrt();
+        p.pattern = AccessPattern::from_counts(
+            (0..8).map(|j| (20.0 / (1.0 + 10.0 * d) + j as f64).round()).collect(),
+        );
+    }
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(20);
+    group.bench_function("kmeans_patterns", |b| {
+        b.iter(|| black_box(cluster_by_pattern(&pool, g, &points, 7).len()));
+    });
+    group.bench_function("spatial_heuristic", |b| {
+        b.iter(|| black_box(cluster_heuristic(g, &points).len()));
+    });
+    group.bench_function("none_row_major", |b| {
+        b.iter(|| black_box(cluster_none(points.len(), 256).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Costs of the learning substrate at paper-like sizes: kNN fit/predict,
+//! k-means clustering, and linear regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use beamdyn_ml::{kmeans, KMeansOptions, KnnRegressor, LinearRegressor, Samples};
+use beamdyn_par::ThreadPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn make_data(n: usize, out_dims: usize) -> (Samples, Samples) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut x = Samples::new(2);
+    let mut y = Samples::new(out_dims);
+    for _ in 0..n {
+        let (a, b) = (rng.random::<f64>(), rng.random::<f64>());
+        x.push(&[a, b]);
+        let row: Vec<f64> = (0..out_dims).map(|j| a * j as f64 + b).collect();
+        y.push(&row);
+    }
+    (x, y)
+}
+
+fn bench(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let (x, y) = make_data(4096, 8);
+    let knn = KnnRegressor::fit(x.clone(), y.clone(), 4, true);
+
+    let mut group = c.benchmark_group("ml_primitives");
+    group.sample_size(20);
+    group.bench_function("knn_fit_4096", |b| {
+        b.iter(|| black_box(KnnRegressor::fit(x.clone(), y.clone(), 4, true).len()));
+    });
+    group.bench_function("knn_predict_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                let q = [i as f64 / 1000.0, 0.5];
+                acc += knn.predict(&q)[0];
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("kmeans_64_clusters", |b| {
+        b.iter(|| {
+            black_box(
+                kmeans(
+                    &pool,
+                    &x,
+                    KMeansOptions { clusters: 64, max_iters: 10, seed: 3 },
+                )
+                .inertia,
+            )
+        });
+    });
+    group.bench_function("linreg_fit", |b| {
+        b.iter(|| black_box(LinearRegressor::fit(&x, &y, 1e-6).unwrap().output_dims()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation: uniform vs adaptive pattern→partition transformation
+//! (paper Sec. III-C2 presents both; DESIGN.md §4 explains why uniform is
+//! the stable default in this reproduction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use beamdyn_bench::{run_steps, standard_workload};
+use beamdyn_core::kernels::predictive::TransformKind;
+use beamdyn_core::KernelKind;
+use beamdyn_par::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let mut group = c.benchmark_group("partition_transform");
+    group.sample_size(10);
+    for (name, transform) in [
+        ("uniform", TransformKind::Uniform),
+        ("adaptive", TransformKind::Adaptive),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = standard_workload(12, 4000, KernelKind::Predictive);
+                w.config.transform = transform;
+                let telemetry = run_steps(&pool, w, 3);
+                black_box(telemetry.last().unwrap().potentials.gpu_time)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: kNN vs linear regression vs persistence as the online model
+//! (paper Sec. III-B reports a "negligible difference" between kNN and
+//! linear regression; this bench measures both training cost and the
+//! end-to-end stage time of each choice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use beamdyn_bench::{run_steps, standard_workload};
+use beamdyn_core::{KernelKind, PredictorKind};
+use beamdyn_par::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let mut group = c.benchmark_group("predictor_choice");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("knn4", PredictorKind::Knn { k: 4 }),
+        ("linear", PredictorKind::Linear),
+        ("persistence", PredictorKind::Persistence),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = standard_workload(12, 4000, KernelKind::Predictive);
+                w.config.predictor = kind;
+                let telemetry = run_steps(&pool, w, 3);
+                black_box(telemetry.last().unwrap().potentials.fallback_cells)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-costs of the quadrature engines: adaptive Simpson vs
+//! fixed-partition evaluation at equal accuracy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use beamdyn_quad::{adaptive_simpson, eval_on_partition, AdaptiveOptions, Partition};
+
+fn integrand(x: f64) -> f64 {
+    (10.0 * x).sin() * (-x).exp() + 1.0 / (1.0 + 400.0 * (x - 1.2) * (x - 1.2))
+}
+
+fn bench(c: &mut Criterion) {
+    let opts = AdaptiveOptions {
+        tolerance: 1e-8,
+        max_depth: 30,
+        min_depth: 3,
+    };
+    let reference: Partition = adaptive_simpson(integrand, 0.0, 2.0, opts).partition;
+
+    let mut group = c.benchmark_group("quad_kernels");
+    group.bench_function("adaptive_simpson", |b| {
+        b.iter(|| black_box(adaptive_simpson(integrand, 0.0, 2.0, opts).integral));
+    });
+    group.bench_function("fixed_partition_reuse", |b| {
+        b.iter(|| black_box(eval_on_partition(integrand, &reference, 1e-7).integral));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Throughput of the SIMT simulator itself: warp replay + cache model
+//! events per second on a synthetic streaming kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use beamdyn_par::ThreadPool;
+use beamdyn_simt::{launch, DeviceConfig, LaunchConfig, OpRecorder, WarpThread};
+
+struct Stream {
+    tid: usize,
+    left: usize,
+}
+
+impl WarpThread for Stream {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        rec.flops(8);
+        rec.load_f64(0, self.tid * 64 + self.left);
+        true
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::tesla_k40();
+    let iters = 64usize;
+    let threads = 2048usize;
+    let mut group = c.benchmark_group("simt_overhead");
+    group.throughput(Throughput::Elements((iters * threads * 2) as u64));
+    group.bench_function("replay_events", |b| {
+        b.iter(|| {
+            let out = launch(
+                &pool,
+                &device,
+                LaunchConfig::cover(threads, 256),
+                |tid| Some(Stream { tid, left: iters }),
+                |_| (),
+            );
+            black_box(out.stats.useful_flops)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

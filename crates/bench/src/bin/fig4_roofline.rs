@@ -1,0 +1,63 @@
+//! Reproduces **Fig. 4**: the roofline plot placing the Two-Phase-RP,
+//! Heuristic-RP, and Predictive-RP kernels against the simulated K40's
+//! compute and bandwidth ceilings.
+
+use beamdyn_bench::{kernel_name, print_table, run_steps, standard_workload, summarize, Scale};
+use beamdyn_core::KernelKind;
+use beamdyn_par::ThreadPool;
+use beamdyn_simt::{DeviceConfig, Roofline};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n, particles, steps) = match scale {
+        Scale::Small => (24, 20_000, 6),
+        Scale::Paper => (128, 100_000, 8),
+    };
+    let pool = ThreadPool::new(
+        std::thread::available_parallelism().map(|x| x.get().saturating_sub(1)).unwrap_or(4),
+    );
+    let device = DeviceConfig::tesla_k40();
+    let mut roofline = Roofline::for_device(&device);
+
+    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+        let telemetry = run_steps(&pool, standard_workload(n, particles, kernel), steps);
+        let summary = summarize(&telemetry, steps / 2);
+        roofline.add_kernel(kernel_name(kernel), &summary.stats, &device);
+    }
+
+    println!("== Fig 4 — roofline (simulated K40) ==");
+    println!("peak DP: {:.0} GF/s", roofline.peak_gflops);
+    for (i, (label, bw)) in roofline.bandwidths.iter().enumerate() {
+        println!(
+            "bandwidth ceiling '{label}': {:.0} GB/s, ridge at AI = {:.2}",
+            bw / 1e9,
+            roofline.ridge(i)
+        );
+    }
+    println!("\nceiling samples (measured bandwidth), ai gflops:");
+    for (ai, gf) in roofline.ceiling_series(1, 12) {
+        println!("  {ai:8.3}  {gf:9.1}");
+    }
+
+    let rows: Vec<Vec<String>> = roofline
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.2}", p.intensity),
+                format!("{:.1}", p.gflops),
+                format!("{:.1}", roofline.attainable(p.intensity, 1)),
+            ]
+        })
+        .collect();
+    print_table(
+        "kernel points",
+        &["Kernel", "AI (F/B)", "GFlops/s", "attainable"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: AI(two-phase) < AI(heuristic) < AI(predictive);\n\
+         predictive sits closest to its bandwidth ceiling (2.43 F/B, 485 GF/s on real silicon)."
+    );
+}

@@ -1,0 +1,222 @@
+//! Shared harness pieces for the paper-reproduction benchmark binaries.
+//!
+//! One binary exists per table/figure of the paper's evaluation section
+//! (see `DESIGN.md` §5); each accepts `--scale small|paper` where `small`
+//! finishes in seconds and `paper` runs the full-resolution sweep.
+
+use beamdyn_beam::{Beam, GaussianBunch, RpConfig};
+use beamdyn_core::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
+use beamdyn_par::ThreadPool;
+use beamdyn_pic::GridGeometry;
+use beamdyn_simt::DeviceConfig;
+
+/// Harness scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: small grids, few particles, seconds per binary.
+    Small,
+    /// Paper-sized sweep (minutes; grids up to 256²).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale small|paper` from argv (default: small).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for pair in args.windows(2) {
+            if pair[0] == "--scale" && pair[1] == "paper" {
+                return Self::Paper;
+            }
+        }
+        if args.iter().any(|a| a == "--paper") {
+            return Self::Paper;
+        }
+        Self::Small
+    }
+}
+
+/// The standard experiment workload: an elongated (LCLS-like) bunch crossing
+/// the grid, so collective-effect access patterns evolve step over step —
+/// the situation the paper's forecasting targets.
+pub struct Workload {
+    /// Simulation configuration (kernel field set per run).
+    pub config: SimulationConfig,
+    /// Initial macro-particle beam.
+    pub beam: Beam,
+}
+
+/// Builds the standard workload at a given grid resolution / particle count.
+pub fn standard_workload(resolution: usize, particles: usize, kernel: KernelKind) -> Workload {
+    let geometry = GridGeometry::unit(resolution, resolution);
+    let kappa = 12;
+    let mut config = SimulationConfig::standard(geometry, kernel);
+    config.rp = RpConfig {
+        kappa,
+        dt: 0.35 / kappa as f64,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.42,
+        support_y: 0.09,
+        center: (0.3, 0.5),
+    };
+    config.tolerance = 1e-6;
+    let bunch = GaussianBunch {
+        sigma_x: 0.12,
+        sigma_y: 0.025,
+        center_x: 0.3,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.4,
+        chirp: 0.0,
+    };
+    Workload {
+        config,
+        beam: bunch.sample(particles.max(1), 0xBEA0),
+    }
+}
+
+/// A rigid centred workload for the validation experiments (Fig 2 / Fig 3).
+pub fn validation_workload(resolution: usize, particles: usize) -> Workload {
+    validation_workload_seeded(resolution, particles, 0xF16)
+}
+
+/// [`validation_workload`] with an explicit sampling seed (independent
+/// Monte-Carlo draws for MSE sweeps).
+pub fn validation_workload_seeded(resolution: usize, particles: usize, seed: u64) -> Workload {
+    let mut w = standard_workload(resolution, particles, KernelKind::Predictive);
+    w.config.rigid = true;
+    w.config.rp.center = (0.5, 0.5);
+    let bunch = GaussianBunch {
+        sigma_x: 0.1,
+        sigma_y: 0.04,
+        center_x: 0.5,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.05,
+        chirp: 0.0,
+    };
+    w.beam = bunch.sample(particles.max(1), seed);
+    w
+}
+
+/// The rigid bunch matching [`validation_workload`], for analytic reference.
+pub fn validation_bunch() -> GaussianBunch {
+    GaussianBunch {
+        sigma_x: 0.1,
+        sigma_y: 0.04,
+        center_x: 0.5,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.05,
+        chirp: 0.0,
+    }
+}
+
+/// Runs `steps` simulation steps and returns all telemetry.
+pub fn run_steps(pool: &ThreadPool, workload: Workload, steps: usize) -> Vec<StepTelemetry> {
+    let device = DeviceConfig::tesla_k40();
+    let mut sim = Simulation::new(pool, &device, workload.config, workload.beam);
+    sim.run(steps)
+}
+
+/// Averages the warm steps (skipping the first `warmup`) of a telemetry run.
+pub struct WarmSummary {
+    /// Mean simulated GPU time per step, seconds.
+    pub gpu_time: f64,
+    /// Mean host clustering time per step, seconds.
+    pub clustering_time: f64,
+    /// Mean host training time per step, seconds.
+    pub training_time: f64,
+    /// Mean stage-overall time (GPU + clustering + training).
+    pub overall_time: f64,
+    /// Mean fallback cell count.
+    pub fallback_cells: f64,
+    /// Merged machine counters of the warm steps.
+    pub stats: beamdyn_simt::KernelStats,
+}
+
+/// Builds a [`WarmSummary`] from telemetry.
+pub fn summarize(telemetry: &[StepTelemetry], warmup: usize) -> WarmSummary {
+    let warm: Vec<&StepTelemetry> = telemetry.iter().skip(warmup).collect();
+    assert!(!warm.is_empty(), "need at least one warm step");
+    let n = warm.len() as f64;
+    let mut stats = beamdyn_simt::KernelStats::default();
+    for t in &warm {
+        stats.merge(&t.potentials.combined_stats());
+    }
+    WarmSummary {
+        gpu_time: warm.iter().map(|t| t.potentials.gpu_time).sum::<f64>() / n,
+        clustering_time: warm
+            .iter()
+            .map(|t| t.potentials.clustering_time.as_secs_f64())
+            .sum::<f64>()
+            / n,
+        training_time: warm
+            .iter()
+            .map(|t| t.potentials.training_time.as_secs_f64())
+            .sum::<f64>()
+            / n,
+        overall_time: warm.iter().map(|t| t.stage_overall_time()).sum::<f64>() / n,
+        fallback_cells: warm
+            .iter()
+            .map(|t| t.potentials.fallback_cells as f64)
+            .sum::<f64>()
+            / n,
+        stats,
+    }
+}
+
+/// Prints a plain-text table: header row, separator, then rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            out.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// `name` of each kernel for report rows.
+pub fn kernel_name(kernel: KernelKind) -> &'static str {
+    match kernel {
+        KernelKind::TwoPhase => "Two-Phase-RP",
+        KernelKind::Heuristic => "Heuristic-RP",
+        KernelKind::Predictive => "Predictive-RP",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workload_runs_and_summarizes() {
+        let pool = ThreadPool::new(2);
+        let w = standard_workload(12, 2000, KernelKind::Heuristic);
+        let telemetry = run_steps(&pool, w, 3);
+        let s = summarize(&telemetry, 1);
+        assert!(s.gpu_time > 0.0);
+        assert!(s.overall_time >= s.gpu_time);
+    }
+
+    #[test]
+    fn scale_parses_default_small() {
+        assert_eq!(Scale::from_args(), Scale::Small);
+    }
+}

@@ -1,0 +1,138 @@
+//! RP-CLUSTERING (paper Sec. IV, Eq. 3) and the baseline groupings.
+
+use beamdyn_ml::{kmeans, KMeansOptions, Samples};
+use beamdyn_par::ThreadPool;
+use beamdyn_pic::GridGeometry;
+
+use crate::points::GridPoint;
+
+/// A grouping of grid-point indices; each cluster maps to thread block(s).
+#[derive(Debug, Clone)]
+pub struct Clusters {
+    /// Point indices per cluster, preserving row-major order inside each.
+    pub members: Vec<Vec<u32>>,
+}
+
+impl Clusters {
+    /// Largest cluster size — the paper's choice of threads per block.
+    pub fn max_size(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total points across all clusters.
+    pub fn total_points(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// Drops empty clusters (k-means can produce them on degenerate data).
+    pub fn prune_empty(mut self) -> Self {
+        self.members.retain(|m| !m.is_empty());
+        self
+    }
+}
+
+/// RP-CLUSTERING: k-means over the points' (predicted) access patterns with
+/// `m = max(N_X, N_Y)` clusters, so grid points whose rp-integral will touch
+/// the same data end up in the same cache-sharing thread block.
+///
+/// Features are the log-compressed pattern counts plus the point's grid
+/// position, all standardised. The position features implement the paper's
+/// stated objective — grouping points with *maximum data reuse*: two points
+/// only reuse each other's stencil lines when they are spatially close, so
+/// pattern similarity alone (which is mirror-symmetric about the bunch)
+/// under-determines reuse. Log compression keeps k-means from spending all
+/// its centroids on the few huge-count points.
+pub fn cluster_by_pattern(
+    pool: &ThreadPool,
+    geometry: GridGeometry,
+    points: &[GridPoint],
+    seed: u64,
+) -> Clusters {
+    assert!(!points.is_empty());
+    let kappa = points[0].pattern.len();
+    let mut samples = Samples::new(kappa + 2);
+    for p in points {
+        let mut row = p.pattern.counts().to_vec();
+        row.resize(kappa, 0.0);
+        for v in &mut row {
+            *v = (1.0 + v.max(0.0)).ln();
+        }
+        row.push(p.x);
+        row.push(p.y);
+        samples.push(&row);
+    }
+    let scaler = beamdyn_ml::StandardScaler::fit(&samples);
+    let mut samples = scaler.transform(&samples);
+    // Weight y much harder than x: moment grids are row-major, so a warp
+    // only coalesces when its lanes share rows. Clusters should be thin
+    // bands in y and free to follow the pattern isolines along x.
+    {
+        let dims = samples.dims();
+        let mut flat = samples.as_flat().to_vec();
+        for row in flat.chunks_exact_mut(dims) {
+            row[dims - 2] *= 0.5; // x
+            row[dims - 1] *= 4.0; // y
+        }
+        samples = Samples::from_flat(flat, dims);
+    }
+    let m = geometry.nx.max(geometry.ny).max(1);
+    let result = kmeans(
+        pool,
+        &samples,
+        KMeansOptions {
+            clusters: m,
+            max_iters: 20,
+            seed,
+        },
+    );
+    Clusters {
+        members: result.members(),
+    }
+    .prune_empty()
+}
+
+/// The Heuristic-RP grouping (ref. [10]): spatial tiles (consecutive
+/// row-major runs) re-ordered by estimated workload so that co-scheduled
+/// points have similar cost — locality and balance from *heuristics* rather
+/// than learned patterns.
+pub fn cluster_heuristic(geometry: GridGeometry, points: &[GridPoint]) -> Clusters {
+    let m = geometry.nx.max(geometry.ny).max(1);
+    let tile = points.len().div_ceil(m).max(1);
+    let mut tiles: Vec<Vec<u32>> = (0..points.len() as u32)
+        .collect::<Vec<u32>>()
+        .chunks(tile)
+        .map(<[u32]>::to_vec)
+        .collect();
+    // Workload balance: order each tile's points by estimated partition
+    // size so warps (consecutive 32-point runs) carry similar trip counts.
+    for tile in &mut tiles {
+        tile.sort_by(|&a, &b| {
+            let ca = points[a as usize].pattern.total_cells();
+            let cb = points[b as usize].pattern.total_cells();
+            ca.cmp(&cb).then(a.cmp(&b))
+        });
+    }
+    Clusters { members: tiles }.prune_empty()
+}
+
+/// The Two-Phase-RP grouping (ref. [9]): no clustering at all — plain
+/// row-major point order carved into fixed-size blocks.
+pub fn cluster_none(points_len: usize, block: usize) -> Clusters {
+    let block = block.max(1);
+    let members = (0..points_len as u32)
+        .collect::<Vec<u32>>()
+        .chunks(block)
+        .map(<[u32]>::to_vec)
+        .collect();
+    Clusters { members }
+}

@@ -1,0 +1,259 @@
+//! The full four-step beam-dynamics simulation loop (paper Sec. II-A).
+
+use std::time::{Duration, Instant};
+
+use beamdyn_beam::forces::{gather_forces, ScalarField};
+use beamdyn_beam::push::{drift, kick};
+use beamdyn_beam::{Beam, RpConfig};
+use beamdyn_par::ThreadPool;
+use beamdyn_pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentGrid};
+use beamdyn_quad::Partition;
+use beamdyn_simt::DeviceConfig;
+
+use crate::kernels::heuristic::HeuristicState;
+use crate::kernels::predictive::{PredictiveOptions, TransformKind};
+use crate::kernels::{heuristic, predictive, two_phase, PotentialsOutput, RpProblem};
+use crate::layout::DeviceLayout;
+use crate::predictor::{Predictor, PredictorKind};
+
+/// Which retarded-potential kernel drives step 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Ref. [9]: globally adaptive parallel quadrature.
+    TwoPhase,
+    /// Ref. [10]: heuristic locality + balance (previous fastest).
+    Heuristic,
+    /// This paper: ML-forecast partitions + pattern clustering.
+    Predictive,
+}
+
+/// Simulation setup.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Grid geometry (`N_X × N_Y` over the simulation rectangle).
+    pub geometry: GridGeometry,
+    /// rp-integral discretisation (κ, Δt, β, inner rule, support cut).
+    pub rp: RpConfig,
+    /// Error tolerance τ per point.
+    pub tolerance: f64,
+    /// Kernel selection.
+    pub kernel: KernelKind,
+    /// Predictor backing Predictive-RP (ignored by the baselines).
+    pub predictor: PredictorKind,
+    /// Pattern→partition transformation for Predictive-RP.
+    pub transform: TransformKind,
+    /// Rigid-bunch mode: skip the particle push (validation experiments).
+    pub rigid: bool,
+    /// Self-force coupling constant (the normalised `q²/γm` prefactor that
+    /// physical units would supply). Keeps the collective kick per step
+    /// perturbative, as in the real dynamics.
+    pub force_scale: f64,
+    /// Seed for clustering determinism.
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// A reasonable default over the unit square.
+    pub fn standard(geometry: GridGeometry, kernel: KernelKind) -> Self {
+        let kappa = 6;
+        Self {
+            geometry,
+            rp: RpConfig::standard(kappa, 0.35 / kappa as f64),
+            tolerance: 1e-6,
+            kernel,
+            predictor: PredictorKind::default(),
+            // Uniform keeps every partition in one globally aligned dyadic
+            // family, so the pattern-level group merge cannot inflate and
+            // the online learning loop converges; Adaptive follows per-point
+            // placement but merges at breakpoint level (ablation:
+            // partition_transform bench).
+            transform: TransformKind::Uniform,
+            rigid: false,
+            force_scale: 1e-3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Per-step measurements for the experiment harness.
+#[derive(Debug, Clone)]
+pub struct StepTelemetry {
+    /// Time step index of this record.
+    pub step: usize,
+    /// Output of the potentials stage (stats, times, points).
+    pub potentials: PotentialsOutput,
+    /// Host time spent depositing.
+    pub deposit_time: Duration,
+    /// Host time in force gather + push.
+    pub push_time: Duration,
+}
+
+impl StepTelemetry {
+    /// Simulated-GPU + host-overhead time of the potentials stage (the
+    /// paper's Table II "Overall Time" combines these).
+    pub fn stage_overall_time(&self) -> f64 {
+        self.potentials.gpu_time
+            + self.potentials.clustering_time.as_secs_f64()
+            + self.potentials.training_time.as_secs_f64()
+    }
+}
+
+/// The four-step simulation driver.
+pub struct Simulation<'a> {
+    pool: &'a ThreadPool,
+    device: &'a DeviceConfig,
+    config: SimulationConfig,
+    beam: Beam,
+    history: GridHistory,
+    step: usize,
+    predictor: Predictor,
+    heuristic_state: HeuristicState,
+    previous_partitions: Vec<Option<Partition>>,
+    /// Potential field of the last completed step.
+    last_potentials: Option<ScalarField>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation over an initial beam.
+    pub fn new(
+        pool: &'a ThreadPool,
+        device: &'a DeviceConfig,
+        config: SimulationConfig,
+        beam: Beam,
+    ) -> Self {
+        let history = GridHistory::new(config.geometry, config.rp.kappa + 3);
+        let kappa = config.rp.kappa;
+        Self {
+            pool,
+            device,
+            config,
+            beam,
+            history,
+            step: 0,
+            predictor: Predictor::new(config.predictor, kappa),
+            heuristic_state: HeuristicState::default(),
+            previous_partitions: Vec::new(),
+            last_potentials: None,
+        }
+    }
+
+    /// Current step counter (completed steps).
+    pub fn step_index(&self) -> usize {
+        self.step
+    }
+
+    /// The beam (e.g. for statistics).
+    pub fn beam(&self) -> &Beam {
+        &self.beam
+    }
+
+    /// Potential field from the most recent step.
+    pub fn last_potentials(&self) -> Option<&ScalarField> {
+        self.last_potentials.as_ref()
+    }
+
+    /// The online predictor (Predictive-RP only).
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
+    /// Executes one full time step; returns its telemetry.
+    pub fn run_step(&mut self) -> StepTelemetry {
+        // Track the bunch: the support cut follows the charge centroid, so
+        // the integration horizons move with the beam.
+        if !self.beam.is_empty() {
+            self.config.rp.center = self.beam.centroid();
+        }
+        // --- 1. Particle deposition ---
+        let t0 = Instant::now();
+        let mut grid = MomentGrid::zeros(self.config.geometry);
+        let samples: Vec<DepositSample> = self
+            .beam
+            .particles
+            .iter()
+            .map(|p| DepositSample {
+                x: p.x,
+                y: p.y,
+                weight: p.weight,
+                vx: p.vx,
+                vy: p.vy,
+            })
+            .collect();
+        deposit_cic(self.pool, &mut grid, &samples);
+        self.history.push(self.step, grid);
+        let deposit_time = t0.elapsed();
+
+        // --- 2. Compute retarded potentials ---
+        let potentials = self.compute_potentials();
+
+        // --- 3 & 4. Self-forces and particle push ---
+        let t1 = Instant::now();
+        let field = ScalarField::new(self.config.geometry, potentials.potentials());
+        if !self.config.rigid {
+            let mut forces = gather_forces(self.pool, &field, &self.beam);
+            for f in &mut forces {
+                f.0 *= self.config.force_scale;
+                f.1 *= self.config.force_scale;
+            }
+            // Leap-frog with velocities staggered by half a step: one kick,
+            // one drift per field solve.
+            kick(self.pool, &mut self.beam, &forces, self.config.rp.dt);
+            drift(self.pool, &mut self.beam, self.config.rp.dt);
+        }
+        let push_time = t1.elapsed();
+        self.last_potentials = Some(field);
+
+        self.previous_partitions = potentials.points.iter().map(|p| p.partition.clone()).collect();
+        let telemetry = StepTelemetry {
+            step: self.step,
+            potentials,
+            deposit_time,
+            push_time,
+        };
+        self.step += 1;
+        telemetry
+    }
+
+    /// Runs `n` steps, returning all telemetry records.
+    pub fn run(&mut self, n: usize) -> Vec<StepTelemetry> {
+        (0..n).map(|_| self.run_step()).collect()
+    }
+
+    fn compute_potentials(&mut self) -> PotentialsOutput {
+        let problem = RpProblem {
+            pool: self.pool,
+            device: self.device,
+            history: &self.history,
+            config: self.config.rp,
+            layout: DeviceLayout::new(self.config.geometry, 0),
+            step: self.step,
+            tolerance: self.config.tolerance,
+        };
+        match self.config.kernel {
+            KernelKind::TwoPhase => two_phase::compute_potentials(&problem, self.config.geometry, 256),
+            KernelKind::Heuristic => heuristic::compute_potentials(
+                &problem,
+                self.config.geometry,
+                &mut self.heuristic_state,
+                256,
+            ),
+            KernelKind::Predictive => predictive::compute_potentials(
+                &problem,
+                self.config.geometry,
+                &mut self.predictor,
+                Some(&self.previous_partitions),
+                PredictiveOptions {
+                    transform: self.config.transform,
+                    seed: self.config.seed,
+                    ..PredictiveOptions::default()
+                },
+            ),
+        }
+    }
+}
+
+/// Convenience: the geometry every paper experiment uses — the unit square
+/// at the requested resolution with the bunch centred at (0.5, 0.5).
+pub fn standard_geometry(resolution: usize) -> GridGeometry {
+    GridGeometry::unit(resolution, resolution)
+}

@@ -1,0 +1,150 @@
+//! Heuristic-RP: the ref. [10] baseline (previous fastest GPU kernel).
+//!
+//! Differences from Predictive-RP, mirroring the papers:
+//! * grouping is a *spatial* heuristic (row-major tiles) with workload
+//!   balancing by estimated partition size — not learned-pattern k-means;
+//! * each point evaluates its **own** partition carried over from the
+//!   previous time step (data-reuse heuristic), not a cluster-merged
+//!   forecast partition — so trip counts differ inside a warp and residual
+//!   divergence remains;
+//! * no model training.
+
+use beamdyn_pic::GridGeometry;
+use beamdyn_quad::Partition;
+use beamdyn_simt::KernelStats;
+
+use super::threads::{launch_adaptive, launch_fixed};
+use super::{apply_results, finalize_points, FallbackTask, PotentialsOutput, RpProblem};
+use crate::clustering::cluster_heuristic;
+use crate::pattern::AccessPattern;
+use crate::points::build_points;
+use crate::transform::coldstart_partition;
+
+/// Carries Heuristic-RP's state between steps: each point's last partition.
+#[derive(Debug, Default, Clone)]
+pub struct HeuristicState {
+    /// Row-major per-point partitions observed at the previous step.
+    pub partitions: Vec<Option<Partition>>,
+}
+
+/// The Heuristic-RP compute-potentials stage.
+pub fn compute_potentials(
+    problem: &RpProblem<'_>,
+    geometry: GridGeometry,
+    state: &mut HeuristicState,
+    fallback_tpb: usize,
+) -> PotentialsOutput {
+    let mut points = build_points(geometry, &problem.config, problem.step);
+
+    // Reuse each point's previous partition (clipped to the new horizon);
+    // cold-start points get the coarse one-cell-per-subregion partition.
+    // A grown horizon (early steps, or the bunch moving away) exposes a
+    // fresh outer region the old partition never covered — it must be
+    // appended at cold-start resolution or its contribution is silently
+    // lost (no cell ⇒ no error estimate ⇒ no fallback).
+    for (i, p) in points.iter_mut().enumerate() {
+        let reused = state
+            .partitions
+            .get(i)
+            .and_then(Option::as_ref)
+            .and_then(|prev| prev.clip(0.0, p.radius));
+        let partition = match reused {
+            Some(part) => {
+                let (_, hi) = part.span();
+                if hi < p.radius - 1e-12 {
+                    let mut breaks = part.breaks().to_vec();
+                    let width = problem.config.subregion_width();
+                    let mut r = hi;
+                    while r + width < p.radius - 1e-12 {
+                        r += width;
+                        breaks.push(r);
+                    }
+                    breaks.push(p.radius);
+                    Partition::new(breaks)
+                } else {
+                    part
+                }
+            }
+            None => coldstart_partition(&problem.config, p.radius),
+        };
+        p.pattern = AccessPattern::from_partition(&partition, &problem.config);
+        p.partition = Some(partition);
+    }
+
+    // Spatial tiles with workload balancing (the heuristics of [10]).
+    let clusters = cluster_heuristic(geometry, &points);
+    let warp = problem.device.warp_size.max(1);
+    let tpb = clusters
+        .max_size()
+        .next_multiple_of(warp)
+        .clamp(warp, problem.device.max_threads_per_block);
+    let mut assignment: Vec<Option<(u32, Vec<(f64, f64)>)>> = Vec::with_capacity(points.len());
+    for cluster in &clusters.members {
+        for &i in cluster {
+            let cells: Vec<(f64, f64)> = points[i as usize]
+                .partition
+                .as_ref()
+                .expect("set above")
+                .iter_cells()
+                .collect();
+            assignment.push(Some((i, cells)));
+        }
+        while assignment.len() % warp != 0 {
+            assignment.push(None);
+        }
+    }
+
+    let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
+    let xyr = move |i: u32| xyr_data[i as usize];
+    let main = launch_fixed(problem, tpb, &assignment, &xyr);
+
+    let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    let mut tasks: Vec<FallbackTask> = Vec::new();
+    apply_results(
+        &mut points,
+        main.results.into_iter().flatten(),
+        problem.tolerance,
+        &mut breaks_acc,
+        &mut need_acc,
+        &mut tasks,
+        true,
+    );
+
+    let fallback_cells = tasks.len();
+    let mut fallback_stats = KernelStats::default();
+    let mut launches = 1;
+    let mut gpu_time = main.stats.timing(problem.device).total;
+    if !tasks.is_empty() {
+        let fb = launch_adaptive(problem, fallback_tpb, &tasks, &xyr, 0);
+        gpu_time += fb.stats.timing(problem.device).total;
+        launches += 1;
+        let mut none = Vec::new();
+        apply_results(
+            &mut points,
+            fb.results.into_iter().flatten(),
+            problem.tolerance,
+            &mut breaks_acc,
+            &mut need_acc,
+            &mut none,
+            true,
+        );
+        fallback_stats = fb.stats;
+    }
+
+    finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
+
+    // Remember the observed partitions for the next step's reuse heuristic.
+    state.partitions = points.iter().map(|p| p.partition.clone()).collect();
+
+    PotentialsOutput {
+        points,
+        main_stats: main.stats,
+        fallback_stats,
+        gpu_time,
+        clustering_time: std::time::Duration::ZERO,
+        training_time: std::time::Duration::ZERO,
+        fallback_cells,
+        launches,
+    }
+}

@@ -1,0 +1,178 @@
+//! The three retarded-potential kernels, sharing one SIMT thread toolbox.
+//!
+//! * [`predictive`] — the paper's contribution (Algorithm 1).
+//! * [`heuristic`] — the ref. [10] baseline (previous fastest).
+//! * [`two_phase`] — the ref. [9] baseline (globally adaptive).
+
+pub mod heuristic;
+pub mod predictive;
+pub mod threads;
+pub mod two_phase;
+
+use std::time::Duration;
+
+use beamdyn_beam::{GridRp, RpConfig};
+use beamdyn_par::ThreadPool;
+use beamdyn_pic::GridHistory;
+use beamdyn_quad::Partition;
+use beamdyn_simt::{DeviceConfig, KernelStats};
+
+use crate::layout::DeviceLayout;
+use crate::points::GridPoint;
+
+/// Everything a kernel needs to evaluate step `k`'s potentials.
+pub struct RpProblem<'a> {
+    /// Host thread pool driving the simulated SMs.
+    pub pool: &'a ThreadPool,
+    /// Simulated device.
+    pub device: &'a DeviceConfig,
+    /// Moment-grid history (`D`).
+    pub history: &'a GridHistory,
+    /// Integral discretisation.
+    pub config: RpConfig,
+    /// Device address layout of the history.
+    pub layout: DeviceLayout,
+    /// Current time step `k`.
+    pub step: usize,
+    /// Error tolerance τ for each point's rp-integral.
+    pub tolerance: f64,
+}
+
+impl<'a> RpProblem<'a> {
+    /// The grid-backed integrand view for this step.
+    pub fn integrand(&self) -> GridRp<'a> {
+        GridRp::new(self.history, self.config, self.step)
+    }
+}
+
+/// Result of one COMPUTE-POTENTIALS invocation.
+#[derive(Debug, Clone)]
+pub struct PotentialsOutput {
+    /// Updated per-point state (integral, error, observed pattern,
+    /// partition) — the paper's `V` after the call.
+    pub points: Vec<GridPoint>,
+    /// Machine counters of the main (uniform / fixed-partition) kernel.
+    pub main_stats: KernelStats,
+    /// Counters of the adaptive passes (fallback, or the refinement rounds
+    /// of Two-Phase-RP).
+    pub fallback_stats: KernelStats,
+    /// Simulated GPU time over all launches.
+    pub gpu_time: f64,
+    /// Wall-clock host time spent in RP-CLUSTERING (zero for baselines that
+    /// do not cluster).
+    pub clustering_time: Duration,
+    /// Wall-clock host time spent in ONLINE-LEARNING.
+    pub training_time: Duration,
+    /// Number of cells the main pass failed to converge (fallback volume).
+    pub fallback_cells: usize,
+    /// Number of simulated kernel launches.
+    pub launches: usize,
+}
+
+impl PotentialsOutput {
+    /// The potential field as a row-major value vector.
+    pub fn potentials(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.integral).collect()
+    }
+
+    /// Merged machine counters over all passes.
+    pub fn combined_stats(&self) -> KernelStats {
+        let mut s = self.main_stats.clone();
+        s.merge(&self.fallback_stats);
+        s
+    }
+
+    /// Largest per-point error estimate — must be ≤ τ after the fallback.
+    pub fn max_error(&self) -> f64 {
+        self.points.iter().map(|p| p.error).fold(0.0, f64::max)
+    }
+}
+
+/// A failed cell forwarded to the adaptive pass: the paper's `([a,b], p)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FallbackTask {
+    /// Point index in the row-major point list.
+    pub point: u32,
+    /// Cell bounds.
+    pub a: f64,
+    /// Cell bounds.
+    pub b: f64,
+    /// Absolute tolerance for this cell.
+    pub tolerance: f64,
+}
+
+/// Per-point tolerance share for a cell of width `w` within radius `r`.
+pub(crate) fn cell_tolerance(total: f64, w: f64, r: f64) -> f64 {
+    total * (w / r.max(f64::MIN_POSITIVE)).min(1.0)
+}
+
+/// Folds thread results into the point set: accumulates integral and error,
+/// collects partition break edges, and turns failed cells into fallback
+/// tasks (lines 14–16 and 18–24 of Algorithm 1 do this on the lists `L'`
+/// and `L`).
+/// `collect_breaks = false` accumulates only integrals/errors/failures —
+/// used by Predictive-RP's main pass, whose evaluated (cluster-merged)
+/// partition must not leak into the *observed* pattern the model trains on
+/// (training on the merged partition ratchets work up step over step).
+pub(crate) fn apply_results(
+    points: &mut [GridPoint],
+    results: impl Iterator<Item = threads::ThreadResult>,
+    tolerance: f64,
+    breaks_acc: &mut [Vec<f64>],
+    need_acc: &mut [Vec<f64>],
+    tasks: &mut Vec<FallbackTask>,
+    collect_breaks: bool,
+) {
+    for r in results {
+        let p = &mut points[r.point as usize];
+        p.integral += r.integral;
+        p.error += r.error;
+        let acc = &mut need_acc[r.point as usize];
+        if acc.len() < r.need.len() {
+            acc.resize(r.need.len(), 0.0);
+        }
+        for (a, n) in acc.iter_mut().zip(&r.need) {
+            *a += n;
+        }
+        if collect_breaks {
+            breaks_acc[r.point as usize].extend_from_slice(&r.breaks);
+        }
+        for &(a, b) in &r.failed {
+            tasks.push(FallbackTask {
+                point: r.point,
+                a,
+                b,
+                tolerance: cell_tolerance(tolerance, b - a, p.radius),
+            });
+        }
+    }
+}
+
+/// After all passes: reconstructs each point's final partition from the
+/// accumulated break edges and installs its observed access pattern from
+/// the resolution-independent need estimates.
+pub(crate) fn finalize_points(
+    points: &mut [GridPoint],
+    breaks_acc: Vec<Vec<f64>>,
+    need_acc: Vec<Vec<f64>>,
+    config: &RpConfig,
+) {
+    for ((p, mut edges), mut need) in points.iter_mut().zip(breaks_acc).zip(need_acc) {
+        edges.push(0.0);
+        edges.sort_by(f64::total_cmp);
+        edges.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * (1.0 + a.abs()));
+        if edges.len() >= 2 {
+            p.partition = Some(Partition::new(edges));
+        }
+        need.resize(config.kappa.max(1), 0.0);
+        p.pattern = crate::pattern::AccessPattern::from_counts(need);
+    }
+}
+
+/// Clips a cluster-merged partition to one point's `[0, R(p)]` cell list.
+pub(crate) fn cells_for_point(merged: &Partition, radius: f64) -> Vec<(f64, f64)> {
+    merged
+        .clip(0.0, radius)
+        .map(|p| p.iter_cells().collect())
+        .unwrap_or_else(|| vec![(0.0, radius)])
+}

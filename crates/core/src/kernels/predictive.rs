@@ -1,0 +1,213 @@
+//! Predictive-RP: Algorithm 1 of the paper.
+
+use std::time::Instant;
+
+use beamdyn_pic::GridGeometry;
+use beamdyn_quad::Partition;
+use beamdyn_simt::KernelStats;
+
+use super::threads::{launch_adaptive, launch_fixed};
+use super::{apply_results, cells_for_point, finalize_points, FallbackTask, PotentialsOutput, RpProblem};
+use crate::clustering::cluster_by_pattern;
+use crate::points::build_points;
+use crate::predictor::Predictor;
+use crate::transform::{
+    adaptive_transform, coldstart_partition, merge_cluster_partitions, uniform_transform,
+};
+
+/// Which pattern→partition transformation to use (Sec. III-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransformKind {
+    /// Uniform partitioning of each subregion.
+    #[default]
+    Uniform,
+    /// Refinement of the previous step's partition.
+    Adaptive,
+}
+
+/// Tuning knobs for the predictive kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictiveOptions {
+    /// Pattern→partition transformation.
+    pub transform: TransformKind,
+    /// k-means seed (deterministic clustering).
+    pub seed: u64,
+    /// Threads per block for the fallback pass.
+    pub fallback_tpb: usize,
+    /// Safety margin applied to forecast counts before building partitions:
+    /// uniform cell placement needs somewhat more cells than the adaptively
+    /// placed cells the counts were learned from.
+    pub safety: f64,
+}
+
+impl Default for PredictiveOptions {
+    fn default() -> Self {
+        Self {
+            transform: TransformKind::Uniform,
+            seed: 0x9E3779B9,
+            fallback_tpb: 256,
+            safety: 1.0,
+        }
+    }
+}
+
+/// `COMPUTE-POTENTIALS` (Algorithm 1): forecast → partition → cluster →
+/// uniform kernel → adaptive fallback → online learning.
+///
+/// `previous_partitions` feeds the adaptive transformation (and is ignored
+/// by the uniform one); pass the partitions stored in the previous step's
+/// output points.
+pub fn compute_potentials(
+    problem: &RpProblem<'_>,
+    geometry: GridGeometry,
+    predictor: &mut Predictor,
+    previous_partitions: Option<&[Option<Partition>]>,
+    options: PredictiveOptions,
+) -> PotentialsOutput {
+    let mut points = build_points(geometry, &problem.config, problem.step);
+
+    // Lines 1–5: forecast each point's pattern and build its partition.
+    for (i, p) in points.iter_mut().enumerate() {
+        let forecast = predictor.predict(i, p.x, p.y);
+        match forecast {
+            Some(mut pattern) => {
+                pattern.scale(options.safety.max(1.0));
+                let previous = previous_partitions
+                    .and_then(|prev| prev.get(i))
+                    .and_then(Option::as_ref);
+                let partition = match (options.transform, previous) {
+                    (TransformKind::Adaptive, Some(prev)) => {
+                        adaptive_transform(&pattern, prev, &problem.config, p.radius)
+                    }
+                    _ => uniform_transform(&pattern, &problem.config, p.radius),
+                };
+                p.pattern = pattern;
+                p.partition = Some(partition);
+            }
+            None => {
+                // Cold start: coarse partition; the fallback pass will do
+                // the heavy lifting this one step.
+                p.partition = Some(coldstart_partition(&problem.config, p.radius));
+            }
+        }
+    }
+
+    // Line 6: RP-CLUSTERING on the (predicted) access patterns.
+    let t0 = Instant::now();
+    let clusters = cluster_by_pattern(problem.pool, geometry, &points, options.seed);
+    let clustering_time = t0.elapsed();
+
+    // Lines 8–12: MERGE-LISTS within each lockstep group. Clusters are
+    // ordered by estimated workload and their members concatenated (in
+    // row-major order, preserving spatial locality); the stream is then
+    // carved into warps and the member partitions are merged **per warp** —
+    // the granularity at which divergence and coalescing actually operate.
+    // This refines the paper's cluster→block merge: every lane of a warp
+    // iterates the same cell list by construction, with no padding waste
+    // when k-means produces uneven cluster sizes.
+    let warp = problem.device.warp_size.max(1);
+    let tpb = (warp * 8).clamp(warp, problem.device.max_threads_per_block);
+    let mut ordered_clusters: Vec<&Vec<u32>> = clusters.members.iter().collect();
+    ordered_clusters.sort_by_key(|members| {
+        let total: usize = members
+            .iter()
+            .map(|&i| points[i as usize].pattern.total_cells())
+            .sum();
+        (total / members.len().max(1), members.first().copied())
+    });
+    let order: Vec<u32> = ordered_clusters.into_iter().flatten().copied().collect();
+
+    let mut assignment: Vec<Option<(u32, Vec<(f64, f64)>)>> = Vec::with_capacity(points.len());
+    for group in order.chunks(warp) {
+        let merged = match options.transform {
+            // Uniform mode merges at *pattern* level: the group partition is
+            // the dyadic uniform transform of the element-wise max pattern.
+            // All partitions then come from one globally aligned dyadic
+            // family, so merging never inflates and the learning loop has a
+            // fixed point (see DESIGN.md).
+            TransformKind::Uniform => {
+                let mut group_pattern = crate::pattern::AccessPattern::zeros(problem.config.kappa);
+                let mut radius: f64 = 0.0;
+                for &i in group {
+                    group_pattern.merge_max(&points[i as usize].pattern);
+                    radius = radius.max(points[i as usize].radius);
+                }
+                uniform_transform(&group_pattern, &problem.config, radius.max(1e-9))
+            }
+            // Adaptive mode unions the member breakpoints (the paper's raw
+            // MERGE-LISTS), which follows per-point adaptive placement.
+            TransformKind::Adaptive => merge_cluster_partitions(
+                group
+                    .iter()
+                    .filter_map(|&i| points[i as usize].partition.as_ref()),
+                problem.config.max_radius(problem.step),
+            ),
+        };
+        for &i in group {
+            assignment.push(Some((i, cells_for_point(&merged, points[i as usize].radius))));
+        }
+    }
+
+    // Lines 13–17: the uniform-control-flow main kernel.
+    let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
+    let xyr = move |i: u32| xyr_data[i as usize];
+    let main = launch_fixed(problem, tpb, &assignment, &xyr);
+
+    // The observed pattern is reconstructed from the *needed* cells the
+    // threads report (plus fallback refinements below) — not from the
+    // evaluated (group-merged) partition, which would compound merge
+    // inflation into the learned patterns.
+    let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    let mut tasks: Vec<FallbackTask> = Vec::new();
+    apply_results(
+        &mut points,
+        main.results.into_iter().flatten(),
+        problem.tolerance,
+        &mut breaks_acc,
+        &mut need_acc,
+        &mut tasks,
+        true,
+    );
+
+    // Lines 18–24: adaptive fallback on the global list L.
+    let fallback_cells = tasks.len();
+    let mut fallback_stats = KernelStats::default();
+    let mut launches = 1;
+    let mut gpu_time = main.stats.timing(problem.device).total;
+    if !tasks.is_empty() {
+        let fb = launch_adaptive(problem, options.fallback_tpb, &tasks, &xyr, 0);
+        gpu_time += fb.stats.timing(problem.device).total;
+        launches += 1;
+        let mut no_more: Vec<FallbackTask> = Vec::new();
+        apply_results(
+            &mut points,
+            fb.results.into_iter().flatten(),
+            problem.tolerance,
+            &mut breaks_acc,
+            &mut need_acc,
+            &mut no_more,
+            true,
+        );
+        debug_assert!(no_more.is_empty(), "adaptive threads never report failures");
+        fallback_stats = fb.stats;
+    }
+
+    finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
+
+    // Line 25: ONLINE-LEARNING on the observed patterns.
+    let t1 = Instant::now();
+    predictor.train(&points);
+    let training_time = t1.elapsed();
+
+    PotentialsOutput {
+        points,
+        main_stats: main.stats,
+        fallback_stats,
+        gpu_time,
+        clustering_time,
+        training_time,
+        fallback_cells,
+        launches,
+    }
+}

@@ -1,0 +1,303 @@
+//! SIMT thread bodies shared by all three kernels.
+
+use beamdyn_beam::{GridRp, TapSink};
+use beamdyn_quad::simpson_estimate;
+use beamdyn_simt::{launch, LaunchConfig, LaunchOutput, OpRecorder, WarpThread};
+
+use super::{FallbackTask, RpProblem};
+use crate::layout::DeviceLayout;
+
+/// Bridges integrand taps to traced device loads.
+struct TraceSink<'a> {
+    rec: &'a mut OpRecorder,
+    layout: DeviceLayout,
+}
+
+impl TapSink for TraceSink<'_> {
+    #[inline]
+    fn tap(&mut self, step: usize, component: usize, ix: usize, iy: usize) {
+        self.rec.load(self.layout.address(step, component, ix, iy), 8);
+    }
+    #[inline]
+    fn flops(&mut self, n: u32) {
+        self.rec.flops(n);
+    }
+}
+
+/// Outcome of one thread's rp-integral work.
+#[derive(Debug, Clone)]
+pub struct ThreadResult {
+    /// Row-major point index.
+    pub point: u32,
+    /// Accepted integral contribution.
+    pub integral: f64,
+    /// Accepted error contribution.
+    pub error: f64,
+    /// Cells whose Simpson error missed their tolerance (`COMPUTE-RP-
+    /// INTEGRAL`'s list `L'`), empty for the adaptive thread.
+    pub failed: Vec<(f64, f64)>,
+    /// Right edges of accepted cells (the partition actually used), in
+    /// evaluation order; the host sorts and merges them.
+    pub breaks: Vec<f64>,
+    /// Per-subregion *need* estimate: each accepted cell contributes
+    /// `(error / tol_cell)^{1/4}` to the subregion containing it. Simpson's
+    /// error scales as h⁴, so this sum estimates the number of cells the
+    /// subregion actually requires independently of how finely it happened
+    /// to be evaluated — the resolution-independent access pattern the
+    /// online model must train on (training on provision ratchets).
+    pub need: Vec<f64>,
+}
+
+/// `COMPUTE-RP-INTEGRAL`: one thread evaluating a *precomputed* list of
+/// cells with exactly one Simpson rule application per cell — uniform
+/// control flow across the warp by construction.
+pub struct FixedCellsThread<'a> {
+    rp: &'a GridRp<'a>,
+    layout: DeviceLayout,
+    x: f64,
+    y: f64,
+    cells: Vec<(f64, f64)>,
+    /// Total tolerance for this point; apportioned to cells by width.
+    tolerance: f64,
+    radius: f64,
+    next: usize,
+    stored: bool,
+    result: ThreadResult,
+}
+
+impl<'a> FixedCellsThread<'a> {
+    /// Builds the thread for `point` with its clipped cell list.
+    pub fn new(
+        rp: &'a GridRp<'a>,
+        layout: DeviceLayout,
+        point: u32,
+        x: f64,
+        y: f64,
+        radius: f64,
+        cells: Vec<(f64, f64)>,
+        tolerance: f64,
+    ) -> Self {
+        Self {
+            rp,
+            layout,
+            x,
+            y,
+            cells,
+            tolerance,
+            radius,
+            next: 0,
+            stored: false,
+            result: ThreadResult {
+                point,
+                integral: 0.0,
+                error: 0.0,
+                failed: Vec::new(),
+                breaks: Vec::new(),
+                need: vec![0.0; rp.config().kappa],
+            },
+        }
+    }
+
+    /// Consumes the thread after retirement.
+    pub fn into_result(self) -> ThreadResult {
+        self.result
+    }
+}
+
+/// Fractional cell-need of one accepted cell (see [`ThreadResult::need`]).
+#[inline]
+fn cell_need(error: f64, tol: f64) -> f64 {
+    (error / tol.max(f64::MIN_POSITIVE)).max(0.0).powf(0.25).clamp(0.02, 16.0)
+}
+
+impl WarpThread for FixedCellsThread<'_> {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        if self.next >= self.cells.len() {
+            if !self.stored {
+                self.stored = true;
+                rec.flops(4); // final accumulate
+                rec.store(self.layout.output_address(self.result.point as usize), 8);
+                return true;
+            }
+            return false;
+        }
+        let (a, b) = self.cells[self.next];
+        self.next += 1;
+        let mut sink = TraceSink { rec, layout: self.layout };
+        let (x, y) = (self.x, self.y);
+        let rp = self.rp;
+        let est = simpson_estimate(|r| rp.eval(x, y, r, &mut sink), a, b);
+        let tol = super::cell_tolerance(self.tolerance, b - a, self.radius);
+        if est.error <= tol {
+            self.result.integral += est.integral;
+            self.result.error += est.error;
+            let j = rp.config().subregion_of(0.5 * (a + b));
+            if let Some(n) = self.result.need.get_mut(j) {
+                *n += cell_need(est.error, tol);
+            }
+            self.result.breaks.push(b);
+        } else {
+            self.result.failed.push((a, b));
+        }
+        true
+    }
+}
+
+/// `RP-ADAPTIVEQUADRATURE`: one thread running classic stack-based adaptive
+/// Simpson over its own interval — the divergent workhorse of the fallback
+/// pass and of Two-Phase-RP.
+pub struct AdaptiveThread<'a> {
+    rp: &'a GridRp<'a>,
+    layout: DeviceLayout,
+    x: f64,
+    y: f64,
+    stack: Vec<(f64, f64, f64, u32)>,
+    max_depth: u32,
+    min_depth: u32,
+    stored: bool,
+    result: ThreadResult,
+}
+
+impl<'a> AdaptiveThread<'a> {
+    /// Builds the thread for one `([a, b], p)` task.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rp: &'a GridRp<'a>,
+        layout: DeviceLayout,
+        point: u32,
+        x: f64,
+        y: f64,
+        a: f64,
+        b: f64,
+        tolerance: f64,
+        min_depth: u32,
+    ) -> Self {
+        Self {
+            rp,
+            layout,
+            x,
+            y,
+            stack: vec![(a, b, tolerance, 0)],
+            max_depth: 26,
+            min_depth,
+            stored: false,
+            result: ThreadResult {
+                point,
+                integral: 0.0,
+                error: 0.0,
+                failed: Vec::new(),
+                breaks: Vec::new(),
+                need: vec![0.0; rp.config().kappa],
+            },
+        }
+    }
+
+    /// Consumes the thread after retirement.
+    pub fn into_result(self) -> ThreadResult {
+        self.result
+    }
+}
+
+impl WarpThread for AdaptiveThread<'_> {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        let Some((a, b, tol, depth)) = self.stack.pop() else {
+            if !self.stored {
+                self.stored = true;
+                rec.flops(4);
+                rec.store(self.layout.output_address(self.result.point as usize), 8);
+                return true;
+            }
+            return false;
+        };
+        let mut sink = TraceSink { rec, layout: self.layout };
+        let (x, y) = (self.x, self.y);
+        let rp = self.rp;
+        let est = simpson_estimate(|r| rp.eval(x, y, r, &mut sink), a, b);
+        rec.flops(6); // convergence test + accumulation
+        let converged = est.error <= tol && depth >= self.min_depth;
+        if converged || depth >= self.max_depth {
+            self.result.integral += est.integral;
+            self.result.error += est.error;
+            self.result.breaks.push(b);
+            let j = rp.config().subregion_of(0.5 * (a + b));
+            if let Some(n) = self.result.need.get_mut(j) {
+                *n += cell_need(est.error, tol);
+            }
+        } else {
+            let m = 0.5 * (a + b);
+            self.stack.push((m, b, 0.5 * tol, depth + 1));
+            self.stack.push((a, m, 0.5 * tol, depth + 1));
+        }
+        true
+    }
+}
+
+/// Launches the fixed-cells (uniform) kernel over pre-assigned threads.
+///
+/// `assignment[tid]` gives each simulated thread its point and cell list;
+/// `None` is a padding lane.
+pub fn launch_fixed(
+    problem: &RpProblem<'_>,
+    threads_per_block: usize,
+    assignment: &[Option<(u32, Vec<(f64, f64)>)>],
+    point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
+) -> LaunchOutput<ThreadResult> {
+    let rp = problem.integrand();
+    let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
+    let blocks = assignment.len().div_ceil(tpb).max(1);
+    launch(
+        problem.pool,
+        problem.device,
+        LaunchConfig { blocks, threads_per_block: tpb },
+        |tid| {
+            let (point, cells) = assignment.get(tid)?.as_ref()?;
+            let (x, y, radius) = point_xyr(*point);
+            Some(FixedCellsThread::new(
+                &rp,
+                problem.layout,
+                *point,
+                x,
+                y,
+                radius,
+                cells.clone(),
+                problem.tolerance,
+            ))
+        },
+        FixedCellsThread::into_result,
+    )
+}
+
+/// Launches the adaptive kernel, one thread per task (the paper maps the
+/// global list `L` to threads one-to-one).
+pub fn launch_adaptive(
+    problem: &RpProblem<'_>,
+    threads_per_block: usize,
+    tasks: &[FallbackTask],
+    point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
+    min_depth: u32,
+) -> LaunchOutput<ThreadResult> {
+    let rp = problem.integrand();
+    let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
+    let blocks = tasks.len().div_ceil(tpb).max(1);
+    launch(
+        problem.pool,
+        problem.device,
+        LaunchConfig { blocks, threads_per_block: tpb },
+        |tid| {
+            let task = tasks.get(tid)?;
+            let (x, y, _) = point_xyr(task.point);
+            Some(AdaptiveThread::new(
+                &rp,
+                problem.layout,
+                task.point,
+                x,
+                y,
+                task.a,
+                task.b,
+                task.tolerance,
+                min_depth,
+            ))
+        },
+        AdaptiveThread::into_result,
+    )
+}

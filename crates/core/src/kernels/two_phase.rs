@@ -1,0 +1,91 @@
+//! Two-Phase-RP: the ref. [9] baseline (globally adaptive parallel
+//! quadrature).
+//!
+//! Phase one evaluates every point on a coarse first-pass partition (one
+//! cell per subregion). Phase two gathers every unconverged cell into a
+//! global list and maps the list to threads one-to-one, each running full
+//! adaptive Simpson — with no regard for which point a task belongs to, so
+//! warps mix unrelated intervals: heavy branch divergence *and* scattered
+//! access, the bottlenecks [10] and this paper attack.
+
+use beamdyn_pic::GridGeometry;
+use beamdyn_simt::KernelStats;
+
+use super::threads::{launch_adaptive, launch_fixed};
+use super::{apply_results, finalize_points, FallbackTask, PotentialsOutput, RpProblem};
+use crate::points::build_points;
+use crate::transform::coldstart_partition;
+
+/// The Two-Phase-RP compute-potentials stage.
+pub fn compute_potentials(
+    problem: &RpProblem<'_>,
+    geometry: GridGeometry,
+    threads_per_block: usize,
+) -> PotentialsOutput {
+    let mut points = build_points(geometry, &problem.config, problem.step);
+
+    // Phase 1: coarse uniform partition for every point, plain row-major
+    // point → thread mapping (no clustering).
+    let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
+    let assignment: Vec<Option<(u32, Vec<(f64, f64)>)>> = (0..points.len() as u32)
+        .map(|i| {
+            let p = &points[i as usize];
+            let cells: Vec<(f64, f64)> = coldstart_partition(&problem.config, p.radius)
+                .iter_cells()
+                .collect();
+            Some((i, cells))
+        })
+        .collect();
+
+    let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
+    let xyr = move |i: u32| xyr_data[i as usize];
+    let main = launch_fixed(problem, tpb, &assignment, &xyr);
+
+    let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    let mut tasks: Vec<FallbackTask> = Vec::new();
+    apply_results(
+        &mut points,
+        main.results.into_iter().flatten(),
+        problem.tolerance,
+        &mut breaks_acc,
+        &mut need_acc,
+        &mut tasks,
+        true,
+    );
+
+    // Phase 2: globally adaptive refinement of the gathered cell list.
+    let fallback_cells = tasks.len();
+    let mut fallback_stats = KernelStats::default();
+    let mut launches = 1;
+    let mut gpu_time = main.stats.timing(problem.device).total;
+    if !tasks.is_empty() {
+        let fb = launch_adaptive(problem, tpb, &tasks, &xyr, 0);
+        gpu_time += fb.stats.timing(problem.device).total;
+        launches += 1;
+        let mut none = Vec::new();
+        apply_results(
+            &mut points,
+            fb.results.into_iter().flatten(),
+            problem.tolerance,
+            &mut breaks_acc,
+            &mut need_acc,
+            &mut none,
+            true,
+        );
+        fallback_stats = fb.stats;
+    }
+
+    finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
+
+    PotentialsOutput {
+        points,
+        main_stats: main.stats,
+        fallback_stats,
+        gpu_time,
+        clustering_time: std::time::Duration::ZERO,
+        training_time: std::time::Duration::ZERO,
+        fallback_cells,
+        launches,
+    }
+}

@@ -1,0 +1,54 @@
+//! Device-memory layout of the moment-grid history.
+//!
+//! The paper stores "the list of 2D data grids of moments from each time
+//! step linearly on the device memory". We reproduce that layout so the
+//! SIMT cache model sees the same address structure a CUDA implementation
+//! would: grid of step `s` starts at `s · grid_bytes`, inside it the three
+//! moment components are planar, row-major.
+
+use beamdyn_pic::{GridGeometry, N_MOMENTS};
+
+/// Address calculator for moment-grid taps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceLayout {
+    nx: usize,
+    ny: usize,
+    /// Base device address of the history array.
+    base: u64,
+}
+
+impl DeviceLayout {
+    /// Element size (double precision).
+    pub const ELEM_BYTES: u64 = 8;
+
+    /// Creates the layout for a grid geometry at a base address.
+    pub fn new(geometry: GridGeometry, base: u64) -> Self {
+        Self {
+            nx: geometry.nx,
+            ny: geometry.ny,
+            base,
+        }
+    }
+
+    /// Bytes occupied by one time step's moment grid.
+    pub fn grid_bytes(&self) -> u64 {
+        (N_MOMENTS * self.nx * self.ny) as u64 * Self::ELEM_BYTES
+    }
+
+    /// Device address of one moment value.
+    #[inline]
+    pub fn address(&self, step: usize, component: usize, ix: usize, iy: usize) -> u64 {
+        debug_assert!(component < N_MOMENTS && ix < self.nx && iy < self.ny);
+        self.base
+            + step as u64 * self.grid_bytes()
+            + ((component * self.ny + iy) * self.nx + ix) as u64 * Self::ELEM_BYTES
+    }
+
+    /// Device address where a point's rp-integral result is stored (an
+    /// output array placed after a generous history window).
+    pub fn output_address(&self, point_index: usize) -> u64 {
+        // 2^40 offset keeps outputs in a distinct address region so output
+        // stores never alias moment-grid cache lines.
+        self.base + (1 << 40) + point_index as u64 * Self::ELEM_BYTES
+    }
+}

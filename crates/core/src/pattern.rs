@@ -1,0 +1,127 @@
+//! Access-pattern representation (paper Sec. III-A).
+//!
+//! The data access pattern of an rp-integral evaluation at a grid point is
+//! the list `[n_0, n_1, …, n_{κ−1}]` where `n_j` is the number of partition
+//! cells that fell in subregion `S_j = [j·cΔt, (j+1)·cΔt]`. Given the
+//! pattern, the number of references to any moment grid follows directly
+//! (`α(n_i + n_{i−1} + n_{i−2})` for grid `D_{k−i}`, with α the references
+//! per inner-integral evaluation).
+
+use beamdyn_beam::RpConfig;
+use beamdyn_quad::Partition;
+
+/// Per-subregion partition counts; stored as `f64` because predictors
+/// regress on them, rounded back to counts when building partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPattern {
+    counts: Vec<f64>,
+}
+
+impl AccessPattern {
+    /// An all-zero pattern over `kappa` subregions.
+    pub fn zeros(kappa: usize) -> Self {
+        Self {
+            counts: vec![0.0; kappa.max(1)],
+        }
+    }
+
+    /// Wraps raw per-subregion counts.
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        assert!(!counts.is_empty(), "pattern needs at least one subregion");
+        Self { counts }
+    }
+
+    /// Extracts the pattern from an evaluated partition: counts each cell in
+    /// the subregion containing its midpoint.
+    pub fn from_partition(partition: &Partition, config: &RpConfig) -> Self {
+        let mut counts = vec![0.0; config.kappa.max(1)];
+        for (a, b) in partition.iter_cells() {
+            let j = config.subregion_of(0.5 * (a + b));
+            counts[j] += 1.0;
+        }
+        Self { counts }
+    }
+
+    /// Number of subregions tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no subregions are tracked (cannot occur via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Count for subregion `j` (0 beyond the stored range).
+    pub fn count(&self, j: usize) -> f64 {
+        self.counts.get(j).copied().unwrap_or(0.0)
+    }
+
+    /// Rounded, non-negative cell count for subregion `j`.
+    pub fn cells(&self, j: usize) -> usize {
+        self.count(j).round().max(0.0) as usize
+    }
+
+    /// Total predicted partition size `Σ n_j`.
+    pub fn total_cells(&self) -> usize {
+        (0..self.len()).map(|j| self.cells(j)).sum()
+    }
+
+    /// Scales every count by `factor` (e.g. the forecast safety margin that
+    /// compensates uniform cell placement versus the adaptively-placed
+    /// cells the counts were observed from).
+    pub fn scale(&mut self, factor: f64) {
+        for c in &mut self.counts {
+            *c *= factor;
+        }
+    }
+
+    /// Clamps counts into `[0, max]` (predictors can extrapolate wildly).
+    pub fn clamp(&mut self, max: f64) {
+        for c in &mut self.counts {
+            *c = c.clamp(0.0, max);
+        }
+    }
+
+    /// Element-wise maximum with another pattern (the paper's MERGE-LISTS
+    /// applied to patterns when the fallback pass adds observations).
+    pub fn merge_max(&mut self, other: &AccessPattern) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0.0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Estimated memory references to moment grid `D_{k−i}` with `alpha`
+    /// references per inner evaluation (Sec. III-A):
+    /// `α (n_i + n_{i−1} + n_{i−2})`.
+    pub fn references_to_grid(&self, i: usize, alpha: usize) -> f64 {
+        let mut total = self.count(i);
+        if i >= 1 {
+            total += self.count(i - 1);
+        }
+        if i >= 2 {
+            total += self.count(i - 2);
+        }
+        alpha as f64 * total
+    }
+
+    /// Squared Euclidean distance between two patterns (the clustering
+    /// metric of Eq. 3).
+    pub fn distance2(&self, other: &AccessPattern) -> f64 {
+        let n = self.counts.len().max(other.counts.len());
+        (0..n)
+            .map(|j| {
+                let d = self.count(j) - other.count(j);
+                d * d
+            })
+            .sum()
+    }
+}

@@ -1,0 +1,53 @@
+//! The grid-point working set `V_k` (the paper's 7-tuple objects).
+
+use beamdyn_beam::RpConfig;
+use beamdyn_pic::GridGeometry;
+use beamdyn_quad::Partition;
+
+use crate::pattern::AccessPattern;
+
+/// Host-side state of one grid point across a COMPUTE-POTENTIALS call —
+/// the paper's `(x, y, t, I, ε, access_pattern, partition)` object.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Cell indices on the 2-D grid.
+    pub ix: usize,
+    /// Cell indices on the 2-D grid.
+    pub iy: usize,
+    /// Physical position.
+    pub x: f64,
+    /// Physical position.
+    pub y: f64,
+    /// Integration horizon `R(p)` at the current step.
+    pub radius: f64,
+    /// rp-integral estimate `p.I`.
+    pub integral: f64,
+    /// rp-integral error estimate `p.ε`.
+    pub error: f64,
+    /// Access pattern (predicted, then updated to observed).
+    pub pattern: AccessPattern,
+    /// Working partition of `[0, R(p)]`.
+    pub partition: Option<Partition>,
+}
+
+/// Builds the point set for step `k`: one entry per grid cell, row-major.
+pub fn build_points(geometry: GridGeometry, config: &RpConfig, step: usize) -> Vec<GridPoint> {
+    let mut points = Vec::with_capacity(geometry.len());
+    for iy in 0..geometry.ny {
+        for ix in 0..geometry.nx {
+            let (x, y) = geometry.cell_center(ix, iy);
+            points.push(GridPoint {
+                ix,
+                iy,
+                x,
+                y,
+                radius: config.point_radius(step, x, y),
+                integral: 0.0,
+                error: 0.0,
+                pattern: AccessPattern::zeros(config.kappa),
+                partition: None,
+            });
+        }
+    }
+    points
+}

@@ -1,0 +1,80 @@
+//! Human-readable reports from simulation telemetry.
+
+use beamdyn_simt::{DeviceConfig, KernelStats};
+
+use crate::driver::StepTelemetry;
+
+/// One formatted row of per-step metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRow {
+    /// Step index.
+    pub step: usize,
+    /// Fallback-cell count.
+    pub fallback_cells: usize,
+    /// Warp execution efficiency of all passes combined, in `[0, 1]`.
+    pub warp_efficiency: f64,
+    /// Global load efficiency.
+    pub gld_efficiency: f64,
+    /// L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// Arithmetic intensity, flops per DRAM byte.
+    pub arithmetic_intensity: f64,
+    /// Achieved Gflop/s.
+    pub gflops: f64,
+    /// Simulated GPU time, seconds.
+    pub gpu_time: f64,
+    /// GPU + clustering + training.
+    pub overall_time: f64,
+}
+
+/// Extracts a [`StepRow`] per telemetry record.
+pub fn step_rows(telemetry: &[StepTelemetry], device: &DeviceConfig) -> Vec<StepRow> {
+    telemetry
+        .iter()
+        .map(|t| {
+            let stats = t.potentials.combined_stats();
+            StepRow {
+                step: t.step,
+                fallback_cells: t.potentials.fallback_cells,
+                warp_efficiency: stats.warp_execution_efficiency(device),
+                gld_efficiency: stats.global_load_efficiency(),
+                l1_hit_rate: stats.l1_hit_rate(),
+                arithmetic_intensity: stats.arithmetic_intensity(),
+                gflops: stats.gflops(device),
+                gpu_time: t.potentials.gpu_time,
+                overall_time: t.stage_overall_time(),
+            }
+        })
+        .collect()
+}
+
+/// Renders telemetry as a fixed-width text table (one line per step).
+pub fn render(telemetry: &[StepTelemetry], device: &DeviceConfig) -> String {
+    let mut out = String::from(
+        "step |  fb  | warp_eff | gld_eff | L1_hit |     AI | GFlops/s |   gpu_time | overall\n",
+    );
+    for row in step_rows(telemetry, device) {
+        out.push_str(&format!(
+            "{:4} | {:4} | {:7.1}% | {:6.1}% | {:5.1}% | {:6.1} | {:8.1} | {:.4e} | {:.4e}\n",
+            row.step,
+            row.fallback_cells,
+            100.0 * row.warp_efficiency,
+            100.0 * row.gld_efficiency,
+            100.0 * row.l1_hit_rate,
+            row.arithmetic_intensity,
+            row.gflops,
+            row.gpu_time,
+            row.overall_time,
+        ));
+    }
+    out
+}
+
+/// Warm-average of merged kernel stats (skipping `warmup` leading steps).
+pub fn warm_stats(telemetry: &[StepTelemetry], warmup: usize) -> KernelStats {
+    let mut stats = KernelStats::default();
+    for t in telemetry.iter().skip(warmup) {
+        stats.merge(&t.potentials.combined_stats());
+    }
+    stats
+}

@@ -1,0 +1,105 @@
+//! Pattern → partition transformation (paper Sec. III-C2).
+//!
+//! All partitions produced here are **dyadic within each subregion**: cell
+//! counts are rounded up to powers of two and cells are laid on the global
+//! `S_j` grid. This mirrors what bisection-based adaptive quadrature
+//! produces naturally and is what makes the cluster-level `MERGE-LISTS`
+//! cheap — aligned breakpoints union to the *finest* member partition
+//! instead of inflating toward the sum of all members.
+
+use beamdyn_beam::RpConfig;
+use beamdyn_quad::{merge_partitions, Partition};
+
+use crate::pattern::AccessPattern;
+
+/// Tolerance used when merging near-coincident breakpoints.
+pub const MERGE_EPS: f64 = 1e-12;
+
+/// Rounds a forecast cell count up to the next power of two (≥ 1).
+fn dyadic(cells: usize) -> usize {
+    cells.max(1).next_power_of_two()
+}
+
+/// **Uniform partitioning**: subregion `S_j` is divided into `n_j` equal
+/// cells on the *full* subregion grid; cells are then clipped to the
+/// point's `[0, R(p)]`. (No power-of-two rounding: uniform-mode group
+/// merging happens at pattern level, so breakpoint alignment across points
+/// is not needed and rounding would only inflate the work.)
+pub fn uniform_transform(pattern: &AccessPattern, config: &RpConfig, radius: f64) -> Partition {
+    let mut breaks = vec![0.0f64];
+    let width = config.subregion_width();
+    let subregions = ((radius / width).ceil() as usize).max(1);
+    'outer: for j in 0..subregions {
+        let (a, b) = config.subregion_bounds(j);
+        let cells = pattern.cells(j).max(1);
+        for c in 1..=cells {
+            let r = a + (b - a) * c as f64 / cells as f64;
+            if r >= radius - MERGE_EPS {
+                break 'outer;
+            }
+            if r > *breaks.last().expect("non-empty") + MERGE_EPS {
+                breaks.push(r);
+            }
+        }
+    }
+    breaks.push(radius.max(MERGE_EPS));
+    Partition::new(breaks)
+}
+
+/// **Adaptive partitioning**: refine an earlier step's partition so that
+/// subregion `S_j` ends up with ≈ `n_j` cells — each old cell in `S_j` is
+/// split into `next_pow2(⌈n_j / d_j⌉)` pieces, where `d_j` is the old cell
+/// count. Old breakpoints are preserved, so the refinement is monotone.
+pub fn adaptive_transform(
+    pattern: &AccessPattern,
+    previous: &Partition,
+    config: &RpConfig,
+    radius: f64,
+) -> Partition {
+    let old_pattern = AccessPattern::from_partition(previous, config);
+    let mut breaks = vec![0.0f64];
+    for (a, b) in previous.iter_cells() {
+        if a >= radius {
+            break;
+        }
+        let b_clipped = b.min(radius);
+        if b_clipped <= a {
+            continue;
+        }
+        let j = config.subregion_of(0.5 * (a + b_clipped));
+        let d = old_pattern.cells(j).max(1);
+        let n = pattern.cells(j).max(1);
+        let split = dyadic(n.div_ceil(d));
+        for c in 1..=split {
+            let r = a + (b_clipped - a) * c as f64 / split as f64;
+            if r > *breaks.last().expect("non-empty") + MERGE_EPS && r < radius - MERGE_EPS {
+                breaks.push(r);
+            }
+        }
+    }
+    breaks.push(radius.max(MERGE_EPS));
+    Partition::new(breaks)
+}
+
+/// The cold-start partition when no forecast exists: one cell per subregion
+/// (clipped at the horizon).
+pub fn coldstart_partition(config: &RpConfig, radius: f64) -> Partition {
+    uniform_transform(&AccessPattern::zeros(config.kappa), config, radius)
+}
+
+/// MERGE-LISTS over a whole cluster: the union partition all threads of a
+/// block iterate, clipped later per point. With dyadic member partitions
+/// this is essentially "the finest member per subregion".
+pub fn merge_cluster_partitions<'a>(
+    partitions: impl Iterator<Item = &'a Partition>,
+    fallback_radius: f64,
+) -> Partition {
+    let mut merged: Option<Partition> = None;
+    for p in partitions {
+        merged = Some(match merged {
+            None => p.clone(),
+            Some(m) => merge_partitions(&m, p, MERGE_EPS),
+        });
+    }
+    merged.unwrap_or_else(|| Partition::whole(0.0, fallback_radius.max(1e-9)))
+}

@@ -1,0 +1,79 @@
+//! Flat row-major sample matrices shared by every model.
+
+/// A dense row-major matrix of `len` samples with `dims` features each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Samples {
+    data: Vec<f64>,
+    dims: usize,
+}
+
+impl Samples {
+    /// Creates an empty sample set with `dims` features per row.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "samples need at least one feature");
+        Self {
+            data: Vec::new(),
+            dims,
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dims`.
+    pub fn from_flat(data: Vec<f64>, dims: usize) -> Self {
+        assert!(dims > 0);
+        assert_eq!(data.len() % dims, 0, "ragged sample buffer");
+        Self { data, dims }
+    }
+
+    /// Appends one sample row.
+    pub fn push(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dims, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Features per sample.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.dims)
+    }
+
+    /// The flat backing buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub(crate) fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}

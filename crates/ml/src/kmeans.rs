@@ -1,0 +1,174 @@
+//! k-means clustering (k-means++ seeding, Lloyd iterations).
+
+use beamdyn_par::ThreadPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{dist2, Samples};
+
+/// Tuning knobs for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansOptions {
+    /// Number of clusters (the paper uses `m = max(N_X, N_Y)`).
+    pub clusters: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when no assignment changes.
+    pub seed: u64,
+}
+
+impl Default for KMeansOptions {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            max_iters: 50,
+            seed: 0xBEA71,
+        }
+    }
+}
+
+/// Clustering output.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Row-major `clusters × dims` centroid matrix.
+    pub centroids: Samples,
+    /// Cluster id per input sample.
+    pub assignments: Vec<u32>,
+    /// Sum of squared distances to assigned centroids (the paper's Eq. 3
+    /// objective).
+    pub inertia: f64,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Sample indices grouped by cluster, preserving input order inside each
+    /// cluster (this ordering is what the kernel's thread mapping consumes).
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut groups = vec![Vec::new(); self.centroids.len()];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            groups[c as usize].push(i as u32);
+        }
+        groups
+    }
+
+    /// Size of the largest cluster (drives threads-per-block in the kernel).
+    pub fn max_cluster_size(&self) -> usize {
+        self.members().iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Runs k-means on `samples`.
+///
+/// Seeding is k-means++ with the given RNG seed; assignment steps run on the
+/// pool. Empty clusters are re-seeded from the point farthest from its
+/// centroid, so the result always has exactly `min(clusters, len)` non-empty
+/// clusters.
+pub fn kmeans(pool: &ThreadPool, samples: &Samples, options: KMeansOptions) -> KMeansResult {
+    assert!(!samples.is_empty(), "cannot cluster zero samples");
+    let n = samples.len();
+    let dims = samples.dims();
+    let k = options.clusters.clamp(1, n);
+    let mut rng = SmallRng::seed_from_u64(options.seed);
+
+    // --- k-means++ seeding ---
+    let mut centroids: Vec<f64> = Vec::with_capacity(k * dims);
+    let first = rng.random_range(0..n);
+    centroids.extend_from_slice(samples.row(first));
+    let mut best_d2: Vec<f64> = (0..n)
+        .map(|i| dist2(samples.row(i), &centroids[0..dims]))
+        .collect();
+    while centroids.len() < k * dims {
+        let total: f64 = best_d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in best_d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let start = centroids.len();
+        centroids.extend_from_slice(samples.row(chosen));
+        let c = &centroids[start..start + dims];
+        for (i, d) in best_d2.iter_mut().enumerate() {
+            let nd = dist2(samples.row(i), c);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignments = vec![0u32; n];
+    let mut iterations = 0;
+    for iter in 0..options.max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step (parallel): nearest centroid per sample.
+        let cent = &centroids;
+        let new_assign: Vec<u32> = pool.parallel_map_indexed(n, |i| {
+            let row = samples.row(i);
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = dist2(row, &cent[c * dims..(c + 1) * dims]);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            best
+        });
+        let changed = new_assign != assignments;
+        assignments = new_assign;
+
+        // Update step (sequential: k × dims is small).
+        let mut sums = vec![0.0; k * dims];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assignments.iter().enumerate() {
+            counts[c as usize] += 1;
+            for (s, &v) in sums[c as usize * dims..(c as usize + 1) * dims]
+                .iter_mut()
+                .zip(samples.row(i))
+            {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed from the sample farthest from its centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = dist2(samples.row(a), &centroids[assignments[a] as usize * dims..][..dims]);
+                        let db = dist2(samples.row(b), &centroids[assignments[b] as usize * dims..][..dims]);
+                        da.total_cmp(&db)
+                    })
+                    .expect("n > 0");
+                centroids[c * dims..(c + 1) * dims].copy_from_slice(samples.row(far));
+            } else {
+                for d in 0..dims {
+                    centroids[c * dims + d] = sums[c * dims + d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| dist2(samples.row(i), &centroids[assignments[i] as usize * dims..][..dims]))
+        .sum();
+    KMeansResult {
+        centroids: Samples::from_flat(centroids, dims),
+        assignments,
+        inertia,
+        iterations,
+    }
+}

@@ -1,0 +1,201 @@
+//! k-nearest-neighbour regression with a 2-D bucket index.
+//!
+//! The paper's predictor queries the pattern observed at nearby *grid points*
+//! (features are `(x, y, t)`), so the feature distribution is near-uniform on
+//! a rectangle. A uniform bucket grid over the first two features therefore
+//! gives expected O(k) lookups; any remaining features participate in the
+//! distance but not in the index, which stays exact because the search ring
+//! expands until the k-th best distance is covered by the examined shells.
+
+use crate::dataset::{dist2, Samples};
+
+/// Exact nearest-neighbour index over the first two feature dimensions.
+#[derive(Debug, Clone)]
+pub struct Grid2dIndex {
+    buckets: Vec<Vec<u32>>,
+    nx: usize,
+    ny: usize,
+    x_min: f64,
+    y_min: f64,
+    inv_dx: f64,
+    inv_dy: f64,
+}
+
+impl Grid2dIndex {
+    /// Builds an index with roughly `points per bucket ≈ 2`.
+    pub fn build(samples: &Samples) -> Self {
+        assert!(samples.dims() >= 2, "index needs at least two features");
+        assert!(!samples.is_empty(), "cannot index zero samples");
+        let n = samples.len();
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for row in samples.rows() {
+            x_min = x_min.min(row[0]);
+            x_max = x_max.max(row[0]);
+            y_min = y_min.min(row[1]);
+            y_max = y_max.max(row[1]);
+        }
+        let side = ((n as f64 / 2.0).sqrt().ceil() as usize).max(1);
+        let (nx, ny) = (side, side);
+        let width = (x_max - x_min).max(f64::MIN_POSITIVE);
+        let height = (y_max - y_min).max(f64::MIN_POSITIVE);
+        let inv_dx = nx as f64 / width * (1.0 - 1e-12);
+        let inv_dy = ny as f64 / height * (1.0 - 1e-12);
+        let mut buckets = vec![Vec::new(); nx * ny];
+        for (i, row) in samples.rows().enumerate() {
+            let bx = (((row[0] - x_min) * inv_dx) as usize).min(nx - 1);
+            let by = (((row[1] - y_min) * inv_dy) as usize).min(ny - 1);
+            buckets[by * nx + bx].push(i as u32);
+        }
+        Self {
+            buckets,
+            nx,
+            ny,
+            x_min,
+            y_min,
+            inv_dx,
+            inv_dy,
+        }
+    }
+
+    /// Returns the indices of the `k` samples nearest to `query` (all
+    /// `dims` features), ordered nearest-first.
+    pub fn nearest(&self, samples: &Samples, query: &[f64], k: usize) -> Vec<usize> {
+        let k = k.min(samples.len()).max(1);
+        let bx = (((query[0] - self.x_min) * self.inv_dx) as isize).clamp(0, self.nx as isize - 1);
+        let by = (((query[1] - self.y_min) * self.inv_dy) as isize).clamp(0, self.ny as isize - 1);
+
+        // Best-k kept as a simple sorted vec; k is small (paper uses small k).
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        let push = |d: f64, i: usize, best: &mut Vec<(f64, usize)>| {
+            let pos = best.partition_point(|&(bd, _)| bd <= d);
+            best.insert(pos, (d, i));
+            if best.len() > k {
+                best.pop();
+            }
+        };
+
+        let bucket_w = 1.0 / self.inv_dx;
+        let bucket_h = 1.0 / self.inv_dy;
+        let max_ring = self.nx.max(self.ny) as isize;
+        for ring in 0..=max_ring {
+            // Once we hold k candidates, stop if the closest unexplored shell
+            // cannot beat the current k-th distance (distance in the indexed
+            // plane lower-bounds the full-feature distance).
+            if best.len() == k && ring > 0 {
+                let shell_dist = ((ring - 1).max(0)) as f64 * bucket_w.min(bucket_h);
+                if shell_dist * shell_dist > best[k - 1].0 {
+                    break;
+                }
+            }
+            let mut any = false;
+            for dy in -ring..=ring {
+                for dx in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // interior already visited
+                    }
+                    let cx = bx + dx;
+                    let cy = by + dy;
+                    if cx < 0 || cy < 0 || cx >= self.nx as isize || cy >= self.ny as isize {
+                        continue;
+                    }
+                    any = true;
+                    for &i in &self.buckets[cy as usize * self.nx + cx as usize] {
+                        let d = dist2(samples.row(i as usize), query);
+                        if best.len() < k || d < best[k - 1].0 {
+                            push(d, i as usize, &mut best);
+                        }
+                    }
+                }
+            }
+            if !any && ring >= max_ring {
+                break;
+            }
+        }
+        best.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+/// Multi-output kNN regressor.
+///
+/// Prediction is the (optionally inverse-distance-weighted) mean of the `k`
+/// nearest training targets.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    features: Samples,
+    targets: Samples,
+    index: Grid2dIndex,
+    k: usize,
+    weighted: bool,
+}
+
+impl KnnRegressor {
+    /// Fits the regressor (builds the index).
+    ///
+    /// # Panics
+    /// Panics on empty data, mismatched feature/target counts, or `k == 0`.
+    pub fn fit(features: Samples, targets: Samples, k: usize, weighted: bool) -> Self {
+        assert!(!features.is_empty(), "no training samples");
+        assert_eq!(features.len(), targets.len(), "feature/target count mismatch");
+        assert!(k > 0, "k must be positive");
+        let index = Grid2dIndex::build(&features);
+        Self {
+            features,
+            targets,
+            index,
+            k,
+            weighted,
+        }
+    }
+
+    /// Number of neighbours used.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of training samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the model holds no samples (cannot happen after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dims(&self) -> usize {
+        self.targets.dims()
+    }
+
+    /// Predicts the target vector for `query`, writing into `out`.
+    pub fn predict_into(&self, query: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.targets.dims());
+        let neighbours = self.index.nearest(&self.features, query, self.k);
+        out.fill(0.0);
+        let mut total_w = 0.0;
+        for &i in &neighbours {
+            let w = if self.weighted {
+                1.0 / (dist2(self.features.row(i), query).sqrt() + 1e-12)
+            } else {
+                1.0
+            };
+            total_w += w;
+            for (o, &t) in out.iter_mut().zip(self.targets.row(i)) {
+                *o += w * t;
+            }
+        }
+        if total_w > 0.0 {
+            for o in out.iter_mut() {
+                *o /= total_w;
+            }
+        }
+    }
+
+    /// Predicts and returns a freshly allocated target vector.
+    pub fn predict(&self, query: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.targets.dims()];
+        self.predict_into(query, &mut out);
+        out
+    }
+}

@@ -1,0 +1,28 @@
+//! Supervised-learning substrate replacing the paper's scikit-learn usage
+//! (Sec. III-B and IV-A): k-nearest-neighbour regression, multi-output linear
+//! regression, and k-means clustering — each implemented from scratch.
+//!
+//! All models are **multi-output**: the regression target is the whole access
+//! pattern vector `[n_0, n_1, …]`, and clustering operates on those vectors.
+//!
+//! Determinism: every stochastic component (k-means++ seeding, tie breaks)
+//! takes an explicit RNG seed, so a simulation run is reproducible end to end.
+
+mod dataset;
+mod kmeans;
+mod knn;
+mod linalg;
+mod linreg;
+mod metrics;
+mod scaler;
+
+pub use dataset::Samples;
+pub use kmeans::{kmeans, KMeansOptions, KMeansResult};
+pub use knn::{Grid2dIndex, KnnRegressor};
+pub use linalg::{cholesky_solve, CholeskyError};
+pub use linreg::LinearRegressor;
+pub use metrics::{mean_absolute_error, r_squared, root_mean_square_error};
+pub use scaler::StandardScaler;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,80 @@
+//! Minimal dense linear algebra: Cholesky factorisation for the normal
+//! equations of linear regression. The systems here are tiny (one per
+//! feature dimension, typically 3×3–4×4), so a simple O(n³) routine is right.
+
+/// Error from [`cholesky_solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not positive definite (or numerically singular).
+    NotPositiveDefinite,
+    /// Dimension mismatch between the matrix and right-hand side.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            Self::ShapeMismatch => write!(f, "matrix/rhs shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Solves `A X = B` for symmetric positive-definite `A` (row-major, `n × n`)
+/// and `B` (row-major, `n × m`), returning `X` (row-major, `n × m`).
+///
+/// Only the lower triangle of `A` is read.
+pub fn cholesky_solve(a: &[f64], n: usize, b: &[f64], m: usize) -> Result<Vec<f64>, CholeskyError> {
+    if a.len() != n * n || b.len() != n * m {
+        return Err(CholeskyError::ShapeMismatch);
+    }
+    // Factor A = L Lᵀ.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(CholeskyError::NotPositiveDefinite);
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L Y = B, then back solve Lᵀ X = Y, column block at once.
+    let mut x = b.to_vec();
+    for i in 0..n {
+        for k in 0..i {
+            let lik = l[i * n + k];
+            for c in 0..m {
+                let y = x[k * m + c];
+                x[i * m + c] -= lik * y;
+            }
+        }
+        let lii = l[i * n + i];
+        for c in 0..m {
+            x[i * m + c] /= lii;
+        }
+    }
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            let lki = l[k * n + i];
+            for c in 0..m {
+                let y = x[k * m + c];
+                x[i * m + c] -= lki * y;
+            }
+        }
+        let lii = l[i * n + i];
+        for c in 0..m {
+            x[i * m + c] /= lii;
+        }
+    }
+    Ok(x)
+}

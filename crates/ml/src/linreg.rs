@@ -1,0 +1,84 @@
+//! Multi-output linear (ridge) regression via the normal equations.
+
+use crate::dataset::Samples;
+use crate::linalg::{cholesky_solve, CholeskyError};
+
+/// Ordinary least squares with an intercept and optional L2 regularisation,
+/// solving `(XᵀX + λI) W = XᵀY` once at fit time.
+///
+/// This is the alternative predictor the paper evaluated against kNN and
+/// found "a negligible difference in the overall performance".
+#[derive(Debug, Clone)]
+pub struct LinearRegressor {
+    /// Row-major `(dims + 1) × outputs` weights; last row is the intercept.
+    weights: Vec<f64>,
+    dims: usize,
+    outputs: usize,
+}
+
+impl LinearRegressor {
+    /// Fits the model. `ridge` of 0 gives plain least squares; the intercept
+    /// column is never regularised.
+    pub fn fit(features: &Samples, targets: &Samples, ridge: f64) -> Result<Self, CholeskyError> {
+        assert_eq!(features.len(), targets.len(), "feature/target count mismatch");
+        assert!(!features.is_empty(), "no training samples");
+        let d = features.dims() + 1; // + intercept
+        let m = targets.dims();
+
+        // Gram matrix XᵀX and moment XᵀY with the implicit all-ones column.
+        let mut gram = vec![0.0; d * d];
+        let mut moment = vec![0.0; d * m];
+        for (x, y) in features.rows().zip(targets.rows()) {
+            for i in 0..d {
+                let xi = if i == d - 1 { 1.0 } else { x[i] };
+                for j in 0..=i {
+                    let xj = if j == d - 1 { 1.0 } else { x[j] };
+                    gram[i * d + j] += xi * xj;
+                }
+                for (c, &yc) in y.iter().enumerate() {
+                    moment[i * m + c] += xi * yc;
+                }
+            }
+        }
+        // Ridge on the non-intercept diagonal, plus a whisper of jitter so a
+        // rank-deficient design degrades to a minimum-norm-ish solution
+        // instead of failing.
+        let jitter = 1e-10 * (1.0 + gram.iter().step_by(d + 1).sum::<f64>().abs());
+        for i in 0..d {
+            let reg = if i == d - 1 { 0.0 } else { ridge };
+            gram[i * d + i] += reg + jitter;
+        }
+        let weights = cholesky_solve(&gram, d, &moment, m)?;
+        Ok(Self {
+            weights,
+            dims: features.dims(),
+            outputs: m,
+        })
+    }
+
+    /// Output dimensionality.
+    pub fn output_dims(&self) -> usize {
+        self.outputs
+    }
+
+    /// Predicts into `out`.
+    pub fn predict_into(&self, query: &[f64], out: &mut [f64]) {
+        assert_eq!(query.len(), self.dims, "query width mismatch");
+        assert_eq!(out.len(), self.outputs);
+        let d = self.dims + 1;
+        for (c, o) in out.iter_mut().enumerate() {
+            let mut acc = self.weights[(d - 1) * self.outputs + c]; // intercept
+            for (i, &x) in query.iter().enumerate() {
+                acc += self.weights[i * self.outputs + c] * x;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Predicts and returns a fresh vector.
+    pub fn predict(&self, query: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.outputs];
+        self.predict_into(query, &mut out);
+        out
+    }
+}

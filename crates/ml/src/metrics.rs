@@ -1,0 +1,92 @@
+//! Regression-quality metrics used to evaluate predictor choices.
+
+/// Mean absolute error between predictions and targets.
+pub fn mean_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty());
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Root-mean-square error.
+pub fn root_mean_square_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty());
+    (predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R² (1 = perfect; ≤ 0 = no better than the
+/// mean predictor).
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty());
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_perfectly() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mean_absolute_error(&y, &y), 0.0);
+        assert_eq!(root_mean_square_error(&y, &y), 0.0);
+        assert_eq!(r_squared(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [2.0, 2.0];
+        let a = [1.0, 3.0];
+        assert_eq!(mean_absolute_error(&p, &a), 1.0);
+        assert_eq!(root_mean_square_error(&p, &a), 1.0);
+        // predicting the mean exactly → R² = 0.
+        assert!(r_squared(&p, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_negative_for_bad_model() {
+        let a = [0.0, 1.0, 2.0];
+        let p = [5.0, 5.0, 5.0];
+        assert!(r_squared(&p, &a) < 0.0);
+    }
+
+    #[test]
+    fn constant_target_edge_case() {
+        let a = [4.0, 4.0];
+        assert_eq!(r_squared(&[4.0, 4.0], &a), 1.0);
+        assert_eq!(r_squared(&[5.0, 4.0], &a), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+}

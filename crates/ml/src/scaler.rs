@@ -1,0 +1,79 @@
+//! Feature standardisation.
+
+use crate::dataset::Samples;
+
+/// Per-feature mean/standard-deviation scaler (`z = (x − μ) / σ`).
+///
+/// Constant features get σ = 1 so they pass through unshifted in scale,
+/// avoiding division by zero.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to a sample set.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn fit(samples: &Samples) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a scaler to no samples");
+        let dims = samples.dims();
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; dims];
+        for row in samples.rows() {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dims];
+        for row in samples.rows() {
+            for ((v, &x), &mu) in var.iter_mut().zip(row).zip(&mean) {
+                let d = x - mu;
+                *v += d * d;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Transforms one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((x, &mu), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - mu) / s;
+        }
+    }
+
+    /// Returns a standardised copy of the sample set.
+    pub fn transform(&self, samples: &Samples) -> Samples {
+        let mut flat = samples.as_flat().to_vec();
+        for row in flat.chunks_exact_mut(samples.dims()) {
+            self.transform_row(row);
+        }
+        Samples::from_flat(flat, samples.dims())
+    }
+
+    /// Fitted means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Fitted standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+}

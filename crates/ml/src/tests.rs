@@ -1,0 +1,280 @@
+use beamdyn_par::ThreadPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    cholesky_solve, kmeans, CholeskyError, Grid2dIndex, KMeansOptions, KnnRegressor,
+    LinearRegressor, Samples, StandardScaler,
+};
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(2)
+}
+
+// ---------- Samples ----------
+
+#[test]
+fn samples_push_and_row_access() {
+    let mut s = Samples::new(3);
+    s.push(&[1.0, 2.0, 3.0]);
+    s.push(&[4.0, 5.0, 6.0]);
+    assert_eq!(s.len(), 2);
+    assert_eq!(s.row(1), &[4.0, 5.0, 6.0]);
+    assert_eq!(s.rows().count(), 2);
+}
+
+#[test]
+#[should_panic(expected = "ragged")]
+fn samples_from_flat_rejects_ragged() {
+    Samples::from_flat(vec![1.0; 7], 3);
+}
+
+// ---------- Cholesky ----------
+
+#[test]
+fn cholesky_solves_spd_system() {
+    // A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5]
+    let x = cholesky_solve(&[4.0, 2.0, 2.0, 3.0], 2, &[10.0, 8.0], 1).unwrap();
+    assert!((x[0] - 1.75).abs() < 1e-12);
+    assert!((x[1] - 1.5).abs() < 1e-12);
+}
+
+#[test]
+fn cholesky_multi_rhs() {
+    // Identity: X = B.
+    let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+    let x = cholesky_solve(&[1.0, 0.0, 0.0, 1.0], 2, &b, 3).unwrap();
+    assert_eq!(&x[..], &b[..]);
+}
+
+#[test]
+fn cholesky_rejects_indefinite() {
+    let err = cholesky_solve(&[1.0, 2.0, 2.0, 1.0], 2, &[1.0, 1.0], 1).unwrap_err();
+    assert_eq!(err, CholeskyError::NotPositiveDefinite);
+}
+
+#[test]
+fn cholesky_rejects_shape_mismatch() {
+    let err = cholesky_solve(&[1.0, 0.0, 0.0, 1.0], 2, &[1.0], 1).unwrap_err();
+    assert_eq!(err, CholeskyError::ShapeMismatch);
+}
+
+// ---------- Scaler ----------
+
+#[test]
+fn scaler_standardises_to_zero_mean_unit_variance() {
+    let mut s = Samples::new(2);
+    for i in 0..100 {
+        s.push(&[i as f64, 5.0]); // second feature constant
+    }
+    let scaler = StandardScaler::fit(&s);
+    let t = scaler.transform(&s);
+    let mean0: f64 = t.rows().map(|r| r[0]).sum::<f64>() / 100.0;
+    let var0: f64 = t.rows().map(|r| r[0] * r[0]).sum::<f64>() / 100.0;
+    assert!(mean0.abs() < 1e-12);
+    assert!((var0 - 1.0).abs() < 1e-9);
+    // Constant feature: centred but not blown up.
+    assert!(t.rows().all(|r| r[1] == 0.0));
+}
+
+// ---------- kNN ----------
+
+#[test]
+fn knn_index_finds_exact_nearest() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut s = Samples::new(2);
+    for _ in 0..400 {
+        s.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+    }
+    let index = Grid2dIndex::build(&s);
+    for _ in 0..50 {
+        let q = [rng.random::<f64>(), rng.random::<f64>()];
+        let got = index.nearest(&s, &q, 5);
+        // Brute-force reference.
+        let mut want: Vec<(f64, usize)> = (0..s.len())
+            .map(|i| {
+                let r = s.row(i);
+                ((r[0] - q[0]).powi(2) + (r[1] - q[1]).powi(2), i)
+            })
+            .collect();
+        want.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let want: Vec<usize> = want[..5].iter().map(|&(_, i)| i).collect();
+        assert_eq!(got, want, "query {q:?}");
+    }
+}
+
+#[test]
+fn knn_regressor_interpolates_smooth_function() {
+    let mut features = Samples::new(2);
+    let mut targets = Samples::new(1);
+    for iy in 0..40 {
+        for ix in 0..40 {
+            let (x, y) = (ix as f64 / 39.0, iy as f64 / 39.0);
+            features.push(&[x, y]);
+            targets.push(&[(2.0 * x + 3.0 * y).sin()]);
+        }
+    }
+    let model = KnnRegressor::fit(features, targets, 4, true);
+    for &(x, y) in &[(0.33, 0.61), (0.5, 0.5), (0.87, 0.12)] {
+        let pred = model.predict(&[x, y])[0];
+        let truth = (2.0f64 * x + 3.0 * y).sin();
+        assert!((pred - truth).abs() < 0.05, "at ({x},{y}): {pred} vs {truth}");
+    }
+}
+
+#[test]
+fn knn_regressor_multi_output() {
+    let mut features = Samples::new(2);
+    let mut targets = Samples::new(3);
+    for i in 0..100 {
+        let x = i as f64 / 99.0;
+        features.push(&[x, 0.0]);
+        targets.push(&[x, 2.0 * x, 1.0 - x]);
+    }
+    let model = KnnRegressor::fit(features, targets, 3, false);
+    assert_eq!(model.output_dims(), 3);
+    let p = model.predict(&[0.5, 0.0]);
+    assert!((p[0] - 0.5).abs() < 0.05);
+    assert!((p[1] - 1.0).abs() < 0.1);
+    assert!((p[2] - 0.5).abs() < 0.05);
+}
+
+#[test]
+fn knn_with_k_larger_than_dataset_degrades_to_mean() {
+    let mut features = Samples::new(2);
+    let mut targets = Samples::new(1);
+    for i in 0..3 {
+        features.push(&[i as f64, 0.0]);
+        targets.push(&[i as f64 * 10.0]);
+    }
+    let model = KnnRegressor::fit(features, targets, 99, false);
+    let p = model.predict(&[1.0, 0.0]);
+    assert!((p[0] - 10.0).abs() < 1e-9, "mean of 0,10,20");
+}
+
+// ---------- Linear regression ----------
+
+#[test]
+fn linreg_recovers_exact_linear_map() {
+    let mut features = Samples::new(2);
+    let mut targets = Samples::new(2);
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let x = rng.random::<f64>() * 4.0 - 2.0;
+        let y = rng.random::<f64>() * 4.0 - 2.0;
+        features.push(&[x, y]);
+        targets.push(&[3.0 * x - y + 0.5, -x + 2.0 * y - 1.0]);
+    }
+    let model = LinearRegressor::fit(&features, &targets, 0.0).unwrap();
+    let p = model.predict(&[1.0, 1.0]);
+    assert!((p[0] - 2.5).abs() < 1e-6, "{p:?}");
+    assert!((p[1] - 0.0).abs() < 1e-6, "{p:?}");
+}
+
+#[test]
+fn linreg_ridge_shrinks_weights() {
+    let mut features = Samples::new(1);
+    let mut targets = Samples::new(1);
+    for i in 0..50 {
+        let x = i as f64 / 49.0;
+        features.push(&[x]);
+        targets.push(&[5.0 * x]);
+    }
+    let free = LinearRegressor::fit(&features, &targets, 0.0).unwrap();
+    let ridged = LinearRegressor::fit(&features, &targets, 100.0).unwrap();
+    let slope_free = free.predict(&[1.0])[0] - free.predict(&[0.0])[0];
+    let slope_ridged = ridged.predict(&[1.0])[0] - ridged.predict(&[0.0])[0];
+    assert!(slope_ridged.abs() < slope_free.abs());
+    assert!((slope_free - 5.0).abs() < 1e-6);
+}
+
+#[test]
+fn linreg_survives_constant_feature() {
+    let mut features = Samples::new(2);
+    let mut targets = Samples::new(1);
+    for i in 0..20 {
+        features.push(&[i as f64, 7.0]); // second column constant → collinear with intercept
+        targets.push(&[2.0 * i as f64]);
+    }
+    let model = LinearRegressor::fit(&features, &targets, 0.0).expect("jitter rescues rank deficiency");
+    let p = model.predict(&[10.0, 7.0]);
+    assert!((p[0] - 20.0).abs() < 1e-3, "{p:?}");
+}
+
+// ---------- k-means ----------
+
+#[test]
+fn kmeans_separates_obvious_blobs() {
+    let pool = pool();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut s = Samples::new(2);
+    let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+    for &(cx, cy) in &centers {
+        for _ in 0..60 {
+            s.push(&[cx + rng.random::<f64>() - 0.5, cy + rng.random::<f64>() - 0.5]);
+        }
+    }
+    let res = kmeans(&pool, &s, KMeansOptions { clusters: 3, max_iters: 100, seed: 1 });
+    // Every blob must be pure: samples 0..60 share a label, etc.
+    for blob in 0..3 {
+        let labels: Vec<u32> = res.assignments[blob * 60..(blob + 1) * 60].to_vec();
+        assert!(labels.iter().all(|&l| l == labels[0]), "blob {blob} split");
+    }
+    assert!(res.inertia < 60.0, "inertia {}", res.inertia);
+}
+
+#[test]
+fn kmeans_is_deterministic_for_fixed_seed() {
+    let pool = pool();
+    let mut s = Samples::new(2);
+    let mut rng = SmallRng::seed_from_u64(2);
+    for _ in 0..100 {
+        s.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+    }
+    let opts = KMeansOptions { clusters: 5, max_iters: 30, seed: 42 };
+    let a = kmeans(&pool, &s, opts);
+    let b = kmeans(&pool, &s, opts);
+    assert_eq!(a.assignments, b.assignments);
+    assert_eq!(a.centroids.as_flat(), b.centroids.as_flat());
+}
+
+#[test]
+fn kmeans_partitions_all_samples() {
+    let pool = pool();
+    let mut s = Samples::new(2);
+    for i in 0..37 {
+        s.push(&[i as f64, (i * i % 7) as f64]);
+    }
+    let res = kmeans(&pool, &s, KMeansOptions { clusters: 4, max_iters: 20, seed: 9 });
+    assert_eq!(res.assignments.len(), 37);
+    let members = res.members();
+    let total: usize = members.iter().map(Vec::len).sum();
+    assert_eq!(total, 37, "every sample in exactly one cluster");
+    assert!(res.max_cluster_size() >= 37usize.div_ceil(4));
+    assert!(res.assignments.iter().all(|&c| (c as usize) < 4));
+}
+
+#[test]
+fn kmeans_clamps_clusters_to_sample_count() {
+    let pool = pool();
+    let mut s = Samples::new(2);
+    s.push(&[0.0, 0.0]);
+    s.push(&[1.0, 1.0]);
+    let res = kmeans(&pool, &s, KMeansOptions { clusters: 10, max_iters: 5, seed: 0 });
+    assert_eq!(res.centroids.len(), 2);
+    assert!(res.inertia < 1e-12);
+}
+
+#[test]
+fn kmeans_objective_decreases_with_more_clusters() {
+    let pool = pool();
+    let mut s = Samples::new(2);
+    let mut rng = SmallRng::seed_from_u64(5);
+    for _ in 0..300 {
+        s.push(&[rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0]);
+    }
+    let i2 = kmeans(&pool, &s, KMeansOptions { clusters: 2, max_iters: 50, seed: 3 }).inertia;
+    let i8 = kmeans(&pool, &s, KMeansOptions { clusters: 8, max_iters: 50, seed: 3 }).inertia;
+    let i32 = kmeans(&pool, &s, KMeansOptions { clusters: 32, max_iters: 50, seed: 3 }).inertia;
+    assert!(i2 > i8 && i8 > i32, "inertia must decrease: {i2} {i8} {i32}");
+}

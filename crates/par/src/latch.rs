@@ -1,0 +1,59 @@
+//! A counting latch used to join scoped parallel work.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Counts down from an initial value; `wait` blocks until zero.
+///
+/// Decrements may come from any thread. The latch is reusable only in the
+/// sense that `add` may race ahead of `wait` for successive batches, but the
+/// pool always creates a fresh latch per loop, which keeps reasoning simple.
+pub struct CountLatch {
+    remaining: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// Creates a latch that requires `count` calls to [`CountLatch::count_down`].
+    pub fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Signals completion of one unit of work.
+    ///
+    /// # Panics
+    /// Panics if called more times than the initial count.
+    pub fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        assert!(*remaining > 0, "CountLatch over-released");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks the calling thread until the count reaches zero.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.cond.wait(&mut remaining);
+        }
+    }
+
+    /// Returns `true` once the count has reached zero.
+    pub fn is_released(&self) -> bool {
+        *self.remaining.lock() == 0
+    }
+}
+
+/// Guard that counts a latch down on drop, so worker panics cannot leave the
+/// joining thread blocked forever.
+pub(crate) struct LatchGuard<'a>(pub &'a CountLatch);
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}

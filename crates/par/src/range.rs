@@ -1,0 +1,28 @@
+//! Index-range splitting helpers shared by the pool combinators.
+
+use std::ops::Range;
+
+/// Splits `range` into at most `parts` contiguous subranges whose lengths
+/// differ by at most one. Empty input yields an empty vector.
+///
+/// The first `len % parts` chunks receive one extra element, which matches
+/// the distribution used by static OpenMP scheduling and keeps per-chunk work
+/// as even as the caller's cost model allows.
+pub fn split_evenly(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = range.start;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, range.end);
+    out
+}

@@ -1,0 +1,88 @@
+//! Cloud-in-cell (CIC) deposition of sampled particles onto a moment grid.
+
+use beamdyn_par::ThreadPool;
+
+use crate::grid::{MomentGrid, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY};
+
+/// One macro-particle's contribution to the deposition step.
+#[derive(Debug, Clone, Copy)]
+pub struct DepositSample {
+    /// Longitudinal position.
+    pub x: f64,
+    /// Transverse position.
+    pub y: f64,
+    /// Macro-particle charge weight.
+    pub weight: f64,
+    /// Longitudinal velocity (deposits the `MOMENT_JX` current).
+    pub vx: f64,
+    /// Transverse velocity (deposits the `MOMENT_JY` current).
+    pub vy: f64,
+}
+
+/// Deposits `samples` onto `grid` with first-order (bilinear / cloud-in-cell)
+/// weighting, in parallel, producing **densities**: each weight is spread
+/// over the 2×2 patch and divided by the cell area, so the grid values
+/// approximate `ρ(x, y)` (and `J_x`, `J_y`) rather than per-cell charge.
+/// Total charge is conserved in the sense `Σ cells · dx·dy = Σ weights`.
+///
+/// Particles outside the grid rectangle are dropped (counted in the return
+/// value), matching the usual PIC convention for escaping particles. Each
+/// worker deposits into a private grid; privates are then accumulated in a
+/// fixed order so the result is deterministic for a given chunk split.
+///
+/// Returns the number of samples that fell outside the grid.
+pub fn deposit_cic(pool: &ThreadPool, grid: &mut MomentGrid, samples: &[DepositSample]) -> usize {
+    let geometry = grid.geometry();
+    let chunk = samples.len().div_ceil((pool.num_threads() + 1).max(1));
+    let chunk = chunk.max(1);
+    let chunks: Vec<&[DepositSample]> = samples.chunks(chunk).collect();
+
+    let partials: Vec<(MomentGrid, usize)> = pool.parallel_map(&chunks, |part| {
+        let mut local = MomentGrid::zeros(geometry);
+        let mut dropped = 0usize;
+        for s in *part {
+            if !deposit_one(&mut local, s) {
+                dropped += 1;
+            }
+        }
+        (local, dropped)
+    });
+
+    let mut dropped = 0;
+    for (partial, d) in &partials {
+        grid.accumulate(partial);
+        dropped += d;
+    }
+    dropped
+}
+
+/// Deposits a single sample; returns `false` if it lies outside the grid.
+fn deposit_one(grid: &mut MomentGrid, s: &DepositSample) -> bool {
+    let geometry = grid.geometry();
+    if !geometry.contains(s.x, s.y) || !s.x.is_finite() || !s.y.is_finite() {
+        return false;
+    }
+    let (fx, fy) = geometry.fractional(s.x, s.y);
+    // Lower cell of the 2x2 CIC patch, clamped so border particles deposit
+    // fully onto the edge cells (weights still sum to 1).
+    let ix0 = (fx.floor() as isize).clamp(0, geometry.nx as isize - 2) as usize;
+    let iy0 = (fy.floor() as isize).clamp(0, geometry.ny as isize - 2) as usize;
+    let tx = (fx - ix0 as f64).clamp(0.0, 1.0);
+    let ty = (fy - iy0 as f64).clamp(0.0, 1.0);
+
+    let w = [
+        (1.0 - tx) * (1.0 - ty),
+        tx * (1.0 - ty),
+        (1.0 - tx) * ty,
+        tx * ty,
+    ];
+    let inv_area = 1.0 / (geometry.dx() * geometry.dy());
+    let cells = [(ix0, iy0), (ix0 + 1, iy0), (ix0, iy0 + 1), (ix0 + 1, iy0 + 1)];
+    for (&(ix, iy), &wi) in cells.iter().zip(&w) {
+        let q = s.weight * wi * inv_area;
+        grid.add(MOMENT_CHARGE, ix, iy, q);
+        grid.add(MOMENT_JX, ix, iy, q * s.vx);
+        grid.add(MOMENT_JY, ix, iy, q * s.vy);
+    }
+    true
+}

@@ -1,0 +1,105 @@
+//! Ring buffer of moment grids over simulation time steps.
+
+use crate::grid::{GridGeometry, MomentGrid};
+
+/// Stores the last `capacity` moment grids `D_k`, addressed by absolute time
+/// step, mirroring the paper's device-resident list `D`.
+///
+/// The `rp-integral` at step `k` needs grids `D_{k-κ} … D_k` (Sec. II-A), so
+/// `capacity` should be at least `κ + 2` — two extra levels because subregion
+/// `S_i` touches `D_{k-i-1}, D_{k-i}, D_{k-i+1}` (equivalently the paper's
+/// `D_{k-j-1..k-j-3}` indexing from the other end).
+#[derive(Debug, Clone)]
+pub struct GridHistory {
+    geometry: GridGeometry,
+    capacity: usize,
+    /// `slots[step % capacity]` holds the grid for `step`, if still retained.
+    slots: Vec<Option<MomentGrid>>,
+    /// Absolute step of the newest stored grid, if any.
+    newest: Option<usize>,
+}
+
+impl GridHistory {
+    /// Creates an empty history retaining up to `capacity` steps.
+    pub fn new(geometry: GridGeometry, capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        Self {
+            geometry,
+            capacity,
+            slots: (0..capacity).map(|_| None).collect(),
+            newest: None,
+        }
+    }
+
+    /// Geometry shared by every stored grid.
+    pub fn geometry(&self) -> GridGeometry {
+        self.geometry
+    }
+
+    /// Maximum number of retained steps.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Absolute step of the newest stored grid.
+    pub fn newest_step(&self) -> Option<usize> {
+        self.newest
+    }
+
+    /// Oldest step still retained.
+    pub fn oldest_step(&self) -> Option<usize> {
+        let newest = self.newest?;
+        Some(newest.saturating_sub(self.capacity - 1))
+    }
+
+    /// Pushes the grid for `step`. Steps must be pushed in increasing order;
+    /// pushing step `s` evicts anything older than `s - capacity + 1`.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch or non-monotonic step numbers.
+    pub fn push(&mut self, step: usize, grid: MomentGrid) {
+        assert_eq!(grid.geometry(), self.geometry, "grid geometry mismatch");
+        if let Some(newest) = self.newest {
+            assert!(step > newest, "steps must be pushed in increasing order");
+            // Invalidate skipped slots so stale grids can't alias new steps.
+            for missing in (newest + 1)..step {
+                self.slots[missing % self.capacity] = None;
+            }
+        }
+        self.slots[step % self.capacity] = Some(grid);
+        self.newest = Some(step);
+    }
+
+    /// Returns the grid for an absolute `step`, if still retained.
+    pub fn get(&self, step: usize) -> Option<&MomentGrid> {
+        let newest = self.newest?;
+        if step > newest || newest - step >= self.capacity {
+            return None;
+        }
+        self.slots[step % self.capacity].as_ref()
+    }
+
+    /// Like [`GridHistory::get`] but clamps to the oldest retained grid, the
+    /// standard treatment for the start-up steps where `k < κ`.
+    pub fn get_clamped(&self, step: usize) -> Option<&MomentGrid> {
+        self.get(step).or_else(|| {
+            let oldest = self.oldest_step()?;
+            if step < oldest {
+                // The oldest slot may itself be missing if steps were skipped.
+                (oldest..=self.newest?).find_map(|s| self.get(s))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of grids currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no grids are stored.
+    pub fn is_empty(&self) -> bool {
+        self.newest.is_none()
+    }
+}

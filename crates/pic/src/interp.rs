@@ -1,0 +1,137 @@
+//! Gather interpolation: bilinear force gather and the 27-point space-time
+//! stencil used to approximate the rp-integrand `f⁽ᵖ⁾(r', θ', t')`.
+
+use crate::grid::MomentGrid;
+use crate::history::GridHistory;
+
+/// Bilinear (CIC-conjugate) gather of one moment component at a physical
+/// point. Points outside the rectangle are clamped to the border.
+pub fn bilinear_gather(grid: &MomentGrid, component: usize, x: f64, y: f64) -> f64 {
+    let geometry = grid.geometry();
+    let (fx, fy) = geometry.fractional(x, y);
+    let ix0 = (fx.floor() as isize).clamp(0, geometry.nx as isize - 2);
+    let iy0 = (fy.floor() as isize).clamp(0, geometry.ny as isize - 2);
+    let tx = (fx - ix0 as f64).clamp(0.0, 1.0);
+    let ty = (fy - iy0 as f64).clamp(0.0, 1.0);
+    let v00 = grid.get_clamped(component, ix0, iy0);
+    let v10 = grid.get_clamped(component, ix0 + 1, iy0);
+    let v01 = grid.get_clamped(component, ix0, iy0 + 1);
+    let v11 = grid.get_clamped(component, ix0 + 1, iy0 + 1);
+    (1.0 - tx) * (1.0 - ty) * v00 + tx * (1.0 - ty) * v10 + (1.0 - tx) * ty * v01 + tx * ty * v11
+}
+
+/// One tap of the 27-point stencil: a grid cell at a relative time level with
+/// its interpolation weight.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilTap {
+    /// Cell x index.
+    pub ix: usize,
+    /// Cell y index.
+    pub iy: usize,
+    /// Time level relative to the stencil's centre step `i` (−1, 0, or +1).
+    pub dt: i32,
+    /// Tensor-product Lagrange weight.
+    pub weight: f64,
+}
+
+/// The paper's 27-neighbour approximation of the integrand: a 3×3 patch of
+/// quadratic B-spline (triangular-shaped-cloud) weights in space, replicated
+/// on three consecutive moment grids `D_{i−1}, D_i, D_{i+1}` with quadratic
+/// Lagrange interpolation in retarded time.
+///
+/// The spatial weights are B-splines rather than snapped Lagrange because
+/// the interpolant must be *continuous* in the evaluation point: a snapped
+/// Lagrange patch jumps when the nearest cell centre changes, and adaptive
+/// quadrature cannot converge across a jump (its error and its tolerance
+/// budget both shrink linearly with cell width). TSC is C¹, reproduces
+/// linear fields exactly, and is the standard higher-order PIC kernel.
+#[derive(Debug, Clone)]
+pub struct Stencil27 {
+    taps: [StencilTap; 27],
+}
+
+/// Quadratic Lagrange weights on nodes {−1, 0, +1} evaluated at `u` — used
+/// on the time axis, where the evaluation parameter runs node-to-node and
+/// the interpolant stays continuous.
+#[inline]
+fn lagrange3(u: f64) -> [f64; 3] {
+    [0.5 * u * (u - 1.0), 1.0 - u * u, 0.5 * u * (u + 1.0)]
+}
+
+/// Quadratic B-spline (TSC) weights for offset `u ∈ [−0.5, 0.5]` from the
+/// nearest node: `[(0.5−u)²/2, 0.75−u², (0.5+u)²/2]`.
+#[inline]
+fn bspline3(u: f64) -> [f64; 3] {
+    [
+        0.5 * (0.5 - u) * (0.5 - u),
+        0.75 - u * u,
+        0.5 * (0.5 + u) * (0.5 + u),
+    ]
+}
+
+impl Stencil27 {
+    /// Builds the stencil for physical point `(x, y)` and time fraction
+    /// `s ∈ [0, 1]` between centre step `i` (s = 0) and step `i + 1` (s = 1).
+    ///
+    /// Near grid edges the 3×3 patch is shifted inward, so the weights become
+    /// mildly extrapolatory there — the standard structured-grid treatment.
+    pub fn new(grid: &MomentGrid, x: f64, y: f64, s: f64) -> Self {
+        let geometry = grid.geometry();
+        assert!(geometry.nx >= 3 && geometry.ny >= 3, "stencil needs a 3x3 patch");
+        let (fx, fy) = geometry.fractional(x, y);
+        // Nearest cell centre, kept one cell away from the border.
+        let cx = (fx.round() as isize).clamp(1, geometry.nx as isize - 2);
+        let cy = (fy.round() as isize).clamp(1, geometry.ny as isize - 2);
+        let ux = fx - cx as f64;
+        let uy = fy - cy as f64;
+        let wx = bspline3(ux);
+        let wy = bspline3(uy);
+        // Map s∈[0,1] onto the {−1,0,+1} node coordinate of the centre step.
+        let wt = lagrange3(s.clamp(0.0, 1.0));
+
+        let mut taps = [StencilTap {
+            ix: 0,
+            iy: 0,
+            dt: 0,
+            weight: 0.0,
+        }; 27];
+        let mut n = 0;
+        for (ti, &wti) in wt.iter().enumerate() {
+            for (yi, &wyi) in wy.iter().enumerate() {
+                for (xi, &wxi) in wx.iter().enumerate() {
+                    taps[n] = StencilTap {
+                        ix: (cx + xi as isize - 1) as usize,
+                        iy: (cy + yi as isize - 1) as usize,
+                        dt: ti as i32 - 1,
+                        weight: wti * wyi * wxi,
+                    };
+                    n += 1;
+                }
+            }
+        }
+        Self { taps }
+    }
+
+    /// The 27 taps, time-major then row-major.
+    pub fn taps(&self) -> &[StencilTap; 27] {
+        &self.taps
+    }
+
+    /// Applies the stencil to one moment component around centre step `i`,
+    /// reading `D_{i−1}, D_i, D_{i+1}` from `history` (clamped at start-up).
+    pub fn apply(&self, history: &GridHistory, center_step: usize, component: usize) -> f64 {
+        let mut acc = 0.0;
+        for tap in &self.taps {
+            let step = center_step.saturating_add_signed(tap.dt as isize);
+            if let Some(grid) = history.get_clamped(step) {
+                acc += tap.weight * grid.get(component, tap.ix, tap.iy);
+            }
+        }
+        acc
+    }
+
+    /// Sum of all weights; exactly 1 away from edges (partition of unity).
+    pub fn weight_sum(&self) -> f64 {
+        self.taps.iter().map(|t| t.weight).sum()
+    }
+}

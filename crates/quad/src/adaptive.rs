@@ -1,0 +1,119 @@
+//! Adaptive Simpson quadrature with partition logging.
+
+use crate::rules::simpson_estimate;
+
+/// Tuning knobs for [`adaptive_simpson`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveOptions {
+    /// Absolute error tolerance for the whole interval.
+    pub tolerance: f64,
+    /// Maximum bisection depth; intervals at this depth are accepted as-is.
+    pub max_depth: u32,
+    /// Minimum bisection depth: cells shallower than this are always split,
+    /// which guards against false convergence on features narrower than the
+    /// initial sampling (a classic adaptive-Simpson failure mode).
+    pub min_depth: u32,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-6,
+            max_depth: 30,
+            min_depth: 3,
+        }
+    }
+}
+
+/// Output of [`adaptive_simpson`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveResult {
+    /// Integral estimate.
+    pub integral: f64,
+    /// Accumulated error estimate (sum of accepted per-cell estimates).
+    pub error: f64,
+    /// The partition the algorithm settled on — the paper's observed
+    /// control-flow/access pattern for this evaluation.
+    pub partition: crate::Partition,
+    /// Total integrand evaluations.
+    pub evals: usize,
+    /// True if some cell hit `max_depth` without meeting its tolerance.
+    pub saturated: bool,
+}
+
+/// Globally adaptive Simpson quadrature over `[a, b]`.
+///
+/// Uses an explicit worklist (largest-error-first would need a heap; plain
+/// LIFO gives identical results for the τ-split criterion used here, which
+/// allocates each cell a tolerance proportional to its width). The returned
+/// partition lists every accepted cell boundary in increasing order.
+pub fn adaptive_simpson(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    options: AdaptiveOptions,
+) -> AdaptiveResult {
+    assert!(b > a, "empty interval [{a}, {b}]");
+    assert!(options.tolerance > 0.0, "tolerance must be positive");
+
+    struct Item {
+        a: f64,
+        b: f64,
+        tol: f64,
+        depth: u32,
+    }
+
+    let mut stack = vec![Item {
+        a,
+        b,
+        tol: options.tolerance,
+        depth: 0,
+    }];
+    let mut integral = 0.0;
+    let mut error = 0.0;
+    let mut evals = 0usize;
+    let mut saturated = false;
+    let mut accepted: Vec<(f64, f64)> = Vec::new();
+
+    while let Some(item) = stack.pop() {
+        let est = simpson_estimate(&mut f, item.a, item.b);
+        evals += est.evals;
+        let converged = est.error <= item.tol && item.depth >= options.min_depth;
+        if converged || item.depth >= options.max_depth {
+            saturated |= est.error > item.tol;
+            integral += est.integral;
+            error += est.error;
+            accepted.push((item.a, item.b));
+        } else {
+            let m = 0.5 * (item.a + item.b);
+            // Push right first so the left half is processed next (keeps the
+            // accepted list closer to sorted; we sort anyway for safety).
+            stack.push(Item {
+                a: m,
+                b: item.b,
+                tol: 0.5 * item.tol,
+                depth: item.depth + 1,
+            });
+            stack.push(Item {
+                a: item.a,
+                b: m,
+                tol: 0.5 * item.tol,
+                depth: item.depth + 1,
+            });
+        }
+    }
+
+    accepted.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut breaks = Vec::with_capacity(accepted.len() + 1);
+    breaks.push(a);
+    for (_, right) in &accepted {
+        breaks.push(*right);
+    }
+    AdaptiveResult {
+        integral,
+        error,
+        partition: crate::Partition::new(breaks),
+        evals,
+        saturated,
+    }
+}

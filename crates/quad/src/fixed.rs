@@ -1,0 +1,73 @@
+//! Fixed-partition evaluation: the divergence-free kernel's inner loop.
+
+use crate::partition::Partition;
+use crate::rules::simpson_estimate;
+
+/// A partition cell whose Simpson error estimate exceeded the tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailedCell {
+    /// Cell lower bound.
+    pub a: f64,
+    /// Cell upper bound.
+    pub b: f64,
+    /// The error estimate that caused rejection.
+    pub error: f64,
+}
+
+/// Outcome of [`eval_on_partition`].
+#[derive(Debug, Clone)]
+pub struct PartitionEval {
+    /// Integral contribution of all *accepted* cells.
+    pub integral: f64,
+    /// Error contribution of all accepted cells.
+    pub error: f64,
+    /// Cells that missed the tolerance, to be re-done adaptively (the
+    /// paper's list `L` of `([a,b], p)` pairs).
+    pub failed: Vec<FailedCell>,
+    /// Total integrand evaluations.
+    pub evals: usize,
+}
+
+/// Applies Simpson's rule with Richardson error estimation to every cell of
+/// `partition`, accumulating cells whose error estimate is within their share
+/// of `tolerance` and reporting the rest (paper's `COMPUTE-RP-INTEGRAL`).
+///
+/// The tolerance is apportioned to cells by width, so accepting every cell
+/// guarantees the total error estimate is below `tolerance` — the same
+/// budget rule the adaptive engine uses, which makes the two paths agree on
+/// what "converged" means.
+///
+/// The control flow here is deliberately uniform: exactly one rule
+/// application per cell, no data-dependent branching — this is the property
+/// the Predictive-RP kernel exploits to eliminate warp divergence.
+pub fn eval_on_partition(
+    mut f: impl FnMut(f64) -> f64,
+    partition: &Partition,
+    tolerance: f64,
+) -> PartitionEval {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let (lo, hi) = partition.span();
+    let span = hi - lo;
+    let mut out = PartitionEval {
+        integral: 0.0,
+        error: 0.0,
+        failed: Vec::new(),
+        evals: 0,
+    };
+    for (a, b) in partition.iter_cells() {
+        let est = simpson_estimate(&mut f, a, b);
+        out.evals += est.evals;
+        let cell_tol = tolerance * (b - a) / span;
+        if est.error <= cell_tol {
+            out.integral += est.integral;
+            out.error += est.error;
+        } else {
+            out.failed.push(FailedCell {
+                a,
+                b,
+                error: est.error,
+            });
+        }
+    }
+    out
+}

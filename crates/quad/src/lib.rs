@@ -1,0 +1,35 @@
+//! One-dimensional quadrature engines with partition and evaluation-count
+//! logging, the numerical heart of the rp-integral (paper Sec. II-A, Eq. 2).
+//!
+//! Three evaluation styles are provided, mirroring the three GPU kernels:
+//!
+//! * [`adaptive_simpson`] — classic recursive adaptive Simpson quadrature.
+//!   This is what the Two-Phase-RP baseline runs for every point, and what
+//!   the Predictive-RP algorithm's *fallback pass* runs for subregions whose
+//!   forecast partition missed the tolerance. It records the partition it
+//!   generated and how many rule applications it spent — exactly the
+//!   "observed access pattern" the online model trains on.
+//! * [`eval_on_partition`] — the divergence-free style: apply Simpson's rule
+//!   with Richardson error estimation on each cell of a *precomputed*
+//!   partition, accumulate cells that meet the tolerance, and report the
+//!   cells that failed (the paper's `COMPUTE-RP-INTEGRAL`).
+//! * [`newton_cotes`] / [`NewtonCotes`] — closed Newton–Cotes rules used for
+//!   the *inner* (angular) integral of the rp-integrand.
+//!
+//! Everything is generic over `FnMut(f64) -> f64` so callers can wrap their
+//! integrand in counting/tracing adapters (the SIMT layer does exactly that).
+
+mod adaptive;
+mod fixed;
+mod partition;
+mod romberg;
+mod rules;
+
+pub use adaptive::{adaptive_simpson, AdaptiveOptions, AdaptiveResult};
+pub use fixed::{eval_on_partition, FailedCell, PartitionEval};
+pub use partition::{merge_partitions, uniform_partition, Partition};
+pub use romberg::{romberg, RombergResult};
+pub use rules::{newton_cotes, simpson_estimate, NewtonCotes, SimpsonEstimate};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,147 @@
+//! Partitions of an integration interval and the paper's `MERGE-LISTS`.
+
+/// A partition of `[a, b]`: strictly increasing breakpoints including both
+/// endpoints. `breaks.len() - 1` is the number of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    breaks: Vec<f64>,
+}
+
+impl Partition {
+    /// Builds a partition from raw breakpoints.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are given or they are not strictly
+    /// increasing.
+    pub fn new(breaks: Vec<f64>) -> Self {
+        assert!(breaks.len() >= 2, "a partition needs at least two breakpoints");
+        assert!(
+            breaks.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        Self { breaks }
+    }
+
+    /// The trivial single-cell partition of `[a, b]`.
+    pub fn whole(a: f64, b: f64) -> Self {
+        Self::new(vec![a, b])
+    }
+
+    /// Breakpoints, including both endpoints.
+    pub fn breaks(&self) -> &[f64] {
+        &self.breaks
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.breaks.len() - 1
+    }
+
+    /// Interval covered.
+    pub fn span(&self) -> (f64, f64) {
+        (self.breaks[0], *self.breaks.last().expect("non-empty"))
+    }
+
+    /// Iterates over `(left, right)` cell bounds.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.breaks.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Splits every cell into `factor` equal pieces.
+    pub fn refine(&self, factor: usize) -> Partition {
+        assert!(factor >= 1);
+        let mut breaks = Vec::with_capacity(self.cells() * factor + 1);
+        for (a, b) in self.iter_cells() {
+            breaks.push(a);
+            for j in 1..factor {
+                breaks.push(a + (b - a) * j as f64 / factor as f64);
+            }
+        }
+        breaks.push(self.span().1);
+        Partition::new(breaks)
+    }
+
+    /// Restricts the partition to cells inside `[a, b]` (cell bounds clamped).
+    /// Returns `None` if the ranges do not overlap.
+    pub fn clip(&self, a: f64, b: f64) -> Option<Partition> {
+        let (lo, hi) = self.span();
+        if b <= lo || a >= hi {
+            return None;
+        }
+        let mut breaks: Vec<f64> = self
+            .breaks
+            .iter()
+            .copied()
+            .filter(|&x| x > a && x < b)
+            .collect();
+        breaks.insert(0, a.max(lo));
+        breaks.push(b.min(hi));
+        breaks.dedup_by(|x, y| (*x - *y).abs() == 0.0);
+        if breaks.len() < 2 {
+            None
+        } else {
+            Some(Partition::new(breaks))
+        }
+    }
+}
+
+/// The paper's `MERGE-LISTS`: merges two sorted breakpoint lists, removing
+/// duplicates (within `eps` relative to the local spacing), producing a
+/// partition that refines both inputs over their combined span.
+///
+/// Both inputs must cover the same interval for the result to be a valid
+/// partition of it; mismatched spans are unioned.
+pub fn merge_partitions(a: &Partition, b: &Partition, eps: f64) -> Partition {
+    let mut out: Vec<f64> = Vec::with_capacity(a.breaks.len() + b.breaks.len());
+    let (mut i, mut j) = (0, 0);
+    let (xa, xb) = (&a.breaks, &b.breaks);
+    while i < xa.len() || j < xb.len() {
+        let next = match (xa.get(i), xb.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => break,
+        };
+        match out.last() {
+            Some(&last) if next - last <= eps * (1.0 + next.abs()) => {
+                // Too close to the previous point: treat as duplicate.
+            }
+            _ => out.push(next),
+        }
+    }
+    // A degenerate merge (everything collapsed) still needs two points.
+    if out.len() < 2 {
+        let (lo_a, hi_a) = a.span();
+        let (lo_b, hi_b) = b.span();
+        return Partition::whole(lo_a.min(lo_b), hi_a.max(hi_b));
+    }
+    Partition::new(out)
+}
+
+/// Builds the uniform `cells`-cell partition of `[a, b]` (paper Sec. III-C2,
+/// "uniform partitioning": `n` partitions along a subregion).
+pub fn uniform_partition(a: f64, b: f64, cells: usize) -> Partition {
+    assert!(b > a, "empty interval");
+    let cells = cells.max(1);
+    let mut breaks = Vec::with_capacity(cells + 1);
+    for i in 0..=cells {
+        breaks.push(a + (b - a) * i as f64 / cells as f64);
+    }
+    // Guard against rounding making the last point land below b.
+    *breaks.last_mut().expect("non-empty") = b;
+    Partition::new(breaks)
+}

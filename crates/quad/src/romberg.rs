@@ -1,0 +1,129 @@
+//! Romberg integration — the high-accuracy reference integrator used to
+//! cross-check the adaptive engine in tests and to compute "exact" values
+//! for the validation experiments.
+
+/// Result of [`romberg`].
+#[derive(Debug, Clone, Copy)]
+pub struct RombergResult {
+    /// Extrapolated integral estimate.
+    pub integral: f64,
+    /// Difference between the last two diagonal entries — the usual
+    /// convergence estimate.
+    pub error: f64,
+    /// Richardson levels actually used.
+    pub levels: usize,
+    /// Integrand evaluations.
+    pub evals: usize,
+}
+
+/// Romberg integration of `f` over `[a, b]`: trapezoid refinement plus
+/// Richardson extrapolation, stopping when successive diagonal estimates
+/// agree to `tolerance` or `max_levels` is reached.
+pub fn romberg(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tolerance: f64,
+    max_levels: usize,
+) -> RombergResult {
+    assert!(b > a, "empty interval");
+    assert!(tolerance > 0.0);
+    let max_levels = max_levels.clamp(2, 24);
+
+    let mut table: Vec<Vec<f64>> = Vec::with_capacity(max_levels);
+    let mut evals = 0usize;
+    let mut h = b - a;
+    let mut trapezoid = {
+        evals += 2;
+        0.5 * h * (f(a) + f(b))
+    };
+    table.push(vec![trapezoid]);
+
+    for level in 1..max_levels {
+        // Refine the trapezoid with the new midpoints.
+        let points = 1usize << (level - 1);
+        let mut sum = 0.0;
+        for i in 0..points {
+            let x = a + h * (i as f64 + 0.5);
+            sum += f(x);
+            evals += 1;
+        }
+        // T_{level} = T_{level−1}/2 + h_{level} · Σ f(midpoints), with
+        // h_{level} = h/2 (h is the previous level's spacing).
+        trapezoid = 0.5 * trapezoid + 0.5 * h * sum;
+        h *= 0.5;
+
+        let mut row = vec![trapezoid];
+        let mut factor = 1.0;
+        for k in 1..=level {
+            factor *= 4.0;
+            let prev = table[level - 1][k - 1];
+            let better = row[k - 1] + (row[k - 1] - prev) / (factor - 1.0);
+            row.push(better);
+        }
+        let err = (row[level] - table[level - 1][level - 1]).abs();
+        table.push(row);
+        if err <= tolerance {
+            return RombergResult {
+                integral: table[level][level],
+                error: err,
+                levels: level + 1,
+                evals,
+            };
+        }
+    }
+    let last = table.len() - 1;
+    RombergResult {
+        integral: table[last][last],
+        error: (table[last][last] - table[last - 1][last - 1]).abs(),
+        levels: table.len(),
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomial_exactly_fast() {
+        let r = romberg(|x| 3.0 * x * x, 0.0, 2.0, 1e-12, 20);
+        assert!((r.integral - 8.0).abs() < 1e-11, "{r:?}");
+        assert!(r.levels <= 4, "polynomials converge immediately: {r:?}");
+    }
+
+    #[test]
+    fn integrates_transcendental_to_tolerance() {
+        let r = romberg(f64::exp, 0.0, 1.0, 1e-12, 24);
+        let truth = std::f64::consts::E - 1.0;
+        assert!((r.integral - truth).abs() < 1e-11, "{r:?}");
+    }
+
+    #[test]
+    fn matches_adaptive_simpson_on_oscillatory_integrand() {
+        let f = |x: f64| (20.0 * x).sin() + 0.5 * x;
+        let truth = (1.0 - 20.0f64.cos()) / 20.0 + 0.25;
+        let r = romberg(f, 0.0, 1.0, 1e-11, 24);
+        assert!((r.integral - truth).abs() < 1e-9, "{r:?} vs {truth}");
+        let a = crate::adaptive_simpson(
+            f,
+            0.0,
+            1.0,
+            crate::AdaptiveOptions { tolerance: 1e-10, max_depth: 40, min_depth: 4 },
+        );
+        assert!((r.integral - a.integral).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reports_eval_budget() {
+        let r = romberg(|x| x, 0.0, 1.0, 1e-14, 10);
+        assert!(r.evals >= 3);
+        assert!(r.evals < 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn rejects_empty_interval() {
+        romberg(|x| x, 1.0, 1.0, 1e-6, 10);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fixed quadrature rules: closed Newton–Cotes and the Simpson pair with
+//! Richardson error estimation.
+
+/// A closed Newton–Cotes rule of `n ≥ 2` equally-spaced points on `[a, b]`.
+///
+/// Supported orders: 2 (trapezoid), 3 (Simpson), 4 (Simpson 3/8), 5 (Boole).
+/// These are the formulae the paper cites for the inner integral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewtonCotes {
+    points: usize,
+}
+
+impl NewtonCotes {
+    /// Creates the rule with the given number of points.
+    ///
+    /// # Panics
+    /// Panics for unsupported point counts.
+    pub fn new(points: usize) -> Self {
+        assert!(
+            (2..=5).contains(&points),
+            "unsupported Newton-Cotes order: {points} points"
+        );
+        Self { points }
+    }
+
+    /// Number of abscissae.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// Rule weights, normalised so that `Σ wᵢ f(xᵢ) · (b−a)` is the estimate.
+    pub fn weights(&self) -> &'static [f64] {
+        match self.points {
+            2 => &[0.5, 0.5],
+            3 => &[1.0 / 6.0, 4.0 / 6.0, 1.0 / 6.0],
+            4 => &[1.0 / 8.0, 3.0 / 8.0, 3.0 / 8.0, 1.0 / 8.0],
+            5 => &[
+                7.0 / 90.0,
+                32.0 / 90.0,
+                12.0 / 90.0,
+                32.0 / 90.0,
+                7.0 / 90.0,
+            ],
+            _ => unreachable!("validated in constructor"),
+        }
+    }
+
+    /// Degree of polynomial integrated exactly.
+    pub fn exact_degree(&self) -> usize {
+        match self.points {
+            2 => 1,
+            3 => 3,
+            4 => 3,
+            5 => 5,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Applies the rule to `f` over `[a, b]`.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64, a: f64, b: f64) -> f64 {
+        let weights = self.weights();
+        let n = weights.len();
+        let h = (b - a) / (n - 1) as f64;
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            let x = if i == n - 1 { b } else { a + h * i as f64 };
+            acc += w * f(x);
+        }
+        acc * (b - a)
+    }
+}
+
+/// Convenience wrapper: integrate `f` over `[a, b]` with an `n`-point rule.
+pub fn newton_cotes(points: usize, f: impl FnMut(f64) -> f64, a: f64, b: f64) -> f64 {
+    NewtonCotes::new(points).integrate(f, a, b)
+}
+
+/// Simpson estimate on `[a, b]` with a Richardson-extrapolated error bound.
+#[derive(Debug, Clone, Copy)]
+pub struct SimpsonEstimate {
+    /// Extrapolated integral value (the two-panel estimate plus correction).
+    pub integral: f64,
+    /// Error estimate `|S₂ − S₁| / 15`.
+    pub error: f64,
+    /// Number of integrand evaluations spent (always 5).
+    pub evals: usize,
+}
+
+/// Computes the classic Simpson pair: one-panel `S₁` versus two-panel `S₂`,
+/// returning the extrapolated value and the standard `|S₂ − S₁|/15` error
+/// estimate. This is the paper's `RP-QUADRULE` shape — the inner integral is
+/// whatever `f` does at each abscissa.
+pub fn simpson_estimate(mut f: impl FnMut(f64) -> f64, a: f64, b: f64) -> SimpsonEstimate {
+    let m = 0.5 * (a + b);
+    let fa = f(a);
+    let fm = f(m);
+    let fb = f(b);
+    let s1 = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let s2 = (b - a) / 12.0 * (fa + 4.0 * flm + 2.0 * fm + 4.0 * frm + fb);
+    let error = (s2 - s1).abs() / 15.0;
+    SimpsonEstimate {
+        integral: s2 + (s2 - s1) / 15.0,
+        error,
+        evals: 5,
+    }
+}

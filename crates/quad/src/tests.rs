@@ -1,0 +1,247 @@
+use crate::{
+    adaptive_simpson, eval_on_partition, merge_partitions, newton_cotes, simpson_estimate,
+    uniform_partition, AdaptiveOptions, NewtonCotes, Partition,
+};
+
+fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!((a - b).abs() <= tol, "{what}: {a} vs {b} (tol {tol})");
+}
+
+#[test]
+fn newton_cotes_weights_sum_to_one() {
+    for n in 2..=5 {
+        let s: f64 = NewtonCotes::new(n).weights().iter().sum();
+        assert_close(s, 1.0, 1e-15, "weight sum");
+    }
+}
+
+#[test]
+fn newton_cotes_exactness_orders() {
+    // Each rule must integrate polynomials up to its exact degree to
+    // rounding, and show real error one degree higher.
+    for n in 2..=5usize {
+        let rule = NewtonCotes::new(n);
+        let degree = rule.exact_degree();
+        for d in 0..=degree {
+            let exact = (3.0f64.powi(d as i32 + 1) - 1.0) / (d as f64 + 1.0);
+            let got = rule.integrate(|x| x.powi(d as i32), 1.0, 3.0);
+            assert_close(got, exact, 1e-10 * exact.abs().max(1.0), "exactness");
+        }
+        let d = degree as i32 + 1;
+        let exact = (3.0f64.powi(d + 1) - 1.0) / (d as f64 + 1.0);
+        let got = rule.integrate(|x| x.powi(d), 1.0, 3.0);
+        assert!(
+            (got - exact).abs() > 1e-6,
+            "{n}-point rule unexpectedly exact at degree {d}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "unsupported")]
+fn newton_cotes_rejects_bad_order() {
+    NewtonCotes::new(7);
+}
+
+#[test]
+fn newton_cotes_helper_matches_rule() {
+    let a = newton_cotes(3, |x| x * x, 0.0, 1.0);
+    let b = NewtonCotes::new(3).integrate(|x| x * x, 0.0, 1.0);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn simpson_estimate_is_exact_for_cubics_with_zero_error() {
+    let est = simpson_estimate(|x| 4.0 * x * x * x - x, 0.0, 2.0);
+    assert_close(est.integral, 14.0, 1e-12, "cubic integral");
+    assert!(est.error < 1e-12);
+    assert_eq!(est.evals, 5);
+}
+
+#[test]
+fn simpson_estimate_error_tracks_true_error() {
+    // For e^x the Richardson estimate should be the right order of magnitude.
+    let est = simpson_estimate(f64::exp, 0.0, 1.0);
+    let truth = std::f64::consts::E - 1.0;
+    let actual = (est.integral - truth).abs();
+    assert!(actual <= est.error.max(1e-9) * 10.0, "actual {actual} vs est {}", est.error);
+}
+
+#[test]
+fn partition_basic_invariants() {
+    let p = Partition::new(vec![0.0, 0.5, 1.0, 2.0]);
+    assert_eq!(p.cells(), 3);
+    assert_eq!(p.span(), (0.0, 2.0));
+    let cells: Vec<(f64, f64)> = p.iter_cells().collect();
+    assert_eq!(cells, vec![(0.0, 0.5), (0.5, 1.0), (1.0, 2.0)]);
+}
+
+#[test]
+#[should_panic(expected = "strictly increasing")]
+fn partition_rejects_unsorted() {
+    Partition::new(vec![0.0, 1.0, 0.5]);
+}
+
+#[test]
+fn partition_refine_multiplies_cells() {
+    let p = Partition::whole(0.0, 1.0).refine(4);
+    assert_eq!(p.cells(), 4);
+    assert_close(p.breaks()[1], 0.25, 1e-15, "refined break");
+    let again = p.refine(1);
+    assert_eq!(again, p, "factor 1 is identity");
+}
+
+#[test]
+fn partition_clip_keeps_interior_breaks() {
+    let p = Partition::new(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    let c = p.clip(0.5, 2.5).expect("overlap");
+    assert_eq!(c.breaks(), &[0.5, 1.0, 2.0, 2.5]);
+    assert!(p.clip(5.0, 6.0).is_none());
+}
+
+#[test]
+fn uniform_partition_has_equal_cells_and_exact_endpoints() {
+    let p = uniform_partition(-1.0, 2.0, 6);
+    assert_eq!(p.cells(), 6);
+    assert_eq!(p.span(), (-1.0, 2.0));
+    let widths: Vec<f64> = p.iter_cells().map(|(a, b)| b - a).collect();
+    for w in widths {
+        assert_close(w, 0.5, 1e-12, "uniform width");
+    }
+}
+
+#[test]
+fn merge_partitions_refines_both_inputs() {
+    let a = uniform_partition(0.0, 1.0, 2);
+    let b = uniform_partition(0.0, 1.0, 3);
+    let merged = merge_partitions(&a, &b, 1e-12);
+    // {0, 1/3, 1/2, 2/3, 1}
+    assert_eq!(merged.cells(), 4);
+    for x in a.breaks().iter().chain(b.breaks()) {
+        assert!(
+            merged.breaks().iter().any(|m| (m - x).abs() < 1e-9),
+            "missing break {x}"
+        );
+    }
+}
+
+#[test]
+fn merge_partitions_dedups_near_coincident_points() {
+    let a = Partition::new(vec![0.0, 0.5, 1.0]);
+    let b = Partition::new(vec![0.0, 0.5 + 1e-14, 1.0]);
+    let merged = merge_partitions(&a, &b, 1e-12);
+    assert_eq!(merged.cells(), 2, "near-duplicates collapse: {:?}", merged.breaks());
+}
+
+#[test]
+fn adaptive_simpson_meets_tolerance_on_smooth_integrand() {
+    let opts = AdaptiveOptions {
+        tolerance: 1e-10,
+        max_depth: 40,
+        min_depth: 3,
+    };
+    let res = adaptive_simpson(|x: f64| (5.0 * x).sin(), 0.0, std::f64::consts::PI, opts);
+    let truth = (1.0 - (5.0 * std::f64::consts::PI).cos()) / 5.0;
+    assert!(!res.saturated);
+    assert_close(res.integral, truth, 1e-9, "sin integral");
+    assert!(res.error <= 1e-10 * 1.01);
+}
+
+#[test]
+fn adaptive_simpson_concentrates_cells_near_sharp_feature() {
+    // Narrow Gaussian bump at x = 0.7: cells must be denser there.
+    let bump = |x: f64| (-(x - 0.7f64).powi(2) / 2e-4).exp();
+    let res = adaptive_simpson(bump, 0.0, 1.0, AdaptiveOptions::default());
+    let near: Vec<f64> = res
+        .partition
+        .iter_cells()
+        .filter(|(a, b)| 0.5 * (a + b) > 0.65 && 0.5 * (a + b) < 0.75)
+        .map(|(a, b)| b - a)
+        .collect();
+    let far: Vec<f64> = res
+        .partition
+        .iter_cells()
+        .filter(|(a, b)| 0.5 * (a + b) < 0.3)
+        .map(|(a, b)| b - a)
+        .collect();
+    assert!(!near.is_empty() && !far.is_empty());
+    let near_avg = near.iter().sum::<f64>() / near.len() as f64;
+    let far_avg = far.iter().sum::<f64>() / far.len() as f64;
+    assert!(
+        near_avg < far_avg / 4.0,
+        "near {near_avg} should be much finer than far {far_avg}"
+    );
+}
+
+#[test]
+fn adaptive_simpson_partition_tiles_the_interval() {
+    let res = adaptive_simpson(|x: f64| 1.0 / (1.0 + 25.0 * x * x), -1.0, 1.0, AdaptiveOptions::default());
+    let (lo, hi) = res.partition.span();
+    assert_eq!((lo, hi), (-1.0, 1.0));
+    // atan(5x)/5 primitive
+    let truth = 2.0 * (5.0f64).atan() / 5.0;
+    assert_close(res.integral, truth, 1e-5, "runge integral");
+}
+
+#[test]
+fn adaptive_simpson_saturates_at_max_depth() {
+    let opts = AdaptiveOptions {
+        tolerance: 1e-14,
+        max_depth: 2,
+        min_depth: 0,
+    };
+    let res = adaptive_simpson(|x: f64| x.abs().sqrt(), -1.0, 1.0, opts);
+    assert!(res.saturated);
+    assert!(res.partition.cells() <= 4);
+}
+
+#[test]
+fn eval_on_partition_accepts_everything_on_fine_partition() {
+    let f = |x: f64| (3.0 * x).cos();
+    let fine = adaptive_simpson(f, 0.0, 2.0, AdaptiveOptions { tolerance: 1e-9, max_depth: 40, min_depth: 3 })
+        .partition;
+    let eval = eval_on_partition(f, &fine, 1e-8);
+    assert!(eval.failed.is_empty(), "failed cells: {:?}", eval.failed);
+    let truth = (6.0f64).sin() / 3.0;
+    assert_close(eval.integral, truth, 1e-7, "cos integral");
+}
+
+#[test]
+fn eval_on_partition_flags_cells_that_miss_tolerance() {
+    let bump = |x: f64| (-(x - 0.5f64).powi(2) / 1e-4).exp();
+    let coarse = uniform_partition(0.0, 1.0, 4);
+    let eval = eval_on_partition(bump, &coarse, 1e-10);
+    assert!(!eval.failed.is_empty());
+    // Failed cells must be genuine subintervals of the partition.
+    for cell in &eval.failed {
+        assert!(coarse.iter_cells().any(|(a, b)| a == cell.a && b == cell.b));
+        assert!(cell.error > 0.0);
+    }
+}
+
+#[test]
+fn fixed_plus_adaptive_fallback_matches_direct_adaptive() {
+    // The Predictive-RP contract: accepted cells + adaptive re-integration of
+    // failed cells must land within tolerance of the true value.
+    let f = |x: f64| (10.0 * x).sin() * (-x).exp() + 0.2 / (1.0 + 100.0 * (x - 1.5) * (x - 1.5));
+    let tol = 1e-8;
+    let coarse = uniform_partition(0.0, 3.0, 8);
+    let eval = eval_on_partition(f, &coarse, tol);
+    let mut total = eval.integral;
+    for cell in &eval.failed {
+        let res = adaptive_simpson(f, cell.a, cell.b, AdaptiveOptions { tolerance: tol * (cell.b - cell.a) / 3.0, max_depth: 40, min_depth: 2 });
+        total += res.integral;
+    }
+    let reference = adaptive_simpson(f, 0.0, 3.0, AdaptiveOptions { tolerance: 1e-12, max_depth: 48, min_depth: 3 });
+    assert_close(total, reference.integral, 1e-6, "fallback composition");
+}
+
+#[test]
+fn eval_counts_are_reported() {
+    let p = uniform_partition(0.0, 1.0, 10);
+    let eval = eval_on_partition(|x| x, &p, 1.0);
+    assert_eq!(eval.evals, 50, "5 evals per Simpson cell");
+    let res = adaptive_simpson(|x| x, 0.0, 1.0, AdaptiveOptions::default());
+    // min_depth 3 forces the tree down to 8 leaves: (1+2+4+8) rule calls.
+    assert_eq!(res.evals, 75, "forced-depth eval count");
+}

@@ -1,0 +1,112 @@
+//! Set-associative LRU cache model.
+
+/// A set-associative cache with true-LRU replacement, keyed by line address.
+///
+/// Capacities need not be powers of two; the set index is `line % sets`.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// `tags[set * ways + way]`; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// Monotonic per-way timestamps for LRU.
+    stamps: Vec<u64>,
+    sets: usize,
+    ways: usize,
+    line_size: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with the given line size and
+    /// associativity. Capacity is rounded down to whole sets; at least one
+    /// set is always present.
+    pub fn new(capacity_bytes: usize, line_size: usize, ways: usize) -> Self {
+        assert!(line_size > 0 && ways > 0);
+        let lines = (capacity_bytes / line_size).max(ways);
+        let sets = (lines / ways).max(1);
+        Self {
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            sets,
+            ways,
+            line_size,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.line_size
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Converts a byte address to its line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_size as u64
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit. Misses
+    /// allocate (write-allocate, no distinction between read and write).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.access_line(line)
+    }
+
+    /// Accesses a pre-computed line address.
+    pub fn access_line(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        let set = (line % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // Choose the LRU way (empty ways have stamp 0 and lose ties first).
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Forgets all contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}

@@ -1,0 +1,58 @@
+//! Warp-level memory coalescing.
+
+/// Transfer segment size used by the coalescer (the 32-byte DRAM/L2 sector
+/// granularity of Kepler-class GPUs).
+pub const SEGMENT_BYTES: u64 = 32;
+
+/// Result of coalescing one warp-wide memory instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpRequest {
+    /// Bytes the active lanes asked for (duplicates counted per lane —
+    /// this is the numerator of `nvprof`'s global load efficiency).
+    pub requested_bytes: u64,
+    /// Unique 32-byte segments touched; `segments * 32` bytes move on the
+    /// wire (the denominator of global load efficiency).
+    pub segments: u64,
+    /// Unique cache lines touched (one cache access each).
+    pub lines: Vec<u64>,
+}
+
+impl WarpRequest {
+    /// Bytes actually transferred.
+    pub fn transferred_bytes(&self) -> u64 {
+        self.segments * SEGMENT_BYTES
+    }
+}
+
+/// Coalesces the `(addr, bytes)` accesses of a warp's active lanes.
+///
+/// Lanes reading overlapping addresses are served by the same segment, so
+/// `requested_bytes / transferred_bytes` exceeds 1 for broadcast patterns —
+/// the effect the paper reports as >100 % global load efficiency.
+pub fn coalesce(accesses: &[(u64, u32)], line_size: u64) -> WarpRequest {
+    let mut requested = 0u64;
+    let mut segments: Vec<u64> = Vec::with_capacity(accesses.len());
+    let mut lines: Vec<u64> = Vec::with_capacity(accesses.len());
+    for &(addr, bytes) in accesses {
+        requested += bytes as u64;
+        let first_seg = addr / SEGMENT_BYTES;
+        let last_seg = (addr + bytes as u64 - 1) / SEGMENT_BYTES;
+        for s in first_seg..=last_seg {
+            segments.push(s);
+        }
+        let first_line = addr / line_size;
+        let last_line = (addr + bytes as u64 - 1) / line_size;
+        for l in first_line..=last_line {
+            lines.push(l);
+        }
+    }
+    segments.sort_unstable();
+    segments.dedup();
+    lines.sort_unstable();
+    lines.dedup();
+    WarpRequest {
+        requested_bytes: requested,
+        segments: segments.len() as u64,
+        lines,
+    }
+}

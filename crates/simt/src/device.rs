@@ -1,0 +1,124 @@
+//! Device configuration presets.
+
+/// Static description of the simulated GPU.
+///
+/// Bandwidths are bytes/second, the clock is Hz. The defaults mirror the
+/// Tesla K40 of the paper; see [`DeviceConfig::tesla_k40`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Upper bound on threads per block.
+    pub max_threads_per_block: usize,
+    /// SM clock in Hz.
+    pub clock_hz: f64,
+    /// Double-precision lanes per SM (fused multiply-add capable).
+    pub dp_lanes_per_sm: usize,
+    /// L1 data cache per SM, bytes.
+    pub l1_bytes: usize,
+    /// L1 line size, bytes.
+    pub l1_line: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Total L2, bytes (the simulator slices it evenly across SMs).
+    pub l2_bytes: usize,
+    /// L2 line size, bytes.
+    pub l2_line: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Aggregate L2 bandwidth, bytes/s.
+    pub l2_bandwidth: f64,
+    /// Theoretical peak DRAM bandwidth, bytes/s (spec sheet).
+    pub dram_bandwidth_peak: f64,
+    /// Achievable DRAM bandwidth, bytes/s (what a copy benchmark reaches;
+    /// the paper measures this with the SDK bandwidth test).
+    pub dram_bandwidth_measured: f64,
+    /// Fixed kernel launch overhead, seconds.
+    pub launch_overhead: f64,
+}
+
+impl DeviceConfig {
+    /// The NVIDIA Tesla K40 (GK110B) in the caching-mode configuration the
+    /// paper uses: 15 SMX, 64 DP units each, 745 MHz base clock, 48 KiB L1
+    /// per SMX, 1.5 MiB shared L2, 288 GB/s theoretical DRAM bandwidth.
+    pub fn tesla_k40() -> Self {
+        Self {
+            name: "NVIDIA Tesla K40 (simulated)",
+            sms: 15,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            clock_hz: 745.0e6,
+            dp_lanes_per_sm: 64,
+            l1_bytes: 48 * 1024,
+            l1_line: 128,
+            l1_ways: 4,
+            l2_bytes: 1536 * 1024,
+            l2_line: 128,
+            l2_ways: 16,
+            l2_bandwidth: 600.0e9,
+            dram_bandwidth_peak: 288.0e9,
+            dram_bandwidth_measured: 220.0e9,
+            launch_overhead: 5.0e-6,
+        }
+    }
+
+    /// The NVIDIA Tesla K20 (GK110) — the device generation refs. [9] and
+    /// [10] of the paper evaluated on: 13 SMX at 706 MHz, 5 GB @ 208 GB/s.
+    pub fn tesla_k20() -> Self {
+        Self {
+            name: "NVIDIA Tesla K20 (simulated)",
+            sms: 13,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            clock_hz: 706.0e6,
+            dp_lanes_per_sm: 64,
+            l1_bytes: 48 * 1024,
+            l1_line: 128,
+            l1_ways: 4,
+            l2_bytes: 1280 * 1024,
+            l2_line: 128,
+            l2_ways: 16,
+            l2_bandwidth: 500.0e9,
+            dram_bandwidth_peak: 208.0e9,
+            dram_bandwidth_measured: 160.0e9,
+            launch_overhead: 5.0e-6,
+        }
+    }
+
+    /// A deliberately tiny device for unit tests: 2 SMs, 4-wide warps,
+    /// 1 KiB L1 — small enough that cache behaviour is hand-checkable.
+    pub fn test_tiny() -> Self {
+        Self {
+            name: "test-tiny",
+            sms: 2,
+            warp_size: 4,
+            max_threads_per_block: 64,
+            clock_hz: 1.0e9,
+            dp_lanes_per_sm: 8,
+            l1_bytes: 1024,
+            l1_line: 64,
+            l1_ways: 2,
+            l2_bytes: 8192,
+            l2_line: 64,
+            l2_ways: 4,
+            l2_bandwidth: 100.0e9,
+            dram_bandwidth_peak: 50.0e9,
+            dram_bandwidth_measured: 40.0e9,
+            launch_overhead: 0.0,
+        }
+    }
+
+    /// Peak double-precision throughput, flop/s (FMA counts two).
+    pub fn peak_dp_flops(&self) -> f64 {
+        self.sms as f64 * self.dp_lanes_per_sm as f64 * 2.0 * self.clock_hz
+    }
+
+    /// L2 slice capacity given to each simulated SM.
+    pub fn l2_slice_bytes(&self) -> usize {
+        (self.l2_bytes / self.sms.max(1)).max(self.l2_line)
+    }
+}

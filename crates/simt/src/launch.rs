@@ -1,0 +1,134 @@
+//! Kernel launch: block→SM placement, per-SM replay, result collection.
+
+use beamdyn_par::ThreadPool;
+
+pub use crate::warp::WarpThread;
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+use crate::timing::sm_cycles;
+use crate::warp::{replay_warp, SmState};
+
+/// Grid dimensions of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub blocks: usize,
+    /// Threads per block (≤ device maximum).
+    pub threads_per_block: usize,
+}
+
+impl LaunchConfig {
+    /// Convenience: the smallest grid of `threads_per_block`-sized blocks
+    /// covering `total_threads`.
+    pub fn cover(total_threads: usize, threads_per_block: usize) -> Self {
+        Self {
+            blocks: total_threads.div_ceil(threads_per_block.max(1)).max(1),
+            threads_per_block: threads_per_block.max(1),
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+}
+
+/// A finished launch: per-thread results plus merged machine statistics.
+#[derive(Debug, Clone)]
+pub struct LaunchOutput<R> {
+    /// `results[global_thread_id]`; `None` for threads the factory declined
+    /// to create (padding lanes).
+    pub results: Vec<Option<R>>,
+    /// Merged counters across all SMs.
+    pub stats: KernelStats,
+}
+
+/// Launches a simulated kernel.
+///
+/// * `make(global_tid)` builds the thread for each global id, or `None` for
+///   a padding lane (it still occupies a SIMD lane, i.e. it *costs* warp
+///   efficiency, like an early-exit thread on real hardware).
+/// * `finish(thread)` extracts the per-thread result after retirement.
+///
+/// Blocks are placed on SMs round-robin (`sm = block % sms`) and replayed in
+/// block order on each SM; SMs simulate concurrently on `pool`. Replay is
+/// deterministic: the same launch always yields identical stats.
+pub fn launch<T, R, Make, Finish>(
+    pool: &ThreadPool,
+    device: &DeviceConfig,
+    config: LaunchConfig,
+    make: Make,
+    finish: Finish,
+) -> LaunchOutput<R>
+where
+    T: WarpThread,
+    R: Send,
+    Make: Fn(usize) -> Option<T> + Sync,
+    Finish: Fn(T) -> R + Sync,
+{
+    assert!(config.blocks > 0 && config.threads_per_block > 0);
+    assert!(
+        config.threads_per_block <= device.max_threads_per_block,
+        "block of {} exceeds device limit {}",
+        config.threads_per_block,
+        device.max_threads_per_block
+    );
+
+    let sms = device.sms.max(1);
+    let per_sm: Vec<(KernelStats, Vec<(usize, R)>)> = pool.parallel_map_indexed(sms, |sm_id| {
+        let mut sm = SmState::new(device);
+        let mut results: Vec<(usize, R)> = Vec::new();
+        let mut block = sm_id;
+        while block < config.blocks {
+            run_block(device, &mut sm, config, block, &make, &finish, &mut results);
+            block += sms;
+        }
+        sm.stats.max_sm_cycles = sm_cycles(device, sm.stats.issued_lane_flops, sm.stats.l1_accesses);
+        (sm.stats, results)
+    });
+
+    let mut stats = KernelStats::default();
+    let mut results: Vec<Option<R>> = (0..config.total_threads()).map(|_| None).collect();
+    for (sm_stats, sm_results) in per_sm {
+        stats.merge(&sm_stats);
+        for (tid, r) in sm_results {
+            results[tid] = Some(r);
+        }
+    }
+    LaunchOutput { results, stats }
+}
+
+fn run_block<T, R>(
+    device: &DeviceConfig,
+    sm: &mut SmState,
+    config: LaunchConfig,
+    block: usize,
+    make: &(impl Fn(usize) -> Option<T> + Sync),
+    finish: &(impl Fn(T) -> R + Sync),
+    results: &mut Vec<(usize, R)>,
+) where
+    T: WarpThread,
+{
+    let base = block * config.threads_per_block;
+    let mut lane0 = 0;
+    while lane0 < config.threads_per_block {
+        let lanes_here = (config.threads_per_block - lane0).min(device.warp_size);
+        // Materialise the warp's live threads, remembering their ids.
+        let mut ids: Vec<usize> = Vec::with_capacity(lanes_here);
+        let mut threads: Vec<T> = Vec::with_capacity(lanes_here);
+        for lane in 0..lanes_here {
+            let tid = base + lane0 + lane;
+            if let Some(t) = make(tid) {
+                ids.push(tid);
+                threads.push(t);
+            }
+        }
+        if !threads.is_empty() {
+            replay_warp(device, sm, &mut threads);
+            for (tid, t) in ids.into_iter().zip(threads) {
+                results.push((tid, finish(t)));
+            }
+        }
+        lane0 += device.warp_size;
+    }
+}

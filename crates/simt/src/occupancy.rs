@@ -1,0 +1,190 @@
+//! Theoretical occupancy calculator.
+//!
+//! Occupancy — resident warps per SM over the hardware maximum — governs
+//! how well a kernel hides memory latency. The paper sizes thread blocks
+//! from cluster sizes (Sec. IV-A), which changes achievable occupancy;
+//! this module reproduces the standard CUDA occupancy arithmetic so that
+//! launch configurations can be compared offline.
+
+use crate::device::DeviceConfig;
+
+/// Per-SM residency limits (Kepler-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyLimits {
+    /// Maximum resident warps per SM.
+    pub max_warps: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks: usize,
+    /// Register file size per SM (32-bit registers).
+    pub registers: usize,
+    /// Shared memory per SM, bytes.
+    pub shared_memory: usize,
+}
+
+impl OccupancyLimits {
+    /// Kepler (K40) limits: 64 warps, 16 blocks, 64K registers, 48 KiB smem.
+    pub fn kepler() -> Self {
+        Self {
+            max_warps: 64,
+            max_blocks: 16,
+            registers: 65_536,
+            shared_memory: 48 * 1024,
+        }
+    }
+}
+
+/// Resource usage of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Threads per block of the launch.
+    pub threads_per_block: usize,
+    /// Registers per thread.
+    pub registers_per_thread: usize,
+    /// Static shared memory per block, bytes.
+    pub shared_per_block: usize,
+}
+
+/// Occupancy outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// `warps_per_sm / max_warps`.
+    pub fraction: f64,
+    /// Which resource capped residency.
+    pub limiter: &'static str,
+}
+
+/// Computes theoretical occupancy of a launch on `device`.
+pub fn occupancy(
+    device: &DeviceConfig,
+    limits: &OccupancyLimits,
+    resources: &KernelResources,
+) -> Occupancy {
+    assert!(resources.threads_per_block > 0);
+    let warps_per_block = resources.threads_per_block.div_ceil(device.warp_size);
+
+    let by_warps = limits.max_warps / warps_per_block.max(1);
+    let by_blocks = limits.max_blocks;
+    let regs_per_block = resources.registers_per_thread * warps_per_block * device.warp_size;
+    let by_registers = if regs_per_block == 0 {
+        usize::MAX
+    } else {
+        limits.registers / regs_per_block
+    };
+    let by_shared = if resources.shared_per_block == 0 {
+        usize::MAX
+    } else {
+        limits.shared_memory / resources.shared_per_block
+    };
+
+    let (blocks, limiter) = [
+        (by_warps, "warps"),
+        (by_blocks, "blocks"),
+        (by_registers, "registers"),
+        (by_shared, "shared-memory"),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("non-empty");
+
+    let warps = (blocks * warps_per_block).min(limits.max_warps);
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        fraction: warps as f64 / limits.max_warps as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn k40() -> DeviceConfig {
+        DeviceConfig::tesla_k40()
+    }
+
+    #[test]
+    fn full_occupancy_with_light_kernel() {
+        let occ = occupancy(
+            &k40(),
+            &OccupancyLimits::kepler(),
+            &KernelResources {
+                threads_per_block: 256,
+                registers_per_thread: 32,
+                shared_per_block: 0,
+            },
+        );
+        assert_eq!(occ.warps_per_sm, 64, "{occ:?}");
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+        assert_eq!(occ.limiter, "warps");
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        let occ = occupancy(
+            &k40(),
+            &OccupancyLimits::kepler(),
+            &KernelResources {
+                threads_per_block: 256,
+                registers_per_thread: 128, // 32K regs per block → 2 blocks
+                shared_per_block: 0,
+            },
+        );
+        assert_eq!(occ.limiter, "registers");
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.warps_per_sm, 16);
+        assert!((occ.fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let occ = occupancy(
+            &k40(),
+            &OccupancyLimits::kepler(),
+            &KernelResources {
+                threads_per_block: 64,
+                registers_per_thread: 16,
+                shared_per_block: 24 * 1024, // two blocks fit
+            },
+        );
+        assert_eq!(occ.limiter, "shared-memory");
+        assert_eq!(occ.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn tiny_blocks_hit_the_block_limit() {
+        let occ = occupancy(
+            &k40(),
+            &OccupancyLimits::kepler(),
+            &KernelResources {
+                threads_per_block: 32, // 1 warp per block
+                registers_per_thread: 16,
+                shared_per_block: 0,
+            },
+        );
+        // 16-block cap → only 16 of 64 warps resident: small cluster-sized
+        // blocks (the naive paper mapping) cost occupancy.
+        assert_eq!(occ.limiter, "blocks");
+        assert_eq!(occ.warps_per_sm, 16);
+    }
+
+    #[test]
+    fn partial_warp_blocks_round_up() {
+        let occ = occupancy(
+            &k40(),
+            &OccupancyLimits::kepler(),
+            &KernelResources {
+                threads_per_block: 40, // 2 warps despite 1.25
+                registers_per_thread: 0,
+                shared_per_block: 0,
+            },
+        );
+        assert_eq!(occ.blocks_per_sm, 16);
+        assert_eq!(occ.warps_per_sm, 32);
+    }
+}

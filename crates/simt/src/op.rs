@@ -1,0 +1,82 @@
+//! Per-thread operation recording.
+
+/// One dynamic operation of a kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `count` double-precision floating-point operations (FMA = 2).
+    Flops(u32),
+    /// A global-memory read of `bytes` at byte address `addr`.
+    Load { addr: u64, bytes: u32 },
+    /// A global-memory write of `bytes` at byte address `addr`.
+    Store { addr: u64, bytes: u32 },
+}
+
+/// Records the operations of one thread for one loop iteration.
+///
+/// The recorder is handed to [`crate::WarpThread::step`]; the warp replayer
+/// drains it after every lockstep round, so kernels never hold more than one
+/// iteration of trace in memory per thread.
+#[derive(Debug, Default)]
+pub struct OpRecorder {
+    ops: Vec<Op>,
+}
+
+impl OpRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` flops.
+    #[inline]
+    pub fn flops(&mut self, count: u32) {
+        if count > 0 {
+            // Merge with a preceding Flops op so alignment across lanes is
+            // insensitive to how callers batch their arithmetic.
+            if let Some(Op::Flops(prev)) = self.ops.last_mut() {
+                *prev += count;
+                return;
+            }
+            self.ops.push(Op::Flops(count));
+        }
+    }
+
+    /// Records a global load.
+    #[inline]
+    pub fn load(&mut self, addr: u64, bytes: u32) {
+        self.ops.push(Op::Load { addr, bytes });
+    }
+
+    /// Records an 8-byte (f64) global load at element `index` of an array
+    /// starting at byte address `base`.
+    #[inline]
+    pub fn load_f64(&mut self, base: u64, index: usize) {
+        self.load(base + (index as u64) * 8, 8);
+    }
+
+    /// Records a global store.
+    #[inline]
+    pub fn store(&mut self, addr: u64, bytes: u32) {
+        self.ops.push(Op::Store { addr, bytes });
+    }
+
+    /// Recorded ops, in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Clears the recorder for the next iteration.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been recorded this iteration.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}

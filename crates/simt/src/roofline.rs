@@ -1,0 +1,78 @@
+//! Roofline model (Fig. 4 of the paper).
+
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// One kernel plotted on the roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Label, e.g. `"Predictive-RP"`.
+    pub name: String,
+    /// Arithmetic intensity, flops per DRAM byte.
+    pub intensity: f64,
+    /// Achieved performance, Gflop/s.
+    pub gflops: f64,
+}
+
+/// A two-ceiling roofline: peak compute and one or more bandwidth slopes.
+#[derive(Debug, Clone)]
+pub struct Roofline {
+    /// Peak double-precision rate, Gflop/s.
+    pub peak_gflops: f64,
+    /// `(label, bytes/s)` bandwidth ceilings (theoretical and measured).
+    pub bandwidths: Vec<(String, f64)>,
+    /// Kernels plotted against the ceilings.
+    pub points: Vec<RooflinePoint>,
+}
+
+impl Roofline {
+    /// Builds the roofline for a device with its theoretical and measured
+    /// DRAM bandwidth ceilings, as in the paper's Fig. 4.
+    pub fn for_device(device: &DeviceConfig) -> Self {
+        Self {
+            peak_gflops: device.peak_dp_flops() / 1e9,
+            bandwidths: vec![
+                (
+                    "theoretical peak".to_string(),
+                    device.dram_bandwidth_peak,
+                ),
+                ("measured".to_string(), device.dram_bandwidth_measured),
+            ],
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a measured kernel.
+    pub fn add_kernel(&mut self, name: &str, stats: &KernelStats, device: &DeviceConfig) {
+        self.points.push(RooflinePoint {
+            name: name.to_string(),
+            intensity: stats.arithmetic_intensity(),
+            gflops: stats.gflops(device),
+        });
+    }
+
+    /// Attainable Gflop/s at arithmetic intensity `ai` under a bandwidth
+    /// ceiling (index into [`Roofline::bandwidths`]).
+    pub fn attainable(&self, ai: f64, bandwidth_index: usize) -> f64 {
+        let bw = self.bandwidths[bandwidth_index].1 / 1e9;
+        (ai * bw).min(self.peak_gflops)
+    }
+
+    /// The ridge point (AI where the ceiling flattens) for a bandwidth.
+    pub fn ridge(&self, bandwidth_index: usize) -> f64 {
+        self.peak_gflops / (self.bandwidths[bandwidth_index].1 / 1e9)
+    }
+
+    /// Sampled ceiling curve `(ai, gflops)` on a log grid, for plotting.
+    pub fn ceiling_series(&self, bandwidth_index: usize, samples: usize) -> Vec<(f64, f64)> {
+        let lo: f64 = 0.125;
+        let hi: f64 = 32.0;
+        (0..samples)
+            .map(|i| {
+                let t = i as f64 / (samples.max(2) - 1) as f64;
+                let ai = lo * (hi / lo).powf(t);
+                (ai, self.attainable(ai, bandwidth_index))
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,130 @@
+//! Kernel execution statistics and derived profiler metrics.
+
+use crate::device::DeviceConfig;
+use crate::timing::TimingBreakdown;
+
+/// Counters gathered while replaying a kernel, plus derived metrics.
+///
+/// Counter semantics match the `nvprof` metrics quoted in the paper:
+/// * [`KernelStats::warp_execution_efficiency`] — average active lanes per
+///   issued warp instruction over the warp width.
+/// * [`KernelStats::global_load_efficiency`] — requested bytes over
+///   transferred bytes for global loads (can exceed 1).
+/// * [`KernelStats::l1_hit_rate`] — global-load hit rate in the per-SM L1.
+/// * [`KernelStats::arithmetic_intensity`] — useful flops per DRAM byte.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Threads launched.
+    pub threads: u64,
+    /// Warps launched.
+    pub warps: u64,
+    /// Warp instructions issued (all kinds).
+    pub issued_instructions: u64,
+    /// Sum over issued instructions of active lanes.
+    pub active_lane_instructions: u64,
+    /// Double-precision flops performed by active lanes ("useful" flops).
+    pub useful_flops: u64,
+    /// Lane-slots of flop issue, counting idle lanes (`issued × warp_size ×
+    /// per-lane count`); measures compute-pipe occupancy cost.
+    pub issued_lane_flops: u64,
+    /// Global load warp instructions.
+    pub load_instructions: u64,
+    /// Bytes requested by global loads (per lane).
+    pub load_requested_bytes: u64,
+    /// Bytes transferred for global loads (32 B segments).
+    pub load_transferred_bytes: u64,
+    /// Bytes requested by global stores.
+    pub store_requested_bytes: u64,
+    /// L1 accesses for global loads (one per unique line per warp request).
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 accesses (L1 misses).
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Bytes fetched from DRAM (L2 miss lines plus store write-through).
+    pub dram_bytes: u64,
+    /// Per-SM cycle demand of the busiest SM (compute vs L1, already maxed).
+    pub max_sm_cycles: f64,
+}
+
+impl KernelStats {
+    /// Merges another SM's (or kernel's) counters into this one.
+    ///
+    /// `max_sm_cycles` keeps the maximum, everything else adds.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.threads += other.threads;
+        self.warps += other.warps;
+        self.issued_instructions += other.issued_instructions;
+        self.active_lane_instructions += other.active_lane_instructions;
+        self.useful_flops += other.useful_flops;
+        self.issued_lane_flops += other.issued_lane_flops;
+        self.load_instructions += other.load_instructions;
+        self.load_requested_bytes += other.load_requested_bytes;
+        self.load_transferred_bytes += other.load_transferred_bytes;
+        self.store_requested_bytes += other.store_requested_bytes;
+        self.l1_accesses += other.l1_accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.dram_bytes += other.dram_bytes;
+        self.max_sm_cycles = self.max_sm_cycles.max(other.max_sm_cycles);
+    }
+
+    /// Average active lanes per issued warp instruction / warp width.
+    pub fn warp_execution_efficiency(&self, device: &DeviceConfig) -> f64 {
+        if self.issued_instructions == 0 {
+            return 0.0;
+        }
+        self.active_lane_instructions as f64
+            / (self.issued_instructions as f64 * device.warp_size as f64)
+    }
+
+    /// Requested / transferred bytes for global loads (1.0 = perfectly
+    /// coalesced; > 1.0 = broadcast reuse within warps).
+    pub fn global_load_efficiency(&self) -> f64 {
+        if self.load_transferred_bytes == 0 {
+            return 0.0;
+        }
+        self.load_requested_bytes as f64 / self.load_transferred_bytes as f64
+    }
+
+    /// L1 hit rate for global loads.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            return 0.0;
+        }
+        self.l1_hits as f64 / self.l1_accesses as f64
+    }
+
+    /// L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            return 0.0;
+        }
+        self.l2_hits as f64 / self.l2_accesses as f64
+    }
+
+    /// Useful flops per DRAM byte — the x axis of the roofline plot.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.useful_flops as f64 / self.dram_bytes as f64
+    }
+
+    /// Simulated execution time via the bottleneck model.
+    pub fn timing(&self, device: &DeviceConfig) -> TimingBreakdown {
+        TimingBreakdown::from_stats(self, device)
+    }
+
+    /// Achieved double-precision rate, flop/s.
+    pub fn gflops(&self, device: &DeviceConfig) -> f64 {
+        let t = self.timing(device).total;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.useful_flops as f64 / t / 1e9
+    }
+}

@@ -1,0 +1,521 @@
+use beamdyn_par::ThreadPool;
+
+use crate::{
+    coalesce, launch, DeviceConfig, KernelStats, LaunchConfig, Op, OpRecorder, Roofline,
+    SetAssocCache, WarpThread,
+};
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(2)
+}
+
+// ---------- OpRecorder ----------
+
+#[test]
+fn recorder_merges_adjacent_flops() {
+    let mut rec = OpRecorder::new();
+    rec.flops(3);
+    rec.flops(4);
+    rec.load_f64(0, 2);
+    rec.flops(1);
+    assert_eq!(
+        rec.ops(),
+        &[
+            Op::Flops(7),
+            Op::Load { addr: 16, bytes: 8 },
+            Op::Flops(1)
+        ]
+    );
+    rec.clear();
+    assert!(rec.is_empty());
+}
+
+#[test]
+fn recorder_ignores_zero_flops() {
+    let mut rec = OpRecorder::new();
+    rec.flops(0);
+    assert!(rec.is_empty());
+}
+
+// ---------- Cache ----------
+
+#[test]
+fn cache_hits_after_first_touch() {
+    let mut c = SetAssocCache::new(1024, 64, 2);
+    assert!(!c.access(0));
+    assert!(c.access(32), "same 64B line");
+    assert!(!c.access(64), "next line");
+    assert_eq!(c.hits(), 1);
+    assert_eq!(c.misses(), 2);
+}
+
+#[test]
+fn cache_lru_evicts_least_recent_way() {
+    // 2 ways, 1 set: capacity = 2 lines of 64 B.
+    let mut c = SetAssocCache::new(128, 64, 2);
+    assert_eq!(c.sets(), 1);
+    c.access_line(10); // miss
+    c.access_line(11); // miss
+    c.access_line(10); // hit, refreshes 10
+    c.access_line(12); // miss, evicts 11 (LRU)
+    assert!(c.access_line(10), "10 must survive");
+    assert!(!c.access_line(11), "11 was evicted");
+}
+
+#[test]
+fn cache_conflict_misses_within_one_set() {
+    // 2 sets, 1 way: lines 0 and 2 collide, 0 and 1 do not.
+    let mut c = SetAssocCache::new(128, 64, 1);
+    assert_eq!(c.sets(), 2);
+    c.access_line(0);
+    c.access_line(1);
+    assert!(c.access_line(0));
+    c.access_line(2); // evicts 0 (same set)
+    assert!(!c.access_line(0));
+}
+
+#[test]
+fn cache_reset_clears_contents_and_stats() {
+    let mut c = SetAssocCache::new(1024, 64, 2);
+    c.access(0);
+    c.access(0);
+    c.reset();
+    assert_eq!(c.hits() + c.misses(), 0);
+    assert!(!c.access(0), "contents forgotten");
+}
+
+#[test]
+fn cache_hit_rate_bounds() {
+    let mut c = SetAssocCache::new(1024, 64, 2);
+    assert_eq!(c.hit_rate(), 0.0);
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    let r = c.hit_rate();
+    assert!(r > 0.0 && r < 1.0);
+    assert!((r - 2.0 / 3.0).abs() < 1e-12);
+}
+
+// ---------- Coalescer ----------
+
+#[test]
+fn coalesce_contiguous_warp_load_is_fully_efficient() {
+    // 4 lanes × 8 B contiguous = 32 B = exactly one segment.
+    let accesses: Vec<(u64, u32)> = (0..4).map(|i| (i * 8, 8)).collect();
+    let req = coalesce(&accesses, 128);
+    assert_eq!(req.requested_bytes, 32);
+    assert_eq!(req.segments, 1);
+    assert_eq!(req.transferred_bytes(), 32);
+    assert_eq!(req.lines, vec![0]);
+}
+
+#[test]
+fn coalesce_strided_load_wastes_bandwidth() {
+    // 4 lanes strided by 128 B: 4 segments for 32 B requested.
+    let accesses: Vec<(u64, u32)> = (0..4).map(|i| (i * 128, 8)).collect();
+    let req = coalesce(&accesses, 128);
+    assert_eq!(req.requested_bytes, 32);
+    assert_eq!(req.segments, 4);
+    assert!(req.requested_bytes < req.transferred_bytes());
+    assert_eq!(req.lines.len(), 4);
+}
+
+#[test]
+fn coalesce_broadcast_exceeds_unity_efficiency() {
+    // All lanes read the same 8 bytes: requested 32 B, transferred 32 B ×1.
+    let accesses: Vec<(u64, u32)> = (0..8).map(|_| (64, 8)).collect();
+    let req = coalesce(&accesses, 128);
+    assert_eq!(req.requested_bytes, 64);
+    assert_eq!(req.segments, 1);
+    assert!(req.requested_bytes > req.transferred_bytes());
+}
+
+#[test]
+fn coalesce_access_spanning_segments_counts_both() {
+    let req = coalesce(&[(30, 8)], 128); // straddles segments 0 and 1
+    assert_eq!(req.segments, 2);
+    assert_eq!(req.lines, vec![0]);
+}
+
+// ---------- Launch / replay ----------
+
+/// A thread that performs `iters` iterations, each with `flops` flops and a
+/// contiguous per-lane load at `base + (tid*iters + iter) * 8`.
+struct StreamThread {
+    tid: usize,
+    iters: usize,
+    done: usize,
+    flops: u32,
+    stride_base: u64,
+}
+
+impl WarpThread for StreamThread {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        if self.done >= self.iters {
+            return false;
+        }
+        rec.flops(self.flops);
+        rec.load_f64(self.stride_base, self.tid + self.done * 1024);
+        self.done += 1;
+        true
+    }
+}
+
+fn stream_launch(iters_for: impl Fn(usize) -> usize + Sync) -> crate::LaunchOutput<usize> {
+    let device = DeviceConfig::test_tiny();
+    launch(
+        &pool(),
+        &device,
+        LaunchConfig { blocks: 2, threads_per_block: 8 },
+        |tid| {
+            Some(StreamThread {
+                tid,
+                iters: iters_for(tid),
+                done: 0,
+                flops: 4,
+                stride_base: 0,
+            })
+        },
+        |t| t.done,
+    )
+}
+
+#[test]
+fn uniform_kernel_has_full_warp_efficiency() {
+    let device = DeviceConfig::test_tiny();
+    let out = stream_launch(|_| 10);
+    assert_eq!(out.results.len(), 16);
+    assert!(out.results.iter().all(|r| *r == Some(10)));
+    let eff = out.stats.warp_execution_efficiency(&device);
+    assert!((eff - 1.0).abs() < 1e-12, "uniform trip counts: eff {eff}");
+    assert_eq!(out.stats.threads, 16);
+    assert_eq!(out.stats.warps, 4, "8 threads / 4-wide warps × 2 blocks");
+}
+
+#[test]
+fn divergent_trip_counts_reduce_warp_efficiency() {
+    let device = DeviceConfig::test_tiny();
+    // Lane 0 of each warp runs 16 iterations, the rest run 1.
+    let out = stream_launch(|tid| if tid % 4 == 0 { 16 } else { 1 });
+    let eff = out.stats.warp_execution_efficiency(&device);
+    assert!(eff < 0.5, "heavy divergence: eff {eff}");
+    assert!(eff > 0.0);
+}
+
+#[test]
+fn useful_flops_count_only_active_lanes() {
+    let uniform = stream_launch(|_| 10);
+    // 16 threads × 10 iters × 4 flops
+    assert_eq!(uniform.stats.useful_flops, 640);
+    let divergent = stream_launch(|tid| if tid % 4 == 0 { 16 } else { 1 });
+    // 4 leaders × 16 + 12 others × 1 = 76 iterations × 4 flops
+    assert_eq!(divergent.stats.useful_flops, 304);
+    // But issue cost is paid warp-wide: issued lane flops per warp =
+    // 16 iterations × 4 flops × 4 lanes = 256; 4 warps → 1024.
+    assert_eq!(divergent.stats.issued_lane_flops, 1024);
+}
+
+#[test]
+fn padding_lanes_cost_efficiency_but_produce_no_results() {
+    let device = DeviceConfig::test_tiny();
+    let out = launch(
+        &pool(),
+        &device,
+        LaunchConfig { blocks: 1, threads_per_block: 4 },
+        |tid| {
+            (tid < 2).then_some(StreamThread {
+                tid,
+                iters: 4,
+                done: 0,
+                flops: 2,
+                stride_base: 0,
+            })
+        },
+        |t| t.done,
+    );
+    assert_eq!(out.results.iter().filter(|r| r.is_some()).count(), 2);
+    let eff = out.stats.warp_execution_efficiency(&device);
+    assert!((eff - 0.5).abs() < 1e-12, "half the lanes live: {eff}");
+}
+
+/// Threads that all re-read the same small array every iteration — a cache-
+/// friendly broadcast workload.
+struct BroadcastThread {
+    iters: usize,
+    done: usize,
+}
+
+impl WarpThread for BroadcastThread {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        if self.done >= self.iters {
+            return false;
+        }
+        rec.flops(8);
+        rec.load_f64(0, self.done % 4); // 32 B working set
+        self.done += 1;
+        true
+    }
+}
+
+/// Threads that stream a huge array with no reuse at a 128 B stride.
+struct ScatterThread {
+    tid: usize,
+    iters: usize,
+    done: usize,
+}
+
+impl WarpThread for ScatterThread {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        if self.done >= self.iters {
+            return false;
+        }
+        rec.flops(8);
+        // Unique line per lane per iteration.
+        let idx = (self.tid * 10_000 + self.done) * 16;
+        rec.load_f64(0, idx);
+        self.done += 1;
+        true
+    }
+}
+
+#[test]
+fn broadcast_workload_has_high_l1_hit_rate_and_gld_over_100() {
+    let device = DeviceConfig::test_tiny();
+    let out = launch(
+        &pool(),
+        &device,
+        LaunchConfig { blocks: 2, threads_per_block: 8 },
+        |_| Some(BroadcastThread { iters: 50, done: 0 }),
+        |_| (),
+    );
+    assert!(out.stats.l1_hit_rate() > 0.9, "hit rate {}", out.stats.l1_hit_rate());
+    // 4 lanes × 8 B from one address fill exactly one 32 B segment.
+    assert!(
+        out.stats.global_load_efficiency() >= 1.0 - 1e-12,
+        "broadcast gld eff {}",
+        out.stats.global_load_efficiency()
+    );
+}
+
+#[test]
+fn overlapping_wide_loads_push_gld_efficiency_over_100() {
+    struct WideBroadcast(usize);
+    impl WarpThread for WideBroadcast {
+        fn step(&mut self, rec: &mut OpRecorder) -> bool {
+            if self.0 == 0 {
+                return false;
+            }
+            self.0 -= 1;
+            rec.load(0, 16); // every lane reads the same 16 B
+            true
+        }
+    }
+    let device = DeviceConfig::test_tiny();
+    let out = launch(
+        &pool(),
+        &device,
+        LaunchConfig { blocks: 1, threads_per_block: 4 },
+        |_| Some(WideBroadcast(8)),
+        |_| (),
+    );
+    // Requested 4 × 16 = 64 B per warp instruction, transferred one 32 B
+    // segment → efficiency 2.0, the paper's >100 % regime.
+    assert!((out.stats.global_load_efficiency() - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn scatter_workload_misses_and_burns_bandwidth() {
+    let device = DeviceConfig::test_tiny();
+    let out = launch(
+        &pool(),
+        &device,
+        LaunchConfig { blocks: 2, threads_per_block: 8 },
+        |tid| Some(ScatterThread { tid, iters: 50, done: 0 }),
+        |_| (),
+    );
+    assert!(out.stats.l1_hit_rate() < 0.1, "hit rate {}", out.stats.l1_hit_rate());
+    assert!(out.stats.global_load_efficiency() < 0.5);
+    assert!(out.stats.dram_bytes > 0);
+}
+
+#[test]
+fn better_locality_means_higher_ai_and_gflops() {
+    let device = DeviceConfig::test_tiny();
+    let p = pool();
+    let cfg = LaunchConfig { blocks: 2, threads_per_block: 8 };
+    let good = launch(&p, &device, cfg, |_| Some(BroadcastThread { iters: 200, done: 0 }), |_| ());
+    let bad = launch(
+        &p,
+        &device,
+        cfg,
+        |tid| Some(ScatterThread { tid, iters: 200, done: 0 }),
+        |_| (),
+    );
+    assert!(good.stats.arithmetic_intensity() > bad.stats.arithmetic_intensity());
+    assert!(good.stats.gflops(&device) > bad.stats.gflops(&device));
+    assert!(
+        good.stats.timing(&device).total < bad.stats.timing(&device).total,
+        "same useful flops, better cache → faster"
+    );
+}
+
+#[test]
+fn launch_is_deterministic() {
+    let device = DeviceConfig::test_tiny();
+    let p = pool();
+    let cfg = LaunchConfig { blocks: 3, threads_per_block: 8 };
+    let a = launch(&p, &device, cfg, |tid| Some(ScatterThread { tid, iters: 20, done: 0 }), |_| ());
+    let b = launch(&p, &device, cfg, |tid| Some(ScatterThread { tid, iters: 20, done: 0 }), |_| ());
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn stores_count_as_dram_traffic() {
+    struct StoreThread(bool);
+    impl WarpThread for StoreThread {
+        fn step(&mut self, rec: &mut OpRecorder) -> bool {
+            if self.0 {
+                return false;
+            }
+            rec.flops(2);
+            rec.store(4096, 8);
+            self.0 = true;
+            true
+        }
+    }
+    let device = DeviceConfig::test_tiny();
+    let out = launch(
+        &pool(),
+        &device,
+        LaunchConfig { blocks: 1, threads_per_block: 4 },
+        |_| Some(StoreThread(false)),
+        |_| (),
+    );
+    assert_eq!(out.stats.store_requested_bytes, 32);
+    assert!(out.stats.dram_bytes >= 32);
+}
+
+// ---------- Stats / timing ----------
+
+#[test]
+fn stats_merge_adds_counters_and_maxes_cycles() {
+    let mut a = KernelStats { useful_flops: 10, max_sm_cycles: 5.0, ..Default::default() };
+    let b = KernelStats { useful_flops: 7, max_sm_cycles: 9.0, ..Default::default() };
+    a.merge(&b);
+    assert_eq!(a.useful_flops, 17);
+    assert_eq!(a.max_sm_cycles, 9.0);
+}
+
+#[test]
+fn timing_bottleneck_identifies_dram_bound_kernel() {
+    let device = DeviceConfig::test_tiny();
+    let stats = KernelStats {
+        useful_flops: 1000,
+        dram_bytes: 100_000_000,
+        max_sm_cycles: 10.0,
+        ..Default::default()
+    };
+    let t = stats.timing(&device);
+    assert_eq!(t.bottleneck(), "dram");
+    assert!((t.dram_time - 100_000_000.0 / 40.0e9).abs() < 1e-12);
+    assert!(t.total >= t.dram_time);
+}
+
+#[test]
+fn timing_bottleneck_identifies_compute_bound_kernel() {
+    let device = DeviceConfig::test_tiny();
+    let stats = KernelStats {
+        useful_flops: u64::MAX / 4,
+        issued_lane_flops: 1 << 40,
+        max_sm_cycles: crate::KernelStats { issued_lane_flops: 1 << 40, ..Default::default() }
+            .issued_lane_flops as f64
+            / 16.0,
+        dram_bytes: 8,
+        ..Default::default()
+    };
+    let t = stats.timing(&device);
+    assert_eq!(t.bottleneck(), "sm");
+}
+
+// ---------- Device / roofline ----------
+
+#[test]
+fn k40_preset_matches_paper_numbers() {
+    let k40 = DeviceConfig::tesla_k40();
+    let peak_tflops = k40.peak_dp_flops() / 1e12;
+    assert!((peak_tflops - 1.43).abs() < 0.02, "peak {peak_tflops} TF");
+    assert_eq!(k40.sms, 15);
+    assert_eq!(k40.warp_size, 32);
+    assert!((k40.dram_bandwidth_peak - 288.0e9).abs() < 1.0);
+}
+
+#[test]
+fn roofline_ceiling_is_min_of_bandwidth_and_peak() {
+    let device = DeviceConfig::tesla_k40();
+    let roof = Roofline::for_device(&device);
+    // Far left: bandwidth-bound.
+    let low = roof.attainable(0.125, 1);
+    assert!((low - 0.125 * 220.0).abs() < 1.0, "low {low}");
+    // Far right: compute-bound.
+    let high = roof.attainable(32.0, 1);
+    assert!((high - roof.peak_gflops).abs() < 1e-9);
+    // Ridge where they cross.
+    let ridge = roof.ridge(1);
+    assert!((roof.attainable(ridge, 1) - roof.peak_gflops).abs() < 1e-6);
+    assert!(ridge > 5.0 && ridge < 8.0, "K40 ridge ≈ 6.5, got {ridge}");
+}
+
+#[test]
+fn roofline_series_is_monotonic() {
+    let device = DeviceConfig::tesla_k40();
+    let roof = Roofline::for_device(&device);
+    let series = roof.ceiling_series(0, 32);
+    assert_eq!(series.len(), 32);
+    for w in series.windows(2) {
+        assert!(w[1].1 >= w[0].1);
+        assert!(w[1].0 > w[0].0);
+    }
+}
+
+#[test]
+fn gld_efficiency_zero_for_no_loads() {
+    let stats = KernelStats::default();
+    assert_eq!(stats.global_load_efficiency(), 0.0);
+    assert_eq!(stats.l1_hit_rate(), 0.0);
+    assert_eq!(stats.warp_execution_efficiency(&DeviceConfig::test_tiny()), 0.0);
+}
+
+#[test]
+fn k20_preset_is_slower_than_k40() {
+    let k20 = DeviceConfig::tesla_k20();
+    let k40 = DeviceConfig::tesla_k40();
+    assert!(k20.peak_dp_flops() < k40.peak_dp_flops());
+    assert!(k20.dram_bandwidth_peak < k40.dram_bandwidth_peak);
+    // Same kernel stats → strictly larger simulated time on the K20.
+    let stats = KernelStats {
+        useful_flops: 1_000_000,
+        issued_lane_flops: 2_000_000,
+        max_sm_cycles: 50_000.0,
+        dram_bytes: 50_000_000,
+        ..Default::default()
+    };
+    assert!(stats.timing(&k20).total > stats.timing(&k40).total);
+}
+
+#[test]
+fn occupancy_of_the_paper_launch_configurations() {
+    // The harness launches 256-thread blocks; at Kepler limits and the
+    // register budget of a quadrature kernel (~64/thread) this sustains
+    // half occupancy or better.
+    let device = DeviceConfig::tesla_k40();
+    let occ = crate::occupancy(
+        &device,
+        &crate::OccupancyLimits::kepler(),
+        &crate::KernelResources {
+            threads_per_block: 256,
+            registers_per_thread: 64,
+            shared_per_block: 0,
+        },
+    );
+    assert!(occ.fraction >= 0.5, "{occ:?}");
+}

@@ -1,0 +1,73 @@
+//! Bottleneck timing model.
+
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// Where the simulated kernel time went.
+///
+/// The model is the same abstraction the paper's own analysis uses (the
+/// roofline, Fig 4): a kernel is limited by whichever resource its demand
+/// saturates first. Per-SM compute/L1 cycles and aggregate L2/DRAM byte
+/// streams are each converted to a time; the kernel takes the maximum, i.e.
+/// perfect overlap between pipes is assumed (optimistic but uniformly so for
+/// all three kernels, which is what preserves the paper's comparisons).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingBreakdown {
+    /// Busiest SM's cycle demand / clock.
+    pub sm_time: f64,
+    /// Aggregate L2 traffic / L2 bandwidth.
+    pub l2_time: f64,
+    /// DRAM traffic / measured DRAM bandwidth.
+    pub dram_time: f64,
+    /// Fixed launch overhead.
+    pub overhead: f64,
+    /// `max(sm, l2, dram) + overhead`.
+    pub total: f64,
+}
+
+impl TimingBreakdown {
+    /// Builds the breakdown from merged kernel counters.
+    pub fn from_stats(stats: &KernelStats, device: &DeviceConfig) -> Self {
+        let sm_time = stats.max_sm_cycles / device.clock_hz;
+        let l2_bytes = stats.l2_accesses as f64 * device.l2_line as f64;
+        let l2_time = l2_bytes / device.l2_bandwidth;
+        let dram_time = stats.dram_bytes as f64 / device.dram_bandwidth_measured;
+        let overhead = device.launch_overhead;
+        Self {
+            sm_time,
+            l2_time,
+            dram_time,
+            overhead,
+            total: sm_time.max(l2_time).max(dram_time) + overhead,
+        }
+    }
+
+    /// Which resource bound the kernel.
+    pub fn bottleneck(&self) -> &'static str {
+        if self.sm_time >= self.l2_time && self.sm_time >= self.dram_time {
+            "sm"
+        } else if self.l2_time >= self.dram_time {
+            "l2"
+        } else {
+            "dram"
+        }
+    }
+}
+
+/// Per-SM cycle demand for one SM's replayed work.
+///
+/// * DP pipe: every issued flop occupies all `warp_size` lanes for
+///   `warp_size / dp_lanes` cycles regardless of how many lanes are live —
+///   this is how divergence turns into lost throughput.
+/// * L1/LSU pipe: one cycle per L1 line transaction.
+///
+/// The two pipes dual-issue, so the SM's demand is their maximum.
+pub(crate) fn sm_cycles(
+    device: &DeviceConfig,
+    issued_lane_flops: u64,
+    l1_accesses: u64,
+) -> f64 {
+    let dp_cycles = issued_lane_flops as f64 / (device.dp_lanes_per_sm as f64 * 2.0);
+    let lsu_cycles = l1_accesses as f64;
+    dp_cycles.max(lsu_cycles)
+}

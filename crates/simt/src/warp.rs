@@ -1,0 +1,146 @@
+//! Warp-lockstep replay against one SM's memory hierarchy.
+
+use crate::cache::SetAssocCache;
+use crate::coalesce::coalesce;
+use crate::device::DeviceConfig;
+use crate::op::{Op, OpRecorder};
+use crate::stats::KernelStats;
+
+/// Per-SM simulation state: private L1, an L2 slice, and counters.
+pub(crate) struct SmState {
+    pub l1: SetAssocCache,
+    pub l2: SetAssocCache,
+    pub stats: KernelStats,
+}
+
+impl SmState {
+    pub fn new(device: &DeviceConfig) -> Self {
+        Self {
+            l1: SetAssocCache::new(device.l1_bytes, device.l1_line, device.l1_ways),
+            l2: SetAssocCache::new(device.l2_slice_bytes(), device.l2_line, device.l2_ways),
+            stats: KernelStats::default(),
+        }
+    }
+}
+
+/// The kernel-thread interface: one call per loop iteration.
+///
+/// `step` performs the thread's real computation for one iteration of its
+/// main loop, records the operations it performed into `rec`, and returns
+/// `true`. It returns `false` (recording nothing) once the thread retires.
+/// Threads of a warp advance in lockstep; a warp keeps issuing while any of
+/// its lanes is live, which is exactly how uneven trip counts become branch
+/// divergence.
+pub trait WarpThread {
+    /// Runs one loop iteration, or returns `false` if the thread is done.
+    fn step(&mut self, rec: &mut OpRecorder) -> bool;
+}
+
+/// Replays one warp of threads to completion against `sm`.
+///
+/// `lanes` holds the warp's live threads (length ≤ warp size; missing lanes
+/// model the tail of a partial warp and count against execution efficiency,
+/// matching `nvprof`).
+pub(crate) fn replay_warp<T: WarpThread>(
+    device: &DeviceConfig,
+    sm: &mut SmState,
+    lanes: &mut [T],
+) {
+    let warp_size = device.warp_size;
+    debug_assert!(lanes.len() <= warp_size);
+    sm.stats.warps += 1;
+    sm.stats.threads += lanes.len() as u64;
+
+    let mut recorders: Vec<OpRecorder> = (0..lanes.len()).map(|_| OpRecorder::new()).collect();
+    let mut live: Vec<bool> = vec![true; lanes.len()];
+    let mut scratch: Vec<(u64, u32)> = Vec::with_capacity(warp_size);
+
+    loop {
+        let mut any = false;
+        for (i, thread) in lanes.iter_mut().enumerate() {
+            recorders[i].clear();
+            if live[i] {
+                live[i] = thread.step(&mut recorders[i]);
+                any |= live[i];
+            }
+        }
+        if !any {
+            break;
+        }
+
+        // Lockstep replay: op slot s across all lanes that recorded one.
+        let max_ops = recorders
+            .iter()
+            .zip(&live)
+            .filter(|&(_, &l)| l)
+            .map(|(r, _)| r.len())
+            .max()
+            .unwrap_or(0);
+        for s in 0..max_ops {
+            // Group lanes at this slot by op kind; each kind is one issue.
+            let mut flop_lanes = 0u64;
+            let mut flop_total = 0u64;
+            let mut flop_max = 0u64;
+            scratch.clear();
+            let mut store_lanes = 0u64;
+            let mut store_scratch: Vec<(u64, u32)> = Vec::new();
+            for (i, rec) in recorders.iter().enumerate() {
+                if !live[i] {
+                    continue;
+                }
+                match rec.ops().get(s) {
+                    Some(&Op::Flops(n)) => {
+                        flop_lanes += 1;
+                        flop_total += n as u64;
+                        flop_max = flop_max.max(n as u64);
+                    }
+                    Some(&Op::Load { addr, bytes }) => scratch.push((addr, bytes)),
+                    Some(&Op::Store { addr, bytes }) => {
+                        store_lanes += 1;
+                        store_scratch.push((addr, bytes));
+                    }
+                    None => {}
+                }
+            }
+
+            if flop_lanes > 0 {
+                sm.stats.issued_instructions += 1;
+                sm.stats.active_lane_instructions += flop_lanes;
+                sm.stats.useful_flops += flop_total;
+                // The DP pipe is busy for the longest lane across the full
+                // warp width — idle lanes are pure loss.
+                sm.stats.issued_lane_flops += flop_max * warp_size as u64;
+            }
+            if !scratch.is_empty() {
+                sm.stats.issued_instructions += 1;
+                sm.stats.active_lane_instructions += scratch.len() as u64;
+                sm.stats.load_instructions += 1;
+                let req = coalesce(&scratch, device.l1_line as u64);
+                sm.stats.load_requested_bytes += req.requested_bytes;
+                sm.stats.load_transferred_bytes += req.transferred_bytes();
+                for &line in &req.lines {
+                    sm.stats.l1_accesses += 1;
+                    if sm.l1.access_line(line) {
+                        sm.stats.l1_hits += 1;
+                    } else {
+                        sm.stats.l2_accesses += 1;
+                        if sm.l2.access_line(line) {
+                            sm.stats.l2_hits += 1;
+                        } else {
+                            sm.stats.dram_bytes += device.l1_line as u64;
+                        }
+                    }
+                }
+            }
+            if store_lanes > 0 {
+                sm.stats.issued_instructions += 1;
+                sm.stats.active_lane_instructions += store_lanes;
+                let req = coalesce(&store_scratch, device.l1_line as u64);
+                sm.stats.store_requested_bytes += req.requested_bytes;
+                // Kepler global stores bypass L1 and write through L2 to
+                // DRAM; account the transferred segments as DRAM traffic.
+                sm.stats.dram_bytes += req.transferred_bytes();
+            }
+        }
+    }
+}

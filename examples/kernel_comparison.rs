@@ -1,0 +1,74 @@
+//! Runs the same workload through all three retarded-potential kernels —
+//! Two-Phase-RP [9], Heuristic-RP [10], and Predictive-RP (this paper) —
+//! and prints the head-to-head machine metrics.
+//!
+//! ```bash
+//! cargo run --release --example kernel_comparison
+//! ```
+
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+
+fn main() {
+    let pool = ThreadPool::new(4);
+    let device = DeviceConfig::tesla_k40();
+    let steps = 8;
+
+    println!(
+        "{:>14} | {:>8} | {:>8} | {:>7} | {:>7} | {:>9} | {:>11}",
+        "kernel", "warp eff", "gld eff", "L1 hit", "AI", "GFlops/s", "stage time"
+    );
+    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+        let geometry = GridGeometry::unit(32, 32);
+        let mut config = SimulationConfig::standard(geometry, kernel);
+        config.rp = RpConfig {
+            kappa: 12,
+            dt: 0.35 / 12.0,
+            inner_points: 3,
+            beta: 0.5,
+            support_x: 0.42,
+            support_y: 0.09,
+            center: (0.3, 0.5),
+        };
+        config.tolerance = 1e-6;
+        let bunch = GaussianBunch {
+            sigma_x: 0.12,
+            sigma_y: 0.025,
+            center_x: 0.3,
+            center_y: 0.5,
+            charge: 1.0,
+            velocity_spread: 0.0,
+            drift_vx: 0.4,
+            chirp: 0.0,
+        };
+        let mut sim = Simulation::new(&pool, &device, config, bunch.sample(20_000, 7));
+        let telemetry = sim.run(steps);
+        // Average the warm half.
+        let warm = &telemetry[steps / 2..];
+        let mut stats = beamdyn::simt::KernelStats::default();
+        let mut stage = 0.0;
+        for t in warm {
+            stats.merge(&t.potentials.combined_stats());
+            stage += t.stage_overall_time();
+        }
+        stage /= warm.len() as f64;
+        let name = match kernel {
+            KernelKind::TwoPhase => "Two-Phase-RP",
+            KernelKind::Heuristic => "Heuristic-RP",
+            KernelKind::Predictive => "Predictive-RP",
+        };
+        println!(
+            "{:>14} | {:>7.1}% | {:>7.1}% | {:>6.1}% | {:>7.2} | {:>9.1} | {:>9.3e} s",
+            name,
+            100.0 * stats.warp_execution_efficiency(&device),
+            100.0 * stats.global_load_efficiency(),
+            100.0 * stats.l1_hit_rate(),
+            stats.arithmetic_intensity(),
+            stats.gflops(&device),
+            stage,
+        );
+    }
+}

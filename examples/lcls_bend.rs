@@ -1,0 +1,78 @@
+//! The paper's validation scenario (Fig. 2): the LCLS bend parameters, a
+//! rigid Gaussian bunch, and the analytic steady-state 1-D CSR wake shapes
+//! alongside the simulated on-axis forces.
+//!
+//! ```bash
+//! cargo run --release --example lcls_bend
+//! ```
+
+use beamdyn::beam::csr::{longitudinal_force_shape, transverse_force_shape};
+use beamdyn::beam::forces::ScalarField;
+use beamdyn::beam::lattice::{BendLattice, LatticePreset};
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+
+fn main() {
+    let lattice = BendLattice::preset(LatticePreset::LclsBend);
+    println!("LCLS bend: R0 = {:.2} m, θ = {:.1}°, σ_s = {:.0} µm, Q = {:.0} nC",
+        lattice.radius_m,
+        lattice.angle_rad.to_degrees(),
+        lattice.sigma_s_m * 1e6,
+        lattice.charge_c * 1e9);
+    println!("overtaking length = {:.3} m (sets the retardation depth κ)",
+        lattice.overtaking_length_m());
+    println!("CSR wake prefactor = {:.3e} (Gaussian units, per charge²)\n",
+        lattice.csr_wake_prefactor());
+
+    // Normalised simulation: σ_s maps to 0.1 grid units.
+    let pool = ThreadPool::new(4);
+    let device = DeviceConfig::tesla_k40();
+    let geometry = GridGeometry::unit(48, 48);
+    let mut config = SimulationConfig::standard(geometry, KernelKind::Predictive);
+    config.rp = RpConfig {
+        kappa: 10,
+        dt: 0.035,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.4,
+        support_y: 0.2,
+        center: (0.5, 0.5),
+    };
+    config.tolerance = 1e-6;
+    config.rigid = true; // rigid-bunch validation mode
+
+    let sigma = 0.1;
+    let bunch = GaussianBunch {
+        sigma_x: sigma,
+        sigma_y: lattice.sigma_y_m() / lattice.length_scale_m(sigma),
+        center_x: 0.5,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.05,
+        chirp: 0.0,
+    };
+    println!("normalised bunch: σ_x = {:.3}, σ_y = {:.4}\n", bunch.sigma_x, bunch.sigma_y);
+
+    let mut sim = Simulation::new(&pool, &device, config, bunch.sample(100_000, 11));
+    let telemetry = sim.run(4);
+    let field = ScalarField::new(geometry, telemetry.last().unwrap().potentials.potentials());
+
+    let h = 0.25 * geometry.dx();
+    println!("{:>7} | {:>13} | {:>12} | {:>12}", "s/σ", "F_long (sim)", "CSR shape L", "CSR shape T");
+    for i in 0..13 {
+        let s_over_sigma = -3.0 + 0.5 * i as f64;
+        let x = 0.5 + s_over_sigma * sigma;
+        let f_long = -(field.sample(x + h, 0.5) - field.sample(x - h, 0.5)) / (2.0 * h);
+        println!(
+            "{:>+7.1} | {:>+13.4e} | {:>+12.4} | {:>12.4}",
+            s_over_sigma,
+            f_long,
+            longitudinal_force_shape(s_over_sigma),
+            transverse_force_shape(s_over_sigma),
+        );
+    }
+}

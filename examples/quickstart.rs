@@ -1,0 +1,62 @@
+//! Five-minute tour: run a few steps of the full beam-dynamics loop with
+//! the Predictive-RP kernel on the simulated K40 and print what happened.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+
+fn main() {
+    // Host pool (drives the simulated SMs and the CPU stages).
+    let pool = ThreadPool::new(4);
+    // The simulated GPU: a Tesla K40 preset, as in the paper.
+    let device = DeviceConfig::tesla_k40();
+
+    // A 32×32 grid over the unit square; an elongated Gaussian bunch.
+    let geometry = GridGeometry::unit(32, 32);
+    let mut config = SimulationConfig::standard(geometry, KernelKind::Predictive);
+    config.rp = RpConfig {
+        kappa: 8,
+        dt: 0.35 / 8.0,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.42,
+        support_y: 0.09,
+        center: (0.4, 0.5),
+    };
+    config.tolerance = 1e-6;
+
+    let bunch = GaussianBunch {
+        sigma_x: 0.12,
+        sigma_y: 0.03,
+        center_x: 0.4,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.2,
+        chirp: 0.0,
+    };
+    let beam = bunch.sample(20_000, 42);
+
+    let mut sim = Simulation::new(&pool, &device, config, beam);
+    println!("step | fallback cells | warp eff | L1 hit | simulated GPU time");
+    for telemetry in sim.run(6) {
+        let stats = telemetry.potentials.combined_stats();
+        println!(
+            "{:4} | {:14} | {:7.1}% | {:5.1}% | {:.3e} s",
+            telemetry.step,
+            telemetry.potentials.fallback_cells,
+            100.0 * stats.warp_execution_efficiency(&device),
+            100.0 * stats.l1_hit_rate(),
+            telemetry.potentials.gpu_time,
+        );
+    }
+    let (sx, sy) = sim.beam().rms_size();
+    println!("\nfinal beam rms size: ({sx:.4}, {sy:.4})");
+    println!("predictor trained {} times", sim.predictor().trained_steps());
+}

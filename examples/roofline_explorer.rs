@@ -1,0 +1,61 @@
+//! Explore the simulated device's roofline: print ceilings and place a
+//! few synthetic kernels with controlled arithmetic intensity on it.
+//!
+//! ```bash
+//! cargo run --release --example roofline_explorer
+//! ```
+
+use beamdyn::par::ThreadPool;
+use beamdyn::simt::{launch, DeviceConfig, LaunchConfig, OpRecorder, Roofline, WarpThread};
+
+/// A synthetic kernel: `flops_per_load` flops per 8-byte streaming load.
+struct Synthetic {
+    tid: usize,
+    left: usize,
+    flops_per_load: u32,
+}
+
+impl WarpThread for Synthetic {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        rec.flops(self.flops_per_load);
+        // Unique line per lane per iteration: a pure streaming pattern.
+        rec.load_f64(0, (self.tid * 4096 + self.left) * 16);
+        true
+    }
+}
+
+fn main() {
+    let pool = ThreadPool::new(4);
+    let device = DeviceConfig::tesla_k40();
+    let mut roofline = Roofline::for_device(&device);
+
+    println!("device: {}", device.name);
+    println!("peak DP: {:.0} GF/s", roofline.peak_gflops);
+    println!("ridge (measured BW): AI = {:.2} F/B\n", roofline.ridge(1));
+
+    for flops_per_load in [4u32, 32, 256, 2048] {
+        let out = launch(
+            &pool,
+            &device,
+            LaunchConfig::cover(4096, 256),
+            |tid| Some(Synthetic { tid, left: 32, flops_per_load }),
+            |_| (),
+        );
+        let name = format!("{flops_per_load} flops/load");
+        roofline.add_kernel(&name, &out.stats, &device);
+    }
+
+    println!("{:>16} | {:>9} | {:>10} | {:>10} | bound", "kernel", "AI (F/B)", "GFlops/s", "attainable");
+    for p in &roofline.points {
+        let attainable = roofline.attainable(p.intensity, 1);
+        let bound = if p.intensity < roofline.ridge(1) { "memory" } else { "compute" };
+        println!(
+            "{:>16} | {:>9.2} | {:>10.1} | {:>10.1} | {bound}",
+            p.name, p.intensity, p.gflops, attainable
+        );
+    }
+}

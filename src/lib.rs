@@ -1,0 +1,25 @@
+//! # beamdyn
+//!
+//! A reproduction of *“A Machine Learning Approach for Efficient Parallel
+//! Simulation of Beam Dynamics on GPUs”* (Arumugam et al., ICPP 2017) as a
+//! pure-Rust workspace.
+//!
+//! The facade crate re-exports every subsystem:
+//!
+//! * [`par`] — work-stealing thread pool and data-parallel loops.
+//! * [`pic`] — particle-in-cell grids, deposition, interpolation stencils.
+//! * [`quad`] — adaptive / fixed-partition quadrature with access logging.
+//! * [`ml`] — kNN regression, linear regression, k-means clustering.
+//! * [`simt`] — SIMT GPU execution simulator (warps, caches, roofline).
+//! * [`beam`] — beam physics: particles, lattice, pushers, analytic CSR.
+//! * [`core`] — the paper's contribution: Predictive-RP and both baselines.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use beamdyn_beam as beam;
+pub use beamdyn_core as core;
+pub use beamdyn_ml as ml;
+pub use beamdyn_par as par;
+pub use beamdyn_pic as pic;
+pub use beamdyn_quad as quad;
+pub use beamdyn_simt as simt;

@@ -1,0 +1,205 @@
+//! Cross-crate integration tests: the full four-step simulation through
+//! every kernel, correctness against the analytic reference, and the
+//! comparative machine-metric shapes the paper reports.
+
+use beamdyn::beam::forces::ScalarField;
+use beamdyn::beam::{AnalyticRp, GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+
+fn config(kernel: KernelKind, n: usize) -> SimulationConfig {
+    let mut cfg = SimulationConfig::standard(GridGeometry::unit(n, n), kernel);
+    cfg.rp = RpConfig {
+        kappa: 4,
+        dt: 0.08,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.25,
+        support_y: 0.12,
+        center: (0.5, 0.5),
+    };
+    cfg.tolerance = 1e-4;
+    cfg
+}
+
+fn bunch() -> GaussianBunch {
+    GaussianBunch {
+        sigma_x: 0.11,
+        // σ_y must exceed the coarsest test grid's cell size (1/16), or
+        // deposition legitimately smears the peak and no kernel can match
+        // the continuous reference.
+        sigma_y: 0.09,
+        center_x: 0.5,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.05,
+        chirp: 0.0,
+    }
+}
+
+#[test]
+fn every_kernel_completes_a_multi_step_simulation_within_tolerance() {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::test_tiny();
+    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+        let mut sim = Simulation::new(&pool, &device, config(kernel, 16), bunch().sample(8000, 3));
+        let telemetry = sim.run(5);
+        assert_eq!(telemetry.len(), 5);
+        for t in &telemetry {
+            assert!(
+                t.potentials.max_error() <= 1e-4 * 1.001,
+                "{kernel:?} step {}: max error {}",
+                t.step,
+                t.potentials.max_error()
+            );
+            assert!(t.potentials.gpu_time > 0.0);
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_with_each_other_and_with_the_analytic_reference() {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::test_tiny();
+    // 24²: fine enough that CIC + TSC smoothing stays within the tolerance
+    // below (at 16² the deposited peak is legitimately ~15 % lower than the
+    // continuous density).
+    let n = 24;
+    let mut fields = Vec::new();
+    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+        let mut cfg = config(kernel, n);
+        cfg.rigid = true; // freeze dynamics so all kernels see identical input
+        let mut sim = Simulation::new(&pool, &device, cfg, bunch().sample(60_000, 3));
+        let telemetry = sim.run(4);
+        fields.push(ScalarField::new(
+            GridGeometry::unit(n, n),
+            telemetry.last().unwrap().potentials.potentials(),
+        ));
+    }
+    // Kernel-to-kernel agreement at the centre.
+    let probe = [(0.5, 0.5), (0.4, 0.55), (0.62, 0.45)];
+    for &(x, y) in &probe {
+        let vals: Vec<f64> = fields.iter().map(|f| f.sample(x, y)).collect();
+        let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
+            - vals.iter().cloned().fold(f64::MAX, f64::min);
+        let scale = vals[0].abs().max(1e-9);
+        assert!(spread / scale < 0.01, "kernel spread {spread} at ({x},{y}): {vals:?}");
+    }
+    // Agreement with the continuous-bunch reference (PIC noise limited).
+    let cfg = config(KernelKind::TwoPhase, n);
+    let reference = AnalyticRp::new(bunch(), cfg.rp);
+    let step = 3;
+    for &(x, y) in &probe {
+        let want = reference.reference_integral(step, x, y, 128);
+        let got = fields[0].sample(x, y);
+        assert!(
+            (got - want).abs() / want.abs().max(1e-9) < 0.08,
+            "grid {got} vs analytic {want} at ({x},{y})"
+        );
+    }
+}
+
+#[test]
+fn predictive_kernel_has_the_paper_quality_shapes() {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::tesla_k40();
+    let steps = 6;
+    // The standard dynamic workload (drifting elongated bunch, κ = 12):
+    // the regime the paper's evaluation targets.
+    let run = |kernel| {
+        let mut cfg = SimulationConfig::standard(GridGeometry::unit(24, 24), kernel);
+        cfg.rp = RpConfig {
+            kappa: 12,
+            dt: 0.35 / 12.0,
+            inner_points: 3,
+            beta: 0.5,
+            support_x: 0.42,
+            support_y: 0.09,
+            center: (0.3, 0.5),
+        };
+        cfg.tolerance = 1e-5;
+        let moving = GaussianBunch {
+            sigma_x: 0.12,
+            sigma_y: 0.04,
+            center_x: 0.3,
+            center_y: 0.5,
+            charge: 1.0,
+            velocity_spread: 0.0,
+            drift_vx: 0.4,
+            chirp: 0.0,
+        };
+        let mut sim = Simulation::new(&pool, &device, cfg, moving.sample(20_000, 3));
+        let telemetry = sim.run(steps);
+        let mut stats = beamdyn::simt::KernelStats::default();
+        let mut fallback = 0usize;
+        for t in &telemetry[steps / 2..] {
+            stats.merge(&t.potentials.combined_stats());
+            fallback += t.potentials.fallback_cells;
+        }
+        (stats, fallback)
+    };
+    let (pred, pred_fb) = run(KernelKind::Predictive);
+    let (heur, _) = run(KernelKind::Heuristic);
+    let (two, two_fb) = run(KernelKind::TwoPhase);
+
+    // Table I shape: the predictive kernel has the best warp efficiency...
+    let eff_pred = pred.warp_execution_efficiency(&device);
+    let eff_heur = heur.warp_execution_efficiency(&device);
+    let eff_two = two.warp_execution_efficiency(&device);
+    assert!(eff_pred > eff_heur, "warp eff: predictive {eff_pred} vs heuristic {eff_heur}");
+    assert!(eff_pred > eff_two, "warp eff: predictive {eff_pred} vs two-phase {eff_two}");
+    // ...and the forecast slashes the adaptive-fallback volume vs cold start.
+    assert!(
+        pred_fb < two_fb,
+        "fallback volume: predictive {pred_fb} vs two-phase {two_fb}"
+    );
+    // Arithmetic intensity ordering vs the previous state of the art
+    // (Fig 4 shape: the predictive kernel filters more traffic per flop).
+    assert!(
+        pred.arithmetic_intensity() > heur.arithmetic_intensity(),
+        "AI: predictive {} vs heuristic {}",
+        pred.arithmetic_intensity(),
+        heur.arithmetic_intensity()
+    );
+}
+
+#[test]
+fn beam_dynamics_actually_move_particles_when_not_rigid() {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::test_tiny();
+    let mut cfg = config(KernelKind::Heuristic, 16);
+    cfg.force_scale = 0.002;
+    let beam = bunch().sample(4000, 9);
+    let before = beam.rms_size();
+    let mut sim = Simulation::new(&pool, &device, cfg, beam);
+    sim.run(4);
+    let after = sim.beam().rms_size();
+    assert!(
+        (after.0 - before.0).abs() > 1e-9 || (after.1 - before.1).abs() > 1e-9,
+        "self-fields must perturb the beam"
+    );
+    // The perturbation stays perturbative (no blow-up).
+    assert!(after.0 < 2.0 * before.0 && after.1 < 2.0 * before.1);
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let pool = ThreadPool::new(3);
+    let device = DeviceConfig::test_tiny();
+    let run = || {
+        let mut sim = Simulation::new(
+            &pool,
+            &device,
+            config(KernelKind::Predictive, 12),
+            bunch().sample(3000, 5),
+        );
+        let telemetry = sim.run(3);
+        telemetry.last().unwrap().potentials.potentials()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seeds, same pool-independent results");
+}

@@ -1,0 +1,139 @@
+//! Property-based invariants spanning crates (proptest).
+
+use beamdyn::beam::RpConfig;
+use beamdyn::core::pattern::AccessPattern;
+use beamdyn::core::transform::{coldstart_partition, uniform_transform};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::{deposit_cic, DepositSample, GridGeometry, MomentGrid, MOMENT_CHARGE};
+use beamdyn::quad::{adaptive_simpson, merge_partitions, AdaptiveOptions, Partition};
+use beamdyn::simt::{coalesce, SetAssocCache};
+use proptest::prelude::*;
+
+fn rp_config() -> RpConfig {
+    RpConfig::standard(6, 0.05)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The uniform transform always produces a valid partition of [0, R].
+    #[test]
+    fn uniform_transform_spans_zero_to_radius(
+        counts in prop::collection::vec(0.0f64..60.0, 6),
+        radius in 0.06f64..0.3,
+    ) {
+        let pattern = AccessPattern::from_counts(counts);
+        let partition = uniform_transform(&pattern, &rp_config(), radius);
+        let (lo, hi) = partition.span();
+        prop_assert_eq!(lo, 0.0);
+        prop_assert!((hi - radius).abs() < 1e-9);
+        // Strictly increasing is enforced by Partition::new; just touch it.
+        prop_assert!(partition.cells() >= 1);
+    }
+
+    /// Pattern extraction and uniform reconstruction round-trip cell counts.
+    #[test]
+    fn pattern_roundtrip_preserves_counts(
+        counts in prop::collection::vec(1u32..20, 6),
+    ) {
+        let cfg = rp_config();
+        let pattern = AccessPattern::from_counts(counts.iter().map(|&c| c as f64).collect());
+        let radius = cfg.max_radius(100);
+        let partition = uniform_transform(&pattern, &cfg, radius);
+        let back = AccessPattern::from_partition(&partition, &cfg);
+        for (j, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(back.cells(j), c as usize, "subregion {}", j);
+        }
+    }
+
+    /// MERGE-LISTS output refines both inputs and stays sorted/deduped.
+    #[test]
+    fn merge_partitions_refines_inputs(
+        cells_a in 1usize..12,
+        cells_b in 1usize..12,
+    ) {
+        let a = coldstart_partition(&rp_config(), 0.3).refine(cells_a);
+        let b = coldstart_partition(&rp_config(), 0.3).refine(cells_b);
+        let merged = merge_partitions(&a, &b, 1e-12);
+        prop_assert!(merged.cells() >= a.cells().max(b.cells()));
+        prop_assert!(merged.cells() <= a.cells() + b.cells());
+        for w in merged.breaks().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Adaptive Simpson respects its tolerance on smooth integrands.
+    #[test]
+    fn adaptive_simpson_meets_tolerance(freq in 0.5f64..6.0, tol_exp in 4i32..9) {
+        let tol = 10f64.powi(-tol_exp);
+        let res = adaptive_simpson(
+            |x: f64| (freq * x).sin(),
+            0.0,
+            2.0,
+            AdaptiveOptions { tolerance: tol, max_depth: 40, min_depth: 3 },
+        );
+        let truth = (1.0 - (2.0 * freq).cos()) / freq;
+        prop_assert!(!res.saturated);
+        prop_assert!((res.integral - truth).abs() < 20.0 * tol,
+            "err {} vs tol {}", (res.integral - truth).abs(), tol);
+    }
+
+    /// Deposition conserves total charge for in-domain particles.
+    #[test]
+    fn deposition_conserves_charge(
+        xs in prop::collection::vec(0.05f64..0.95, 1..200),
+        weight in 0.1f64..5.0,
+    ) {
+        let pool = ThreadPool::new(1);
+        let g = GridGeometry::unit(16, 16);
+        let mut grid = MomentGrid::zeros(g);
+        let samples: Vec<DepositSample> = xs
+            .iter()
+            .map(|&x| DepositSample { x, y: 1.0 - x, weight, vx: 0.0, vy: 0.0 })
+            .collect();
+        let dropped = deposit_cic(&pool, &mut grid, &samples);
+        prop_assert_eq!(dropped, 0);
+        let total = grid.component_total(MOMENT_CHARGE) * g.dx() * g.dy();
+        let want = weight * xs.len() as f64;
+        prop_assert!((total - want).abs() < 1e-9 * want.max(1.0));
+    }
+
+    /// The coalescer never transfers less than one segment per distinct
+    /// touched segment, and requested bytes are exact.
+    #[test]
+    fn coalescer_accounting(
+        addrs in prop::collection::vec(0u64..4096, 1..32),
+    ) {
+        let accesses: Vec<(u64, u32)> = addrs.iter().map(|&a| (a * 8, 8u32)).collect();
+        let req = coalesce(&accesses, 128);
+        prop_assert_eq!(req.requested_bytes, 8 * accesses.len() as u64);
+        prop_assert!(req.segments >= 1);
+        prop_assert!(req.transferred_bytes() >= 32);
+        prop_assert!(!req.lines.is_empty());
+        // Lines are sorted unique.
+        for w in req.lines.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Cache hit+miss equals accesses; rate stays in [0, 1].
+    #[test]
+    fn cache_accounting(
+        lines in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut cache = SetAssocCache::new(1024, 64, 2);
+        for &l in &lines {
+            cache.access_line(l);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), lines.len() as u64);
+        let r = cache.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// Partition refinement multiplies cell counts exactly.
+    #[test]
+    fn refine_multiplies_cells(base in 1usize..8, factor in 1usize..6) {
+        let p = Partition::whole(0.0, 1.0).refine(base).refine(factor);
+        prop_assert_eq!(p.cells(), base * factor);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-crate accounting invariants: the SIMT trace must agree with the
+//! numerical work the kernels actually perform.
+
+use beamdyn::beam::{GaussianBunch, GridRp, NullSink, RpConfig, TapSink};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentGrid};
+
+struct CountingSink {
+    taps: u64,
+    flops: u64,
+}
+
+impl TapSink for CountingSink {
+    fn tap(&mut self, _s: usize, _c: usize, _ix: usize, _iy: usize) {
+        self.taps += 1;
+    }
+    fn flops(&mut self, n: u32) {
+        self.flops += n as u64;
+    }
+}
+
+fn history(pool: &ThreadPool, g: GridGeometry, steps: usize) -> GridHistory {
+    let bunch = GaussianBunch {
+        center_x: 0.5,
+        center_y: 0.5,
+        ..GaussianBunch::centered(0.12, 0.06)
+    };
+    let beam = bunch.sample(20_000, 17);
+    let samples: Vec<DepositSample> = beam
+        .particles
+        .iter()
+        .map(|p| DepositSample { x: p.x, y: p.y, weight: p.weight, vx: p.vx, vy: p.vy })
+        .collect();
+    let mut h = GridHistory::new(g, steps + 2);
+    for k in 0..steps {
+        let mut grid = MomentGrid::zeros(g);
+        deposit_cic(pool, &mut grid, &samples);
+        h.push(k, grid);
+    }
+    h
+}
+
+#[test]
+fn tap_count_matches_stencil_arithmetic() {
+    let pool = ThreadPool::new(2);
+    let g = GridGeometry::unit(20, 20);
+    let h = history(&pool, g, 5);
+    let cfg = RpConfig::standard(4, 0.08);
+    let rp = GridRp::new(&h, cfg, 4);
+    let mut sink = CountingSink { taps: 0, flops: 0 };
+    rp.eval(0.5, 0.5, 0.1, &mut sink);
+    // inner_points = 3 → 2 distinct angles; β ≠ 0 → 3 components × 27 taps.
+    assert_eq!(sink.taps, 2 * 3 * 27);
+    assert!(sink.flops > 0);
+}
+
+#[test]
+fn sink_identity_does_not_change_the_value() {
+    // The tracing hook must be purely observational: evaluating with the
+    // counting sink and with the null sink gives bit-identical values.
+    let pool = ThreadPool::new(2);
+    let g = GridGeometry::unit(20, 20);
+    let h = history(&pool, g, 5);
+    let cfg = RpConfig::standard(4, 0.08);
+    let rp = GridRp::new(&h, cfg, 4);
+    for &(x, y, r) in &[(0.5, 0.5, 0.05), (0.4, 0.6, 0.21), (0.7, 0.3, 0.3)] {
+        let mut counting = CountingSink { taps: 0, flops: 0 };
+        let a = rp.eval(x, y, r, &mut counting);
+        let b = rp.eval(x, y, r, &mut NullSink);
+        assert_eq!(a.to_bits(), b.to_bits(), "at ({x},{y},{r})");
+    }
+}
+
+#[test]
+fn flop_count_scales_linearly_with_evaluations() {
+    let pool = ThreadPool::new(2);
+    let g = GridGeometry::unit(20, 20);
+    let h = history(&pool, g, 5);
+    let cfg = RpConfig::standard(4, 0.08);
+    let rp = GridRp::new(&h, cfg, 4);
+    let mut one = CountingSink { taps: 0, flops: 0 };
+    rp.eval(0.5, 0.5, 0.1, &mut one);
+    let mut ten = CountingSink { taps: 0, flops: 0 };
+    for _ in 0..10 {
+        rp.eval(0.5, 0.5, 0.1, &mut ten);
+    }
+    assert_eq!(ten.taps, 10 * one.taps);
+    assert_eq!(ten.flops, 10 * one.flops);
+}
