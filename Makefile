@@ -1,0 +1,38 @@
+# Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
+# `make ci` runs everything .github/workflows/ci.yml runs.
+
+.PHONY: verify ci fmt lint test trace-smoke bench clean
+
+# Tier-1 gate: exactly what the roadmap requires to stay green.
+verify:
+	cargo build --release
+	cargo test -q
+
+ci: fmt lint verify
+	cargo test -q --workspace
+	$(MAKE) trace-smoke
+
+fmt:
+	cargo fmt --all --check
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+	cargo test -q --workspace
+
+# The acceptance check for the trace feature: the quickstart example must
+# emit a JSONL trace covering the paper stages.
+trace-smoke:
+	cargo run --example quickstart --features trace
+	test -s quickstart_trace.jsonl
+	grep -q '"path":"step/deposit"' quickstart_trace.jsonl
+	grep -q '"path":"step/potentials/cluster"' quickstart_trace.jsonl
+	grep -q '"type":"flush"' quickstart_trace.jsonl
+
+bench:
+	cargo bench --workspace
+
+clean:
+	cargo clean
+	rm -f quickstart_trace.jsonl BENCH_*.jsonl

@@ -99,5 +99,7 @@ impl ScalarField {
 /// Gathers the self-force at every particle from a potential field.
 pub fn gather_forces(pool: &ThreadPool, potential: &ScalarField, beam: &Beam) -> Forces {
     let (fx, fy) = potential.neg_gradient();
-    pool.parallel_map(&beam.particles, |p| (fx.sample(p.x, p.y), fy.sample(p.x, p.y)))
+    pool.parallel_map(&beam.particles, |p| {
+        (fx.sample(p.x, p.y), fy.sample(p.x, p.y))
+    })
 }

@@ -49,7 +49,9 @@ impl BendLattice {
     /// Transverse rms size from emittance with unit beta function (a
     /// conventional normalisation when the optics are not modelled).
     pub fn sigma_y_m(&self) -> f64 {
-        (self.emittance_m * self.radius_m).sqrt().min(self.sigma_s_m)
+        (self.emittance_m * self.radius_m)
+            .sqrt()
+            .min(self.sigma_s_m)
     }
 
     /// The CSR overtaking length `(24 σ_s R²)^{1/3}` — the characteristic

@@ -29,10 +29,9 @@ pub fn kick(pool: &ThreadPool, beam: &mut Beam, forces: &Forces, dt: f64) {
     let n = beam.particles.len();
     let ptr = ParticlesPtr(beam.particles.as_mut_ptr());
     pool.parallel_for_chunks(0..n, 1024, |range| {
-        let ptr = ptr;
         for i in range {
             // SAFETY: chunks are disjoint; each particle touched once.
-            let p = unsafe { &mut *ptr.0.add(i) };
+            let p = unsafe { &mut *ptr.get().add(i) };
             let (fx, fy) = forces[i];
             p.vx += dt * fx;
             p.vy += dt * fy;
@@ -45,10 +44,9 @@ pub fn drift(pool: &ThreadPool, beam: &mut Beam, dt: f64) {
     let n = beam.particles.len();
     let ptr = ParticlesPtr(beam.particles.as_mut_ptr());
     pool.parallel_for_chunks(0..n, 1024, |range| {
-        let ptr = ptr;
         for i in range {
             // SAFETY: chunks are disjoint; each particle touched once.
-            let p = unsafe { &mut *ptr.0.add(i) };
+            let p = unsafe { &mut *ptr.get().add(i) };
             p.x += dt * p.vx;
             p.y += dt * p.vy;
         }
@@ -64,9 +62,16 @@ pub fn half_step(pool: &ThreadPool, beam: &mut Beam, forces: &Forces, dt: f64) {
 }
 
 struct ParticlesPtr(*mut crate::particle::Particle);
+impl ParticlesPtr {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare raw pointer.
+    fn get(&self) -> *mut crate::particle::Particle {
+        self.0
+    }
+}
 impl Clone for ParticlesPtr {
     fn clone(&self) -> Self {
-        Self(self.0)
+        *self
     }
 }
 impl Copy for ParticlesPtr {}

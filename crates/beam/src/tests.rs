@@ -3,8 +3,7 @@ use beamdyn_pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentG
 
 use crate::bunch::GaussianBunch;
 use crate::csr::{
-    erf, gaussian_line_density, longitudinal_force_shape, mean_square_error,
-    transverse_force_shape,
+    erf, gaussian_line_density, longitudinal_force_shape, mean_square_error, transverse_force_shape,
 };
 use crate::forces::{gather_forces, ScalarField};
 use crate::lattice::{BendLattice, LatticePreset};
@@ -100,7 +99,13 @@ fn lcls_preset_matches_paper_parameters() {
 #[test]
 fn leapfrog_free_drift_moves_linearly() {
     let pool = pool();
-    let mut beam = Beam::new(vec![Particle { x: 0.0, y: 0.0, vx: 1.0, vy: -0.5, weight: 1.0 }]);
+    let mut beam = Beam::new(vec![Particle {
+        x: 0.0,
+        y: 0.0,
+        vx: 1.0,
+        vy: -0.5,
+        weight: 1.0,
+    }]);
     let zero = vec![(0.0, 0.0)];
     for _ in 0..10 {
         half_step(&pool, &mut beam, &zero, 0.1);
@@ -115,7 +120,13 @@ fn leapfrog_free_drift_moves_linearly() {
 #[test]
 fn leapfrog_is_time_reversible() {
     let pool = pool();
-    let start = Particle { x: 0.3, y: -0.2, vx: 0.7, vy: 0.1, weight: 1.0 };
+    let start = Particle {
+        x: 0.3,
+        y: -0.2,
+        vx: 0.7,
+        vy: 0.1,
+        weight: 1.0,
+    };
     let mut beam = Beam::new(vec![start]);
     let forces = vec![(0.25, -0.5)]; // constant force
     let step = |beam: &mut Beam, pool: &ThreadPool| {
@@ -140,7 +151,13 @@ fn leapfrog_conserves_energy_in_harmonic_well_over_long_run() {
     // Full kick-drift-kick with refreshed forces: energy stays bounded
     // (symplectic), unlike explicit Euler which drifts secularly.
     let pool = pool();
-    let mut beam = Beam::new(vec![Particle { x: 1.0, y: 0.0, vx: 0.0, vy: 0.0, weight: 1.0 }]);
+    let mut beam = Beam::new(vec![Particle {
+        x: 1.0,
+        y: 0.0,
+        vx: 0.0,
+        vy: 0.0,
+        weight: 1.0,
+    }]);
     let dt = 0.05;
     let energy0 = 0.5; // ½kx² with k = 1
     let mut max_dev: f64 = 0.0;
@@ -159,7 +176,13 @@ fn leapfrog_conserves_energy_in_harmonic_well_over_long_run() {
 #[test]
 fn explicit_drift_alone_moves_positions_only() {
     let pool = pool();
-    let mut beam = Beam::new(vec![Particle { x: 0.0, y: 0.0, vx: 2.0, vy: 1.0, weight: 1.0 }]);
+    let mut beam = Beam::new(vec![Particle {
+        x: 0.0,
+        y: 0.0,
+        vx: 2.0,
+        vy: 1.0,
+        weight: 1.0,
+    }]);
     drift(&pool, &mut beam, 0.25);
     let p = &beam.particles[0];
     assert_eq!((p.x, p.y), (0.5, 0.25));
@@ -227,7 +250,12 @@ fn scalar_field_bilinear_sample_reproduces_linear_field() {
 
 // ---------- rp integrand ----------
 
-fn history_from_bunch(bunch: &GaussianBunch, g: GridGeometry, steps: usize, n: usize) -> GridHistory {
+fn history_from_bunch(
+    bunch: &GaussianBunch,
+    g: GridGeometry,
+    steps: usize,
+    n: usize,
+) -> GridHistory {
     let pool = pool();
     let mut history = GridHistory::new(g, steps + 1);
     let beam = bunch.sample(n, 99);
@@ -237,7 +265,13 @@ fn history_from_bunch(bunch: &GaussianBunch, g: GridGeometry, steps: usize, n: u
         let samples: Vec<DepositSample> = beam
             .particles
             .iter()
-            .map(|p| DepositSample { x: p.x, y: p.y, weight: p.weight, vx: p.vx, vy: p.vy })
+            .map(|p| DepositSample {
+                x: p.x,
+                y: p.y,
+                weight: p.weight,
+                vx: p.vx,
+                vy: p.vy,
+            })
             .collect();
         deposit_cic(&pool, &mut grid, &samples);
         history.push(k, grid);
@@ -324,7 +358,11 @@ fn grid_rp_reports_taps_to_sink() {
     }
     let g = GridGeometry::unit(16, 16);
     let bunch = GaussianBunch::centered(0.2, 0.2);
-    let bunch = GaussianBunch { center_x: 0.5, center_y: 0.5, ..bunch };
+    let bunch = GaussianBunch {
+        center_x: 0.5,
+        center_y: 0.5,
+        ..bunch
+    };
     let cfg = RpConfig::standard(4, 0.1);
     let history = history_from_bunch(&bunch, g, 5, 10_000);
     let rp = GridRp::new(&history, cfg, 5);
@@ -350,7 +388,11 @@ fn grid_rp_beta_zero_reads_single_component() {
         fn flops(&mut self, _n: u32) {}
     }
     let g = GridGeometry::unit(16, 16);
-    let bunch = GaussianBunch { center_x: 0.5, center_y: 0.5, ..GaussianBunch::centered(0.2, 0.2) };
+    let bunch = GaussianBunch {
+        center_x: 0.5,
+        center_y: 0.5,
+        ..GaussianBunch::centered(0.2, 0.2)
+    };
     let mut cfg = RpConfig::standard(4, 0.1);
     cfg.beta = 0.0;
     let history = history_from_bunch(&bunch, g, 5, 5_000);
@@ -362,7 +404,11 @@ fn grid_rp_beta_zero_reads_single_component() {
 
 #[test]
 fn analytic_reference_integral_converges_with_cells() {
-    let bunch = GaussianBunch { center_x: 0.5, center_y: 0.5, ..GaussianBunch::centered(0.1, 0.1) };
+    let bunch = GaussianBunch {
+        center_x: 0.5,
+        center_y: 0.5,
+        ..GaussianBunch::centered(0.1, 0.1)
+    };
     let cfg = RpConfig::standard(6, 0.08);
     let rp = AnalyticRp::new(bunch, cfg);
     let coarse = rp.reference_integral(10, 0.45, 0.55, 64);
@@ -425,7 +471,10 @@ fn longitudinal_wake_momentum_balance() {
         gross += w * f.abs();
     }
     assert!(net < 0.0, "net energy loss to radiation: {net}");
-    assert!(net.abs() < gross, "net {net} must be partial cancellation of gross {gross}");
+    assert!(
+        net.abs() < gross,
+        "net {net} must be partial cancellation of gross {gross}"
+    );
 }
 
 #[test]
@@ -456,7 +505,9 @@ fn convolved_wake_matches_gaussian_special_case() {
     let n = 400;
     let s0 = -10.0;
     let ds = 20.0 / (n - 1) as f64;
-    let density: Vec<f64> = (0..n).map(|i| gaussian_line_density(s0 + i as f64 * ds)).collect();
+    let density: Vec<f64> = (0..n)
+        .map(|i| gaussian_line_density(s0 + i as f64 * ds))
+        .collect();
     let wake = longitudinal_wake_of(&density, s0, ds);
     for &x in &[-1.5f64, -0.5, 0.0, 0.5, 1.5] {
         let j = ((x - s0) / ds).round() as usize;
@@ -475,7 +526,9 @@ fn convolved_wake_scales_with_density_amplitude() {
     let n = 200;
     let s0 = -8.0;
     let ds = 16.0 / (n - 1) as f64;
-    let density: Vec<f64> = (0..n).map(|i| gaussian_line_density(s0 + i as f64 * ds)).collect();
+    let density: Vec<f64> = (0..n)
+        .map(|i| gaussian_line_density(s0 + i as f64 * ds))
+        .collect();
     let doubled: Vec<f64> = density.iter().map(|d| 2.0 * d).collect();
     let w1 = longitudinal_wake_of(&density, s0, ds);
     let w2 = longitudinal_wake_of(&doubled, s0, ds);

@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
     for p in &mut points {
         let d = ((p.x - 0.5).powi(2) + (p.y - 0.5).powi(2)).sqrt();
         p.pattern = AccessPattern::from_counts(
-            (0..8).map(|j| (20.0 / (1.0 + 10.0 * d) + j as f64).round()).collect(),
+            (0..8)
+                .map(|j| (20.0 / (1.0 + 10.0 * d) + j as f64).round())
+                .collect(),
         );
     }
     let mut group = c.benchmark_group("clustering");

@@ -48,7 +48,11 @@ fn bench(c: &mut Criterion) {
                 kmeans(
                     &pool,
                     &x,
-                    KMeansOptions { clusters: 64, max_iters: 10, seed: 3 },
+                    KMeansOptions {
+                        clusters: 64,
+                        max_iters: 10,
+                        seed: 3,
+                    },
                 )
                 .inertia,
             )

@@ -14,7 +14,7 @@
 use beamdyn_beam::csr::{longitudinal_force_shape, mean_square_error, transverse_force_shape};
 use beamdyn_beam::forces::ScalarField;
 use beamdyn_beam::AnalyticRp;
-use beamdyn_bench::{print_table, run_steps, validation_bunch, validation_workload, Scale};
+use beamdyn_bench::{emit_table, run_steps, validation_bunch, validation_workload, Scale};
 use beamdyn_par::ThreadPool;
 
 fn main() {
@@ -24,7 +24,9 @@ fn main() {
         Scale::Paper => (128, 1_000_000, 6),
     };
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|x| x.get().saturating_sub(1)).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|x| x.get().saturating_sub(1))
+            .unwrap_or(4),
     );
 
     let workload = validation_workload(n, particles);
@@ -66,7 +68,8 @@ fn main() {
             format!("{:+.4}", transverse_force_shape(s_over_sigma)),
         ]);
     }
-    print_table(
+    emit_table(
+        "fig2_validation",
         "Fig 2 — analytic vs computed forces along the bunch axis",
         &[
             "s/sigma",

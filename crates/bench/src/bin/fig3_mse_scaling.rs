@@ -5,7 +5,9 @@
 use beamdyn_beam::csr::mean_square_error;
 use beamdyn_beam::forces::ScalarField;
 use beamdyn_beam::AnalyticRp;
-use beamdyn_bench::{print_table, run_steps, validation_bunch, validation_workload, validation_workload_seeded, Scale};
+use beamdyn_bench::{
+    emit_table, run_steps, validation_bunch, validation_workload, validation_workload_seeded, Scale,
+};
 use beamdyn_par::ThreadPool;
 
 fn main() {
@@ -15,7 +17,9 @@ fn main() {
         Scale::Paper => (128, &[1, 4, 16, 64, 256], 4),
     };
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|x| x.get().saturating_sub(1)).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|x| x.get().saturating_sub(1))
+            .unwrap_or(4),
     );
 
     // Reference forces: the *infinite-N limit of the same pipeline* — a run
@@ -23,7 +27,9 @@ fn main() {
     // continuous analytic integral instead would floor the curve at the
     // (N-independent) grid-smoothing bias and hide the Monte-Carlo law; the
     // analytic reference is still printed for context.
-    let probe_xs: Vec<f64> = (0..9).map(|i| 0.5 + (i as f64 / 8.0 * 2.0 - 1.0) * 0.2).collect();
+    let probe_xs: Vec<f64> = (0..9)
+        .map(|i| 0.5 + (i as f64 / 8.0 * 2.0 - 1.0) * 0.2)
+        .collect();
     let template = validation_workload(n, 16);
     let bunch = validation_bunch();
     let analytic = AnalyticRp::new(bunch, template.config.rp);
@@ -39,9 +45,9 @@ fn main() {
         .iter()
         .map(|&x| -(field_ref.sample(x + h, 0.5) - field_ref.sample(x - h, 0.5)) / (2.0 * h))
         .collect();
-    let analytic_probe =
-        -(analytic.reference_integral(step, 0.5 + h, 0.5, 96) - analytic.reference_integral(step, 0.5 - h, 0.5, 96))
-            / (2.0 * h);
+    let analytic_probe = -(analytic.reference_integral(step, 0.5 + h, 0.5, 96)
+        - analytic.reference_integral(step, 0.5 - h, 0.5, 96))
+        / (2.0 * h);
     println!(
         "reference check at x=0.5: pipeline {:.4e} vs continuous analytic {:.4e}",
         exact[4], analytic_probe
@@ -52,7 +58,11 @@ fn main() {
     let mut series = Vec::new();
     for &ppc in ppcs {
         let particles = ppc * n * n;
-        let telemetry = run_steps(&pool, validation_workload_seeded(n, particles, 0xA5A5 + ppc as u64), steps);
+        let telemetry = run_steps(
+            &pool,
+            validation_workload_seeded(n, particles, 0xA5A5 + ppc as u64),
+            steps,
+        );
         let field = ScalarField::new(
             template.config.geometry,
             telemetry.last().expect("steps").potentials.potentials(),
@@ -69,14 +79,18 @@ fn main() {
             format!("{mse:.4e}"),
         ]);
     }
-    print_table(
+    emit_table(
+        "fig3_mse_scaling",
         "Fig 3 — force MSE vs particles per cell",
         &["N_ppc", "N", "relative MSE"],
         &rows,
     );
 
     // Log-log slope (least squares) — should be ≈ −1.
-    let logs: Vec<(f64, f64)> = series.iter().map(|&(x, y)| (x.ln(), y.max(1e-300).ln())).collect();
+    let logs: Vec<(f64, f64)> = series
+        .iter()
+        .map(|&(x, y)| (x.ln(), y.max(1e-300).ln()))
+        .collect();
     let nn = logs.len() as f64;
     let sx: f64 = logs.iter().map(|p| p.0).sum();
     let sy: f64 = logs.iter().map(|p| p.1).sum();

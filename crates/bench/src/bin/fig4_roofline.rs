@@ -2,7 +2,7 @@
 //! Heuristic-RP, and Predictive-RP kernels against the simulated K40's
 //! compute and bandwidth ceilings.
 
-use beamdyn_bench::{kernel_name, print_table, run_steps, standard_workload, summarize, Scale};
+use beamdyn_bench::{emit_table, kernel_name, run_steps, standard_workload, summarize, Scale};
 use beamdyn_core::KernelKind;
 use beamdyn_par::ThreadPool;
 use beamdyn_simt::{DeviceConfig, Roofline};
@@ -14,12 +14,18 @@ fn main() {
         Scale::Paper => (128, 100_000, 8),
     };
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|x| x.get().saturating_sub(1)).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|x| x.get().saturating_sub(1))
+            .unwrap_or(4),
     );
     let device = DeviceConfig::tesla_k40();
     let mut roofline = Roofline::for_device(&device);
 
-    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
         let telemetry = run_steps(&pool, standard_workload(n, particles, kernel), steps);
         let summary = summarize(&telemetry, steps / 2);
         roofline.add_kernel(kernel_name(kernel), &summary.stats, &device);
@@ -51,7 +57,8 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    emit_table(
+        "fig4_roofline",
         "kernel points",
         &["Kernel", "AI (F/B)", "GFlops/s", "attainable"],
         &rows,

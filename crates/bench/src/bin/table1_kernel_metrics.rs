@@ -2,7 +2,7 @@
 //! intensity, warp execution efficiency, global load efficiency, and L1 hit
 //! rate of Heuristic-RP vs Predictive-RP across grid resolutions.
 
-use beamdyn_bench::{kernel_name, print_table, run_steps, standard_workload, summarize, Scale};
+use beamdyn_bench::{emit_table, kernel_name, run_steps, standard_workload, summarize, Scale};
 use beamdyn_core::KernelKind;
 use beamdyn_par::ThreadPool;
 use beamdyn_simt::DeviceConfig;
@@ -14,7 +14,9 @@ fn main() {
         Scale::Paper => (&[64, 128, 256], 100_000, 8),
     };
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get().saturating_sub(1)).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(4),
     );
     let device = DeviceConfig::tesla_k40();
 
@@ -35,7 +37,8 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
+        "table1_kernel_metrics",
         "Table I — kernel metrics (simulated K40), warm steps",
         &[
             "Grid", "Kernel", "GFlops/s", "AI", "WarpEff", "GldEff", "L1Hit", "FbCells",

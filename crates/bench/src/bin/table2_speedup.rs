@@ -2,14 +2,17 @@
 //! Predictive-RP (GPU + clustering + training = overall) against the
 //! Heuristic-RP and Two-Phase-RP baselines, with the resulting speedups.
 
-use beamdyn_bench::{print_table, run_steps, standard_workload, summarize, Scale};
+use beamdyn_bench::{emit_table, run_steps, standard_workload, summarize, Scale};
 use beamdyn_core::KernelKind;
 use beamdyn_par::ThreadPool;
 
 fn main() {
     let scale = Scale::from_args();
     let (cases, steps): (Vec<(usize, usize)>, usize) = match scale {
-        Scale::Small => (vec![(16, 10_000), (24, 10_000), (32, 10_000), (32, 50_000)], 6),
+        Scale::Small => (
+            vec![(16, 10_000), (24, 10_000), (32, 10_000), (32, 50_000)],
+            6,
+        ),
         Scale::Paper => (
             vec![
                 (64, 100_000),
@@ -23,7 +26,9 @@ fn main() {
         ),
     };
     let pool = ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get().saturating_sub(1)).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(4),
     );
 
     let mut rows = Vec::new();
@@ -41,12 +46,16 @@ fn main() {
             format!("{:.3e}", two_phase.gpu_time),
             format!("{:.3e}", heuristic.gpu_time),
             format!("{:.3e}", predictive.gpu_time),
-            format!("{:.3e}", predictive.clustering_time + predictive.training_time),
+            format!(
+                "{:.3e}",
+                predictive.clustering_time + predictive.training_time
+            ),
             format!("{:.2}x", two_phase.gpu_time / predictive.gpu_time),
             format!("{:.2}x", heuristic.gpu_time / predictive.gpu_time),
         ]);
     }
-    print_table(
+    emit_table(
+        "table2_speedup",
         "Table II — potentials-stage GPU time per step (simulated seconds)",
         &[
             "N",

@@ -169,6 +169,99 @@ pub fn summarize(telemetry: &[StepTelemetry], warmup: usize) -> WarmSummary {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a table as a machine-readable JSONL artifact next to the stdout
+/// rendering: one object per row keyed by the header, then one trailing
+/// `{"type":"obs",...}` object carrying the observability registry
+/// (span totals in ns, counters, gauges) accumulated over the run.
+///
+/// The file lands at `$BEAMDYN_BENCH_DIR/BENCH_<name>.jsonl` (default:
+/// current directory), so `table1_kernel_metrics` produces
+/// `BENCH_table1_kernel_metrics.jsonl` and so on.
+pub fn write_jsonl_artifact(
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    let dir = std::env::var("BEAMDYN_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    std::fs::create_dir_all(&dir)?;
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.jsonl"));
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    for row in rows {
+        let fields: Vec<String> = header
+            .iter()
+            .zip(row)
+            .map(|(h, v)| format!("\"{}\":\"{}\"", json_escape(h), json_escape(v)))
+            .collect();
+        writeln!(
+            file,
+            "{{\"table\":\"{}\",{}}}",
+            json_escape(name),
+            fields.join(",")
+        )?;
+    }
+    let snap = beamdyn_obs::snapshot();
+    let spans: Vec<String> = snap
+        .spans
+        .iter()
+        .map(|(p, s)| format!("\"{}\":{}", json_escape(p), s.total_ns))
+        .collect();
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|c| format!("\"{}\":{}", json_escape(c.name), c.value))
+        .collect();
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|(n, v)| {
+            format!(
+                "\"{}\":{}",
+                json_escape(n),
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".into()
+                }
+            )
+        })
+        .collect();
+    writeln!(
+        file,
+        "{{\"type\":\"obs\",\"span_total_ns\":{{{}}},\"counters\":{{{}}},\"gauges\":{{{}}}}}",
+        spans.join(","),
+        counters.join(","),
+        gauges.join(",")
+    )?;
+    file.flush()?;
+    Ok(path)
+}
+
+/// [`print_table`] + [`write_jsonl_artifact`] in one call — the standard
+/// ending of every bench binary. IO failures are reported, not fatal.
+pub fn emit_table(name: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    print_table(title, header, rows);
+    match write_jsonl_artifact(name, header, rows) {
+        Ok(path) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("[artifact] write failed: {e}"),
+    }
+}
+
 /// Prints a plain-text table: header row, separator, then rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

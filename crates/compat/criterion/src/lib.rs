@@ -1,0 +1,217 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the benchmark-harness surface the beamdyn benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`] with `sample_size` /
+//! `throughput`, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple — warm-up, then `sample_size`
+//! fixed-iteration samples; the median, min, and max per-iteration times
+//! are printed to stdout in a stable single-line format that downstream
+//! tooling can grep (`BENCH <group>/<name> median_ns=… min_ns=… max_ns=…`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample target runtime. Small enough that a full bench suite stays
+/// interactive; long enough to amortise timer resolution.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Throughput annotation for a benchmark group (recorded, reported as-is).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark driver handed to each target function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&name.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let samples = self.sample_size.unwrap_or(10);
+        run_benchmark(&full, samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (flushes nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up & calibration: grow the iteration count until one sample
+    // takes long enough to time reliably.
+    let mut iters: u64 = 1;
+    let mut per_iter;
+    let warmup_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.checked_div(iters as u32).unwrap_or_default();
+        if b.elapsed >= SAMPLE_TARGET || warmup_start.elapsed() >= WARMUP_TARGET {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    if per_iter > Duration::ZERO {
+        let target = SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1);
+        iters = (target as u64).clamp(1, u64::MAX);
+    }
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!(" elem_per_s={:.3e}", n as f64 * 1e9 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(" bytes_per_s={:.3e}", n as f64 * 1e9 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "BENCH {name} median_ns={median:.1} min_ns={min:.1} max_ns={max:.1} iters={iters} samples={samples}{thr}"
+    );
+}
+
+/// Declares a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(16));
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..16u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "routine must have executed");
+    }
+}

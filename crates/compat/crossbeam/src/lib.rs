@@ -1,0 +1,10 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Provides the [`deque`] module surface the beamdyn thread pool uses
+//! (`Injector` / `Worker` / `Stealer` / `Steal`). The implementation trades
+//! crossbeam's lock-free Chase–Lev deque for short critical sections over
+//! `std::sync::Mutex`: the pool amortises queue traffic over chunked loop
+//! bodies, so queue-op latency is not on the hot path, and correctness
+//! under panics/contention is much easier to audit.
+
+pub mod deque;

@@ -1,0 +1,201 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the slice of the proptest surface beamdyn's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`, numeric range
+//! strategies, and `prop::collection::vec`.
+//!
+//! Differences from real proptest: inputs are drawn from a seeded PRNG
+//! (deterministic per test name, so failures reproduce), and there is **no
+//! shrinking** — a failing case reports the raw inputs instead of a
+//! minimised one.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds the deterministic per-test generator. Public for the macro only.
+#[doc(hidden)]
+pub fn __rng_for(test_name: &str) -> SmallRng {
+    // FNV-1a over the fully qualified test name: stable across runs and
+    // platforms, distinct per test.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. See module docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::__rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                    $(&$arg),*
+                );
+                let mut __one = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(__msg) = __one() {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        __case + 1, __cfg.cases, __msg, __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (early-returns an error
+/// so the harness can attach the failing inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __a, __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __a, __b
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(0.0f64..1.0, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn exact_vec_size(v in prop::collection::vec(1usize..5, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)] // the nested proptest! is invoked directly
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[test]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("must fail");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("x was"), "message: {msg}");
+        assert!(msg.contains("inputs"), "message: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test() {
+        let mut a = crate::__rng_for("some::test");
+        let mut b = crate::__rng_for("some::test");
+        use rand::Rng;
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+}

@@ -1,0 +1,26 @@
+//! Test-runner configuration.
+
+/// Rejection/failure error type (minimal placeholder for API parity).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// Controls how many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim keeps that contract.
+        Self { cases: 256 }
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline, API-compatible subset of `rand` 0.9.
+//!
+//! The beamdyn workspace builds in environments with no registry access, so
+//! the handful of `rand` APIs the simulator uses are reimplemented here:
+//! [`rngs::SmallRng`] (xoshiro256++, seeded exactly like upstream's
+//! `seed_from_u64`, so seeded streams of `random::<f64>()` match the real
+//! crate bit-for-bit), the [`Rng`] / [`SeedableRng`] traits, and uniform
+//! range sampling for the integer/float ranges the code draws from.
+
+pub mod rngs;
+
+/// Core 64-bit generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64, matching the
+    /// upstream default `seed_from_u64` expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step used by `seed_from_u64` (identical to `rand_core`).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types drawable from the "standard" distribution (unit interval for
+/// floats, full range for integers).
+pub trait StandardValue: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardValue for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 significant bits in [0, 1), matching rand's StandardUniform.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardValue for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardValue for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardValue for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable uniformly (subset of `rand::distr::uniform`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Lemire multiply-shift; bias is < 2^-64 per draw.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as StandardValue>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+/// User-facing generator extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution.
+    fn random<T: StandardValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let i = rng.random_range(0..10usize);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1_000 {
+            let x = rng.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_about_half() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

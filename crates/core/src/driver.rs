@@ -1,6 +1,13 @@
 //! The full four-step beam-dynamics simulation loop (paper Sec. II-A).
+//!
+//! Every stage of [`Simulation::run_step`] runs under a `beamdyn-obs` span
+//! (`step/deposit`, `step/potentials`, `step/gather_push`, `step/commit`),
+//! and the per-step telemetry durations are read back from those spans —
+//! the observability layer is the single source of timing truth.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use beamdyn_obs as obs;
 
 use beamdyn_beam::forces::{gather_forces, ScalarField};
 use beamdyn_beam::push::{drift, kick};
@@ -158,14 +165,19 @@ impl<'a> Simulation<'a> {
     }
 
     /// Executes one full time step; returns its telemetry.
+    ///
+    /// The whole step runs under an obs `step` span; each paper stage gets
+    /// a child span, and the telemetry durations are exactly the span
+    /// durations ([`obs::SpanGuard::stop`] returns the recorded value).
     pub fn run_step(&mut self) -> StepTelemetry {
+        let step_span = obs::span!("step");
         // Track the bunch: the support cut follows the charge centroid, so
         // the integration horizons move with the beam.
         if !self.beam.is_empty() {
             self.config.rp.center = self.beam.centroid();
         }
         // --- 1. Particle deposition ---
-        let t0 = Instant::now();
+        let deposit_span = obs::span!("deposit");
         let mut grid = MomentGrid::zeros(self.config.geometry);
         let samples: Vec<DepositSample> = self
             .beam
@@ -181,13 +193,16 @@ impl<'a> Simulation<'a> {
             .collect();
         deposit_cic(self.pool, &mut grid, &samples);
         self.history.push(self.step, grid);
-        let deposit_time = t0.elapsed();
+        let deposit_time = deposit_span.stop();
 
         // --- 2. Compute retarded potentials ---
-        let potentials = self.compute_potentials();
+        let potentials = {
+            let _potentials_span = obs::span!("potentials");
+            self.compute_potentials()
+        };
 
         // --- 3 & 4. Self-forces and particle push ---
-        let t1 = Instant::now();
+        let push_span = obs::span!("gather_push");
         let field = ScalarField::new(self.config.geometry, potentials.potentials());
         if !self.config.rigid {
             let mut forces = gather_forces(self.pool, &field, &self.beam);
@@ -200,17 +215,25 @@ impl<'a> Simulation<'a> {
             kick(self.pool, &mut self.beam, &forces, self.config.rp.dt);
             drift(self.pool, &mut self.beam, self.config.rp.dt);
         }
-        let push_time = t1.elapsed();
+        let push_time = push_span.stop();
         self.last_potentials = Some(field);
 
-        self.previous_partitions = potentials.points.iter().map(|p| p.partition.clone()).collect();
+        let commit_span = obs::span!("commit");
+        self.previous_partitions = potentials
+            .points
+            .iter()
+            .map(|p| p.partition.clone())
+            .collect();
         let telemetry = StepTelemetry {
             step: self.step,
             potentials,
             deposit_time,
             push_time,
         };
+        drop(commit_span);
         self.step += 1;
+        drop(step_span);
+        obs::flush_step(telemetry.step);
         telemetry
     }
 
@@ -230,7 +253,9 @@ impl<'a> Simulation<'a> {
             tolerance: self.config.tolerance,
         };
         match self.config.kernel {
-            KernelKind::TwoPhase => two_phase::compute_potentials(&problem, self.config.geometry, 256),
+            KernelKind::TwoPhase => {
+                two_phase::compute_potentials(&problem, self.config.geometry, 256)
+            }
             KernelKind::Heuristic => heuristic::compute_potentials(
                 &problem,
                 self.config.geometry,

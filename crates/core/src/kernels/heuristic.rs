@@ -9,6 +9,7 @@
 //!   divergence remains;
 //! * no model training.
 
+use beamdyn_obs as obs;
 use beamdyn_pic::GridGeometry;
 use beamdyn_quad::Partition;
 use beamdyn_simt::KernelStats;
@@ -78,7 +79,7 @@ pub fn compute_potentials(
         .max_size()
         .next_multiple_of(warp)
         .clamp(warp, problem.device.max_threads_per_block);
-    let mut assignment: Vec<Option<(u32, Vec<(f64, f64)>)>> = Vec::with_capacity(points.len());
+    let mut assignment: Vec<super::LaneAssignment> = Vec::with_capacity(points.len());
     for cluster in &clusters.members {
         for &i in cluster {
             let cells: Vec<(f64, f64)> = points[i as usize]
@@ -89,14 +90,17 @@ pub fn compute_potentials(
                 .collect();
             assignment.push(Some((i, cells)));
         }
-        while assignment.len() % warp != 0 {
+        while !assignment.len().is_multiple_of(warp) {
             assignment.push(None);
         }
     }
 
     let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
     let xyr = move |i: u32| xyr_data[i as usize];
-    let main = launch_fixed(problem, tpb, &assignment, &xyr);
+    let main = {
+        let _main_span = obs::span!("main_pass");
+        launch_fixed(problem, tpb, &assignment, &xyr)
+    };
 
     let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
     let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
@@ -116,6 +120,7 @@ pub fn compute_potentials(
     let mut launches = 1;
     let mut gpu_time = main.stats.timing(problem.device).total;
     if !tasks.is_empty() {
+        let _fallback_span = obs::span!("fallback_pass");
         let fb = launch_adaptive(problem, fallback_tpb, &tasks, &xyr, 0);
         gpu_time += fb.stats.timing(problem.device).total;
         launches += 1;
@@ -136,6 +141,9 @@ pub fn compute_potentials(
 
     // Remember the observed partitions for the next step's reuse heuristic.
     state.partitions = points.iter().map(|p| p.partition.clone()).collect();
+
+    super::FALLBACK_CELLS.add(fallback_cells as u64);
+    super::LAUNCHES.add(launches as u64);
 
     PotentialsOutput {
         points,

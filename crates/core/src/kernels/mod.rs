@@ -12,6 +12,7 @@ pub mod two_phase;
 use std::time::Duration;
 
 use beamdyn_beam::{GridRp, RpConfig};
+use beamdyn_obs::Counter;
 use beamdyn_par::ThreadPool;
 use beamdyn_pic::GridHistory;
 use beamdyn_quad::Partition;
@@ -19,6 +20,19 @@ use beamdyn_simt::{DeviceConfig, KernelStats};
 
 use crate::layout::DeviceLayout;
 use crate::points::GridPoint;
+
+/// Cells every main pass failed to converge on (forwarded to the adaptive
+/// fallback), accumulated across all kernels and steps. Must stay equal to
+/// the sum of [`PotentialsOutput::fallback_cells`] over the same window —
+/// `tests/obs_accounting.rs` enforces this.
+pub static FALLBACK_CELLS: Counter = Counter::new("kernels.fallback_cells");
+/// Simulated kernel launches across all kernels and steps.
+pub static LAUNCHES: Counter = Counter::new("kernels.launches");
+
+/// One SIMT lane's work assignment for the fixed-cells kernel: the point
+/// index and its cell list (`None` = padding lane inserted so every warp
+/// is fully populated).
+pub type LaneAssignment = Option<(u32, Vec<(f64, f64)>)>;
 
 /// Everything a kernel needs to evaluate step `k`'s potentials.
 pub struct RpProblem<'a> {

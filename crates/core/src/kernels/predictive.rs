@@ -1,13 +1,14 @@
 //! Predictive-RP: Algorithm 1 of the paper.
 
-use std::time::Instant;
-
+use beamdyn_obs as obs;
 use beamdyn_pic::GridGeometry;
 use beamdyn_quad::Partition;
 use beamdyn_simt::KernelStats;
 
 use super::threads::{launch_adaptive, launch_fixed};
-use super::{apply_results, cells_for_point, finalize_points, FallbackTask, PotentialsOutput, RpProblem};
+use super::{
+    apply_results, cells_for_point, finalize_points, FallbackTask, PotentialsOutput, RpProblem,
+};
 use crate::clustering::cluster_by_pattern;
 use crate::points::build_points;
 use crate::predictor::Predictor;
@@ -51,6 +52,13 @@ impl Default for PredictiveOptions {
     }
 }
 
+/// Lockstep groups the last RP-CLUSTERING produced.
+static CLUSTERS: obs::Gauge = obs::Gauge::new("predictive.clusters");
+/// Mean squared error of the forecast access patterns against the patterns
+/// the step actually observed (cells per subregion; forecastable points
+/// only). NaN-free: unset until the predictor has trained once.
+static FORECAST_MSE: obs::Gauge = obs::Gauge::new("predictive.forecast_mse");
+
 /// `COMPUTE-POTENTIALS` (Algorithm 1): forecast → partition → cluster →
 /// uniform kernel → adaptive fallback → online learning.
 ///
@@ -67,6 +75,10 @@ pub fn compute_potentials(
     let mut points = build_points(geometry, &problem.config, problem.step);
 
     // Lines 1–5: forecast each point's pattern and build its partition.
+    // The forecasts are kept so the step can score its own prediction
+    // quality (the `predictive.forecast_mse` gauge) once the observed
+    // patterns are in.
+    let mut forecasts: Vec<Option<crate::pattern::AccessPattern>> = vec![None; points.len()];
     for (i, p) in points.iter_mut().enumerate() {
         let forecast = predictor.predict(i, p.x, p.y);
         match forecast {
@@ -81,6 +93,7 @@ pub fn compute_potentials(
                     }
                     _ => uniform_transform(&pattern, &problem.config, p.radius),
                 };
+                forecasts[i] = Some(pattern.clone());
                 p.pattern = pattern;
                 p.partition = Some(partition);
             }
@@ -93,9 +106,10 @@ pub fn compute_potentials(
     }
 
     // Line 6: RP-CLUSTERING on the (predicted) access patterns.
-    let t0 = Instant::now();
+    let cluster_span = obs::span!("cluster");
     let clusters = cluster_by_pattern(problem.pool, geometry, &points, options.seed);
-    let clustering_time = t0.elapsed();
+    let clustering_time = cluster_span.stop();
+    CLUSTERS.set(clusters.members.len() as f64);
 
     // Lines 8–12: MERGE-LISTS within each lockstep group. Clusters are
     // ordered by estimated workload and their members concatenated (in
@@ -117,7 +131,7 @@ pub fn compute_potentials(
     });
     let order: Vec<u32> = ordered_clusters.into_iter().flatten().copied().collect();
 
-    let mut assignment: Vec<Option<(u32, Vec<(f64, f64)>)>> = Vec::with_capacity(points.len());
+    let mut assignment: Vec<super::LaneAssignment> = Vec::with_capacity(points.len());
     for group in order.chunks(warp) {
         let merged = match options.transform {
             // Uniform mode merges at *pattern* level: the group partition is
@@ -144,14 +158,20 @@ pub fn compute_potentials(
             ),
         };
         for &i in group {
-            assignment.push(Some((i, cells_for_point(&merged, points[i as usize].radius))));
+            assignment.push(Some((
+                i,
+                cells_for_point(&merged, points[i as usize].radius),
+            )));
         }
     }
 
     // Lines 13–17: the uniform-control-flow main kernel.
     let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
     let xyr = move |i: u32| xyr_data[i as usize];
-    let main = launch_fixed(problem, tpb, &assignment, &xyr);
+    let main = {
+        let _main_span = obs::span!("main_pass");
+        launch_fixed(problem, tpb, &assignment, &xyr)
+    };
 
     // The observed pattern is reconstructed from the *needed* cells the
     // threads report (plus fallback refinements below) — not from the
@@ -176,6 +196,7 @@ pub fn compute_potentials(
     let mut launches = 1;
     let mut gpu_time = main.stats.timing(problem.device).total;
     if !tasks.is_empty() {
+        let _fallback_span = obs::span!("fallback_pass");
         let fb = launch_adaptive(problem, options.fallback_tpb, &tasks, &xyr, 0);
         gpu_time += fb.stats.timing(problem.device).total;
         launches += 1;
@@ -195,10 +216,28 @@ pub fn compute_potentials(
 
     finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
 
+    // Score this step's forecasts against the observed patterns the step
+    // just finalized (mean squared per-subregion count error, over the
+    // points that had a forecast).
+    let mut mse_sum = 0.0;
+    let mut mse_n = 0usize;
+    for (p, forecast) in points.iter().zip(&forecasts) {
+        if let Some(f) = forecast {
+            mse_sum += f.distance2(&p.pattern);
+            mse_n += p.pattern.len().max(1);
+        }
+    }
+    if mse_n > 0 {
+        FORECAST_MSE.set(mse_sum / mse_n as f64);
+    }
+
     // Line 25: ONLINE-LEARNING on the observed patterns.
-    let t1 = Instant::now();
+    let train_span = obs::span!("train");
     predictor.train(&points);
-    let training_time = t1.elapsed();
+    let training_time = train_span.stop();
+
+    super::FALLBACK_CELLS.add(fallback_cells as u64);
+    super::LAUNCHES.add(launches as u64);
 
     PotentialsOutput {
         points,

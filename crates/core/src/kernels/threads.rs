@@ -16,7 +16,8 @@ struct TraceSink<'a> {
 impl TapSink for TraceSink<'_> {
     #[inline]
     fn tap(&mut self, step: usize, component: usize, ix: usize, iy: usize) {
-        self.rec.load(self.layout.address(step, component, ix, iy), 8);
+        self.rec
+            .load(self.layout.address(step, component, ix, iy), 8);
     }
     #[inline]
     fn flops(&mut self, n: u32) {
@@ -67,6 +68,7 @@ pub struct FixedCellsThread<'a> {
 
 impl<'a> FixedCellsThread<'a> {
     /// Builds the thread for `point` with its clipped cell list.
+    #[allow(clippy::too_many_arguments)] // mirrors the simulated launch ABI
     pub fn new(
         rp: &'a GridRp<'a>,
         layout: DeviceLayout,
@@ -107,7 +109,10 @@ impl<'a> FixedCellsThread<'a> {
 /// Fractional cell-need of one accepted cell (see [`ThreadResult::need`]).
 #[inline]
 fn cell_need(error: f64, tol: f64) -> f64 {
-    (error / tol.max(f64::MIN_POSITIVE)).max(0.0).powf(0.25).clamp(0.02, 16.0)
+    (error / tol.max(f64::MIN_POSITIVE))
+        .max(0.0)
+        .powf(0.25)
+        .clamp(0.02, 16.0)
 }
 
 impl WarpThread for FixedCellsThread<'_> {
@@ -123,7 +128,10 @@ impl WarpThread for FixedCellsThread<'_> {
         }
         let (a, b) = self.cells[self.next];
         self.next += 1;
-        let mut sink = TraceSink { rec, layout: self.layout };
+        let mut sink = TraceSink {
+            rec,
+            layout: self.layout,
+        };
         let (x, y) = (self.x, self.y);
         let rp = self.rp;
         let est = simpson_estimate(|r| rp.eval(x, y, r, &mut sink), a, b);
@@ -209,7 +217,10 @@ impl WarpThread for AdaptiveThread<'_> {
             }
             return false;
         };
-        let mut sink = TraceSink { rec, layout: self.layout };
+        let mut sink = TraceSink {
+            rec,
+            layout: self.layout,
+        };
         let (x, y) = (self.x, self.y);
         let rp = self.rp;
         let est = simpson_estimate(|r| rp.eval(x, y, r, &mut sink), a, b);
@@ -239,7 +250,7 @@ impl WarpThread for AdaptiveThread<'_> {
 pub fn launch_fixed(
     problem: &RpProblem<'_>,
     threads_per_block: usize,
-    assignment: &[Option<(u32, Vec<(f64, f64)>)>],
+    assignment: &[super::LaneAssignment],
     point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
 ) -> LaunchOutput<ThreadResult> {
     let rp = problem.integrand();
@@ -248,7 +259,10 @@ pub fn launch_fixed(
     launch(
         problem.pool,
         problem.device,
-        LaunchConfig { blocks, threads_per_block: tpb },
+        LaunchConfig {
+            blocks,
+            threads_per_block: tpb,
+        },
         |tid| {
             let (point, cells) = assignment.get(tid)?.as_ref()?;
             let (x, y, radius) = point_xyr(*point);
@@ -282,7 +296,10 @@ pub fn launch_adaptive(
     launch(
         problem.pool,
         problem.device,
-        LaunchConfig { blocks, threads_per_block: tpb },
+        LaunchConfig {
+            blocks,
+            threads_per_block: tpb,
+        },
         |tid| {
             let task = tasks.get(tid)?;
             let (x, y, _) = point_xyr(task.point);

@@ -8,6 +8,7 @@
 //! warps mix unrelated intervals: heavy branch divergence *and* scattered
 //! access, the bottlenecks [10] and this paper attack.
 
+use beamdyn_obs as obs;
 use beamdyn_pic::GridGeometry;
 use beamdyn_simt::KernelStats;
 
@@ -27,7 +28,7 @@ pub fn compute_potentials(
     // Phase 1: coarse uniform partition for every point, plain row-major
     // point → thread mapping (no clustering).
     let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
-    let assignment: Vec<Option<(u32, Vec<(f64, f64)>)>> = (0..points.len() as u32)
+    let assignment: Vec<super::LaneAssignment> = (0..points.len() as u32)
         .map(|i| {
             let p = &points[i as usize];
             let cells: Vec<(f64, f64)> = coldstart_partition(&problem.config, p.radius)
@@ -39,7 +40,10 @@ pub fn compute_potentials(
 
     let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
     let xyr = move |i: u32| xyr_data[i as usize];
-    let main = launch_fixed(problem, tpb, &assignment, &xyr);
+    let main = {
+        let _main_span = obs::span!("main_pass");
+        launch_fixed(problem, tpb, &assignment, &xyr)
+    };
 
     let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
     let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
@@ -60,6 +64,7 @@ pub fn compute_potentials(
     let mut launches = 1;
     let mut gpu_time = main.stats.timing(problem.device).total;
     if !tasks.is_empty() {
+        let _fallback_span = obs::span!("fallback_pass");
         let fb = launch_adaptive(problem, tpb, &tasks, &xyr, 0);
         gpu_time += fb.stats.timing(problem.device).total;
         launches += 1;
@@ -77,6 +82,9 @@ pub fn compute_potentials(
     }
 
     finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
+
+    super::FALLBACK_CELLS.add(fallback_cells as u64);
+    super::LAUNCHES.add(launches as u64);
 
     PotentialsOutput {
         points,

@@ -1,5 +1,6 @@
 //! Human-readable reports from simulation telemetry.
 
+use beamdyn_obs as obs;
 use beamdyn_simt::{DeviceConfig, KernelStats};
 
 use crate::driver::StepTelemetry;
@@ -66,6 +67,33 @@ pub fn render(telemetry: &[StepTelemetry], device: &DeviceConfig) -> String {
             row.gpu_time,
             row.overall_time,
         ));
+    }
+    out
+}
+
+/// Renders the observability registry (span totals, counters, gauges) as a
+/// text block — the run-wide companion to [`render`]'s per-step table.
+/// Reads the process-global `beamdyn-obs` registry, so it reflects every
+/// span and counter touched since the last `obs::reset()`.
+pub fn render_counters() -> String {
+    let snap = obs::snapshot();
+    let mut out = String::from("-- spans (total over run) --\n");
+    for (path, stat) in &snap.spans {
+        out.push_str(&format!(
+            "{:32} {:8}x {:12.3} ms total {:10.3} us mean\n",
+            path,
+            stat.count,
+            stat.total().as_secs_f64() * 1e3,
+            stat.mean().as_secs_f64() * 1e6,
+        ));
+    }
+    out.push_str("-- counters --\n");
+    for c in &snap.counters {
+        out.push_str(&format!("{:32} {}\n", c.name, c.value));
+    }
+    out.push_str("-- gauges --\n");
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!("{name:32} {value:.6}\n"));
     }
     out
 }

@@ -201,8 +201,14 @@ fn cluster_heuristic_tiles_and_balances() {
     assert_eq!(clusters.len(), 8, "max(NX,NY) tiles");
     // Within each tile, estimated workload must be sorted.
     for c in &clusters.members {
-        let loads: Vec<usize> = c.iter().map(|&i| points[i as usize].pattern.total_cells()).collect();
-        assert!(loads.windows(2).all(|w| w[0] <= w[1]), "unsorted tile {loads:?}");
+        let loads: Vec<usize> = c
+            .iter()
+            .map(|&i| points[i as usize].pattern.total_cells())
+            .collect();
+        assert!(
+            loads.windows(2).all(|w| w[0] <= w[1]),
+            "unsorted tile {loads:?}"
+        );
     }
 }
 
@@ -301,7 +307,11 @@ fn run_sim(kernel: KernelKind, steps: usize) -> Vec<crate::driver::StepTelemetry
 
 #[test]
 fn all_kernels_meet_tolerance_every_step() {
-    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
         let telemetry = run_sim(kernel, 4);
         for t in &telemetry {
             assert!(
@@ -333,7 +343,12 @@ fn kernels_agree_on_potentials() {
 fn predictive_trains_predictor_every_step() {
     let pool = pool();
     let device = DeviceConfig::test_tiny();
-    let mut sim = Simulation::new(&pool, &device, tiny_config(KernelKind::Predictive), tiny_beam());
+    let mut sim = Simulation::new(
+        &pool,
+        &device,
+        tiny_config(KernelKind::Predictive),
+        tiny_beam(),
+    );
     sim.run(3);
     assert_eq!(sim.predictor().trained_steps(), 3);
 }
@@ -389,7 +404,6 @@ fn rigid_mode_does_not_move_particles() {
 fn potentials_field_is_positive_near_bunch_center() {
     let telemetry = run_sim(KernelKind::Heuristic, 3);
     let last = telemetry.last().unwrap();
-    let g = GridGeometry::unit(12, 12);
     let vals = last.potentials.potentials();
     let center = vals[6 * 12 + 6];
     let corner = vals[0];
@@ -466,7 +480,11 @@ fn predictor_forecast_leads_a_rising_trend() {
     }
     knn.train(&points);
     let f = knn.predict(0, points[0].x, points[0].y).unwrap();
-    assert!((f.count(0) - 8.0).abs() < 0.5, "trend-led forecast: {:?}", f.counts());
+    assert!(
+        (f.count(0) - 8.0).abs() < 0.5,
+        "trend-led forecast: {:?}",
+        f.counts()
+    );
 }
 
 #[test]
@@ -513,8 +531,11 @@ fn pattern_clusters_are_spatially_coherent() {
         if c.len() < 4 {
             continue;
         }
-        let mean_count: f64 =
-            c.iter().map(|&i| points[i as usize].pattern.count(0)).sum::<f64>() / c.len() as f64;
+        let mean_count: f64 = c
+            .iter()
+            .map(|&i| points[i as usize].pattern.count(0))
+            .sum::<f64>()
+            / c.len() as f64;
         if mean_count < 12.0 {
             continue; // background cluster
         }

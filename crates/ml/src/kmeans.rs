@@ -145,8 +145,14 @@ pub fn kmeans(pool: &ThreadPool, samples: &Samples, options: KMeansOptions) -> K
                 // Re-seed from the sample farthest from its centroid.
                 let far = (0..n)
                     .max_by(|&a, &b| {
-                        let da = dist2(samples.row(a), &centroids[assignments[a] as usize * dims..][..dims]);
-                        let db = dist2(samples.row(b), &centroids[assignments[b] as usize * dims..][..dims]);
+                        let da = dist2(
+                            samples.row(a),
+                            &centroids[assignments[a] as usize * dims..][..dims],
+                        );
+                        let db = dist2(
+                            samples.row(b),
+                            &centroids[assignments[b] as usize * dims..][..dims],
+                        );
                         da.total_cmp(&db)
                     })
                     .expect("n > 0");
@@ -163,7 +169,12 @@ pub fn kmeans(pool: &ThreadPool, samples: &Samples, options: KMeansOptions) -> K
     }
 
     let inertia = (0..n)
-        .map(|i| dist2(samples.row(i), &centroids[assignments[i] as usize * dims..][..dims]))
+        .map(|i| {
+            dist2(
+                samples.row(i),
+                &centroids[assignments[i] as usize * dims..][..dims],
+            )
+        })
         .sum();
     KMeansResult {
         centroids: Samples::from_flat(centroids, dims),

@@ -136,7 +136,11 @@ impl KnnRegressor {
     /// Panics on empty data, mismatched feature/target counts, or `k == 0`.
     pub fn fit(features: Samples, targets: Samples, k: usize, weighted: bool) -> Self {
         assert!(!features.is_empty(), "no training samples");
-        assert_eq!(features.len(), targets.len(), "feature/target count mismatch");
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "feature/target count mismatch"
+        );
         assert!(k > 0, "k must be positive");
         let index = Grid2dIndex::build(&features);
         Self {

@@ -20,7 +20,11 @@ impl LinearRegressor {
     /// Fits the model. `ridge` of 0 gives plain least squares; the intercept
     /// column is never regularised.
     pub fn fit(features: &Samples, targets: &Samples, ridge: f64) -> Result<Self, CholeskyError> {
-        assert_eq!(features.len(), targets.len(), "feature/target count mismatch");
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "feature/target count mismatch"
+        );
         assert!(!features.is_empty(), "no training samples");
         let d = features.dims() + 1; // + intercept
         let m = targets.dims();

@@ -118,7 +118,10 @@ fn knn_regressor_interpolates_smooth_function() {
     for &(x, y) in &[(0.33, 0.61), (0.5, 0.5), (0.87, 0.12)] {
         let pred = model.predict(&[x, y])[0];
         let truth = (2.0f64 * x + 3.0 * y).sin();
-        assert!((pred - truth).abs() < 0.05, "at ({x},{y}): {pred} vs {truth}");
+        assert!(
+            (pred - truth).abs() < 0.05,
+            "at ({x},{y}): {pred} vs {truth}"
+        );
     }
 }
 
@@ -196,7 +199,8 @@ fn linreg_survives_constant_feature() {
         features.push(&[i as f64, 7.0]); // second column constant → collinear with intercept
         targets.push(&[2.0 * i as f64]);
     }
-    let model = LinearRegressor::fit(&features, &targets, 0.0).expect("jitter rescues rank deficiency");
+    let model =
+        LinearRegressor::fit(&features, &targets, 0.0).expect("jitter rescues rank deficiency");
     let p = model.predict(&[10.0, 7.0]);
     assert!((p[0] - 20.0).abs() < 1e-3, "{p:?}");
 }
@@ -211,10 +215,21 @@ fn kmeans_separates_obvious_blobs() {
     let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
     for &(cx, cy) in &centers {
         for _ in 0..60 {
-            s.push(&[cx + rng.random::<f64>() - 0.5, cy + rng.random::<f64>() - 0.5]);
+            s.push(&[
+                cx + rng.random::<f64>() - 0.5,
+                cy + rng.random::<f64>() - 0.5,
+            ]);
         }
     }
-    let res = kmeans(&pool, &s, KMeansOptions { clusters: 3, max_iters: 100, seed: 1 });
+    let res = kmeans(
+        &pool,
+        &s,
+        KMeansOptions {
+            clusters: 3,
+            max_iters: 100,
+            seed: 1,
+        },
+    );
     // Every blob must be pure: samples 0..60 share a label, etc.
     for blob in 0..3 {
         let labels: Vec<u32> = res.assignments[blob * 60..(blob + 1) * 60].to_vec();
@@ -231,7 +246,11 @@ fn kmeans_is_deterministic_for_fixed_seed() {
     for _ in 0..100 {
         s.push(&[rng.random::<f64>(), rng.random::<f64>()]);
     }
-    let opts = KMeansOptions { clusters: 5, max_iters: 30, seed: 42 };
+    let opts = KMeansOptions {
+        clusters: 5,
+        max_iters: 30,
+        seed: 42,
+    };
     let a = kmeans(&pool, &s, opts);
     let b = kmeans(&pool, &s, opts);
     assert_eq!(a.assignments, b.assignments);
@@ -245,7 +264,15 @@ fn kmeans_partitions_all_samples() {
     for i in 0..37 {
         s.push(&[i as f64, (i * i % 7) as f64]);
     }
-    let res = kmeans(&pool, &s, KMeansOptions { clusters: 4, max_iters: 20, seed: 9 });
+    let res = kmeans(
+        &pool,
+        &s,
+        KMeansOptions {
+            clusters: 4,
+            max_iters: 20,
+            seed: 9,
+        },
+    );
     assert_eq!(res.assignments.len(), 37);
     let members = res.members();
     let total: usize = members.iter().map(Vec::len).sum();
@@ -260,7 +287,15 @@ fn kmeans_clamps_clusters_to_sample_count() {
     let mut s = Samples::new(2);
     s.push(&[0.0, 0.0]);
     s.push(&[1.0, 1.0]);
-    let res = kmeans(&pool, &s, KMeansOptions { clusters: 10, max_iters: 5, seed: 0 });
+    let res = kmeans(
+        &pool,
+        &s,
+        KMeansOptions {
+            clusters: 10,
+            max_iters: 5,
+            seed: 0,
+        },
+    );
     assert_eq!(res.centroids.len(), 2);
     assert!(res.inertia < 1e-12);
 }
@@ -273,8 +308,38 @@ fn kmeans_objective_decreases_with_more_clusters() {
     for _ in 0..300 {
         s.push(&[rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0]);
     }
-    let i2 = kmeans(&pool, &s, KMeansOptions { clusters: 2, max_iters: 50, seed: 3 }).inertia;
-    let i8 = kmeans(&pool, &s, KMeansOptions { clusters: 8, max_iters: 50, seed: 3 }).inertia;
-    let i32 = kmeans(&pool, &s, KMeansOptions { clusters: 32, max_iters: 50, seed: 3 }).inertia;
-    assert!(i2 > i8 && i8 > i32, "inertia must decrease: {i2} {i8} {i32}");
+    let i2 = kmeans(
+        &pool,
+        &s,
+        KMeansOptions {
+            clusters: 2,
+            max_iters: 50,
+            seed: 3,
+        },
+    )
+    .inertia;
+    let i8 = kmeans(
+        &pool,
+        &s,
+        KMeansOptions {
+            clusters: 8,
+            max_iters: 50,
+            seed: 3,
+        },
+    )
+    .inertia;
+    let i32 = kmeans(
+        &pool,
+        &s,
+        KMeansOptions {
+            clusters: 32,
+            max_iters: 50,
+            seed: 3,
+        },
+    )
+    .inertia;
+    assert!(
+        i2 > i8 && i8 > i32,
+        "inertia must decrease: {i2} {i8} {i32}"
+    );
 }

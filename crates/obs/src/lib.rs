@@ -1,0 +1,162 @@
+//! # beamdyn-obs — structured observability
+//!
+//! The paper's argument rests on *per-stage machine metrics*: where a time
+//! step spends its wall clock (deposit / potentials / cluster / train /
+//! gather-push), how many cells fall back to adaptive quadrature, how the
+//! thread pool behaves. This crate is the single source of truth for those
+//! measurements:
+//!
+//! * **Span timers** — [`span!`] opens a hierarchical RAII timer. Nested
+//!   spans build slash-separated paths (`step/potentials/cluster`), and the
+//!   close of every span accumulates wall time into a global per-path
+//!   statistic and notifies the installed sinks.
+//! * **Counters / gauges** — [`Counter`] and [`Gauge`] are `static`-friendly
+//!   atomic cells (registered on first touch) that are safe to bump from
+//!   thread-pool workers with `Ordering::Relaxed` cost.
+//! * **Sinks** — implement [`Sink`] to observe span closes and step
+//!   flushes. Two implementations ship: the in-memory [`Recorder`] that
+//!   tests and benches query, and (behind the `trace` feature) the
+//!   [`JsonlSink`] writer emitting one JSON object per event.
+//!
+//! With no sink installed the per-span cost is two `Instant::now()` calls
+//! plus one short mutex-guarded map update per span *close* — spans wrap
+//! stages and kernel passes, never per-cell work, so the disabled-path
+//! overhead on the simulation hot loop is far below the 2 % budget.
+
+mod registry;
+mod sink;
+mod span;
+
+pub use registry::{
+    counter_value, gauge_value, reset, snapshot, CounterSnapshot, Snapshot, SpanStat,
+};
+pub use sink::{install, installed_sinks, uninstall_all, Recorder, Sink, SpanEvent, StepFlush};
+pub use span::{enter, SpanGuard};
+
+#[cfg(feature = "trace")]
+pub use sink::jsonl::{install_jsonl, JsonlSink};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Opens a hierarchical span timer: `let _g = obs::span!("deposit");`.
+/// The span closes (and records) when the guard drops, or earlier via
+/// [`SpanGuard::stop`], which also returns the elapsed [`std::time::Duration`].
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::enter($label)
+    };
+}
+
+/// A named monotonic counter, cheap enough for thread-pool workers.
+///
+/// Declare as a `static` and bump with [`Counter::add`]; the counter
+/// registers itself with the global registry on first use so snapshots and
+/// step flushes can enumerate it.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates an unregistered counter (registration happens on first add).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&'static self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+        self.ensure_registered();
+    }
+
+    /// Increments by one.
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset_value(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && self
+                .registered
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            registry::register_counter(self);
+        }
+    }
+}
+
+/// A named gauge holding the latest `f64` observation (bit-stored atomic).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Creates an unregistered gauge (registration happens on first set).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            bits: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The gauge's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records the latest observation.
+    pub fn set(&'static self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed)
+            && self
+                .registered
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            registry::register_gauge(self);
+        }
+    }
+
+    /// Latest observation (0.0 before the first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset_value(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Emits a per-step flush event to every sink: a snapshot of all registered
+/// counters and gauges, tagged with the step index. Call once per completed
+/// simulation step.
+pub fn flush_step(step: usize) {
+    sink::emit_flush(step);
+}
+
+#[cfg(test)]
+mod tests;

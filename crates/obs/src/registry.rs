@@ -1,0 +1,184 @@
+//! The global accumulation registry: span statistics and the counter /
+//! gauge roster.
+
+use std::collections::HashMap;
+use std::sync::{LazyLock, Mutex};
+use std::time::Duration;
+
+use crate::{Counter, Gauge};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Accumulated statistics for one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of times a span with this path closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all closes.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// Mean time per close (zero if never closed).
+    pub fn mean(&self) -> Duration {
+        self.total_ns
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+}
+
+/// A point-in-time value of one registered counter or gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Registry name.
+    pub name: &'static str,
+    /// Value at snapshot time (counters as exact u64 cast to f64 for
+    /// uniformity would lose precision, so counters keep `value`, gauges
+    /// use `gauge`).
+    pub value: u64,
+}
+
+/// A consistent view of every accumulator the registry knows about.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Span statistics keyed by slash-separated path, sorted by path.
+    pub spans: Vec<(String, SpanStat)>,
+    /// Registered counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Registered gauges (latest observations), sorted by name.
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+impl Snapshot {
+    /// Looks up one span stat by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+            .ok()
+            .map(|i| &self.spans[i].1)
+    }
+
+    /// Sum of `total_ns` over the direct children of `path`.
+    pub fn children_total_ns(&self, path: &str) -> u64 {
+        let prefix = format!("{path}/");
+        self.spans
+            .iter()
+            .filter(|(p, _)| p.starts_with(&prefix) && !p[prefix.len()..].contains('/'))
+            .map(|(_, s)| s.total_ns)
+            .sum()
+    }
+
+    /// Looks up one counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
+struct Registry {
+    spans: Mutex<HashMap<String, SpanStat>>,
+    counters: Mutex<Vec<&'static Counter>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
+}
+
+static REGISTRY: LazyLock<Registry> = LazyLock::new(|| Registry {
+    spans: Mutex::new(HashMap::new()),
+    counters: Mutex::new(Vec::new()),
+    gauges: Mutex::new(Vec::new()),
+});
+
+pub(crate) fn record_span(path: &str, ns: u64) {
+    let mut spans = lock(&REGISTRY.spans);
+    let stat = spans.entry_ref_or_default(path);
+    stat.count += 1;
+    stat.total_ns += ns;
+}
+
+// HashMap has no entry API over &str without allocating on hit; this tiny
+// extension keeps the hot span-close path allocation-free once a path has
+// been seen.
+trait EntryRefOrDefault {
+    fn entry_ref_or_default(&mut self, key: &str) -> &mut SpanStat;
+}
+
+impl EntryRefOrDefault for HashMap<String, SpanStat> {
+    fn entry_ref_or_default(&mut self, key: &str) -> &mut SpanStat {
+        if !self.contains_key(key) {
+            self.insert(key.to_owned(), SpanStat::default());
+        }
+        self.get_mut(key).expect("inserted above")
+    }
+}
+
+pub(crate) fn register_counter(c: &'static Counter) {
+    lock(&REGISTRY.counters).push(c);
+}
+
+pub(crate) fn register_gauge(g: &'static Gauge) {
+    lock(&REGISTRY.gauges).push(g);
+}
+
+/// Reads one registered counter by name (None if it never incremented).
+pub fn counter_value(name: &str) -> Option<u64> {
+    lock(&REGISTRY.counters)
+        .iter()
+        .find(|c| c.name() == name)
+        .map(|c| c.get())
+}
+
+/// Reads one registered gauge by name (None if it was never set).
+pub fn gauge_value(name: &str) -> Option<f64> {
+    lock(&REGISTRY.gauges)
+        .iter()
+        .find(|g| g.name() == name)
+        .map(|g| g.get())
+}
+
+/// Takes a consistent snapshot of every span stat, counter, and gauge.
+pub fn snapshot() -> Snapshot {
+    let mut spans: Vec<(String, SpanStat)> = lock(&REGISTRY.spans)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut counters: Vec<CounterSnapshot> = lock(&REGISTRY.counters)
+        .iter()
+        .map(|c| CounterSnapshot {
+            name: c.name(),
+            value: c.get(),
+        })
+        .collect();
+    counters.sort_by_key(|c| c.name);
+    let mut gauges: Vec<(&'static str, f64)> = lock(&REGISTRY.gauges)
+        .iter()
+        .map(|g| (g.name(), g.get()))
+        .collect();
+    gauges.sort_by_key(|g| g.0);
+    Snapshot {
+        spans,
+        counters,
+        gauges,
+    }
+}
+
+/// Zeroes every span stat, counter, and gauge (registrations persist).
+/// Intended for test isolation; concurrent recorders will observe the
+/// reset as a discontinuity.
+pub fn reset() {
+    lock(&REGISTRY.spans).clear();
+    for c in lock(&REGISTRY.counters).iter() {
+        c.reset_value();
+    }
+    for g in lock(&REGISTRY.gauges).iter() {
+        g.reset_value();
+    }
+}

@@ -1,0 +1,273 @@
+//! Pluggable event sinks: the in-memory [`Recorder`] and (behind the
+//! `trace` feature) the JSONL trace writer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::registry;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A closed span, as delivered to sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Slash-separated hierarchical path (`step/potentials/cluster`).
+    pub path: String,
+    /// Wall-clock duration in nanoseconds.
+    pub ns: u64,
+    /// Nanoseconds since the process's observability epoch (first sink
+    /// installation) at which the span *closed*.
+    pub at_ns: u64,
+}
+
+/// A per-step counter/gauge flush, as delivered to sinks.
+#[derive(Debug, Clone)]
+pub struct StepFlush {
+    /// Step index supplied by the caller of [`crate::flush_step`].
+    pub step: usize,
+    /// All registered counters at flush time.
+    pub counters: Vec<(&'static str, u64)>,
+    /// All registered gauges at flush time.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Nanoseconds since the observability epoch.
+    pub at_ns: u64,
+}
+
+/// Observer of observability events. Implementations must be cheap and
+/// non-blocking: they run inline on the instrumented thread.
+pub trait Sink: Send + Sync {
+    /// Called once per span close.
+    fn span_close(&self, event: &SpanEvent);
+    /// Called once per [`crate::flush_step`].
+    fn step_flush(&self, flush: &StepFlush);
+}
+
+struct SinkSlot {
+    sinks: Mutex<Vec<Arc<dyn Sink>>>,
+    /// Mirror of `sinks.len()` so the no-sink fast path is one relaxed load.
+    count: AtomicUsize,
+    epoch: Mutex<Option<Instant>>,
+}
+
+static SINKS: SinkSlot = SinkSlot {
+    sinks: Mutex::new(Vec::new()),
+    count: AtomicUsize::new(0),
+    epoch: Mutex::new(None),
+};
+
+fn epoch_ns() -> u64 {
+    let mut epoch = lock(&SINKS.epoch);
+    let start = *epoch.get_or_insert_with(Instant::now);
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Installs a sink; it receives every subsequent span close and step flush.
+pub fn install(sink: Arc<dyn Sink>) {
+    let mut sinks = lock(&SINKS.sinks);
+    sinks.push(sink);
+    SINKS.count.store(sinks.len(), Ordering::Release);
+    drop(sinks);
+    epoch_ns(); // pin the epoch no later than installation
+}
+
+/// Number of currently installed sinks.
+pub fn installed_sinks() -> usize {
+    SINKS.count.load(Ordering::Acquire)
+}
+
+/// Removes every installed sink (tests; trace finalisation).
+pub fn uninstall_all() {
+    let mut sinks = lock(&SINKS.sinks);
+    sinks.clear();
+    SINKS.count.store(0, Ordering::Release);
+}
+
+pub(crate) fn emit_span(path: &str, ns: u64) {
+    if SINKS.count.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let event = SpanEvent {
+        path: path.to_owned(),
+        ns,
+        at_ns: epoch_ns(),
+    };
+    for sink in lock(&SINKS.sinks).iter() {
+        sink.span_close(&event);
+    }
+}
+
+pub(crate) fn emit_flush(step: usize) {
+    if SINKS.count.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let snap = registry::snapshot();
+    let flush = StepFlush {
+        step,
+        counters: snap.counters.iter().map(|c| (c.name, c.value)).collect(),
+        gauges: snap.gauges.clone(),
+        at_ns: epoch_ns(),
+    };
+    for sink in lock(&SINKS.sinks).iter() {
+        sink.step_flush(&flush);
+    }
+}
+
+/// In-memory sink for tests and benches: stores every event for querying.
+#[derive(Default)]
+pub struct Recorder {
+    spans: Mutex<Vec<SpanEvent>>,
+    flushes: Mutex<Vec<StepFlush>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder (install with [`install`]).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// All span events so far, in close order.
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        lock(&self.spans).clone()
+    }
+
+    /// All step flushes so far.
+    pub fn step_flushes(&self) -> Vec<StepFlush> {
+        lock(&self.flushes).clone()
+    }
+
+    /// Total nanoseconds over events whose path equals `path`.
+    pub fn total_ns(&self, path: &str) -> u64 {
+        lock(&self.spans)
+            .iter()
+            .filter(|e| e.path == path)
+            .map(|e| e.ns)
+            .sum()
+    }
+
+    /// Total nanoseconds over events whose path starts with `prefix`.
+    pub fn total_ns_under(&self, prefix: &str) -> u64 {
+        let with_sep = format!("{prefix}/");
+        lock(&self.spans)
+            .iter()
+            .filter(|e| e.path == prefix || e.path.starts_with(&with_sep))
+            .map(|e| e.ns)
+            .sum()
+    }
+
+    /// Number of span events with exactly this path.
+    pub fn count(&self, path: &str) -> u64 {
+        lock(&self.spans).iter().filter(|e| e.path == path).count() as u64
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        lock(&self.spans).clear();
+        lock(&self.flushes).clear();
+    }
+}
+
+impl Sink for Recorder {
+    fn span_close(&self, event: &SpanEvent) {
+        lock(&self.spans).push(event.clone());
+    }
+    fn step_flush(&self, flush: &StepFlush) {
+        lock(&self.flushes).push(flush.clone());
+    }
+}
+
+#[cfg(feature = "trace")]
+pub mod jsonl {
+    //! One-JSON-object-per-line trace writer (`trace` feature).
+
+    use std::fs::File;
+    use std::io::{BufWriter, Write};
+    use std::path::Path;
+    use std::sync::{Arc, Mutex};
+
+    use super::{install, Sink, SpanEvent, StepFlush};
+
+    /// Writes every event as one JSON line:
+    /// `{"type":"span","path":"step/deposit","ns":1234,"at_ns":5678}` and
+    /// `{"type":"flush","step":3,"counters":{...},"gauges":{...},"at_ns":…}`.
+    pub struct JsonlSink {
+        out: Mutex<BufWriter<File>>,
+    }
+
+    fn escape(s: &str) -> String {
+        // Span paths and counter names are ASCII identifiers by convention,
+        // but escape defensively so the output is always valid JSON.
+        let mut e = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => e.push_str("\\\""),
+                '\\' => e.push_str("\\\\"),
+                c if (c as u32) < 0x20 => e.push_str(&format!("\\u{:04x}", c as u32)),
+                c => e.push(c),
+            }
+        }
+        e
+    }
+
+    impl JsonlSink {
+        /// Opens (truncates) `path` for trace output.
+        pub fn create(path: impl AsRef<Path>) -> std::io::Result<Arc<Self>> {
+            let file = File::create(path)?;
+            Ok(Arc::new(Self {
+                out: Mutex::new(BufWriter::new(file)),
+            }))
+        }
+
+        fn write_line(&self, line: &str) {
+            let mut out = self
+                .out
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // A full disk mid-trace must not take the simulation down.
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    }
+
+    impl Sink for JsonlSink {
+        fn span_close(&self, event: &SpanEvent) {
+            self.write_line(&format!(
+                "{{\"type\":\"span\",\"path\":\"{}\",\"ns\":{},\"at_ns\":{}}}",
+                escape(&event.path),
+                event.ns,
+                event.at_ns
+            ));
+        }
+
+        fn step_flush(&self, flush: &StepFlush) {
+            let counters = flush
+                .counters
+                .iter()
+                .map(|(name, v)| format!("\"{}\":{}", escape(name), v))
+                .collect::<Vec<_>>()
+                .join(",");
+            let gauges = flush
+                .gauges
+                .iter()
+                .map(|(name, v)| {
+                    let v = if v.is_finite() { *v } else { 0.0 };
+                    format!("\"{}\":{}", escape(name), v)
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            self.write_line(&format!(
+                "{{\"type\":\"flush\",\"step\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"at_ns\":{}}}",
+                flush.step, counters, gauges, flush.at_ns
+            ));
+        }
+    }
+
+    /// Creates a [`JsonlSink`] at `path` and installs it.
+    pub fn install_jsonl(path: impl AsRef<Path>) -> std::io::Result<Arc<JsonlSink>> {
+        let sink = JsonlSink::create(path)?;
+        install(sink.clone());
+        Ok(sink)
+    }
+}

@@ -1,0 +1,79 @@
+//! Hierarchical RAII span timers.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::{registry, sink};
+
+thread_local! {
+    /// Stack of open span labels on this thread; joined with '/' at close.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span; prefer the [`crate::span!`] macro at call sites.
+pub fn enter(label: &'static str) -> SpanGuard {
+    let depth = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(label);
+        s.len()
+    });
+    SpanGuard {
+        start: Instant::now(),
+        depth,
+        closed: false,
+    }
+}
+
+fn current_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("/"))
+}
+
+/// RAII handle for an open span. Closes (records and pops the thread-local
+/// stack) on drop or via [`SpanGuard::stop`].
+///
+/// Guards must close in LIFO order per thread — enforced with a
+/// `debug_assert`, and guaranteed by ordinary scoped usage.
+#[must_use = "a span records its duration when the guard drops"]
+pub struct SpanGuard {
+    start: Instant,
+    depth: usize,
+    closed: bool,
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, without closing the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span now and returns its duration. The returned value is
+    /// the *same measurement* the registry and sinks receive, so callers
+    /// that keep their own copy stay consistent with the trace.
+    pub fn stop(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        debug_assert!(!self.closed, "span closed twice");
+        let elapsed = self.start.elapsed();
+        let path = current_path();
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.len(), self.depth, "span guards must close in LIFO order");
+            s.pop();
+        });
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        registry::record_span(&path, ns);
+        sink::emit_span(&path, ns);
+        self.closed = true;
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.close();
+        }
+    }
+}

@@ -1,0 +1,195 @@
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::{flush_step, install, snapshot, uninstall_all, Counter, Gauge, Recorder};
+
+/// The registry and sink roster are process-global; tests that reset or
+/// install must not interleave.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn nested_spans_build_hierarchical_paths() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let rec = Recorder::new();
+    install(rec.clone());
+    {
+        let _outer = crate::span!("outer_span_test");
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _inner = crate::span!("inner");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let events = rec.span_events();
+    let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+    assert!(paths.contains(&"outer_span_test/inner"), "paths: {paths:?}");
+    assert!(paths.contains(&"outer_span_test"), "paths: {paths:?}");
+    // Inner closes first; outer's duration includes the inner's.
+    let inner = rec.total_ns("outer_span_test/inner");
+    let outer = rec.total_ns("outer_span_test");
+    assert!(outer >= inner, "outer {outer} must cover inner {inner}");
+    uninstall_all();
+}
+
+#[test]
+fn stop_returns_the_recorded_duration() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let rec = Recorder::new();
+    install(rec.clone());
+    let guard = crate::span!("stop_test");
+    std::thread::sleep(Duration::from_millis(1));
+    let d = guard.stop();
+    let events = rec.span_events();
+    let event = events
+        .iter()
+        .find(|e| e.path == "stop_test")
+        .expect("span recorded");
+    assert_eq!(event.ns, u64::try_from(d.as_nanos()).unwrap());
+    uninstall_all();
+}
+
+#[test]
+fn registry_accumulates_across_closes() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    for _ in 0..3 {
+        let _g = crate::span!("accumulation_test");
+    }
+    let snap = snapshot();
+    let stat = snap.span("accumulation_test").expect("span present");
+    assert_eq!(stat.count, 3);
+    assert!(stat.mean() <= stat.total());
+}
+
+#[test]
+fn counters_and_gauges_register_on_first_touch() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    static HITS: Counter = Counter::new("test.hits");
+    static DEPTH: Gauge = Gauge::new("test.depth");
+    HITS.add(2);
+    HITS.incr();
+    DEPTH.set(1.5);
+    assert_eq!(crate::counter_value("test.hits"), Some(3));
+    assert_eq!(crate::gauge_value("test.depth"), Some(1.5));
+    let snap = snapshot();
+    assert_eq!(snap.counter("test.hits"), Some(3));
+}
+
+#[test]
+fn counter_adds_are_thread_safe() {
+    let _gate = serial();
+    crate::reset();
+    static PAR_HITS: Counter = Counter::new("test.par_hits");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..1000 {
+                    PAR_HITS.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(PAR_HITS.get(), 8000);
+}
+
+#[test]
+fn step_flush_reaches_sinks_with_counter_values() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    static FLUSHED: Counter = Counter::new("test.flushed");
+    FLUSHED.add(7);
+    let rec = Recorder::new();
+    install(rec.clone());
+    flush_step(42);
+    let flushes = rec.step_flushes();
+    assert_eq!(flushes.len(), 1);
+    assert_eq!(flushes[0].step, 42);
+    let (_, v) = flushes[0]
+        .counters
+        .iter()
+        .find(|(n, _)| *n == "test.flushed")
+        .expect("counter in flush");
+    assert_eq!(*v, 7);
+    uninstall_all();
+}
+
+#[test]
+fn children_total_sums_only_direct_children() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    {
+        let _root = crate::span!("tree_test");
+        let _a = crate::span!("a");
+    }
+    {
+        let _root = crate::span!("tree_test");
+        let _b = crate::span!("b");
+        let _deep = crate::span!("deep");
+    }
+    let snap = snapshot();
+    let children = snap.children_total_ns("tree_test");
+    let a = snap.span("tree_test/a").unwrap().total_ns;
+    let b = snap.span("tree_test/b").unwrap().total_ns;
+    let deep = snap.span("tree_test/b/deep").unwrap().total_ns;
+    assert_eq!(children, a + b, "grandchild {deep} must not be counted");
+}
+
+#[test]
+fn no_sink_is_a_cheap_no_op() {
+    let _gate = serial();
+    uninstall_all();
+    assert_eq!(crate::installed_sinks(), 0);
+    // Must not panic or allocate sinks-side state.
+    for _ in 0..100 {
+        let _g = crate::span!("no_sink_test");
+    }
+    flush_step(0);
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn jsonl_sink_writes_valid_lines() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let path = std::env::temp_dir().join(format!("obs_trace_test_{}.jsonl", std::process::id()));
+    {
+        let _sink = crate::install_jsonl(&path).expect("create trace file");
+        static TRACED: Counter = Counter::new("test.traced");
+        TRACED.incr();
+        let _g = crate::span!("jsonl_test");
+        drop(_g);
+        flush_step(1);
+        uninstall_all();
+    }
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"type\":\"span\"") && l.contains("jsonl_test")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"type\":\"flush\"") && l.contains("\"step\":1")));
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "balanced braces: {line}"
+        );
+    }
+}

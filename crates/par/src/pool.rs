@@ -14,6 +14,20 @@ use crate::latch::{CountLatch, LatchGuard};
 use crate::range::split_evenly;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+/// First panic payload captured by a scoped parallel loop.
+type PanicSlot = Mutex<Option<Box<dyn Any + Send>>>;
+/// The chunk-claiming loop each broadcast job runs (see `parallel_for_chunks`).
+type DriveFn<'a> = dyn Fn(&AtomicUsize, &PanicSlot) + Sync + 'a;
+
+/// Successful steals from a peer worker's deque (relaxed-atomic; safe from
+/// any worker).
+static POOL_STEALS: beamdyn_obs::Counter = beamdyn_obs::Counter::new("par.steals");
+/// Times a worker found no work anywhere and parked on the condvar.
+static POOL_PARKS: beamdyn_obs::Counter = beamdyn_obs::Counter::new("par.parks");
+/// Jobs pulled from the global injector (batch head or single steal).
+static POOL_INJECTOR_POPS: beamdyn_obs::Counter = beamdyn_obs::Counter::new("par.injector_pops");
+/// Injector depth observed at the most recent submission.
+static POOL_QUEUE_DEPTH: beamdyn_obs::Gauge = beamdyn_obs::Gauge::new("par.queue_depth");
 
 struct Shared {
     injector: Injector<Job>,
@@ -43,7 +57,10 @@ impl Shared {
                 .map(|l| self.injector.steal_batch_and_pop(l))
                 .unwrap_or_else(|| self.injector.steal())
             {
-                Steal::Success(job) => return Some(job),
+                Steal::Success(job) => {
+                    POOL_INJECTOR_POPS.incr();
+                    return Some(job);
+                }
                 Steal::Empty => break,
                 Steal::Retry => continue,
             }
@@ -51,7 +68,10 @@ impl Shared {
         for stealer in &self.stealers {
             loop {
                 match stealer.steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        POOL_STEALS.incr();
+                        return Some(job);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -113,6 +133,7 @@ impl ThreadPool {
     /// Submits a fire-and-forget job.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         self.shared.injector.push(Box::new(job));
+        POOL_QUEUE_DEPTH.set(self.shared.injector.len() as f64);
         self.shared.notify();
     }
 
@@ -151,9 +172,9 @@ impl ThreadPool {
 
         let cursor = AtomicUsize::new(range.start);
         let end = range.end;
-        let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let panic_slot: PanicSlot = Mutex::new(None);
 
-        let drive = |cursor: &AtomicUsize, panic_slot: &Mutex<Option<Box<dyn Any + Send>>>| loop {
+        let drive = |cursor: &AtomicUsize, panic_slot: &PanicSlot| loop {
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= end {
                 break;
@@ -179,13 +200,10 @@ impl ThreadPool {
         // panics count too) and `wait_while_helping` does not return until
         // the latch is fully released, so no job can outlive this frame.
         unsafe {
-            let drive_ref: &(dyn Fn(&AtomicUsize, &Mutex<Option<Box<dyn Any + Send>>>) + Sync) =
-                &drive;
-            let drive_static: &'static (dyn Fn(&AtomicUsize, &Mutex<Option<Box<dyn Any + Send>>>)
-                         + Sync) = std::mem::transmute(drive_ref);
+            let drive_ref: &DriveFn<'_> = &drive;
+            let drive_static: &'static DriveFn<'static> = std::mem::transmute(drive_ref);
             let cursor_static: &'static AtomicUsize = std::mem::transmute(&cursor);
-            let panic_static: &'static Mutex<Option<Box<dyn Any + Send>>> =
-                std::mem::transmute(&panic_slot);
+            let panic_static: &'static PanicSlot = std::mem::transmute(&panic_slot);
             let latch_static: &'static CountLatch = std::mem::transmute(&latch);
             for _ in 0..broadcast {
                 self.shared.injector.push(Box::new(move || {
@@ -194,6 +212,7 @@ impl ThreadPool {
                 }));
             }
         }
+        POOL_QUEUE_DEPTH.set(self.shared.injector.len() as f64);
         self.shared.notify();
 
         drive(&cursor, &panic_slot);
@@ -226,10 +245,9 @@ impl ThreadPool {
         unsafe { out.set_len(len) };
         let base = SendPtr(out.as_mut_ptr());
         self.parallel_for_chunks(0..len, 1, |chunk| {
-            let base = base;
             for i in chunk {
                 // SAFETY: `i` is unique to this chunk; slot written once.
-                unsafe { (*base.0.add(i)).write(f(i)) };
+                unsafe { (*base.get().add(i)).write(f(i)) };
             }
         });
         // SAFETY: all `len` slots initialized by the loop above.
@@ -264,10 +282,7 @@ impl ThreadPool {
             }
             acc
         });
-        partials
-            .into_iter()
-            .flatten()
-            .fold(identity, |a, b| reduce(a, b))
+        partials.into_iter().flatten().fold(identity, reduce)
     }
 
     /// Blocks until `latch` is released, running queued jobs in the meantime.
@@ -310,15 +325,22 @@ fn worker_loop(shared: &Shared, local: &WorkerDeque<Job>) {
         if shared.shutdown.load(Ordering::SeqCst) || !shared.injector.is_empty() {
             continue;
         }
-        shared
-            .wake
-            .wait_for(&mut guard, Duration::from_millis(10));
+        POOL_PARKS.incr();
+        shared.wake.wait_for(&mut guard, Duration::from_millis(10));
     }
 }
 
 /// Raw-pointer wrapper that asserts cross-thread use is safe because each
 /// thread touches disjoint slots.
 struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare raw pointer — 2021 precise capture
+    /// would otherwise strip the Send/Sync impls.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self

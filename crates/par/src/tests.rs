@@ -182,6 +182,98 @@ fn parallel_for_chunks_respects_min_chunk() {
 }
 
 #[test]
+fn panic_in_chunk_body_propagates_and_pool_stays_usable() {
+    let pool = ThreadPool::new(3);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.parallel_for_chunks(0..512, 8, |chunk| {
+            if chunk.contains(&200) {
+                panic!("chunk boom");
+            }
+        });
+    }));
+    assert!(result.is_err(), "panic must reach the caller");
+    // Every combinator must still work on the same pool afterwards.
+    let sum = AtomicUsize::new(0);
+    pool.parallel_for_chunks(0..100, 4, |chunk| {
+        sum.fetch_add(chunk.sum::<usize>(), Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    let total = pool.parallel_reduce(0..100usize, 0u64, |i| i as u64, |a, b| a + b);
+    assert_eq!(total, 4950);
+}
+
+#[test]
+fn zero_thread_pool_runs_every_combinator() {
+    let pool = ThreadPool::new(0);
+    assert_eq!(pool.num_threads(), 0);
+
+    let hits = AtomicUsize::new(0);
+    pool.parallel_for(0..50, |_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 50);
+
+    let covered = AtomicUsize::new(0);
+    pool.parallel_for_chunks(0..50, 8, |chunk| {
+        covered.fetch_add(chunk.len(), Ordering::Relaxed);
+    });
+    assert_eq!(covered.load(Ordering::Relaxed), 50);
+
+    let input: Vec<u64> = (0..50).collect();
+    assert_eq!(pool.parallel_map(&input, |&x| x + 1)[49], 50);
+    assert_eq!(pool.parallel_map_indexed(50, |i| i * 2)[49], 98);
+    assert_eq!(
+        pool.parallel_reduce(0..50usize, 0u64, |i| i as u64, |a, b| a + b),
+        1225
+    );
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn parallel_reduce_matches_sequential_fold(
+            values in prop::collection::vec(-1_000i64..1_000, 0..300),
+            threads in 0usize..5,
+        ) {
+            let pool = ThreadPool::new(threads);
+            let expected: i64 = values.iter().sum();
+            let got = pool.parallel_reduce(0..values.len(), 0i64, |i| values[i], |a, b| a + b);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn parallel_map_equals_sequential_map(
+            values in prop::collection::vec(0u64..1_000_000, 0..200),
+            threads in 0usize..5,
+        ) {
+            let pool = ThreadPool::new(threads);
+            let got = pool.parallel_map(&values, |&x| x.wrapping_mul(2654435761).rotate_left(7));
+            let want: Vec<u64> = values.iter().map(|&x| x.wrapping_mul(2654435761).rotate_left(7)).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn parallel_for_chunks_covers_exactly_once(
+            len in 0usize..2_000,
+            min_chunk in 1usize..128,
+            threads in 0usize..5,
+        ) {
+            let pool = ThreadPool::new(threads);
+            let counts: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for_chunks(0..len, min_chunk, |chunk| {
+                for i in chunk {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            prop_assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+}
+
+#[test]
 fn pool_drop_joins_workers() {
     let pool = ThreadPool::new(3);
     let sum = AtomicUsize::new(0);

@@ -27,15 +27,17 @@ pub struct DepositSample {
 ///
 /// Particles outside the grid rectangle are dropped (counted in the return
 /// value), matching the usual PIC convention for escaping particles. Each
-/// worker deposits into a private grid; privates are then accumulated in a
-/// fixed order so the result is deterministic for a given chunk split.
+/// chunk deposits into a private grid; privates are then accumulated in
+/// chunk order. The chunk size is a fixed constant — NOT derived from the
+/// pool width — so the floating-point accumulation order, and therefore
+/// the result, is bit-identical for every thread count
+/// (tests/determinism.rs).
 ///
 /// Returns the number of samples that fell outside the grid.
 pub fn deposit_cic(pool: &ThreadPool, grid: &mut MomentGrid, samples: &[DepositSample]) -> usize {
     let geometry = grid.geometry();
-    let chunk = samples.len().div_ceil((pool.num_threads() + 1).max(1));
-    let chunk = chunk.max(1);
-    let chunks: Vec<&[DepositSample]> = samples.chunks(chunk).collect();
+    const CHUNK: usize = 4096;
+    let chunks: Vec<&[DepositSample]> = samples.chunks(CHUNK).collect();
 
     let partials: Vec<(MomentGrid, usize)> = pool.parallel_map(&chunks, |part| {
         let mut local = MomentGrid::zeros(geometry);
@@ -77,7 +79,12 @@ fn deposit_one(grid: &mut MomentGrid, s: &DepositSample) -> bool {
         tx * ty,
     ];
     let inv_area = 1.0 / (geometry.dx() * geometry.dy());
-    let cells = [(ix0, iy0), (ix0 + 1, iy0), (ix0, iy0 + 1), (ix0 + 1, iy0 + 1)];
+    let cells = [
+        (ix0, iy0),
+        (ix0 + 1, iy0),
+        (ix0, iy0 + 1),
+        (ix0 + 1, iy0 + 1),
+    ];
     for (&(ix, iy), &wi) in cells.iter().zip(&w) {
         let q = s.weight * wi * inv_area;
         grid.add(MOMENT_CHARGE, ix, iy, q);

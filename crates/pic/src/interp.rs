@@ -77,7 +77,10 @@ impl Stencil27 {
     /// mildly extrapolatory there — the standard structured-grid treatment.
     pub fn new(grid: &MomentGrid, x: f64, y: f64, s: f64) -> Self {
         let geometry = grid.geometry();
-        assert!(geometry.nx >= 3 && geometry.ny >= 3, "stencil needs a 3x3 patch");
+        assert!(
+            geometry.nx >= 3 && geometry.ny >= 3,
+            "stencil needs a 3x3 patch"
+        );
         let (fx, fy) = geometry.fractional(x, y);
         // Nearest cell centre, kept one cell away from the border.
         let cx = (fx.round() as isize).clamp(1, geometry.nx as isize - 2);

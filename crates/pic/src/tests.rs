@@ -34,7 +34,8 @@ fn moment_grid_planar_layout_matches_index() {
     let mut m = MomentGrid::zeros(g);
     m.set(MOMENT_JX, 2, 1, 7.5);
     let flat = m.as_slice();
-    assert_eq!(flat[1 * 12 + 1 * 4 + 2], 7.5);
+    // component 1 (J_x), row 1, column 2 of the planar layout
+    assert_eq!(flat[12 + 4 + 2], 7.5);
     assert_eq!(m.get(MOMENT_JX, 2, 1), 7.5);
     assert_eq!(m.component(MOMENT_JX)[6], 7.5);
 }
@@ -72,9 +73,27 @@ fn deposit_drops_out_of_domain_samples() {
     let g = GridGeometry::unit(8, 8);
     let mut grid = MomentGrid::zeros(g);
     let samples = vec![
-        DepositSample { x: 0.5, y: 0.5, weight: 1.0, vx: 0.0, vy: 0.0 },
-        DepositSample { x: 1.5, y: 0.5, weight: 1.0, vx: 0.0, vy: 0.0 },
-        DepositSample { x: f64::NAN, y: 0.5, weight: 1.0, vx: 0.0, vy: 0.0 },
+        DepositSample {
+            x: 0.5,
+            y: 0.5,
+            weight: 1.0,
+            vx: 0.0,
+            vy: 0.0,
+        },
+        DepositSample {
+            x: 1.5,
+            y: 0.5,
+            weight: 1.0,
+            vx: 0.0,
+            vy: 0.0,
+        },
+        DepositSample {
+            x: f64::NAN,
+            y: 0.5,
+            weight: 1.0,
+            vx: 0.0,
+            vy: 0.0,
+        },
     ];
     let dropped = deposit_cic(&pool, &mut grid, &samples);
     assert_eq!(dropped, 2);
@@ -94,7 +113,13 @@ fn deposit_matches_sequential_reference() {
         .map(|i| {
             let a = (i as f64) * 0.61803398875 % 1.0;
             let b = (i as f64) * 0.41421356237 % 1.0;
-            DepositSample { x: a, y: b, weight: 1.0, vx: a, vy: b }
+            DepositSample {
+                x: a,
+                y: b,
+                weight: 1.0,
+                vx: a,
+                vy: b,
+            }
         })
         .collect();
     let mut grid_a = MomentGrid::zeros(g);
@@ -118,7 +143,10 @@ fn bilinear_gather_reproduces_linear_field_exactly() {
     }
     for &(x, y) in &[(0.31, 0.62), (0.5, 0.5), (0.91, 0.13)] {
         let v = bilinear_gather(&grid, MOMENT_CHARGE, x, y);
-        assert!((v - (3.0 * x - 2.0 * y + 1.0)).abs() < 1e-10, "at ({x},{y})");
+        assert!(
+            (v - (3.0 * x - 2.0 * y + 1.0)).abs() < 1e-10,
+            "at ({x},{y})"
+        );
     }
 }
 

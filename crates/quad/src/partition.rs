@@ -14,7 +14,10 @@ impl Partition {
     /// Panics if fewer than two points are given or they are not strictly
     /// increasing.
     pub fn new(breaks: Vec<f64>) -> Self {
-        assert!(breaks.len() >= 2, "a partition needs at least two breakpoints");
+        assert!(
+            breaks.len() >= 2,
+            "a partition needs at least two breakpoints"
+        );
         assert!(
             breaks.windows(2).all(|w| w[0] < w[1]),
             "breakpoints must be strictly increasing"

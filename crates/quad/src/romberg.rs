@@ -109,7 +109,11 @@ mod tests {
             f,
             0.0,
             1.0,
-            crate::AdaptiveOptions { tolerance: 1e-10, max_depth: 40, min_depth: 4 },
+            crate::AdaptiveOptions {
+                tolerance: 1e-10,
+                max_depth: 40,
+                min_depth: 4,
+            },
         );
         assert!((r.integral - a.integral).abs() < 1e-8);
     }

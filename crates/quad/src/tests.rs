@@ -64,7 +64,11 @@ fn simpson_estimate_error_tracks_true_error() {
     let est = simpson_estimate(f64::exp, 0.0, 1.0);
     let truth = std::f64::consts::E - 1.0;
     let actual = (est.integral - truth).abs();
-    assert!(actual <= est.error.max(1e-9) * 10.0, "actual {actual} vs est {}", est.error);
+    assert!(
+        actual <= est.error.max(1e-9) * 10.0,
+        "actual {actual} vs est {}",
+        est.error
+    );
 }
 
 #[test]
@@ -130,7 +134,12 @@ fn merge_partitions_dedups_near_coincident_points() {
     let a = Partition::new(vec![0.0, 0.5, 1.0]);
     let b = Partition::new(vec![0.0, 0.5 + 1e-14, 1.0]);
     let merged = merge_partitions(&a, &b, 1e-12);
-    assert_eq!(merged.cells(), 2, "near-duplicates collapse: {:?}", merged.breaks());
+    assert_eq!(
+        merged.cells(),
+        2,
+        "near-duplicates collapse: {:?}",
+        merged.breaks()
+    );
 }
 
 #[test]
@@ -175,7 +184,12 @@ fn adaptive_simpson_concentrates_cells_near_sharp_feature() {
 
 #[test]
 fn adaptive_simpson_partition_tiles_the_interval() {
-    let res = adaptive_simpson(|x: f64| 1.0 / (1.0 + 25.0 * x * x), -1.0, 1.0, AdaptiveOptions::default());
+    let res = adaptive_simpson(
+        |x: f64| 1.0 / (1.0 + 25.0 * x * x),
+        -1.0,
+        1.0,
+        AdaptiveOptions::default(),
+    );
     let (lo, hi) = res.partition.span();
     assert_eq!((lo, hi), (-1.0, 1.0));
     // atan(5x)/5 primitive
@@ -198,8 +212,17 @@ fn adaptive_simpson_saturates_at_max_depth() {
 #[test]
 fn eval_on_partition_accepts_everything_on_fine_partition() {
     let f = |x: f64| (3.0 * x).cos();
-    let fine = adaptive_simpson(f, 0.0, 2.0, AdaptiveOptions { tolerance: 1e-9, max_depth: 40, min_depth: 3 })
-        .partition;
+    let fine = adaptive_simpson(
+        f,
+        0.0,
+        2.0,
+        AdaptiveOptions {
+            tolerance: 1e-9,
+            max_depth: 40,
+            min_depth: 3,
+        },
+    )
+    .partition;
     let eval = eval_on_partition(f, &fine, 1e-8);
     assert!(eval.failed.is_empty(), "failed cells: {:?}", eval.failed);
     let truth = (6.0f64).sin() / 3.0;
@@ -229,10 +252,28 @@ fn fixed_plus_adaptive_fallback_matches_direct_adaptive() {
     let eval = eval_on_partition(f, &coarse, tol);
     let mut total = eval.integral;
     for cell in &eval.failed {
-        let res = adaptive_simpson(f, cell.a, cell.b, AdaptiveOptions { tolerance: tol * (cell.b - cell.a) / 3.0, max_depth: 40, min_depth: 2 });
+        let res = adaptive_simpson(
+            f,
+            cell.a,
+            cell.b,
+            AdaptiveOptions {
+                tolerance: tol * (cell.b - cell.a) / 3.0,
+                max_depth: 40,
+                min_depth: 2,
+            },
+        );
         total += res.integral;
     }
-    let reference = adaptive_simpson(f, 0.0, 3.0, AdaptiveOptions { tolerance: 1e-12, max_depth: 48, min_depth: 3 });
+    let reference = adaptive_simpson(
+        f,
+        0.0,
+        3.0,
+        AdaptiveOptions {
+            tolerance: 1e-12,
+            max_depth: 48,
+            min_depth: 3,
+        },
+    );
     assert_close(total, reference.integral, 1e-6, "fallback composition");
 }
 

@@ -2,10 +2,10 @@
 
 use beamdyn_par::ThreadPool;
 
-pub use crate::warp::WarpThread;
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
 use crate::timing::sm_cycles;
+pub use crate::warp::WarpThread;
 use crate::warp::{replay_warp, SmState};
 
 /// Grid dimensions of a kernel launch.
@@ -83,7 +83,8 @@ where
             run_block(device, &mut sm, config, block, &make, &finish, &mut results);
             block += sms;
         }
-        sm.stats.max_sm_cycles = sm_cycles(device, sm.stats.issued_lane_flops, sm.stats.l1_accesses);
+        sm.stats.max_sm_cycles =
+            sm_cycles(device, sm.stats.issued_lane_flops, sm.stats.l1_accesses);
         (sm.stats, results)
     });
 

@@ -69,16 +69,14 @@ pub fn occupancy(
     let by_warps = limits.max_warps / warps_per_block.max(1);
     let by_blocks = limits.max_blocks;
     let regs_per_block = resources.registers_per_thread * warps_per_block * device.warp_size;
-    let by_registers = if regs_per_block == 0 {
-        usize::MAX
-    } else {
-        limits.registers / regs_per_block
-    };
-    let by_shared = if resources.shared_per_block == 0 {
-        usize::MAX
-    } else {
-        limits.shared_memory / resources.shared_per_block
-    };
+    let by_registers = limits
+        .registers
+        .checked_div(regs_per_block)
+        .unwrap_or(usize::MAX);
+    let by_shared = limits
+        .shared_memory
+        .checked_div(resources.shared_per_block)
+        .unwrap_or(usize::MAX);
 
     let (blocks, limiter) = [
         (by_warps, "warps"),

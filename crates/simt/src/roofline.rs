@@ -32,10 +32,7 @@ impl Roofline {
         Self {
             peak_gflops: device.peak_dp_flops() / 1e9,
             bandwidths: vec![
-                (
-                    "theoretical peak".to_string(),
-                    device.dram_bandwidth_peak,
-                ),
+                ("theoretical peak".to_string(), device.dram_bandwidth_peak),
                 ("measured".to_string(), device.dram_bandwidth_measured),
             ],
             points: Vec::new(),

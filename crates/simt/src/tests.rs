@@ -20,11 +20,7 @@ fn recorder_merges_adjacent_flops() {
     rec.flops(1);
     assert_eq!(
         rec.ops(),
-        &[
-            Op::Flops(7),
-            Op::Load { addr: 16, bytes: 8 },
-            Op::Flops(1)
-        ]
+        &[Op::Flops(7), Op::Load { addr: 16, bytes: 8 }, Op::Flops(1)]
     );
     rec.clear();
     assert!(rec.is_empty());
@@ -166,7 +162,10 @@ fn stream_launch(iters_for: impl Fn(usize) -> usize + Sync) -> crate::LaunchOutp
     launch(
         &pool(),
         &device,
-        LaunchConfig { blocks: 2, threads_per_block: 8 },
+        LaunchConfig {
+            blocks: 2,
+            threads_per_block: 8,
+        },
         |tid| {
             Some(StreamThread {
                 tid,
@@ -221,7 +220,10 @@ fn padding_lanes_cost_efficiency_but_produce_no_results() {
     let out = launch(
         &pool(),
         &device,
-        LaunchConfig { blocks: 1, threads_per_block: 4 },
+        LaunchConfig {
+            blocks: 1,
+            threads_per_block: 4,
+        },
         |tid| {
             (tid < 2).then_some(StreamThread {
                 tid,
@@ -284,11 +286,18 @@ fn broadcast_workload_has_high_l1_hit_rate_and_gld_over_100() {
     let out = launch(
         &pool(),
         &device,
-        LaunchConfig { blocks: 2, threads_per_block: 8 },
+        LaunchConfig {
+            blocks: 2,
+            threads_per_block: 8,
+        },
         |_| Some(BroadcastThread { iters: 50, done: 0 }),
         |_| (),
     );
-    assert!(out.stats.l1_hit_rate() > 0.9, "hit rate {}", out.stats.l1_hit_rate());
+    assert!(
+        out.stats.l1_hit_rate() > 0.9,
+        "hit rate {}",
+        out.stats.l1_hit_rate()
+    );
     // 4 lanes × 8 B from one address fill exactly one 32 B segment.
     assert!(
         out.stats.global_load_efficiency() >= 1.0 - 1e-12,
@@ -314,7 +323,10 @@ fn overlapping_wide_loads_push_gld_efficiency_over_100() {
     let out = launch(
         &pool(),
         &device,
-        LaunchConfig { blocks: 1, threads_per_block: 4 },
+        LaunchConfig {
+            blocks: 1,
+            threads_per_block: 4,
+        },
         |_| Some(WideBroadcast(8)),
         |_| (),
     );
@@ -329,11 +341,24 @@ fn scatter_workload_misses_and_burns_bandwidth() {
     let out = launch(
         &pool(),
         &device,
-        LaunchConfig { blocks: 2, threads_per_block: 8 },
-        |tid| Some(ScatterThread { tid, iters: 50, done: 0 }),
+        LaunchConfig {
+            blocks: 2,
+            threads_per_block: 8,
+        },
+        |tid| {
+            Some(ScatterThread {
+                tid,
+                iters: 50,
+                done: 0,
+            })
+        },
         |_| (),
     );
-    assert!(out.stats.l1_hit_rate() < 0.1, "hit rate {}", out.stats.l1_hit_rate());
+    assert!(
+        out.stats.l1_hit_rate() < 0.1,
+        "hit rate {}",
+        out.stats.l1_hit_rate()
+    );
     assert!(out.stats.global_load_efficiency() < 0.5);
     assert!(out.stats.dram_bytes > 0);
 }
@@ -342,13 +367,33 @@ fn scatter_workload_misses_and_burns_bandwidth() {
 fn better_locality_means_higher_ai_and_gflops() {
     let device = DeviceConfig::test_tiny();
     let p = pool();
-    let cfg = LaunchConfig { blocks: 2, threads_per_block: 8 };
-    let good = launch(&p, &device, cfg, |_| Some(BroadcastThread { iters: 200, done: 0 }), |_| ());
+    let cfg = LaunchConfig {
+        blocks: 2,
+        threads_per_block: 8,
+    };
+    let good = launch(
+        &p,
+        &device,
+        cfg,
+        |_| {
+            Some(BroadcastThread {
+                iters: 200,
+                done: 0,
+            })
+        },
+        |_| (),
+    );
     let bad = launch(
         &p,
         &device,
         cfg,
-        |tid| Some(ScatterThread { tid, iters: 200, done: 0 }),
+        |tid| {
+            Some(ScatterThread {
+                tid,
+                iters: 200,
+                done: 0,
+            })
+        },
         |_| (),
     );
     assert!(good.stats.arithmetic_intensity() > bad.stats.arithmetic_intensity());
@@ -363,9 +408,36 @@ fn better_locality_means_higher_ai_and_gflops() {
 fn launch_is_deterministic() {
     let device = DeviceConfig::test_tiny();
     let p = pool();
-    let cfg = LaunchConfig { blocks: 3, threads_per_block: 8 };
-    let a = launch(&p, &device, cfg, |tid| Some(ScatterThread { tid, iters: 20, done: 0 }), |_| ());
-    let b = launch(&p, &device, cfg, |tid| Some(ScatterThread { tid, iters: 20, done: 0 }), |_| ());
+    let cfg = LaunchConfig {
+        blocks: 3,
+        threads_per_block: 8,
+    };
+    let a = launch(
+        &p,
+        &device,
+        cfg,
+        |tid| {
+            Some(ScatterThread {
+                tid,
+                iters: 20,
+                done: 0,
+            })
+        },
+        |_| (),
+    );
+    let b = launch(
+        &p,
+        &device,
+        cfg,
+        |tid| {
+            Some(ScatterThread {
+                tid,
+                iters: 20,
+                done: 0,
+            })
+        },
+        |_| (),
+    );
     assert_eq!(a.stats, b.stats);
 }
 
@@ -387,7 +459,10 @@ fn stores_count_as_dram_traffic() {
     let out = launch(
         &pool(),
         &device,
-        LaunchConfig { blocks: 1, threads_per_block: 4 },
+        LaunchConfig {
+            blocks: 1,
+            threads_per_block: 4,
+        },
         |_| Some(StoreThread(false)),
         |_| (),
     );
@@ -399,8 +474,16 @@ fn stores_count_as_dram_traffic() {
 
 #[test]
 fn stats_merge_adds_counters_and_maxes_cycles() {
-    let mut a = KernelStats { useful_flops: 10, max_sm_cycles: 5.0, ..Default::default() };
-    let b = KernelStats { useful_flops: 7, max_sm_cycles: 9.0, ..Default::default() };
+    let mut a = KernelStats {
+        useful_flops: 10,
+        max_sm_cycles: 5.0,
+        ..Default::default()
+    };
+    let b = KernelStats {
+        useful_flops: 7,
+        max_sm_cycles: 9.0,
+        ..Default::default()
+    };
     a.merge(&b);
     assert_eq!(a.useful_flops, 17);
     assert_eq!(a.max_sm_cycles, 9.0);
@@ -427,8 +510,11 @@ fn timing_bottleneck_identifies_compute_bound_kernel() {
     let stats = KernelStats {
         useful_flops: u64::MAX / 4,
         issued_lane_flops: 1 << 40,
-        max_sm_cycles: crate::KernelStats { issued_lane_flops: 1 << 40, ..Default::default() }
-            .issued_lane_flops as f64
+        max_sm_cycles: crate::KernelStats {
+            issued_lane_flops: 1 << 40,
+            ..Default::default()
+        }
+        .issued_lane_flops as f64
             / 16.0,
         dram_bytes: 8,
         ..Default::default()
@@ -482,7 +568,10 @@ fn gld_efficiency_zero_for_no_loads() {
     let stats = KernelStats::default();
     assert_eq!(stats.global_load_efficiency(), 0.0);
     assert_eq!(stats.l1_hit_rate(), 0.0);
-    assert_eq!(stats.warp_execution_efficiency(&DeviceConfig::test_tiny()), 0.0);
+    assert_eq!(
+        stats.warp_execution_efficiency(&DeviceConfig::test_tiny()),
+        0.0
+    );
 }
 
 #[test]

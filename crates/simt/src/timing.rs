@@ -62,11 +62,7 @@ impl TimingBreakdown {
 /// * L1/LSU pipe: one cycle per L1 line transaction.
 ///
 /// The two pipes dual-issue, so the SM's demand is their maximum.
-pub(crate) fn sm_cycles(
-    device: &DeviceConfig,
-    issued_lane_flops: u64,
-    l1_accesses: u64,
-) -> f64 {
+pub(crate) fn sm_cycles(device: &DeviceConfig, issued_lane_flops: u64, l1_accesses: u64) -> f64 {
     let dp_cycles = issued_lane_flops as f64 / (device.dp_lanes_per_sm as f64 * 2.0);
     let lsu_cycles = l1_accesses as f64;
     dp_cycles.max(lsu_cycles)

@@ -41,11 +41,7 @@ pub trait WarpThread {
 /// `lanes` holds the warp's live threads (length ≤ warp size; missing lanes
 /// model the tail of a partial warp and count against execution efficiency,
 /// matching `nvprof`).
-pub(crate) fn replay_warp<T: WarpThread>(
-    device: &DeviceConfig,
-    sm: &mut SmState,
-    lanes: &mut [T],
-) {
+pub(crate) fn replay_warp<T: WarpThread>(device: &DeviceConfig, sm: &mut SmState, lanes: &mut [T]) {
     let warp_size = device.warp_size;
     debug_assert!(lanes.len() <= warp_size);
     sm.stats.warps += 1;

@@ -70,6 +70,11 @@ fn main() {
     let wake = longitudinal_wake_of(&density, 0.0, ds);
     println!("final-bunch CSR wake (s relative to centroid {:.3}):", cx);
     for i in (0..n).step_by(8) {
-        println!("  s = {:+.3}: λ = {:8.3}, wake = {:+9.3}", i as f64 * ds - cx, density[i], wake[i]);
+        println!(
+            "  s = {:+.3}: λ = {:8.3}, wake = {:+9.3}",
+            i as f64 * ds - cx,
+            density[i],
+            wake[i]
+        );
     }
 }

@@ -21,7 +21,11 @@ fn main() {
         "{:>14} | {:>8} | {:>8} | {:>7} | {:>7} | {:>9} | {:>11}",
         "kernel", "warp eff", "gld eff", "L1 hit", "AI", "GFlops/s", "stage time"
     );
-    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
         let geometry = GridGeometry::unit(32, 32);
         let mut config = SimulationConfig::standard(geometry, kernel);
         config.rp = RpConfig {

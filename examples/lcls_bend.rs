@@ -17,15 +17,21 @@ use beamdyn::simt::DeviceConfig;
 
 fn main() {
     let lattice = BendLattice::preset(LatticePreset::LclsBend);
-    println!("LCLS bend: R0 = {:.2} m, θ = {:.1}°, σ_s = {:.0} µm, Q = {:.0} nC",
+    println!(
+        "LCLS bend: R0 = {:.2} m, θ = {:.1}°, σ_s = {:.0} µm, Q = {:.0} nC",
         lattice.radius_m,
         lattice.angle_rad.to_degrees(),
         lattice.sigma_s_m * 1e6,
-        lattice.charge_c * 1e9);
-    println!("overtaking length = {:.3} m (sets the retardation depth κ)",
-        lattice.overtaking_length_m());
-    println!("CSR wake prefactor = {:.3e} (Gaussian units, per charge²)\n",
-        lattice.csr_wake_prefactor());
+        lattice.charge_c * 1e9
+    );
+    println!(
+        "overtaking length = {:.3} m (sets the retardation depth κ)",
+        lattice.overtaking_length_m()
+    );
+    println!(
+        "CSR wake prefactor = {:.3e} (Gaussian units, per charge²)\n",
+        lattice.csr_wake_prefactor()
+    );
 
     // Normalised simulation: σ_s maps to 0.1 grid units.
     let pool = ThreadPool::new(4);
@@ -55,14 +61,20 @@ fn main() {
         drift_vx: 0.05,
         chirp: 0.0,
     };
-    println!("normalised bunch: σ_x = {:.3}, σ_y = {:.4}\n", bunch.sigma_x, bunch.sigma_y);
+    println!(
+        "normalised bunch: σ_x = {:.3}, σ_y = {:.4}\n",
+        bunch.sigma_x, bunch.sigma_y
+    );
 
     let mut sim = Simulation::new(&pool, &device, config, bunch.sample(100_000, 11));
     let telemetry = sim.run(4);
     let field = ScalarField::new(geometry, telemetry.last().unwrap().potentials.potentials());
 
     let h = 0.25 * geometry.dx();
-    println!("{:>7} | {:>13} | {:>12} | {:>12}", "s/σ", "F_long (sim)", "CSR shape L", "CSR shape T");
+    println!(
+        "{:>7} | {:>13} | {:>12} | {:>12}",
+        "s/σ", "F_long (sim)", "CSR shape L", "CSR shape T"
+    );
     for i in 0..13 {
         let s_over_sigma = -3.0 + 0.5 * i as f64;
         let x = 0.5 + s_over_sigma * sigma;

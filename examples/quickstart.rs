@@ -4,6 +4,13 @@
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With the `trace` feature, the run also writes a JSONL span/counter trace
+//! (one object per span close, one flush per step) to `quickstart_trace.jsonl`:
+//!
+//! ```bash
+//! cargo run --example quickstart --features trace
+//! ```
 
 use beamdyn::beam::{GaussianBunch, RpConfig};
 use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
@@ -12,6 +19,12 @@ use beamdyn::pic::GridGeometry;
 use beamdyn::simt::DeviceConfig;
 
 fn main() {
+    // JSONL trace capture (only with `--features trace`): every stage span
+    // (step/deposit, step/potentials/cluster, …) and per-step counter flush
+    // lands in quickstart_trace.jsonl.
+    #[cfg(feature = "trace")]
+    beamdyn::obs::install_jsonl("quickstart_trace.jsonl").expect("trace file");
+
     // Host pool (drives the simulated SMs and the CPU stages).
     let pool = ThreadPool::new(4);
     // The simulated GPU: a Tesla K40 preset, as in the paper.
@@ -58,5 +71,11 @@ fn main() {
     }
     let (sx, sy) = sim.beam().rms_size();
     println!("\nfinal beam rms size: ({sx:.4}, {sy:.4})");
-    println!("predictor trained {} times", sim.predictor().trained_steps());
+    println!(
+        "predictor trained {} times",
+        sim.predictor().trained_steps()
+    );
+    println!("\n{}", beamdyn::core::report::render_counters());
+    #[cfg(feature = "trace")]
+    println!("trace written to quickstart_trace.jsonl");
 }

@@ -42,17 +42,30 @@ fn main() {
             &pool,
             &device,
             LaunchConfig::cover(4096, 256),
-            |tid| Some(Synthetic { tid, left: 32, flops_per_load }),
+            |tid| {
+                Some(Synthetic {
+                    tid,
+                    left: 32,
+                    flops_per_load,
+                })
+            },
             |_| (),
         );
         let name = format!("{flops_per_load} flops/load");
         roofline.add_kernel(&name, &out.stats, &device);
     }
 
-    println!("{:>16} | {:>9} | {:>10} | {:>10} | bound", "kernel", "AI (F/B)", "GFlops/s", "attainable");
+    println!(
+        "{:>16} | {:>9} | {:>10} | {:>10} | bound",
+        "kernel", "AI (F/B)", "GFlops/s", "attainable"
+    );
     for p in &roofline.points {
         let attainable = roofline.attainable(p.intensity, 1);
-        let bound = if p.intensity < roofline.ridge(1) { "memory" } else { "compute" };
+        let bound = if p.intensity < roofline.ridge(1) {
+            "memory"
+        } else {
+            "compute"
+        };
         println!(
             "{:>16} | {:>9.2} | {:>10.1} | {:>10.1} | {bound}",
             p.name, p.intensity, p.gflops, attainable

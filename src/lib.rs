@@ -13,12 +13,15 @@
 //! * [`simt`] — SIMT GPU execution simulator (warps, caches, roofline).
 //! * [`beam`] — beam physics: particles, lattice, pushers, analytic CSR.
 //! * [`core`] — the paper's contribution: Predictive-RP and both baselines.
+//! * [`obs`] — span timers, counters/gauges, trace sinks (see DESIGN.md
+//!   "Observability").
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use beamdyn_beam as beam;
 pub use beamdyn_core as core;
 pub use beamdyn_ml as ml;
+pub use beamdyn_obs as obs;
 pub use beamdyn_par as par;
 pub use beamdyn_pic as pic;
 pub use beamdyn_quad as quad;

@@ -1,0 +1,87 @@
+//! Determinism regression tests: the simulation must be a pure function of
+//! its seeds — in particular independent of how many worker threads the
+//! host pool runs, because every parallel combinator in `beamdyn-par` is
+//! order-preserving (chunked writes to disjoint slices, ordered reduction).
+
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+
+fn config(kernel: KernelKind) -> SimulationConfig {
+    let mut cfg = SimulationConfig::standard(GridGeometry::unit(12, 12), kernel);
+    cfg.rp = RpConfig {
+        kappa: 4,
+        dt: 0.08,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.25,
+        support_y: 0.12,
+        center: (0.5, 0.5),
+    };
+    cfg.tolerance = 1e-4;
+    cfg
+}
+
+fn bunch() -> GaussianBunch {
+    GaussianBunch {
+        sigma_x: 0.11,
+        sigma_y: 0.09,
+        center_x: 0.5,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.05,
+        chirp: 0.0,
+    }
+}
+
+fn potentials_with_pool(kernel: KernelKind, threads: usize) -> Vec<Vec<f64>> {
+    let pool = ThreadPool::new(threads);
+    let device = DeviceConfig::test_tiny();
+    let mut sim = Simulation::new(&pool, &device, config(kernel), bunch().sample(3000, 5));
+    sim.run(3)
+        .into_iter()
+        .map(|t| t.potentials.potentials())
+        .collect()
+}
+
+/// Same seed, pool sizes 0 / 1 / 4: the Predictive kernel's potential
+/// fields must be **bit-identical** at every step — thread count may change
+/// scheduling, never results.
+#[test]
+fn predictive_potentials_are_bit_identical_across_pool_sizes() {
+    let reference = potentials_with_pool(KernelKind::Predictive, 0);
+    for threads in [1usize, 4] {
+        let got = potentials_with_pool(KernelKind::Predictive, threads);
+        assert_eq!(reference.len(), got.len());
+        for (step, (want, have)) in reference.iter().zip(&got).enumerate() {
+            assert_eq!(want.len(), have.len());
+            for (i, (a, b)) in want.iter().zip(have).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {step}, point {i}: {threads}-thread pool diverged ({a:e} vs {b:e})"
+                );
+            }
+        }
+    }
+}
+
+/// The baselines carry no learned state that could mask scheduling effects,
+/// but they share the same combinators — hold them to the same bar.
+#[test]
+fn baseline_kernels_are_bit_identical_across_pool_sizes() {
+    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic] {
+        let reference = potentials_with_pool(kernel, 0);
+        let got = potentials_with_pool(kernel, 4);
+        for (want, have) in reference.iter().zip(&got) {
+            let same = want
+                .iter()
+                .zip(have)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{kernel:?} diverged between 0- and 4-thread pools");
+        }
+    }
+}

@@ -44,7 +44,11 @@ fn bunch() -> GaussianBunch {
 fn every_kernel_completes_a_multi_step_simulation_within_tolerance() {
     let pool = ThreadPool::new(2);
     let device = DeviceConfig::test_tiny();
-    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
         let mut sim = Simulation::new(&pool, &device, config(kernel, 16), bunch().sample(8000, 3));
         let telemetry = sim.run(5);
         assert_eq!(telemetry.len(), 5);
@@ -69,7 +73,11 @@ fn kernels_agree_with_each_other_and_with_the_analytic_reference() {
     // continuous density).
     let n = 24;
     let mut fields = Vec::new();
-    for kernel in [KernelKind::TwoPhase, KernelKind::Heuristic, KernelKind::Predictive] {
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
         let mut cfg = config(kernel, n);
         cfg.rigid = true; // freeze dynamics so all kernels see identical input
         let mut sim = Simulation::new(&pool, &device, cfg, bunch().sample(60_000, 3));
@@ -86,7 +94,10 @@ fn kernels_agree_with_each_other_and_with_the_analytic_reference() {
         let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
             - vals.iter().cloned().fold(f64::MAX, f64::min);
         let scale = vals[0].abs().max(1e-9);
-        assert!(spread / scale < 0.01, "kernel spread {spread} at ({x},{y}): {vals:?}");
+        assert!(
+            spread / scale < 0.01,
+            "kernel spread {spread} at ({x},{y}): {vals:?}"
+        );
     }
     // Agreement with the continuous-bunch reference (PIC noise limited).
     let cfg = config(KernelKind::TwoPhase, n);
@@ -149,8 +160,14 @@ fn predictive_kernel_has_the_paper_quality_shapes() {
     let eff_pred = pred.warp_execution_efficiency(&device);
     let eff_heur = heur.warp_execution_efficiency(&device);
     let eff_two = two.warp_execution_efficiency(&device);
-    assert!(eff_pred > eff_heur, "warp eff: predictive {eff_pred} vs heuristic {eff_heur}");
-    assert!(eff_pred > eff_two, "warp eff: predictive {eff_pred} vs two-phase {eff_two}");
+    assert!(
+        eff_pred > eff_heur,
+        "warp eff: predictive {eff_pred} vs heuristic {eff_heur}"
+    );
+    assert!(
+        eff_pred > eff_two,
+        "warp eff: predictive {eff_pred} vs two-phase {eff_two}"
+    );
     // ...and the forecast slashes the adaptive-fallback volume vs cold start.
     assert!(
         pred_fb < two_fb,

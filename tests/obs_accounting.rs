@@ -1,0 +1,189 @@
+//! Accounting tests for the observability layer: the span hierarchy must
+//! explain where a step's wall clock goes, and the registry counters must
+//! agree with the telemetry the kernels return.
+//!
+//! The obs registry is process-global, so every test here takes the
+//! `SERIAL` lock and resets the registry before measuring.
+
+use std::sync::{Mutex, MutexGuard};
+
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::obs;
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn config(kernel: KernelKind) -> SimulationConfig {
+    let mut cfg = SimulationConfig::standard(GridGeometry::unit(16, 16), kernel);
+    cfg.rp = RpConfig {
+        kappa: 4,
+        dt: 0.08,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.25,
+        support_y: 0.12,
+        center: (0.5, 0.5),
+    };
+    cfg.tolerance = 1e-4;
+    cfg
+}
+
+fn bunch() -> GaussianBunch {
+    GaussianBunch {
+        sigma_x: 0.11,
+        sigma_y: 0.09,
+        center_x: 0.5,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.05,
+        chirp: 0.0,
+    }
+}
+
+fn run(kernel: KernelKind, steps: usize) -> Vec<beamdyn::core::StepTelemetry> {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::test_tiny();
+    let mut sim = Simulation::new(&pool, &device, config(kernel), bunch().sample(8000, 3));
+    sim.run(steps)
+}
+
+/// The paper-stage spans (deposit / potentials / gather_push / commit) are
+/// the direct children of `step` and must account for its wall clock: over
+/// a 5-step run, the sum of child span totals stays within 5 % of the step
+/// span total (the uncovered slivers are the centroid update and a couple
+/// of field moves).
+#[test]
+fn stage_spans_sum_to_step_wall_time_within_five_percent() {
+    let _guard = serial();
+    obs::reset();
+    let steps = 5;
+    run(KernelKind::Predictive, steps);
+
+    let snap = obs::snapshot();
+    let step = snap.span("step").expect("step span recorded");
+    assert_eq!(step.count, steps as u64);
+    let children = snap.children_total_ns("step");
+    assert!(
+        children <= step.total_ns,
+        "children cannot exceed the parent"
+    );
+    let uncovered = step.total_ns - children;
+    assert!(
+        (uncovered as f64) < 0.05 * step.total_ns as f64,
+        "stage spans cover only {} of {} ns ({:.2}% missing)",
+        children,
+        step.total_ns,
+        100.0 * uncovered as f64 / step.total_ns as f64
+    );
+}
+
+/// Predictive-RP's sub-stage spans (cluster / train / main_pass) appear
+/// under `step/potentials`, nested by the thread-local span stack, and the
+/// telemetry durations are exactly the span totals (single source of truth).
+#[test]
+fn predictive_substages_record_under_potentials() {
+    let _guard = serial();
+    obs::reset();
+    let steps = 5;
+    let telemetry = run(KernelKind::Predictive, steps);
+
+    let snap = obs::snapshot();
+    for path in [
+        "step/deposit",
+        "step/potentials",
+        "step/potentials/cluster",
+        "step/potentials/train",
+        "step/potentials/main_pass",
+        "step/gather_push",
+    ] {
+        let stat = snap
+            .span(path)
+            .unwrap_or_else(|| panic!("missing span {path}"));
+        assert_eq!(stat.count, steps as u64, "span {path} fired once per step");
+    }
+    let cluster_total: u64 = telemetry
+        .iter()
+        .map(|t| t.potentials.clustering_time.as_nanos() as u64)
+        .sum();
+    assert_eq!(
+        cluster_total,
+        snap.span("step/potentials/cluster").unwrap().total_ns,
+        "telemetry clustering_time is read back from the span"
+    );
+    let train_total: u64 = telemetry
+        .iter()
+        .map(|t| t.potentials.training_time.as_nanos() as u64)
+        .sum();
+    assert_eq!(
+        train_total,
+        snap.span("step/potentials/train").unwrap().total_ns,
+        "telemetry training_time is read back from the span"
+    );
+}
+
+/// `kernels.fallback_cells` accumulates exactly the fallback volume the
+/// telemetry reports, for every kernel; same for launch counts.
+#[test]
+fn fallback_counter_agrees_with_telemetry_for_all_kernels() {
+    let _guard = serial();
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
+        obs::reset();
+        let telemetry = run(kernel, 5);
+        let telemetry_fb: u64 = telemetry
+            .iter()
+            .map(|t| t.potentials.fallback_cells as u64)
+            .sum();
+        let telemetry_launches: u64 = telemetry.iter().map(|t| t.potentials.launches as u64).sum();
+        assert_eq!(
+            obs::counter_value("kernels.fallback_cells"),
+            Some(telemetry_fb),
+            "{kernel:?}: fallback_cells counter"
+        );
+        assert_eq!(
+            obs::counter_value("kernels.launches"),
+            Some(telemetry_launches),
+            "{kernel:?}: launches counter"
+        );
+    }
+}
+
+/// The in-memory Recorder sink sees one flush per step carrying the
+/// registered counters, and the per-step `step` span closes it observed
+/// match the run length.
+#[test]
+fn recorder_sink_observes_steps_and_flushes() {
+    let _guard = serial();
+    obs::reset();
+    obs::uninstall_all();
+    let recorder = std::sync::Arc::new(obs::Recorder::default());
+    obs::install(recorder.clone());
+    let steps = 3;
+    run(KernelKind::Heuristic, steps);
+    obs::uninstall_all();
+
+    assert_eq!(recorder.count("step"), steps as u64);
+    assert_eq!(recorder.step_flushes().len(), steps);
+    let last = recorder.step_flushes().last().cloned().expect("flushes");
+    assert!(
+        last.counters
+            .iter()
+            .any(|&(name, _)| name == "kernels.fallback_cells"),
+        "flush carries the kernel counters: {:?}",
+        last.counters
+    );
+    assert!(recorder.total_ns_under("step") > 0);
+}

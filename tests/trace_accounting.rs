@@ -29,7 +29,13 @@ fn history(pool: &ThreadPool, g: GridGeometry, steps: usize) -> GridHistory {
     let samples: Vec<DepositSample> = beam
         .particles
         .iter()
-        .map(|p| DepositSample { x: p.x, y: p.y, weight: p.weight, vx: p.vx, vy: p.vy })
+        .map(|p| DepositSample {
+            x: p.x,
+            y: p.y,
+            weight: p.weight,
+            vx: p.vx,
+            vy: p.vy,
+        })
         .collect();
     let mut h = GridHistory::new(g, steps + 2);
     for k in 0..steps {
