@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test trace-smoke bench clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke bench clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -10,6 +10,8 @@ verify:
 
 ci: fmt lint verify
 	cargo test -q --workspace
+	$(MAKE) workspace-reuse
+	$(MAKE) kernel-smoke
 	$(MAKE) trace-smoke
 
 fmt:
@@ -20,6 +22,15 @@ lint:
 
 test:
 	cargo test -q --workspace
+
+# Zero steady-state workspace growth for all three kernels, read back
+# through the workspace.* obs gauges (DESIGN.md §9).
+workspace-reuse:
+	cargo test --release --test workspace_reuse
+
+# Head-to-head kernel metrics must run end to end.
+kernel-smoke:
+	cargo run --release --example kernel_comparison
 
 # The acceptance check for the trace feature: the quickstart example must
 # emit a JSONL trace covering the paper stages.

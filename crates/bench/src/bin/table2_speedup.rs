@@ -43,9 +43,9 @@ fn main() {
         rows.push(vec![
             format!("{particles}"),
             format!("{n}x{n}"),
-            format!("{:.3e}", two_phase.gpu_time),
-            format!("{:.3e}", heuristic.gpu_time),
-            format!("{:.3e}", predictive.gpu_time),
+            format!("{:.3e}", two_phase.gpu_time.seconds()),
+            format!("{:.3e}", heuristic.gpu_time.seconds()),
+            format!("{:.3e}", predictive.gpu_time.seconds()),
             format!(
                 "{:.3e}",
                 predictive.clustering_time + predictive.training_time

@@ -8,7 +8,7 @@ use beamdyn_beam::{Beam, GaussianBunch, RpConfig};
 use beamdyn_core::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
 use beamdyn_par::ThreadPool;
 use beamdyn_pic::GridGeometry;
-use beamdyn_simt::DeviceConfig;
+use beamdyn_simt::{DeviceConfig, SimTime};
 
 /// Harness scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,14 +124,14 @@ pub fn run_steps(pool: &ThreadPool, workload: Workload, steps: usize) -> Vec<Ste
 
 /// Averages the warm steps (skipping the first `warmup`) of a telemetry run.
 pub struct WarmSummary {
-    /// Mean simulated GPU time per step, seconds.
-    pub gpu_time: f64,
+    /// Mean simulated GPU time per step.
+    pub gpu_time: SimTime,
     /// Mean host clustering time per step, seconds.
     pub clustering_time: f64,
     /// Mean host training time per step, seconds.
     pub training_time: f64,
     /// Mean stage-overall time (GPU + clustering + training).
-    pub overall_time: f64,
+    pub overall_time: SimTime,
     /// Mean fallback cell count.
     pub fallback_cells: f64,
     /// Merged machine counters of the warm steps.
@@ -147,8 +147,9 @@ pub fn summarize(telemetry: &[StepTelemetry], warmup: usize) -> WarmSummary {
     for t in &warm {
         stats.merge(&t.potentials.combined_stats());
     }
+    let mean_sim = |total: SimTime| SimTime::from_secs(total.seconds() / n);
     WarmSummary {
-        gpu_time: warm.iter().map(|t| t.potentials.gpu_time).sum::<f64>() / n,
+        gpu_time: mean_sim(warm.iter().map(|t| t.potentials.gpu_time).sum()),
         clustering_time: warm
             .iter()
             .map(|t| t.potentials.clustering_time.as_secs_f64())
@@ -159,7 +160,7 @@ pub fn summarize(telemetry: &[StepTelemetry], warmup: usize) -> WarmSummary {
             .map(|t| t.potentials.training_time.as_secs_f64())
             .sum::<f64>()
             / n,
-        overall_time: warm.iter().map(|t| t.stage_overall_time()).sum::<f64>() / n,
+        overall_time: mean_sim(warm.iter().map(|t| t.stage_overall_time()).sum()),
         fallback_cells: warm
             .iter()
             .map(|t| t.potentials.fallback_cells as f64)
@@ -304,7 +305,7 @@ mod tests {
         let w = standard_workload(12, 2000, KernelKind::Heuristic);
         let telemetry = run_steps(&pool, w, 3);
         let s = summarize(&telemetry, 1);
-        assert!(s.gpu_time > 0.0);
+        assert!(s.gpu_time.seconds() > 0.0);
         assert!(s.overall_time >= s.gpu_time);
     }
 

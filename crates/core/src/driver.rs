@@ -4,6 +4,13 @@
 //! (`step/deposit`, `step/potentials`, `step/gather_push`, `step/commit`),
 //! and the per-step telemetry durations are read back from those spans —
 //! the observability layer is the single source of timing truth.
+//!
+//! The driver owns exactly two pieces of cross-step machinery: the
+//! [`PotentialsKernel`] object (strategy + learning state) and the
+//! [`StepWorkspace`] (every reusable per-step buffer). Steady-state steps
+//! recycle the workspace's buffers and the history-evicted moment grid, so
+//! the loop's hot path performs no workspace heap growth
+//! (tests/workspace_reuse.rs pins this via the `workspace.*` gauges).
 
 use std::time::Duration;
 
@@ -13,15 +20,14 @@ use beamdyn_beam::forces::{gather_forces, ScalarField};
 use beamdyn_beam::push::{drift, kick};
 use beamdyn_beam::{Beam, RpConfig};
 use beamdyn_par::ThreadPool;
-use beamdyn_pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentGrid};
-use beamdyn_quad::Partition;
-use beamdyn_simt::DeviceConfig;
+use beamdyn_pic::{deposit_cic, refill_samples, DepositSample, GridGeometry, GridHistory};
+use beamdyn_simt::{DeviceConfig, SimTime};
 
-use crate::kernels::heuristic::HeuristicState;
-use crate::kernels::predictive::{PredictiveOptions, TransformKind};
-use crate::kernels::{heuristic, predictive, two_phase, PotentialsOutput, RpProblem};
+use crate::kernels::predictive::TransformKind;
+use crate::kernels::{build_kernel, PotentialsKernel, PotentialsOutput, RpProblem};
 use crate::layout::DeviceLayout;
 use crate::predictor::{Predictor, PredictorKind};
+use crate::workspace::StepWorkspace;
 
 /// Which retarded-potential kernel drives step 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,10 +104,10 @@ pub struct StepTelemetry {
 impl StepTelemetry {
     /// Simulated-GPU + host-overhead time of the potentials stage (the
     /// paper's Table II "Overall Time" combines these).
-    pub fn stage_overall_time(&self) -> f64 {
+    pub fn stage_overall_time(&self) -> SimTime {
         self.potentials.gpu_time
-            + self.potentials.clustering_time.as_secs_f64()
-            + self.potentials.training_time.as_secs_f64()
+            + SimTime::from(self.potentials.clustering_time)
+            + SimTime::from(self.potentials.training_time)
     }
 }
 
@@ -113,23 +119,38 @@ pub struct Simulation<'a> {
     beam: Beam,
     history: GridHistory,
     step: usize,
-    predictor: Predictor,
-    heuristic_state: HeuristicState,
-    previous_partitions: Vec<Option<Partition>>,
+    /// The potentials strategy — the only kernel state the driver holds.
+    kernel: Box<dyn PotentialsKernel>,
+    /// Reusable per-step buffers (including the previous-partition store
+    /// the Heuristic and Predictive kernels read).
+    workspace: StepWorkspace,
     /// Potential field of the last completed step.
     last_potentials: Option<ScalarField>,
 }
 
 impl<'a> Simulation<'a> {
-    /// Creates a simulation over an initial beam.
+    /// Creates a simulation over an initial beam, with the kernel object
+    /// the config selects.
     pub fn new(
         pool: &'a ThreadPool,
         device: &'a DeviceConfig,
         config: SimulationConfig,
         beam: Beam,
     ) -> Self {
+        let kernel = build_kernel(&config);
+        Self::with_kernel(pool, device, config, beam, kernel)
+    }
+
+    /// Creates a simulation driving a caller-supplied kernel object
+    /// (`config.kernel` is ignored in favour of it).
+    pub fn with_kernel(
+        pool: &'a ThreadPool,
+        device: &'a DeviceConfig,
+        config: SimulationConfig,
+        beam: Beam,
+        kernel: Box<dyn PotentialsKernel>,
+    ) -> Self {
         let history = GridHistory::new(config.geometry, config.rp.kappa + 3);
-        let kappa = config.rp.kappa;
         Self {
             pool,
             device,
@@ -137,9 +158,8 @@ impl<'a> Simulation<'a> {
             beam,
             history,
             step: 0,
-            predictor: Predictor::new(config.predictor, kappa),
-            heuristic_state: HeuristicState::default(),
-            previous_partitions: Vec::new(),
+            kernel,
+            workspace: StepWorkspace::new(),
             last_potentials: None,
         }
     }
@@ -159,9 +179,20 @@ impl<'a> Simulation<'a> {
         self.last_potentials.as_ref()
     }
 
-    /// The online predictor (Predictive-RP only).
-    pub fn predictor(&self) -> &Predictor {
-        &self.predictor
+    /// The online predictor, when the active kernel carries one
+    /// (Predictive-RP only).
+    pub fn predictor(&self) -> Option<&Predictor> {
+        self.kernel.predictor()
+    }
+
+    /// The active kernel's name.
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    /// The step workspace (for inspecting buffer reuse).
+    pub fn workspace(&self) -> &StepWorkspace {
+        &self.workspace
     }
 
     /// Executes one full time step; returns its telemetry.
@@ -178,25 +209,25 @@ impl<'a> Simulation<'a> {
         }
         // --- 1. Particle deposition ---
         let deposit_span = obs::span!("deposit");
-        let mut grid = MomentGrid::zeros(self.config.geometry);
-        let samples: Vec<DepositSample> = self
-            .beam
-            .particles
-            .iter()
-            .map(|p| DepositSample {
+        let mut grid = self.workspace.take_grid(self.config.geometry);
+        refill_samples(
+            &mut self.workspace.deposit_samples,
+            self.beam.particles.iter().map(|p| DepositSample {
                 x: p.x,
                 y: p.y,
                 weight: p.weight,
                 vx: p.vx,
                 vy: p.vy,
-            })
-            .collect();
-        deposit_cic(self.pool, &mut grid, &samples);
-        self.history.push(self.step, grid);
+            }),
+        );
+        deposit_cic(self.pool, &mut grid, &self.workspace.deposit_samples);
+        if let Some(evicted) = self.history.push(self.step, grid) {
+            self.workspace.recycle_grid(evicted);
+        }
         let deposit_time = deposit_span.stop();
 
         // --- 2. Compute retarded potentials ---
-        let potentials = {
+        let mut potentials = {
             let _potentials_span = obs::span!("potentials");
             self.compute_potentials()
         };
@@ -218,12 +249,10 @@ impl<'a> Simulation<'a> {
         let push_time = push_span.stop();
         self.last_potentials = Some(field);
 
+        // --- Commit: move (not clone) the observed partitions into the
+        // workspace's previous-partition store for the next step's reuse. ---
         let commit_span = obs::span!("commit");
-        self.previous_partitions = potentials
-            .points
-            .iter()
-            .map(|p| p.partition.clone())
-            .collect();
+        self.workspace.store_partitions(&mut potentials.points);
         let telemetry = StepTelemetry {
             step: self.step,
             potentials,
@@ -232,6 +261,7 @@ impl<'a> Simulation<'a> {
         };
         drop(commit_span);
         self.step += 1;
+        self.workspace.publish_gauges();
         drop(step_span);
         obs::flush_step(telemetry.step);
         telemetry
@@ -249,31 +279,11 @@ impl<'a> Simulation<'a> {
             history: &self.history,
             config: self.config.rp,
             layout: DeviceLayout::new(self.config.geometry, 0),
+            geometry: self.config.geometry,
             step: self.step,
             tolerance: self.config.tolerance,
         };
-        match self.config.kernel {
-            KernelKind::TwoPhase => {
-                two_phase::compute_potentials(&problem, self.config.geometry, 256)
-            }
-            KernelKind::Heuristic => heuristic::compute_potentials(
-                &problem,
-                self.config.geometry,
-                &mut self.heuristic_state,
-                256,
-            ),
-            KernelKind::Predictive => predictive::compute_potentials(
-                &problem,
-                self.config.geometry,
-                &mut self.predictor,
-                Some(&self.previous_partitions),
-                PredictiveOptions {
-                    transform: self.config.transform,
-                    seed: self.config.seed,
-                    ..PredictiveOptions::default()
-                },
-            ),
-        }
+        crate::kernels::compute_potentials(self.kernel.as_mut(), &problem, &mut self.workspace)
     }
 }
 

@@ -8,151 +8,100 @@
 //!   forecast partition — so trip counts differ inside a warp and residual
 //!   divergence remains;
 //! * no model training.
+//!
+//! The carried-over partitions live in the [`StepWorkspace`]'s
+//! previous-partition store, which the driver's commit stage refills every
+//! step — the kernel object itself is stateless.
 
-use beamdyn_obs as obs;
-use beamdyn_pic::GridGeometry;
+use std::time::Duration;
+
 use beamdyn_quad::Partition;
-use beamdyn_simt::KernelStats;
 
-use super::threads::{launch_adaptive, launch_fixed};
-use super::{apply_results, finalize_points, FallbackTask, PotentialsOutput, RpProblem};
+use super::{ExecutionPlan, PotentialsKernel, RpProblem};
 use crate::clustering::cluster_heuristic;
 use crate::pattern::AccessPattern;
-use crate::points::build_points;
+use crate::points::GridPoint;
 use crate::transform::coldstart_partition;
+use crate::workspace::StepWorkspace;
 
-/// Carries Heuristic-RP's state between steps: each point's last partition.
-#[derive(Debug, Default, Clone)]
-pub struct HeuristicState {
-    /// Row-major per-point partitions observed at the previous step.
-    pub partitions: Vec<Option<Partition>>,
+/// The Heuristic-RP kernel.
+#[derive(Debug, Clone)]
+pub struct Heuristic {
+    /// Threads per block for the fallback pass.
+    pub fallback_tpb: usize,
 }
 
-/// The Heuristic-RP compute-potentials stage.
-pub fn compute_potentials(
-    problem: &RpProblem<'_>,
-    geometry: GridGeometry,
-    state: &mut HeuristicState,
-    fallback_tpb: usize,
-) -> PotentialsOutput {
-    let mut points = build_points(geometry, &problem.config, problem.step);
+impl Default for Heuristic {
+    fn default() -> Self {
+        Self { fallback_tpb: 256 }
+    }
+}
 
-    // Reuse each point's previous partition (clipped to the new horizon);
-    // cold-start points get the coarse one-cell-per-subregion partition.
-    // A grown horizon (early steps, or the bunch moving away) exposes a
-    // fresh outer region the old partition never covered — it must be
-    // appended at cold-start resolution or its contribution is silently
-    // lost (no cell ⇒ no error estimate ⇒ no fallback).
-    for (i, p) in points.iter_mut().enumerate() {
-        let reused = state
-            .partitions
-            .get(i)
-            .and_then(Option::as_ref)
-            .and_then(|prev| prev.clip(0.0, p.radius));
-        let partition = match reused {
-            Some(part) => {
-                let (_, hi) = part.span();
-                if hi < p.radius - 1e-12 {
-                    let mut breaks = part.breaks().to_vec();
-                    let width = problem.config.subregion_width();
-                    let mut r = hi;
-                    while r + width < p.radius - 1e-12 {
-                        r += width;
-                        breaks.push(r);
+impl PotentialsKernel for Heuristic {
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+
+    fn plan(
+        &mut self,
+        problem: &RpProblem<'_>,
+        points: &mut [GridPoint],
+        ws: &mut StepWorkspace,
+    ) -> ExecutionPlan {
+        // Reuse each point's previous partition (clipped to the new horizon);
+        // cold-start points get the coarse one-cell-per-subregion partition.
+        // A grown horizon (early steps, or the bunch moving away) exposes a
+        // fresh outer region the old partition never covered — it must be
+        // appended at cold-start resolution or its contribution is silently
+        // lost (no cell ⇒ no error estimate ⇒ no fallback).
+        for (i, p) in points.iter_mut().enumerate() {
+            let reused = ws
+                .previous_partition(i)
+                .and_then(|prev| prev.clip(0.0, p.radius));
+            let partition = match reused {
+                Some(part) => {
+                    let (_, hi) = part.span();
+                    if hi < p.radius - 1e-12 {
+                        let mut breaks = part.breaks().to_vec();
+                        let width = problem.config.subregion_width();
+                        let mut r = hi;
+                        while r + width < p.radius - 1e-12 {
+                            r += width;
+                            breaks.push(r);
+                        }
+                        breaks.push(p.radius);
+                        Partition::new(breaks)
+                    } else {
+                        part
                     }
-                    breaks.push(p.radius);
-                    Partition::new(breaks)
-                } else {
-                    part
                 }
+                None => coldstart_partition(&problem.config, p.radius),
+            };
+            p.pattern = AccessPattern::from_partition(&partition, &problem.config);
+            p.partition = Some(partition);
+        }
+
+        // Spatial tiles with workload balancing (the heuristics of [10]).
+        let clusters = cluster_heuristic(problem.geometry, points);
+        let warp = problem.device.warp_size.max(1);
+        let tpb = clusters
+            .max_size()
+            .next_multiple_of(warp)
+            .clamp(warp, problem.device.max_threads_per_block);
+        for cluster in &clusters.members {
+            for &i in cluster {
+                let part = points[i as usize].partition.as_ref().expect("set above");
+                ws.cells.push_lane(i, part.iter_cells());
             }
-            None => coldstart_partition(&problem.config, p.radius),
-        };
-        p.pattern = AccessPattern::from_partition(&partition, &problem.config);
-        p.partition = Some(partition);
-    }
-
-    // Spatial tiles with workload balancing (the heuristics of [10]).
-    let clusters = cluster_heuristic(geometry, &points);
-    let warp = problem.device.warp_size.max(1);
-    let tpb = clusters
-        .max_size()
-        .next_multiple_of(warp)
-        .clamp(warp, problem.device.max_threads_per_block);
-    let mut assignment: Vec<super::LaneAssignment> = Vec::with_capacity(points.len());
-    for cluster in &clusters.members {
-        for &i in cluster {
-            let cells: Vec<(f64, f64)> = points[i as usize]
-                .partition
-                .as_ref()
-                .expect("set above")
-                .iter_cells()
-                .collect();
-            assignment.push(Some((i, cells)));
+            while !ws.cells.len().is_multiple_of(warp) {
+                ws.cells.push_padding();
+            }
         }
-        while !assignment.len().is_multiple_of(warp) {
-            assignment.push(None);
+
+        ExecutionPlan {
+            threads_per_block: tpb,
+            fallback_tpb: self.fallback_tpb,
+            clustering_time: Duration::ZERO,
         }
-    }
-
-    let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
-    let xyr = move |i: u32| xyr_data[i as usize];
-    let main = {
-        let _main_span = obs::span!("main_pass");
-        launch_fixed(problem, tpb, &assignment, &xyr)
-    };
-
-    let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
-    let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
-    let mut tasks: Vec<FallbackTask> = Vec::new();
-    apply_results(
-        &mut points,
-        main.results.into_iter().flatten(),
-        problem.tolerance,
-        &mut breaks_acc,
-        &mut need_acc,
-        &mut tasks,
-        true,
-    );
-
-    let fallback_cells = tasks.len();
-    let mut fallback_stats = KernelStats::default();
-    let mut launches = 1;
-    let mut gpu_time = main.stats.timing(problem.device).total;
-    if !tasks.is_empty() {
-        let _fallback_span = obs::span!("fallback_pass");
-        let fb = launch_adaptive(problem, fallback_tpb, &tasks, &xyr, 0);
-        gpu_time += fb.stats.timing(problem.device).total;
-        launches += 1;
-        let mut none = Vec::new();
-        apply_results(
-            &mut points,
-            fb.results.into_iter().flatten(),
-            problem.tolerance,
-            &mut breaks_acc,
-            &mut need_acc,
-            &mut none,
-            true,
-        );
-        fallback_stats = fb.stats;
-    }
-
-    finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
-
-    // Remember the observed partitions for the next step's reuse heuristic.
-    state.partitions = points.iter().map(|p| p.partition.clone()).collect();
-
-    super::FALLBACK_CELLS.add(fallback_cells as u64);
-    super::LAUNCHES.add(launches as u64);
-
-    PotentialsOutput {
-        points,
-        main_stats: main.stats,
-        fallback_stats,
-        gpu_time,
-        clustering_time: std::time::Duration::ZERO,
-        training_time: std::time::Duration::ZERO,
-        fallback_cells,
-        launches,
     }
 }

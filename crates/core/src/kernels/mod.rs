@@ -1,4 +1,12 @@
-//! The three retarded-potential kernels, sharing one SIMT thread toolbox.
+//! The plan/execute kernel engine and its three retarded-potential kernels.
+//!
+//! Every kernel — the paper's contribution and both published baselines —
+//! factors into the same shape: a *plan* stage that fills the step's flat
+//! [`CellLists`](crate::workspace::CellLists) with per-lane cell
+//! assignments, a shared *execute* stage
+//! (uniform main pass → adaptive fallback → finalize), and an optional
+//! *observe* stage for online learning. [`PotentialsKernel`] captures that
+//! contract; [`compute_potentials`] is the one engine driving it.
 //!
 //! * [`predictive`] — the paper's contribution (Algorithm 1).
 //! * [`heuristic`] — the ref. [10] baseline (previous fastest).
@@ -12,14 +20,22 @@ pub mod two_phase;
 use std::time::Duration;
 
 use beamdyn_beam::{GridRp, RpConfig};
+use beamdyn_obs as obs;
 use beamdyn_obs::Counter;
 use beamdyn_par::ThreadPool;
-use beamdyn_pic::GridHistory;
+use beamdyn_pic::{GridGeometry, GridHistory};
 use beamdyn_quad::Partition;
-use beamdyn_simt::{DeviceConfig, KernelStats};
+use beamdyn_simt::{DeviceConfig, KernelStats, SimTime};
 
+use crate::driver::{KernelKind, SimulationConfig};
 use crate::layout::DeviceLayout;
-use crate::points::GridPoint;
+use crate::points::{build_points, GridPoint};
+use crate::predictor::Predictor;
+use crate::workspace::StepWorkspace;
+
+pub use heuristic::Heuristic;
+pub use predictive::Predictive;
+pub use two_phase::TwoPhase;
 
 /// Cells every main pass failed to converge on (forwarded to the adaptive
 /// fallback), accumulated across all kernels and steps. Must stay equal to
@@ -28,11 +44,6 @@ use crate::points::GridPoint;
 pub static FALLBACK_CELLS: Counter = Counter::new("kernels.fallback_cells");
 /// Simulated kernel launches across all kernels and steps.
 pub static LAUNCHES: Counter = Counter::new("kernels.launches");
-
-/// One SIMT lane's work assignment for the fixed-cells kernel: the point
-/// index and its cell list (`None` = padding lane inserted so every warp
-/// is fully populated).
-pub type LaneAssignment = Option<(u32, Vec<(f64, f64)>)>;
 
 /// Everything a kernel needs to evaluate step `k`'s potentials.
 pub struct RpProblem<'a> {
@@ -46,6 +57,8 @@ pub struct RpProblem<'a> {
     pub config: RpConfig,
     /// Device address layout of the history.
     pub layout: DeviceLayout,
+    /// Grid geometry the point set `V_k` is built over.
+    pub geometry: GridGeometry,
     /// Current time step `k`.
     pub step: usize,
     /// Error tolerance τ for each point's rp-integral.
@@ -59,11 +72,71 @@ impl<'a> RpProblem<'a> {
     }
 }
 
+/// What a kernel's plan stage decided about the step's launches.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionPlan {
+    /// Threads per block of the uniform main pass.
+    pub threads_per_block: usize,
+    /// Threads per block of the adaptive fallback pass.
+    pub fallback_tpb: usize,
+    /// Host time the plan stage spent in RP-CLUSTERING (zero for kernels
+    /// that do not cluster).
+    pub clustering_time: Duration,
+}
+
+/// A COMPUTE-POTENTIALS strategy: one of the paper's kernels as a stateful
+/// plan/execute/observe object.
+///
+/// The engine ([`compute_potentials`]) owns the control flow every kernel
+/// shares — build points, plan, uniform main pass, adaptive fallback,
+/// finalize, observe — while the kernel contributes only what actually
+/// differs: how lanes and their cell lists are planned, and what it learns
+/// from the observed patterns. Cross-step state (the online model, reused
+/// partitions) lives either in the kernel object itself or in the
+/// [`StepWorkspace`]'s previous-partition store.
+pub trait PotentialsKernel: Send {
+    /// Kernel name for reports and artifacts.
+    fn name(&self) -> &'static str;
+
+    /// Plans the step: installs each point's working partition/pattern and
+    /// fills `ws.cells` with the main pass's lane assignments (warp padding
+    /// included where the kernel needs it).
+    fn plan(
+        &mut self,
+        problem: &RpProblem<'_>,
+        points: &mut [GridPoint],
+        ws: &mut StepWorkspace,
+    ) -> ExecutionPlan;
+
+    /// Observes the step's finalized points (ONLINE-LEARNING); returns the
+    /// host time spent training. The default does nothing.
+    fn observe(&mut self, problem: &RpProblem<'_>, points: &[GridPoint]) -> Duration {
+        let _ = (problem, points);
+        Duration::ZERO
+    }
+
+    /// The online predictor, for kernels that carry one.
+    fn predictor(&self) -> Option<&Predictor> {
+        None
+    }
+}
+
+/// Builds the kernel object a [`SimulationConfig`] selects.
+pub fn build_kernel(config: &SimulationConfig) -> Box<dyn PotentialsKernel> {
+    match config.kernel {
+        KernelKind::TwoPhase => Box::new(TwoPhase::default()),
+        KernelKind::Heuristic => Box::new(Heuristic::default()),
+        KernelKind::Predictive => Box::new(Predictive::from_config(config)),
+    }
+}
+
 /// Result of one COMPUTE-POTENTIALS invocation.
 #[derive(Debug, Clone)]
 pub struct PotentialsOutput {
     /// Updated per-point state (integral, error, observed pattern,
-    /// partition) — the paper's `V` after the call.
+    /// partition) — the paper's `V` after the call. The driver's commit
+    /// stage *moves* each partition into the workspace's previous-partition
+    /// store, so records read back from telemetry have `partition = None`.
     pub points: Vec<GridPoint>,
     /// Machine counters of the main (uniform / fixed-partition) kernel.
     pub main_stats: KernelStats,
@@ -71,7 +144,7 @@ pub struct PotentialsOutput {
     /// of Two-Phase-RP).
     pub fallback_stats: KernelStats,
     /// Simulated GPU time over all launches.
-    pub gpu_time: f64,
+    pub gpu_time: SimTime,
     /// Wall-clock host time spent in RP-CLUSTERING (zero for baselines that
     /// do not cluster).
     pub clustering_time: Duration,
@@ -115,41 +188,150 @@ pub struct FallbackTask {
     pub tolerance: f64,
 }
 
+/// `COMPUTE-POTENTIALS`: the shared engine. Builds the step's point set,
+/// has the kernel plan its lane assignments, runs the uniform main pass and
+/// the adaptive fallback over the workspace's buffers, finalizes the
+/// observed patterns/partitions, and gives the kernel its learning pass.
+pub fn compute_potentials(
+    kernel: &mut dyn PotentialsKernel,
+    problem: &RpProblem<'_>,
+    ws: &mut StepWorkspace,
+) -> PotentialsOutput {
+    let mut points = build_points(problem.geometry, &problem.config, problem.step);
+    ws.begin_step(points.len(), problem.config.kappa);
+
+    let plan = kernel.plan(problem, &mut points, ws);
+    let outcome = execute_plan(problem, &mut points, &plan, ws);
+    finalize_points(&mut points, ws);
+    let training_time = kernel.observe(problem, &points);
+
+    FALLBACK_CELLS.add(outcome.fallback_cells as u64);
+    LAUNCHES.add(outcome.launches as u64);
+
+    PotentialsOutput {
+        points,
+        main_stats: outcome.main_stats,
+        fallback_stats: outcome.fallback_stats,
+        gpu_time: outcome.gpu_time,
+        clustering_time: plan.clustering_time,
+        training_time,
+        fallback_cells: outcome.fallback_cells,
+        launches: outcome.launches,
+    }
+}
+
+/// Machine-side outcome of [`execute_plan`].
+struct ExecOutcome {
+    main_stats: KernelStats,
+    fallback_stats: KernelStats,
+    gpu_time: SimTime,
+    fallback_cells: usize,
+    launches: usize,
+}
+
+/// Runs the planned uniform main pass, gathers its failed cells and runs
+/// the adaptive fallback on them (lines 13–24 of Algorithm 1) — the stage
+/// every kernel shares verbatim.
+fn execute_plan(
+    problem: &RpProblem<'_>,
+    points: &mut [GridPoint],
+    plan: &ExecutionPlan,
+    ws: &mut StepWorkspace,
+) -> ExecOutcome {
+    let main = {
+        let _main_span = obs::span!("main_pass");
+        let pts: &[GridPoint] = points;
+        let xyr = |i: u32| {
+            let p = &pts[i as usize];
+            (p.x, p.y, p.radius)
+        };
+        threads::launch_fixed(problem, plan.threads_per_block, &ws.cells, &xyr)
+    };
+    let mut gpu_time = main.stats.timing(problem.device).total_time();
+    apply_results(
+        points,
+        main.results.into_iter().flatten(),
+        problem.tolerance,
+        &mut ws.break_edges,
+        &mut ws.need,
+        ws.need_width,
+        &mut ws.tasks,
+    );
+
+    let fallback_cells = ws.tasks.len();
+    let mut fallback_stats = KernelStats::default();
+    let mut launches = 1;
+    if !ws.tasks.is_empty() {
+        let _fallback_span = obs::span!("fallback_pass");
+        let fb = {
+            let pts: &[GridPoint] = points;
+            let xyr = |i: u32| {
+                let p = &pts[i as usize];
+                (p.x, p.y, p.radius)
+            };
+            threads::launch_adaptive(problem, plan.fallback_tpb, &ws.tasks, &xyr, 0)
+        };
+        gpu_time += fb.stats.timing(problem.device).total_time();
+        launches += 1;
+        apply_results(
+            points,
+            fb.results.into_iter().flatten(),
+            problem.tolerance,
+            &mut ws.break_edges,
+            &mut ws.need,
+            ws.need_width,
+            &mut ws.spare_tasks,
+        );
+        debug_assert!(
+            ws.spare_tasks.is_empty(),
+            "adaptive threads never report failures"
+        );
+        fallback_stats = fb.stats;
+    }
+
+    ExecOutcome {
+        main_stats: main.stats,
+        fallback_stats,
+        gpu_time,
+        fallback_cells,
+        launches,
+    }
+}
+
 /// Per-point tolerance share for a cell of width `w` within radius `r`.
 pub(crate) fn cell_tolerance(total: f64, w: f64, r: f64) -> f64 {
     total * (w / r.max(f64::MIN_POSITIVE)).min(1.0)
 }
 
 /// Folds thread results into the point set: accumulates integral and error,
-/// collects partition break edges, and turns failed cells into fallback
-/// tasks (lines 14–16 and 18–24 of Algorithm 1 do this on the lists `L'`
-/// and `L`).
-/// `collect_breaks = false` accumulates only integrals/errors/failures —
-/// used by Predictive-RP's main pass, whose evaluated (cluster-merged)
-/// partition must not leak into the *observed* pattern the model trains on
-/// (training on the merged partition ratchets work up step over step).
+/// collects partition break edges and need counts into the workspace's flat
+/// accumulators, and turns failed cells into fallback tasks (lines 14–16
+/// and 18–24 of Algorithm 1 do this on the lists `L'` and `L`).
+///
+/// `need` is the flat per-point accumulator, `need_width` entries per point;
+/// `break_edges` collects `(point, right edge)` pairs in result order. The
+/// per-point float accumulation order is exactly the per-result order of
+/// the old nested-`Vec` accumulators, so results stay bit-identical across
+/// thread-pool widths (tests/determinism.rs).
 pub(crate) fn apply_results(
     points: &mut [GridPoint],
     results: impl Iterator<Item = threads::ThreadResult>,
     tolerance: f64,
-    breaks_acc: &mut [Vec<f64>],
-    need_acc: &mut [Vec<f64>],
+    break_edges: &mut Vec<(u32, f64)>,
+    need: &mut [f64],
+    need_width: usize,
     tasks: &mut Vec<FallbackTask>,
-    collect_breaks: bool,
 ) {
     for r in results {
         let p = &mut points[r.point as usize];
         p.integral += r.integral;
         p.error += r.error;
-        let acc = &mut need_acc[r.point as usize];
-        if acc.len() < r.need.len() {
-            acc.resize(r.need.len(), 0.0);
-        }
+        let acc = &mut need[r.point as usize * need_width..][..need_width];
         for (a, n) in acc.iter_mut().zip(&r.need) {
             *a += n;
         }
-        if collect_breaks {
-            breaks_acc[r.point as usize].extend_from_slice(&r.breaks);
+        for &b in &r.breaks {
+            break_edges.push((r.point, b));
         }
         for &(a, b) in &r.failed {
             tasks.push(FallbackTask {
@@ -164,27 +346,46 @@ pub(crate) fn apply_results(
 
 /// After all passes: reconstructs each point's final partition from the
 /// accumulated break edges and installs its observed access pattern from
-/// the resolution-independent need estimates.
-pub(crate) fn finalize_points(
-    points: &mut [GridPoint],
-    breaks_acc: Vec<Vec<f64>>,
-    need_acc: Vec<Vec<f64>>,
-    config: &RpConfig,
-) {
-    for ((p, mut edges), mut need) in points.iter_mut().zip(breaks_acc).zip(need_acc) {
-        edges.push(0.0);
-        edges.sort_by(f64::total_cmp);
-        edges.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * (1.0 + a.abs()));
-        if edges.len() >= 2 {
-            p.partition = Some(Partition::new(edges));
+/// the resolution-independent need estimates. Points whose threads reported
+/// no accepted cells keep their planned partition.
+pub(crate) fn finalize_points(points: &mut [GridPoint], ws: &mut StepWorkspace) {
+    // Sorting the flat edge list by (point, value) yields, per point, the
+    // same sorted edge sequence the old per-point sort produced: the sorted
+    // order of a multiset does not depend on arrival order.
+    ws.break_edges
+        .sort_unstable_by(|a, b| a.0.cmp(&b.0).then(f64::total_cmp(&a.1, &b.1)));
+    let width = ws.need_width;
+    let mut cursor = 0usize;
+    for (i, p) in points.iter_mut().enumerate() {
+        let start = cursor;
+        while cursor < ws.break_edges.len() && ws.break_edges[cursor].0 as usize == i {
+            cursor += 1;
         }
-        need.resize(config.kappa.max(1), 0.0);
-        p.pattern = crate::pattern::AccessPattern::from_counts(need);
+        if cursor > start {
+            let mut edges = Vec::with_capacity(cursor - start + 1);
+            edges.push(0.0);
+            edges.extend(ws.break_edges[start..cursor].iter().map(|&(_, e)| e));
+            edges.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * (1.0 + a.abs()));
+            if edges.len() >= 2 {
+                p.partition = Some(Partition::new(edges));
+            }
+        }
+        p.pattern =
+            crate::pattern::AccessPattern::from_counts(ws.need[i * width..][..width].to_vec());
     }
 }
 
 /// Clips a cluster-merged partition to one point's `[0, R(p)]` cell list.
-pub(crate) fn cells_for_point(merged: &Partition, radius: f64) -> Vec<(f64, f64)> {
+/// A degenerate radius (`radius <= 0`) yields no cells.
+///
+/// This is the allocating reference implementation of
+/// [`CellLists::push_clipped_lane`](crate::workspace::CellLists::push_clipped_lane);
+/// the engine uses the latter, and `tests/property_invariants.rs` holds the
+/// two equivalent.
+pub fn cells_for_point(merged: &Partition, radius: f64) -> Vec<(f64, f64)> {
+    if radius <= 0.0 {
+        return Vec::new();
+    }
     merged
         .clip(0.0, radius)
         .map(|p| p.iter_cells().collect())

@@ -1,20 +1,25 @@
 //! Predictive-RP: Algorithm 1 of the paper.
+//!
+//! The kernel object owns the cross-step learning state (the online
+//! predictor and the forecast scratch used to score it); the step's plan
+//! stage runs lines 1–12 (forecast → partition → cluster → merge), the
+//! engine's shared execute stage runs lines 13–24, and the observe stage
+//! runs line 25 (ONLINE-LEARNING) plus the forecast-quality gauge.
+
+use std::time::Duration;
 
 use beamdyn_obs as obs;
-use beamdyn_pic::GridGeometry;
-use beamdyn_quad::Partition;
-use beamdyn_simt::KernelStats;
 
-use super::threads::{launch_adaptive, launch_fixed};
-use super::{
-    apply_results, cells_for_point, finalize_points, FallbackTask, PotentialsOutput, RpProblem,
-};
+use super::{ExecutionPlan, PotentialsKernel, RpProblem};
 use crate::clustering::cluster_by_pattern;
-use crate::points::build_points;
+use crate::driver::SimulationConfig;
+use crate::pattern::AccessPattern;
+use crate::points::GridPoint;
 use crate::predictor::Predictor;
 use crate::transform::{
     adaptive_transform, coldstart_partition, merge_cluster_partitions, uniform_transform,
 };
+use crate::workspace::StepWorkspace;
 
 /// Which pattern→partition transformation to use (Sec. III-C2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,194 +64,169 @@ static CLUSTERS: obs::Gauge = obs::Gauge::new("predictive.clusters");
 /// only). NaN-free: unset until the predictor has trained once.
 static FORECAST_MSE: obs::Gauge = obs::Gauge::new("predictive.forecast_mse");
 
-/// `COMPUTE-POTENTIALS` (Algorithm 1): forecast → partition → cluster →
-/// uniform kernel → adaptive fallback → online learning.
-///
-/// `previous_partitions` feeds the adaptive transformation (and is ignored
-/// by the uniform one); pass the partitions stored in the previous step's
-/// output points.
-pub fn compute_potentials(
-    problem: &RpProblem<'_>,
-    geometry: GridGeometry,
-    predictor: &mut Predictor,
-    previous_partitions: Option<&[Option<Partition>]>,
+/// The Predictive-RP kernel (this paper's contribution).
+pub struct Predictive {
+    predictor: Predictor,
     options: PredictiveOptions,
-) -> PotentialsOutput {
-    let mut points = build_points(geometry, &problem.config, problem.step);
+    /// Per-point forecasts of the step being planned, kept so observe() can
+    /// score them against the observed patterns; reused across steps.
+    forecasts: Vec<Option<AccessPattern>>,
+}
 
-    // Lines 1–5: forecast each point's pattern and build its partition.
-    // The forecasts are kept so the step can score its own prediction
-    // quality (the `predictive.forecast_mse` gauge) once the observed
-    // patterns are in.
-    let mut forecasts: Vec<Option<crate::pattern::AccessPattern>> = vec![None; points.len()];
-    for (i, p) in points.iter_mut().enumerate() {
-        let forecast = predictor.predict(i, p.x, p.y);
-        match forecast {
-            Some(mut pattern) => {
-                pattern.scale(options.safety.max(1.0));
-                let previous = previous_partitions
-                    .and_then(|prev| prev.get(i))
-                    .and_then(Option::as_ref);
-                let partition = match (options.transform, previous) {
-                    (TransformKind::Adaptive, Some(prev)) => {
-                        adaptive_transform(&pattern, prev, &problem.config, p.radius)
-                    }
-                    _ => uniform_transform(&pattern, &problem.config, p.radius),
-                };
-                forecasts[i] = Some(pattern.clone());
-                p.pattern = pattern;
-                p.partition = Some(partition);
-            }
-            None => {
-                // Cold start: coarse partition; the fallback pass will do
-                // the heavy lifting this one step.
-                p.partition = Some(coldstart_partition(&problem.config, p.radius));
-            }
+impl Predictive {
+    /// Builds the kernel around an existing predictor.
+    pub fn new(predictor: Predictor, options: PredictiveOptions) -> Self {
+        Self {
+            predictor,
+            options,
+            forecasts: Vec::new(),
         }
     }
 
-    // Line 6: RP-CLUSTERING on the (predicted) access patterns.
-    let cluster_span = obs::span!("cluster");
-    let clusters = cluster_by_pattern(problem.pool, geometry, &points, options.seed);
-    let clustering_time = cluster_span.stop();
-    CLUSTERS.set(clusters.members.len() as f64);
+    /// Builds the kernel a [`SimulationConfig`] describes (predictor kind,
+    /// transform, clustering seed).
+    pub fn from_config(config: &SimulationConfig) -> Self {
+        Self::new(
+            Predictor::new(config.predictor, config.rp.kappa),
+            PredictiveOptions {
+                transform: config.transform,
+                seed: config.seed,
+                ..PredictiveOptions::default()
+            },
+        )
+    }
+}
 
-    // Lines 8–12: MERGE-LISTS within each lockstep group. Clusters are
-    // ordered by estimated workload and their members concatenated (in
-    // row-major order, preserving spatial locality); the stream is then
-    // carved into warps and the member partitions are merged **per warp** —
-    // the granularity at which divergence and coalescing actually operate.
-    // This refines the paper's cluster→block merge: every lane of a warp
-    // iterates the same cell list by construction, with no padding waste
-    // when k-means produces uneven cluster sizes.
-    let warp = problem.device.warp_size.max(1);
-    let tpb = (warp * 8).clamp(warp, problem.device.max_threads_per_block);
-    let mut ordered_clusters: Vec<&Vec<u32>> = clusters.members.iter().collect();
-    ordered_clusters.sort_by_key(|members| {
-        let total: usize = members
-            .iter()
-            .map(|&i| points[i as usize].pattern.total_cells())
-            .sum();
-        (total / members.len().max(1), members.first().copied())
-    });
-    let order: Vec<u32> = ordered_clusters.into_iter().flatten().copied().collect();
+impl PotentialsKernel for Predictive {
+    fn name(&self) -> &'static str {
+        "predictive"
+    }
 
-    let mut assignment: Vec<super::LaneAssignment> = Vec::with_capacity(points.len());
-    for group in order.chunks(warp) {
-        let merged = match options.transform {
-            // Uniform mode merges at *pattern* level: the group partition is
-            // the dyadic uniform transform of the element-wise max pattern.
-            // All partitions then come from one globally aligned dyadic
-            // family, so merging never inflates and the learning loop has a
-            // fixed point (see DESIGN.md).
-            TransformKind::Uniform => {
-                let mut group_pattern = crate::pattern::AccessPattern::zeros(problem.config.kappa);
-                let mut radius: f64 = 0.0;
-                for &i in group {
-                    group_pattern.merge_max(&points[i as usize].pattern);
-                    radius = radius.max(points[i as usize].radius);
+    fn plan(
+        &mut self,
+        problem: &RpProblem<'_>,
+        points: &mut [GridPoint],
+        ws: &mut StepWorkspace,
+    ) -> ExecutionPlan {
+        // Lines 1–5: forecast each point's pattern and build its partition.
+        // The forecasts are kept so the step can score its own prediction
+        // quality (the `predictive.forecast_mse` gauge) once the observed
+        // patterns are in.
+        self.forecasts.clear();
+        self.forecasts.resize(points.len(), None);
+        for (i, p) in points.iter_mut().enumerate() {
+            let forecast = self.predictor.predict(i, p.x, p.y);
+            match forecast {
+                Some(mut pattern) => {
+                    pattern.scale(self.options.safety.max(1.0));
+                    let previous = ws.previous_partition(i);
+                    let partition = match (self.options.transform, previous) {
+                        (TransformKind::Adaptive, Some(prev)) => {
+                            adaptive_transform(&pattern, prev, &problem.config, p.radius)
+                        }
+                        _ => uniform_transform(&pattern, &problem.config, p.radius),
+                    };
+                    self.forecasts[i] = Some(pattern.clone());
+                    p.pattern = pattern;
+                    p.partition = Some(partition);
                 }
-                uniform_transform(&group_pattern, &problem.config, radius.max(1e-9))
+                None => {
+                    // Cold start: coarse partition; the fallback pass will do
+                    // the heavy lifting this one step.
+                    p.partition = Some(coldstart_partition(&problem.config, p.radius));
+                }
             }
-            // Adaptive mode unions the member breakpoints (the paper's raw
-            // MERGE-LISTS), which follows per-point adaptive placement.
-            TransformKind::Adaptive => merge_cluster_partitions(
-                group
-                    .iter()
-                    .filter_map(|&i| points[i as usize].partition.as_ref()),
-                problem.config.max_radius(problem.step),
-            ),
-        };
-        for &i in group {
-            assignment.push(Some((
-                i,
-                cells_for_point(&merged, points[i as usize].radius),
-            )));
+        }
+
+        // Line 6: RP-CLUSTERING on the (predicted) access patterns.
+        let cluster_span = obs::span!("cluster");
+        let clusters =
+            cluster_by_pattern(problem.pool, problem.geometry, points, self.options.seed);
+        let clustering_time = cluster_span.stop();
+        CLUSTERS.set(clusters.members.len() as f64);
+
+        // Lines 8–12: MERGE-LISTS within each lockstep group. Clusters are
+        // ordered by estimated workload and their members concatenated (in
+        // row-major order, preserving spatial locality); the stream is then
+        // carved into warps and the member partitions are merged **per warp**
+        // — the granularity at which divergence and coalescing actually
+        // operate. This refines the paper's cluster→block merge: every lane
+        // of a warp iterates the same cell list by construction, with no
+        // padding waste when k-means produces uneven cluster sizes.
+        let warp = problem.device.warp_size.max(1);
+        let tpb = (warp * 8).clamp(warp, problem.device.max_threads_per_block);
+        let mut ordered_clusters: Vec<&Vec<u32>> = clusters.members.iter().collect();
+        ordered_clusters.sort_by_key(|members| {
+            let total: usize = members
+                .iter()
+                .map(|&i| points[i as usize].pattern.total_cells())
+                .sum();
+            (total / members.len().max(1), members.first().copied())
+        });
+        let order: Vec<u32> = ordered_clusters.into_iter().flatten().copied().collect();
+
+        for group in order.chunks(warp) {
+            let merged = match self.options.transform {
+                // Uniform mode merges at *pattern* level: the group partition
+                // is the dyadic uniform transform of the element-wise max
+                // pattern. All partitions then come from one globally aligned
+                // dyadic family, so merging never inflates and the learning
+                // loop has a fixed point (see DESIGN.md).
+                TransformKind::Uniform => {
+                    let mut group_pattern = AccessPattern::zeros(problem.config.kappa);
+                    let mut radius: f64 = 0.0;
+                    for &i in group {
+                        group_pattern.merge_max(&points[i as usize].pattern);
+                        radius = radius.max(points[i as usize].radius);
+                    }
+                    uniform_transform(&group_pattern, &problem.config, radius.max(1e-9))
+                }
+                // Adaptive mode unions the member breakpoints (the paper's
+                // raw MERGE-LISTS), which follows per-point adaptive
+                // placement.
+                TransformKind::Adaptive => merge_cluster_partitions(
+                    group
+                        .iter()
+                        .filter_map(|&i| points[i as usize].partition.as_ref()),
+                    problem.config.max_radius(problem.step),
+                ),
+            };
+            for &i in group {
+                ws.cells
+                    .push_clipped_lane(i, &merged, points[i as usize].radius);
+            }
+        }
+
+        ExecutionPlan {
+            threads_per_block: tpb,
+            fallback_tpb: self.options.fallback_tpb,
+            clustering_time,
         }
     }
 
-    // Lines 13–17: the uniform-control-flow main kernel.
-    let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
-    let xyr = move |i: u32| xyr_data[i as usize];
-    let main = {
-        let _main_span = obs::span!("main_pass");
-        launch_fixed(problem, tpb, &assignment, &xyr)
-    };
-
-    // The observed pattern is reconstructed from the *needed* cells the
-    // threads report (plus fallback refinements below) — not from the
-    // evaluated (group-merged) partition, which would compound merge
-    // inflation into the learned patterns.
-    let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
-    let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
-    let mut tasks: Vec<FallbackTask> = Vec::new();
-    apply_results(
-        &mut points,
-        main.results.into_iter().flatten(),
-        problem.tolerance,
-        &mut breaks_acc,
-        &mut need_acc,
-        &mut tasks,
-        true,
-    );
-
-    // Lines 18–24: adaptive fallback on the global list L.
-    let fallback_cells = tasks.len();
-    let mut fallback_stats = KernelStats::default();
-    let mut launches = 1;
-    let mut gpu_time = main.stats.timing(problem.device).total;
-    if !tasks.is_empty() {
-        let _fallback_span = obs::span!("fallback_pass");
-        let fb = launch_adaptive(problem, options.fallback_tpb, &tasks, &xyr, 0);
-        gpu_time += fb.stats.timing(problem.device).total;
-        launches += 1;
-        let mut no_more: Vec<FallbackTask> = Vec::new();
-        apply_results(
-            &mut points,
-            fb.results.into_iter().flatten(),
-            problem.tolerance,
-            &mut breaks_acc,
-            &mut need_acc,
-            &mut no_more,
-            true,
-        );
-        debug_assert!(no_more.is_empty(), "adaptive threads never report failures");
-        fallback_stats = fb.stats;
-    }
-
-    finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
-
-    // Score this step's forecasts against the observed patterns the step
-    // just finalized (mean squared per-subregion count error, over the
-    // points that had a forecast).
-    let mut mse_sum = 0.0;
-    let mut mse_n = 0usize;
-    for (p, forecast) in points.iter().zip(&forecasts) {
-        if let Some(f) = forecast {
-            mse_sum += f.distance2(&p.pattern);
-            mse_n += p.pattern.len().max(1);
+    fn observe(&mut self, _problem: &RpProblem<'_>, points: &[GridPoint]) -> Duration {
+        // Score this step's forecasts against the observed patterns the step
+        // just finalized (mean squared per-subregion count error, over the
+        // points that had a forecast).
+        let mut mse_sum = 0.0;
+        let mut mse_n = 0usize;
+        for (p, forecast) in points.iter().zip(&self.forecasts) {
+            if let Some(f) = forecast {
+                mse_sum += f.distance2(&p.pattern);
+                mse_n += p.pattern.len().max(1);
+            }
         }
+        if mse_n > 0 {
+            FORECAST_MSE.set(mse_sum / mse_n as f64);
+        }
+
+        // Line 25: ONLINE-LEARNING on the observed patterns.
+        let train_span = obs::span!("train");
+        self.predictor.train(points);
+        train_span.stop()
     }
-    if mse_n > 0 {
-        FORECAST_MSE.set(mse_sum / mse_n as f64);
-    }
 
-    // Line 25: ONLINE-LEARNING on the observed patterns.
-    let train_span = obs::span!("train");
-    predictor.train(&points);
-    let training_time = train_span.stop();
-
-    super::FALLBACK_CELLS.add(fallback_cells as u64);
-    super::LAUNCHES.add(launches as u64);
-
-    PotentialsOutput {
-        points,
-        main_stats: main.stats,
-        fallback_stats,
-        gpu_time,
-        clustering_time,
-        training_time,
-        fallback_cells,
-        launches,
+    fn predictor(&self) -> Option<&Predictor> {
+        Some(&self.predictor)
     }
 }

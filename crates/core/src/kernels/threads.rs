@@ -52,12 +52,17 @@ pub struct ThreadResult {
 /// `COMPUTE-RP-INTEGRAL`: one thread evaluating a *precomputed* list of
 /// cells with exactly one Simpson rule application per cell — uniform
 /// control flow across the warp by construction.
+///
+/// The cell list is a borrowed slice of the step's packed
+/// [`CellLists`](crate::workspace::CellLists) buffer — lanes share the one
+/// flat allocation the way device threads share a global cell buffer,
+/// instead of each cloning its own `Vec`.
 pub struct FixedCellsThread<'a> {
     rp: &'a GridRp<'a>,
     layout: DeviceLayout,
     x: f64,
     y: f64,
-    cells: Vec<(f64, f64)>,
+    cells: &'a [(f64, f64)],
     /// Total tolerance for this point; apportioned to cells by width.
     tolerance: f64,
     radius: f64,
@@ -76,7 +81,7 @@ impl<'a> FixedCellsThread<'a> {
         x: f64,
         y: f64,
         radius: f64,
-        cells: Vec<(f64, f64)>,
+        cells: &'a [(f64, f64)],
         tolerance: f64,
     ) -> Self {
         Self {
@@ -243,19 +248,20 @@ impl WarpThread for AdaptiveThread<'_> {
     }
 }
 
-/// Launches the fixed-cells (uniform) kernel over pre-assigned threads.
+/// Launches the fixed-cells (uniform) kernel over the planned lane
+/// assignments.
 ///
-/// `assignment[tid]` gives each simulated thread its point and cell list;
-/// `None` is a padding lane.
+/// `cells.lane(tid)` gives each simulated thread its point and a borrowed
+/// slice of the packed cell buffer; padding lanes get no thread.
 pub fn launch_fixed(
     problem: &RpProblem<'_>,
     threads_per_block: usize,
-    assignment: &[super::LaneAssignment],
+    cells: &crate::workspace::CellLists,
     point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
 ) -> LaunchOutput<ThreadResult> {
     let rp = problem.integrand();
     let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
-    let blocks = assignment.len().div_ceil(tpb).max(1);
+    let blocks = cells.len().div_ceil(tpb).max(1);
     launch(
         problem.pool,
         problem.device,
@@ -264,16 +270,16 @@ pub fn launch_fixed(
             threads_per_block: tpb,
         },
         |tid| {
-            let (point, cells) = assignment.get(tid)?.as_ref()?;
-            let (x, y, radius) = point_xyr(*point);
+            let (point, lane_cells) = cells.lane(tid)?;
+            let (x, y, radius) = point_xyr(point);
             Some(FixedCellsThread::new(
                 &rp,
                 problem.layout,
-                *point,
+                point,
                 x,
                 y,
                 radius,
-                cells.clone(),
+                lane_cells,
                 problem.tolerance,
             ))
         },

@@ -7,93 +7,52 @@
 //! adaptive Simpson — with no regard for which point a task belongs to, so
 //! warps mix unrelated intervals: heavy branch divergence *and* scattered
 //! access, the bottlenecks [10] and this paper attack.
+//!
+//! Both phases are the engine's shared execute stage; all this kernel
+//! *plans* is the coarse partition and a plain row-major point → thread
+//! mapping (no clustering, no padding, no cross-step state).
 
-use beamdyn_obs as obs;
-use beamdyn_pic::GridGeometry;
-use beamdyn_simt::KernelStats;
+use std::time::Duration;
 
-use super::threads::{launch_adaptive, launch_fixed};
-use super::{apply_results, finalize_points, FallbackTask, PotentialsOutput, RpProblem};
-use crate::points::build_points;
+use super::{ExecutionPlan, PotentialsKernel, RpProblem};
+use crate::points::GridPoint;
 use crate::transform::coldstart_partition;
+use crate::workspace::StepWorkspace;
 
-/// The Two-Phase-RP compute-potentials stage.
-pub fn compute_potentials(
-    problem: &RpProblem<'_>,
-    geometry: GridGeometry,
-    threads_per_block: usize,
-) -> PotentialsOutput {
-    let mut points = build_points(geometry, &problem.config, problem.step);
+/// The Two-Phase-RP kernel.
+#[derive(Debug, Clone)]
+pub struct TwoPhase {
+    /// Threads per block for both phases.
+    pub threads_per_block: usize,
+}
 
-    // Phase 1: coarse uniform partition for every point, plain row-major
-    // point → thread mapping (no clustering).
-    let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
-    let assignment: Vec<super::LaneAssignment> = (0..points.len() as u32)
-        .map(|i| {
-            let p = &points[i as usize];
-            let cells: Vec<(f64, f64)> = coldstart_partition(&problem.config, p.radius)
-                .iter_cells()
-                .collect();
-            Some((i, cells))
-        })
-        .collect();
+impl Default for TwoPhase {
+    fn default() -> Self {
+        Self {
+            threads_per_block: 256,
+        }
+    }
+}
 
-    let xyr_data: Vec<(f64, f64, f64)> = points.iter().map(|p| (p.x, p.y, p.radius)).collect();
-    let xyr = move |i: u32| xyr_data[i as usize];
-    let main = {
-        let _main_span = obs::span!("main_pass");
-        launch_fixed(problem, tpb, &assignment, &xyr)
-    };
-
-    let mut breaks_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
-    let mut need_acc: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
-    let mut tasks: Vec<FallbackTask> = Vec::new();
-    apply_results(
-        &mut points,
-        main.results.into_iter().flatten(),
-        problem.tolerance,
-        &mut breaks_acc,
-        &mut need_acc,
-        &mut tasks,
-        true,
-    );
-
-    // Phase 2: globally adaptive refinement of the gathered cell list.
-    let fallback_cells = tasks.len();
-    let mut fallback_stats = KernelStats::default();
-    let mut launches = 1;
-    let mut gpu_time = main.stats.timing(problem.device).total;
-    if !tasks.is_empty() {
-        let _fallback_span = obs::span!("fallback_pass");
-        let fb = launch_adaptive(problem, tpb, &tasks, &xyr, 0);
-        gpu_time += fb.stats.timing(problem.device).total;
-        launches += 1;
-        let mut none = Vec::new();
-        apply_results(
-            &mut points,
-            fb.results.into_iter().flatten(),
-            problem.tolerance,
-            &mut breaks_acc,
-            &mut need_acc,
-            &mut none,
-            true,
-        );
-        fallback_stats = fb.stats;
+impl PotentialsKernel for TwoPhase {
+    fn name(&self) -> &'static str {
+        "two-phase"
     }
 
-    finalize_points(&mut points, breaks_acc, need_acc, &problem.config);
-
-    super::FALLBACK_CELLS.add(fallback_cells as u64);
-    super::LAUNCHES.add(launches as u64);
-
-    PotentialsOutput {
-        points,
-        main_stats: main.stats,
-        fallback_stats,
-        gpu_time,
-        clustering_time: std::time::Duration::ZERO,
-        training_time: std::time::Duration::ZERO,
-        fallback_cells,
-        launches,
+    fn plan(
+        &mut self,
+        problem: &RpProblem<'_>,
+        points: &mut [GridPoint],
+        ws: &mut StepWorkspace,
+    ) -> ExecutionPlan {
+        for (i, p) in points.iter().enumerate() {
+            let coarse = coldstart_partition(&problem.config, p.radius);
+            ws.cells.push_lane(i as u32, coarse.iter_cells());
+        }
+        ExecutionPlan {
+            threads_per_block: self.threads_per_block,
+            fallback_tpb: self.threads_per_block,
+            clustering_time: Duration::ZERO,
+        }
     }
 }

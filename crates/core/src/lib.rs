@@ -35,11 +35,13 @@ pub mod points;
 pub mod predictor;
 pub mod report;
 pub mod transform;
+pub mod workspace;
 
 pub use driver::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
-pub use kernels::{PotentialsOutput, RpProblem};
+pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem};
 pub use pattern::AccessPattern;
 pub use predictor::{Predictor, PredictorKind};
+pub use workspace::{CellLists, StepWorkspace};
 
 #[cfg(test)]
 mod tests;

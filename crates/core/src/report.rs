@@ -1,7 +1,7 @@
 //! Human-readable reports from simulation telemetry.
 
 use beamdyn_obs as obs;
-use beamdyn_simt::{DeviceConfig, KernelStats};
+use beamdyn_simt::{DeviceConfig, KernelStats, SimTime};
 
 use crate::driver::StepTelemetry;
 
@@ -22,10 +22,10 @@ pub struct StepRow {
     pub arithmetic_intensity: f64,
     /// Achieved Gflop/s.
     pub gflops: f64,
-    /// Simulated GPU time, seconds.
-    pub gpu_time: f64,
+    /// Simulated GPU time.
+    pub gpu_time: SimTime,
     /// GPU + clustering + training.
-    pub overall_time: f64,
+    pub overall_time: SimTime,
 }
 
 /// Extracts a [`StepRow`] per telemetry record.
@@ -64,8 +64,8 @@ pub fn render(telemetry: &[StepTelemetry], device: &DeviceConfig) -> String {
             100.0 * row.l1_hit_rate,
             row.arithmetic_intensity,
             row.gflops,
-            row.gpu_time,
-            row.overall_time,
+            row.gpu_time.seconds(),
+            row.overall_time.seconds(),
         ));
     }
     out

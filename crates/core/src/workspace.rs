@@ -1,0 +1,254 @@
+//! Reusable per-step buffers: the steady-state step loop's working memory.
+//!
+//! The paper's whole contribution is turning an irregular, allocation-heavy
+//! adaptive computation into a precomputed, regular one — and that discipline
+//! has to extend to the *host* side of the step loop, or the marginal cost of
+//! a step is allocator churn rather than compute. [`StepWorkspace`] owns
+//! every buffer the potentials engine needs per step — the deposit-sample
+//! list, the flat CSR cell lists each SIMT lane borrows a slice of, the
+//! break/need accumulators, the fallback task list, the previous-partition
+//! store, and the recycled deposition grid — cleared and refilled in place,
+//! so after warm-up a step performs **no workspace heap growth**.
+//!
+//! Reuse is observable: [`StepWorkspace::publish_gauges`] exports
+//! `workspace.bytes_resident` (total capacity held) and
+//! `workspace.grown_this_step` (bytes of capacity growth since the previous
+//! step) through `beamdyn-obs`, and `tests/workspace_reuse.rs` pins the
+//! steady-state-growth-is-zero invariant for all three kernels.
+
+use std::mem::size_of;
+
+use beamdyn_obs as obs;
+use beamdyn_pic::{DepositSample, GridGeometry, MomentGrid};
+use beamdyn_quad::Partition;
+
+use crate::kernels::FallbackTask;
+use crate::points::GridPoint;
+
+/// Total bytes of buffer capacity the workspace currently holds.
+static BYTES_RESIDENT: obs::Gauge = obs::Gauge::new("workspace.bytes_resident");
+/// Capacity growth (bytes) since the previous step's publish — zero once the
+/// step loop has warmed up.
+static GROWN_THIS_STEP: obs::Gauge = obs::Gauge::new("workspace.grown_this_step");
+
+/// Sentinel point index marking a padding lane (inserted so every warp is
+/// fully populated; it costs warp efficiency like an early-exit thread on
+/// real hardware, but performs no integral).
+pub const PAD_LANE: u32 = u32::MAX;
+
+/// Flat CSR cell lists: each SIMT lane's precomputed integration cells,
+/// packed into one contiguous buffer that lanes *borrow* slices of.
+///
+/// `lanes[l]` is the grid-point index lane `l` evaluates ([`PAD_LANE`] for
+/// padding), and its cells are `cells[offsets[l] .. offsets[l + 1]]` — the
+/// same packed layout a real GPU kernel would read the cell buffer in, and
+/// the replacement for the old per-lane `Vec<(f64, f64)>` clones.
+#[derive(Debug, Clone, Default)]
+pub struct CellLists {
+    lanes: Vec<u32>,
+    offsets: Vec<u32>,
+    cells: Vec<(f64, f64)>,
+}
+
+impl CellLists {
+    /// Empties the lists, keeping all capacity.
+    pub fn clear(&mut self) {
+        self.lanes.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.cells.clear();
+    }
+
+    /// Number of lanes (including padding lanes).
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when no lanes have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Total packed cells across all lanes.
+    pub fn total_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Appends a lane evaluating `point` over `cells`.
+    pub fn push_lane(&mut self, point: u32, cells: impl IntoIterator<Item = (f64, f64)>) {
+        debug_assert!(point != PAD_LANE, "point index collides with PAD_LANE");
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.lanes.push(point);
+        self.cells.extend(cells);
+        self.offsets.push(self.cells.len() as u32);
+    }
+
+    /// Appends a lane evaluating `point` over `merged`'s cells clipped to
+    /// `[0, radius]` — the packed equivalent of
+    /// [`cells_for_point`](crate::kernels::cells_for_point), written straight
+    /// into the CSR buffer instead of a fresh `Vec` per lane. A degenerate
+    /// radius (`radius <= 0`) yields an empty cell list.
+    pub fn push_clipped_lane(&mut self, point: u32, merged: &Partition, radius: f64) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.lanes.push(point);
+        if radius > 0.0 {
+            for (a, b) in merged.iter_cells() {
+                if a >= radius {
+                    break;
+                }
+                let b = b.min(radius);
+                if b > a {
+                    self.cells.push((a, b));
+                }
+            }
+            if self.offsets.last().copied() == Some(self.cells.len() as u32) {
+                // The merged partition lies entirely beyond the radius (the
+                // old `cells_for_point` fallback): one whole-interval cell.
+                self.cells.push((0.0, radius));
+            }
+        }
+        self.offsets.push(self.cells.len() as u32);
+    }
+
+    /// Appends a padding lane (no point, no cells).
+    pub fn push_padding(&mut self) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.lanes.push(PAD_LANE);
+        self.offsets.push(self.cells.len() as u32);
+    }
+
+    /// Lane `tid`'s assignment: the point index and a borrowed slice of its
+    /// packed cells, or `None` for padding / out-of-range lanes.
+    pub fn lane(&self, tid: usize) -> Option<(u32, &[(f64, f64)])> {
+        let &point = self.lanes.get(tid)?;
+        if point == PAD_LANE {
+            return None;
+        }
+        let lo = self.offsets[tid] as usize;
+        let hi = self.offsets[tid + 1] as usize;
+        Some((point, &self.cells[lo..hi]))
+    }
+
+    fn bytes_capacity(&self) -> usize {
+        self.lanes.capacity() * size_of::<u32>()
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.cells.capacity() * size_of::<(f64, f64)>()
+    }
+}
+
+/// The per-step working memory owned by a
+/// [`Simulation`](crate::driver::Simulation): every reusable buffer of the
+/// deposit → plan → execute → finalize → commit loop.
+///
+/// All fields are cleared (never shrunk) at the start of each step, so the
+/// steady-state loop allocates nothing here once buffer capacities have
+/// reached the workload's high-water mark.
+#[derive(Debug, Default)]
+pub struct StepWorkspace {
+    /// Deposit-sample staging buffer (step 1), refilled from the beam.
+    pub(crate) deposit_samples: Vec<DepositSample>,
+    /// CSR lane assignments of the main (fixed-cells) pass.
+    pub(crate) cells: CellLists,
+    /// Fallback tasks gathered from the main pass (the paper's list `L`).
+    pub(crate) tasks: Vec<FallbackTask>,
+    /// Scratch task list for the fallback pass's own results (must stay
+    /// empty — adaptive threads never report failures).
+    pub(crate) spare_tasks: Vec<FallbackTask>,
+    /// Accepted-cell right edges, as `(point, edge)` pairs in result order;
+    /// finalize sorts them by point and rebuilds each partition.
+    pub(crate) break_edges: Vec<(u32, f64)>,
+    /// Flat per-point need accumulator, `need_width` entries per point.
+    pub(crate) need: Vec<f64>,
+    /// Stride of [`StepWorkspace::need`] (κ, at least 1).
+    pub(crate) need_width: usize,
+    /// Partitions observed at the previous step, moved (not cloned) out of
+    /// the step's output points at commit. Read by the Heuristic kernel's
+    /// data-reuse pass and Predictive-RP's adaptive transformation.
+    pub(crate) previous_partitions: Vec<Option<Partition>>,
+    /// A moment grid evicted from the history ring, reset and reused as the
+    /// next step's deposition target.
+    recycled_grid: Option<MomentGrid>,
+    /// Bytes of buffer capacity at the previous publish.
+    bytes_last: usize,
+}
+
+impl StepWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the per-step buffers (keeping capacity) and fixes the need
+    /// stride for a step over `n_points` points with `kappa` subregions.
+    pub(crate) fn begin_step(&mut self, n_points: usize, kappa: usize) {
+        self.cells.clear();
+        self.tasks.clear();
+        self.spare_tasks.clear();
+        self.break_edges.clear();
+        self.need_width = kappa.max(1);
+        self.need.clear();
+        self.need.resize(n_points * self.need_width, 0.0);
+    }
+
+    /// The previous step's partition for `point`, if one was observed.
+    pub(crate) fn previous_partition(&self, point: usize) -> Option<&Partition> {
+        self.previous_partitions.get(point).and_then(Option::as_ref)
+    }
+
+    /// Commits the step: **moves** every point's observed partition into the
+    /// previous-partition store (leaving `partition = None` behind), instead
+    /// of deep-cloning each one the way the old driver did.
+    pub(crate) fn store_partitions(&mut self, points: &mut [GridPoint]) {
+        self.previous_partitions.clear();
+        self.previous_partitions
+            .extend(points.iter_mut().map(|p| p.partition.take()));
+    }
+
+    /// A zeroed deposition grid: the recycled evicted grid when one is
+    /// available, a fresh allocation otherwise (first `capacity` steps).
+    pub(crate) fn take_grid(&mut self, geometry: GridGeometry) -> MomentGrid {
+        match self.recycled_grid.take() {
+            Some(mut grid) if grid.geometry() == geometry => {
+                grid.reset();
+                grid
+            }
+            _ => MomentGrid::zeros(geometry),
+        }
+    }
+
+    /// Stores a history-evicted grid for reuse by the next step.
+    pub(crate) fn recycle_grid(&mut self, grid: MomentGrid) {
+        self.recycled_grid = Some(grid);
+    }
+
+    /// Total bytes of buffer capacity the workspace holds. Counts the
+    /// workspace's own reusable buffers; the *contents* of the
+    /// previous-partition store (per-step products moved in from the
+    /// points) and the recycled moment grid (storage handed over by the
+    /// history ring, not allocated here) are not part of the reuse
+    /// invariant.
+    pub fn bytes_resident(&self) -> usize {
+        self.deposit_samples.capacity() * size_of::<DepositSample>()
+            + self.cells.bytes_capacity()
+            + self.tasks.capacity() * size_of::<FallbackTask>()
+            + self.spare_tasks.capacity() * size_of::<FallbackTask>()
+            + self.break_edges.capacity() * size_of::<(u32, f64)>()
+            + self.need.capacity() * size_of::<f64>()
+            + self.previous_partitions.capacity() * size_of::<Option<Partition>>()
+    }
+
+    /// Publishes the reuse gauges (`workspace.bytes_resident`,
+    /// `workspace.grown_this_step`) for the step just completed.
+    pub(crate) fn publish_gauges(&mut self) {
+        let bytes = self.bytes_resident();
+        BYTES_RESIDENT.set(bytes as f64);
+        GROWN_THIS_STEP.set(bytes.saturating_sub(self.bytes_last) as f64);
+        self.bytes_last = bytes;
+    }
+}

@@ -19,6 +19,17 @@ pub struct DepositSample {
     pub vy: f64,
 }
 
+/// Clears `buf` and refills it from `samples`, reusing the buffer's existing
+/// capacity — the steady-state way to rebuild the per-step sample list from a
+/// particle set without a fresh allocation every step.
+pub fn refill_samples<I>(buf: &mut Vec<DepositSample>, samples: I)
+where
+    I: IntoIterator<Item = DepositSample>,
+{
+    buf.clear();
+    buf.extend(samples);
+}
+
 /// Deposits `samples` onto `grid` with first-order (bilinear / cloud-in-cell)
 /// weighting, in parallel, producing **densities**: each weight is spread
 /// over the 2×2 patch and divided by the cell area, so the grid values

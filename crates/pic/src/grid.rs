@@ -124,6 +124,12 @@ impl MomentGrid {
         self.geometry
     }
 
+    /// Zeroes every moment in place, so an evicted grid can be reused as the
+    /// next deposition target without reallocating its storage.
+    pub fn reset(&mut self) {
+        self.data.fill(0.0);
+    }
+
     /// Flat storage index of `(component, ix, iy)`.
     #[inline]
     pub fn index(&self, component: usize, ix: usize, iy: usize) -> usize {
@@ -183,10 +189,5 @@ impl MomentGrid {
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
-    }
-
-    /// Resets every moment to zero, keeping the allocation.
-    pub fn clear(&mut self) {
-        self.data.fill(0.0);
     }
 }

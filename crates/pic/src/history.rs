@@ -55,9 +55,13 @@ impl GridHistory {
     /// Pushes the grid for `step`. Steps must be pushed in increasing order;
     /// pushing step `s` evicts anything older than `s - capacity + 1`.
     ///
+    /// Returns the grid this push evicted, if any, so a steady-state step
+    /// loop can [`MomentGrid::reset`] and reuse its storage for the next
+    /// deposition instead of allocating a fresh grid every step.
+    ///
     /// # Panics
     /// Panics on geometry mismatch or non-monotonic step numbers.
-    pub fn push(&mut self, step: usize, grid: MomentGrid) {
+    pub fn push(&mut self, step: usize, grid: MomentGrid) -> Option<MomentGrid> {
         assert_eq!(grid.geometry(), self.geometry, "grid geometry mismatch");
         if let Some(newest) = self.newest {
             assert!(step > newest, "steps must be pushed in increasing order");
@@ -66,8 +70,9 @@ impl GridHistory {
                 self.slots[missing % self.capacity] = None;
             }
         }
-        self.slots[step % self.capacity] = Some(grid);
+        let evicted = self.slots[step % self.capacity].replace(grid);
         self.newest = Some(step);
+        evicted
     }
 
     /// Returns the grid for an absolute `step`, if still retained.

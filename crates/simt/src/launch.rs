@@ -78,9 +78,24 @@ where
     let per_sm: Vec<(KernelStats, Vec<(usize, R)>)> = pool.parallel_map_indexed(sms, |sm_id| {
         let mut sm = SmState::new(device);
         let mut results: Vec<(usize, R)> = Vec::new();
+        // Per-warp scratch (thread ids + live thread objects), reused across
+        // every warp and block this SM replays: the launch path performs no
+        // per-warp heap growth once the widest warp has been seen. Threads
+        // themselves only *borrow* their inputs (cell slices, integrand), so
+        // materialising a warp is cheap.
+        let mut warp = WarpScratch::<T>::default();
         let mut block = sm_id;
         while block < config.blocks {
-            run_block(device, &mut sm, config, block, &make, &finish, &mut results);
+            run_block(
+                device,
+                &mut sm,
+                config,
+                block,
+                &make,
+                &finish,
+                &mut results,
+                &mut warp,
+            );
             block += sms;
         }
         sm.stats.max_sm_cycles =
@@ -99,6 +114,23 @@ where
     LaunchOutput { results, stats }
 }
 
+/// Reusable per-warp scratch: the live thread ids and thread objects of the
+/// warp currently being replayed.
+struct WarpScratch<T> {
+    ids: Vec<usize>,
+    threads: Vec<T>,
+}
+
+impl<T> Default for WarpScratch<T> {
+    fn default() -> Self {
+        Self {
+            ids: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal launch plumbing
 fn run_block<T, R>(
     device: &DeviceConfig,
     sm: &mut SmState,
@@ -107,6 +139,7 @@ fn run_block<T, R>(
     make: &(impl Fn(usize) -> Option<T> + Sync),
     finish: &(impl Fn(T) -> R + Sync),
     results: &mut Vec<(usize, R)>,
+    warp: &mut WarpScratch<T>,
 ) where
     T: WarpThread,
 {
@@ -115,18 +148,18 @@ fn run_block<T, R>(
     while lane0 < config.threads_per_block {
         let lanes_here = (config.threads_per_block - lane0).min(device.warp_size);
         // Materialise the warp's live threads, remembering their ids.
-        let mut ids: Vec<usize> = Vec::with_capacity(lanes_here);
-        let mut threads: Vec<T> = Vec::with_capacity(lanes_here);
+        warp.ids.clear();
+        warp.threads.clear();
         for lane in 0..lanes_here {
             let tid = base + lane0 + lane;
             if let Some(t) = make(tid) {
-                ids.push(tid);
-                threads.push(t);
+                warp.ids.push(tid);
+                warp.threads.push(t);
             }
         }
-        if !threads.is_empty() {
-            replay_warp(device, sm, &mut threads);
-            for (tid, t) in ids.into_iter().zip(threads) {
+        if !warp.threads.is_empty() {
+            replay_warp(device, sm, &mut warp.threads);
+            for (tid, t) in warp.ids.drain(..).zip(warp.threads.drain(..)) {
                 results.push((tid, finish(t)));
             }
         }

@@ -43,7 +43,7 @@ pub use occupancy::{occupancy, KernelResources, Occupancy, OccupancyLimits};
 pub use op::{Op, OpRecorder};
 pub use roofline::{Roofline, RooflinePoint};
 pub use stats::KernelStats;
-pub use timing::TimingBreakdown;
+pub use timing::{SimTime, TimingBreakdown};
 
 #[cfg(test)]
 mod tests;

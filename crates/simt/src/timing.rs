@@ -1,7 +1,75 @@
 //! Bottleneck timing model.
 
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div};
+use std::time::Duration;
+
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
+
+/// A span of **simulated device time**, in seconds.
+///
+/// The timing model produces times on the simulated GPU's clock, which are
+/// not wall-clock [`Duration`]s — mixing the two silently (both used to be
+/// bare `f64`/`Duration`) caused unit bugs in overall-time aggregation.
+/// `SimTime` makes the representation explicit: host durations convert in
+/// via [`From<Duration>`], and the raw value escapes only through
+/// [`SimTime::seconds`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Zero simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wraps a raw second count.
+    pub fn from_secs(seconds: f64) -> Self {
+        Self(seconds)
+    }
+
+    /// The span in seconds.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to a host [`Duration`] (clamped at zero).
+    pub fn as_duration(self) -> Duration {
+        Duration::from_secs_f64(self.0.max(0.0))
+    }
+}
+
+impl From<Duration> for SimTime {
+    fn from(d: Duration) -> Self {
+        Self(d.as_secs_f64())
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+/// Ratio of two simulated times (speedup factors).
+impl Div for SimTime {
+    type Output = f64;
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
 
 /// Where the simulated kernel time went.
 ///
@@ -40,6 +108,11 @@ impl TimingBreakdown {
             overhead,
             total: sm_time.max(l2_time).max(dram_time) + overhead,
         }
+    }
+
+    /// The bound time as typed simulated time.
+    pub fn total_time(&self) -> SimTime {
+        SimTime::from_secs(self.total)
     }
 
     /// Which resource bound the kernel.

@@ -53,12 +53,12 @@ fn main() {
         // Average the warm half.
         let warm = &telemetry[steps / 2..];
         let mut stats = beamdyn::simt::KernelStats::default();
-        let mut stage = 0.0;
+        let mut stage = beamdyn::simt::SimTime::ZERO;
         for t in warm {
             stats.merge(&t.potentials.combined_stats());
             stage += t.stage_overall_time();
         }
-        stage /= warm.len() as f64;
+        let stage = stage.seconds() / warm.len() as f64;
         let name = match kernel {
             KernelKind::TwoPhase => "Two-Phase-RP",
             KernelKind::Heuristic => "Heuristic-RP",

@@ -66,15 +66,13 @@ fn main() {
             telemetry.potentials.fallback_cells,
             100.0 * stats.warp_execution_efficiency(&device),
             100.0 * stats.l1_hit_rate(),
-            telemetry.potentials.gpu_time,
+            telemetry.potentials.gpu_time.seconds(),
         );
     }
     let (sx, sy) = sim.beam().rms_size();
     println!("\nfinal beam rms size: ({sx:.4}, {sy:.4})");
-    println!(
-        "predictor trained {} times",
-        sim.predictor().trained_steps()
-    );
+    let predictor = sim.predictor().expect("Predictive-RP carries a predictor");
+    println!("predictor trained {} times", predictor.trained_steps());
     println!("\n{}", beamdyn::core::report::render_counters());
     #[cfg(feature = "trace")]
     println!("trace written to quickstart_trace.jsonl");

@@ -1,8 +1,10 @@
 //! Property-based invariants spanning crates (proptest).
 
 use beamdyn::beam::RpConfig;
+use beamdyn::core::kernels::cells_for_point;
 use beamdyn::core::pattern::AccessPattern;
 use beamdyn::core::transform::{coldstart_partition, uniform_transform};
+use beamdyn::core::CellLists;
 use beamdyn::par::ThreadPool;
 use beamdyn::pic::{deposit_cic, DepositSample, GridGeometry, MomentGrid, MOMENT_CHARGE};
 use beamdyn::quad::{adaptive_simpson, merge_partitions, AdaptiveOptions, Partition};
@@ -11,6 +13,16 @@ use proptest::prelude::*;
 
 fn rp_config() -> RpConfig {
     RpConfig::standard(6, 0.05)
+}
+
+/// Builds an arbitrary valid partition from a start point and a list of
+/// strictly positive gaps (the proptest inputs).
+fn build_partition(start: f64, gaps: &[f64]) -> Partition {
+    let mut breaks = vec![start];
+    for &g in gaps {
+        breaks.push(breaks.last().unwrap() + g);
+    }
+    Partition::new(breaks)
 }
 
 proptest! {
@@ -135,5 +147,95 @@ proptest! {
     fn refine_multiplies_cells(base in 1usize..8, factor in 1usize..6) {
         let p = Partition::whole(0.0, 1.0).refine(base).refine(factor);
         prop_assert_eq!(p.cells(), base * factor);
+    }
+
+    /// `Partition::clip` honours its contract at the edges: `None` exactly
+    /// when the ranges miss each other, otherwise a strictly increasing
+    /// partition spanning the clamped overlap.
+    #[test]
+    fn clip_respects_bounds(
+        start in 0.0f64..0.3,
+        gaps in prop::collection::vec(0.01f64..0.4, 1..8),
+        a in -0.5f64..1.5,
+        width in 0.0f64..1.5,
+    ) {
+        let p = build_partition(start, &gaps);
+        let (lo, hi) = p.span();
+        let b = a + width;
+        match p.clip(a, b) {
+            None => prop_assert!(b <= lo || a >= hi || b - a < 1e-12,
+                "clip returned None on overlapping range [{a}, {b}] vs span [{lo}, {hi}]"),
+            Some(c) => {
+                let (clo, chi) = c.span();
+                prop_assert!((clo - a.max(lo)).abs() == 0.0);
+                prop_assert!((chi - b.min(hi)).abs() == 0.0);
+                for w in c.breaks().windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+                // Interior breaks are preserved verbatim.
+                for &x in p.breaks() {
+                    if x > a && x < b {
+                        prop_assert!(c.breaks().contains(&x));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `cells_for_point` degenerate radii: r ≤ 0 yields no cells; r inside
+    /// the first cell yields exactly one clamped cell; r beyond the last
+    /// break reproduces the partition's own cells.
+    #[test]
+    fn cells_for_point_degenerate_radii(
+        start in 0.0f64..0.3,
+        gaps in prop::collection::vec(0.01f64..0.4, 1..8),
+    ) {
+        let p = build_partition(start, &gaps);
+        let (lo, hi) = p.span();
+
+        prop_assert!(cells_for_point(&p, 0.0).is_empty());
+        prop_assert!(cells_for_point(&p, -1.0).is_empty());
+
+        // r strictly inside the first cell (and past the span start).
+        let first_hi = p.breaks()[1];
+        let r = lo.max(0.0) + 0.5 * (first_hi - lo.max(0.0));
+        if r > 0.0 {
+            let cells = cells_for_point(&p, r);
+            prop_assert_eq!(cells.len(), 1);
+            prop_assert!((cells[0].1 - r).abs() == 0.0);
+        }
+
+        // r beyond the last break: the clip is a no-op past the span.
+        let cells = cells_for_point(&p, hi + 1.0);
+        let own: Vec<(f64, f64)> = p.iter_cells().collect();
+        prop_assert_eq!(cells, own);
+    }
+
+    /// The packed CSR writer is cell-for-cell identical to the allocating
+    /// reference `cells_for_point`, padding lanes included.
+    #[test]
+    fn push_clipped_lane_matches_cells_for_point(
+        start in 0.0f64..0.3,
+        gaps in prop::collection::vec(0.01f64..0.4, 1..8),
+        radius in -0.2f64..2.0,
+    ) {
+        let p = build_partition(start, &gaps);
+        let mut lists = CellLists::default();
+        lists.clear();
+        lists.push_clipped_lane(7, &p, radius);
+        lists.push_padding();
+        lists.push_clipped_lane(9, &p, radius * 0.5);
+
+        let want = cells_for_point(&p, radius);
+        let (point, got) = lists.lane(0).expect("lane 0 is real");
+        prop_assert_eq!(point, 7);
+        prop_assert_eq!(got, want.as_slice());
+        prop_assert!(lists.lane(1).is_none(), "padding lane yields no work");
+        let want_half = cells_for_point(&p, radius * 0.5);
+        let (point, got) = lists.lane(2).expect("lane 2 is real");
+        prop_assert_eq!(point, 9);
+        prop_assert_eq!(got, want_half.as_slice());
+        prop_assert_eq!(lists.len(), 3);
+        prop_assert_eq!(lists.total_cells(), want.len() + want_half.len());
     }
 }
