@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke bench clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke bench bench-baseline bench-check clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -13,6 +13,7 @@ ci: fmt lint verify
 	$(MAKE) workspace-reuse
 	$(MAKE) kernel-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) bench-check
 
 fmt:
 	cargo fmt --all --check
@@ -33,17 +34,33 @@ kernel-smoke:
 	cargo run --release --example kernel_comparison
 
 # The acceptance check for the trace feature: the quickstart example must
-# emit a JSONL trace covering the paper stages.
+# emit a JSONL trace covering the paper stages, plus the always-on Perfetto
+# (Chrome trace-event) timeline.
 trace-smoke:
 	cargo run --example quickstart --features trace
 	test -s quickstart_trace.jsonl
 	grep -q '"path":"step/deposit"' quickstart_trace.jsonl
 	grep -q '"path":"step/potentials/cluster"' quickstart_trace.jsonl
 	grep -q '"type":"flush"' quickstart_trace.jsonl
+	grep -q '"histograms"' quickstart_trace.jsonl
+	test -s quickstart_trace.perfetto.json
+	grep -q '"traceEvents"' quickstart_trace.perfetto.json
+	grep -q '"ph":"X"' quickstart_trace.perfetto.json
 
 bench:
 	cargo bench --workspace
 
+# Regenerates the committed bench baseline (run after an *intentional*
+# metrics change, then commit BENCH_baseline.json).
+bench-baseline:
+	cargo run --release -p beamdyn-bench --bin bench_baseline
+
+# The regression gate: a fresh canonical run must stay within per-metric
+# tolerances of the committed BENCH_baseline.json.
+bench-check:
+	cargo run --release -p beamdyn-bench --bin bench_baseline -- --check
+
 clean:
 	cargo clean
-	rm -f quickstart_trace.jsonl BENCH_*.jsonl
+	rm -f quickstart_trace.jsonl quickstart_trace.perfetto.json
+	rm -f BENCH_*.jsonl BENCH_current.json BENCH_baseline_trace.json

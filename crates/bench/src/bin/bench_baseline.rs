@@ -1,0 +1,107 @@
+//! The bench regression gate binary.
+//!
+//! * `bench_baseline` — runs the canonical scenario (all three kernels)
+//!   and writes the baseline metric set to
+//!   `$BEAMDYN_BENCH_DIR/BENCH_baseline.json` (default: cwd). The result is
+//!   committed at the repository root; regenerate it whenever a change
+//!   *intentionally* shifts the simulated machine metrics.
+//! * `bench_baseline --check [path]` — runs the scenario fresh, compares
+//!   against the committed baseline (default `BENCH_baseline.json`) with
+//!   the per-metric tolerances of `regression::tolerance_for`, writes the
+//!   fresh set to `BENCH_current.json` for artifact upload, and exits
+//!   non-zero listing every violated metric.
+//!
+//! Both modes also export a Perfetto trace of the run
+//! (`BENCH_baseline_trace.json` — open at <https://ui.perfetto.dev>).
+
+use std::process::ExitCode;
+
+use beamdyn_bench::regression::{self, MetricSet};
+use beamdyn_bench::{artifact_dir, write_artifact};
+use beamdyn_obs as obs;
+use beamdyn_par::ThreadPool;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let baseline_path = args
+        .iter()
+        .skip_while(|a| *a != "--check")
+        .nth(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+
+    // Trace the whole gate run; the sink writes on drop at exit.
+    let trace = artifact_dir()
+        .map(|d| d.join("BENCH_baseline_trace.json"))
+        .and_then(obs::install_perfetto);
+    let pool = ThreadPool::new(regression::scenario::THREADS);
+    let fresh = regression::run_canonical(&pool);
+    obs::uninstall_all();
+    match trace.as_ref().map_err(|e| e.to_string()).and_then(|t| {
+        t.finish()
+            .map(|p| p.to_path_buf())
+            .map_err(|e| e.to_string())
+    }) {
+        Ok(path) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("[trace] write failed: {e}"),
+    }
+
+    if !check {
+        return match write_artifact("BENCH_baseline.json", &fresh.to_baseline_json()) {
+            Ok(path) => {
+                println!(
+                    "[artifact] {} ({} metrics) — commit this file to update the gate",
+                    path.display(),
+                    fresh.metrics.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("baseline write failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Err(e) = write_artifact("BENCH_current.json", &fresh.to_baseline_json()) {
+        eprintln!("[artifact] BENCH_current.json write failed: {e}");
+    }
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            eprintln!(
+                "generate one with: cargo run --release -p beamdyn-bench --bin bench_baseline"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match MetricSet::from_baseline_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("invalid baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let violations = regression::compare(&baseline, &fresh);
+    if violations.is_empty() {
+        println!(
+            "bench-check OK: {} metrics within tolerance of {baseline_path}",
+            baseline.metrics.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-check FAILED: {} of {} metrics out of tolerance:",
+            violations.len(),
+            baseline.metrics.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        eprintln!("(intentional change? regenerate the baseline and commit it)");
+        ExitCode::FAILURE
+    }
+}

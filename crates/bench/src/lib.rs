@@ -4,6 +4,9 @@
 //! (see `DESIGN.md` §5); each accepts `--scale small|paper` where `small`
 //! finishes in seconds and `paper` runs the full-resolution sweep.
 
+pub mod json;
+pub mod regression;
+
 use beamdyn_beam::{Beam, GaussianBunch, RpConfig};
 use beamdyn_core::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
 use beamdyn_par::ThreadPool;
@@ -185,10 +188,28 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// The artifact output directory: `$BEAMDYN_BENCH_DIR` (default: current
+/// directory), created on demand.
+pub fn artifact_dir() -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("BEAMDYN_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    std::fs::create_dir_all(&dir)?;
+    Ok(std::path::PathBuf::from(dir))
+}
+
+/// Writes `contents` to `$BEAMDYN_BENCH_DIR/<file_name>` (creating the
+/// directory — including missing parents — if needed) and returns the path
+/// actually written.
+pub fn write_artifact(file_name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let path = artifact_dir()?.join(file_name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
 /// Writes a table as a machine-readable JSONL artifact next to the stdout
 /// rendering: one object per row keyed by the header, then one trailing
 /// `{"type":"obs",...}` object carrying the observability registry
-/// (span totals in ns, counters, gauges) accumulated over the run.
+/// (span totals in ns, counters, gauges, histogram summaries) accumulated
+/// over the run.
 ///
 /// The file lands at `$BEAMDYN_BENCH_DIR/BENCH_<name>.jsonl` (default:
 /// current directory), so `table1_kernel_metrics` produces
@@ -199,9 +220,7 @@ pub fn write_jsonl_artifact(
     rows: &[Vec<String>],
 ) -> std::io::Result<std::path::PathBuf> {
     use std::io::Write;
-    let dir = std::env::var("BEAMDYN_BENCH_DIR").unwrap_or_else(|_| ".".into());
-    std::fs::create_dir_all(&dir)?;
-    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.jsonl"));
+    let path = artifact_dir()?.join(format!("BENCH_{name}.jsonl"));
     let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
     for row in rows {
         let fields: Vec<String> = header
@@ -242,12 +261,18 @@ pub fn write_jsonl_artifact(
             )
         })
         .collect();
+    let histograms: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(n, h)| format!("\"{}\":{}", json_escape(n), h.summary_json()))
+        .collect();
     writeln!(
         file,
-        "{{\"type\":\"obs\",\"span_total_ns\":{{{}}},\"counters\":{{{}}},\"gauges\":{{{}}}}}",
+        "{{\"type\":\"obs\",\"span_total_ns\":{{{}}},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
         spans.join(","),
         counters.join(","),
-        gauges.join(",")
+        gauges.join(","),
+        histograms.join(",")
     )?;
     file.flush()?;
     Ok(path)

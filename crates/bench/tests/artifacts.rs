@@ -1,0 +1,38 @@
+//! Artifact writing must create `$BEAMDYN_BENCH_DIR` (including missing
+//! parents) and report the path actually written.
+//!
+//! One test only: `BEAMDYN_BENCH_DIR` is process-global state.
+
+use beamdyn_bench::{write_artifact, write_jsonl_artifact};
+
+#[test]
+fn artifact_writers_create_missing_nested_dirs() {
+    let root = std::env::temp_dir().join(format!("bench_artifacts_{}", std::process::id()));
+    let nested = root.join("deeply/nested/dir");
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(!nested.exists());
+    // Test-local env mutation; the single-test file keeps it race-free.
+    unsafe { std::env::set_var("BEAMDYN_BENCH_DIR", &nested) };
+
+    let path = write_artifact("BENCH_probe.json", "{\"ok\":true}\n").expect("dir created");
+    assert_eq!(path, nested.join("BENCH_probe.json"));
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        "{\"ok\":true}\n",
+        "returned path points at the written file"
+    );
+
+    let jsonl = write_jsonl_artifact(
+        "probe_table",
+        &["kernel", "time"],
+        &[vec!["Predictive-RP".into(), "1.0".into()]],
+    )
+    .expect("jsonl artifact in same dir");
+    assert_eq!(jsonl, nested.join("BENCH_probe_table.jsonl"));
+    assert!(std::fs::read_to_string(&jsonl)
+        .unwrap()
+        .contains("\"kernel\":\"Predictive-RP\""));
+
+    unsafe { std::env::remove_var("BEAMDYN_BENCH_DIR") };
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,76 @@
+//! The Perfetto sink must emit valid Chrome trace-event JSON for a real
+//! simulation run — validated with the harness's own JSON parser, the same
+//! way ui.perfetto.dev would parse it.
+
+use beamdyn_bench::{json, run_steps, standard_workload};
+use beamdyn_core::KernelKind;
+use beamdyn_obs as obs;
+use beamdyn_par::ThreadPool;
+
+#[test]
+fn perfetto_trace_is_valid_chrome_trace_event_json() {
+    let path = std::env::temp_dir().join(format!("bench_perfetto_{}.json", std::process::id()));
+    obs::reset();
+    obs::uninstall_all();
+    let sink = obs::install_perfetto(&path).expect("create trace");
+
+    let pool = ThreadPool::new(2);
+    let workload = standard_workload(12, 2000, KernelKind::Predictive);
+    run_steps(&pool, workload, 3);
+    obs::uninstall_all();
+
+    let text = sink.render_json();
+    sink.finish().expect("write trace");
+    let written = std::fs::read_to_string(&path).expect("trace file");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(text, written, "finish() writes exactly render_json()");
+
+    let doc = json::parse(&text).expect("trace parses as JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(json::Value::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut phases_seen = std::collections::BTreeSet::new();
+    let mut stage_spans = 0usize;
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(json::Value::as_str)
+            .expect("every event has ph");
+        phases_seen.insert(ph.to_string());
+        assert!(
+            matches!(ph, "X" | "C" | "i"),
+            "unexpected phase {ph:?} in {event:?}"
+        );
+        let ts = event.get("ts").and_then(json::Value::as_f64).expect("ts");
+        assert!(ts >= 0.0);
+        assert!(event.get("pid").and_then(json::Value::as_f64).is_some());
+        if ph == "X" {
+            let dur = event.get("dur").and_then(json::Value::as_f64).expect("dur");
+            assert!(dur >= 0.0);
+            assert!(event.get("tid").and_then(json::Value::as_f64).is_some());
+            let path = event
+                .get("args")
+                .and_then(|a| a.get("path"))
+                .and_then(json::Value::as_str)
+                .expect("span events carry their full path");
+            if path.starts_with("step/") || path == "step" {
+                stage_spans += 1;
+            }
+        }
+    }
+    // Complete spans, counters, and the per-step instant markers all occur
+    // in a real run.
+    assert!(phases_seen.contains("X"), "phases: {phases_seen:?}");
+    assert!(phases_seen.contains("C"), "phases: {phases_seen:?}");
+    assert!(phases_seen.contains("i"), "phases: {phases_seen:?}");
+    // 3 steps × (step + deposit + potentials + gather_push + commit) at
+    // minimum — the paper stages show up as a flame graph.
+    assert!(stage_spans >= 15, "stage spans: {stage_spans}");
+}

@@ -1,0 +1,104 @@
+//! The regression gate must catch real drift and pass clean runs.
+//!
+//! These tests exercise `compare` on synthetic metric sets (fast) plus one
+//! real canonical run compared against itself (the no-drift fixed point).
+
+use beamdyn_bench::regression::{compare, run_canonical, MetricSet};
+use beamdyn_par::ThreadPool;
+
+fn baseline_like() -> MetricSet {
+    let mut set = MetricSet::default();
+    set.insert("Predictive-RP.gpu_time_s", 0.0123);
+    set.insert("Predictive-RP.fallback_cells", 180.0);
+    set.insert("Predictive-RP.launches", 12.0);
+    set.insert("Predictive-RP.warp_eff", 0.93);
+    set.insert("Predictive-RP.cluster.fallback_frac.p90", 0.25);
+    set
+}
+
+#[test]
+fn identical_runs_pass() {
+    let base = baseline_like();
+    assert!(compare(&base, &base.clone()).is_empty());
+}
+
+#[test]
+fn two_x_slowdown_is_caught() {
+    let base = baseline_like();
+    let mut slow = base.clone();
+    // A deliberate 2× simulated-time regression must violate the 5 % gate.
+    slow.insert("Predictive-RP.gpu_time_s", 2.0 * 0.0123);
+    let violations = compare(&base, &slow);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].metric, "Predictive-RP.gpu_time_s");
+    assert_eq!(violations[0].current, Some(0.0246));
+}
+
+#[test]
+fn missing_metric_is_caught() {
+    let base = baseline_like();
+    let mut current = base.clone();
+    current.metrics.remove("Predictive-RP.warp_eff");
+    let violations = compare(&base, &current);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].metric, "Predictive-RP.warp_eff");
+    assert_eq!(violations[0].current, None);
+}
+
+#[test]
+fn extra_launch_is_caught_exactly() {
+    let base = baseline_like();
+    let mut current = base.clone();
+    current.insert("Predictive-RP.launches", 13.0);
+    let violations = compare(&base, &current);
+    assert_eq!(
+        violations.len(),
+        1,
+        "launch counts gate with zero tolerance"
+    );
+}
+
+#[test]
+fn drift_within_tolerance_passes() {
+    let base = baseline_like();
+    let mut near = base.clone();
+    near.insert("Predictive-RP.gpu_time_s", 0.0123 * 1.02); // 2 % < 5 %
+    near.insert("Predictive-RP.fallback_cells", 183.0); // 3 cells < 10 % + 4
+    assert!(compare(&base, &near).is_empty());
+}
+
+#[test]
+fn extra_current_metrics_do_not_gate() {
+    let base = baseline_like();
+    let mut current = base.clone();
+    current.insert("Predictive-RP.some_new_metric", 7.0);
+    assert!(compare(&base, &current).is_empty());
+}
+
+#[test]
+fn canonical_run_matches_itself_and_roundtrips() {
+    let pool = ThreadPool::new(4);
+    let fresh = run_canonical(&pool);
+    // The gate's core quantities must be present for every kernel…
+    for prefix in ["Two-Phase-RP", "Heuristic-RP", "Predictive-RP"] {
+        for suffix in ["gpu_time_s", "fallback_cells", "launches", "warp_eff"] {
+            let name = format!("{prefix}.{suffix}");
+            assert!(fresh.metrics.contains_key(&name), "missing {name}");
+        }
+    }
+    // …including the prediction-quality quantiles the tentpole adds.
+    assert!(
+        fresh
+            .metrics
+            .contains_key("Predictive-RP.predict.abs_error.p90"),
+        "metrics: {:?}",
+        fresh.metrics.keys().collect::<Vec<_>>()
+    );
+    assert!(fresh
+        .metrics
+        .contains_key("Predictive-RP.cluster.fallback_frac.p90"));
+    // A run compared against its own serialized form is the fixed point.
+    let roundtripped = MetricSet::from_baseline_json(&fresh.to_baseline_json()).unwrap();
+    let violations = compare(&roundtripped, &fresh);
+    assert!(violations.is_empty(), "{violations:?}");
+}

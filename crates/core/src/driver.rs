@@ -29,6 +29,15 @@ use crate::layout::DeviceLayout;
 use crate::predictor::{Predictor, PredictorKind};
 use crate::workspace::StepWorkspace;
 
+/// Per-step host latency distributions of the four driver stages, recorded
+/// from the same span durations the telemetry reports — so a run's p50/p99
+/// stage times are one histogram query instead of a post-hoc scan of every
+/// `StepTelemetry`.
+static STAGE_DEPOSIT_NS: obs::Histogram = obs::Histogram::new("stage.deposit_ns");
+static STAGE_POTENTIALS_NS: obs::Histogram = obs::Histogram::new("stage.potentials_ns");
+static STAGE_GATHER_PUSH_NS: obs::Histogram = obs::Histogram::new("stage.gather_push_ns");
+static STAGE_STEP_NS: obs::Histogram = obs::Histogram::new("stage.step_ns");
+
 /// Which retarded-potential kernel drives step 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelKind {
@@ -227,10 +236,9 @@ impl<'a> Simulation<'a> {
         let deposit_time = deposit_span.stop();
 
         // --- 2. Compute retarded potentials ---
-        let mut potentials = {
-            let _potentials_span = obs::span!("potentials");
-            self.compute_potentials()
-        };
+        let potentials_span = obs::span!("potentials");
+        let mut potentials = self.compute_potentials();
+        let potentials_time = potentials_span.stop();
 
         // --- 3 & 4. Self-forces and particle push ---
         let push_span = obs::span!("gather_push");
@@ -262,7 +270,11 @@ impl<'a> Simulation<'a> {
         drop(commit_span);
         self.step += 1;
         self.workspace.publish_gauges();
-        drop(step_span);
+        let step_time = step_span.stop();
+        STAGE_DEPOSIT_NS.record(deposit_time.as_nanos() as f64);
+        STAGE_POTENTIALS_NS.record(potentials_time.as_nanos() as f64);
+        STAGE_GATHER_PUSH_NS.record(push_time.as_nanos() as f64);
+        STAGE_STEP_NS.record(step_time.as_nanos() as f64);
         obs::flush_step(telemetry.step);
         telemetry
     }

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use beamdyn_quad::Partition;
 
-use super::{ExecutionPlan, PotentialsKernel, RpProblem};
+use super::{ClusterScratch, ExecutionPlan, PotentialsKernel, RpProblem, StepObservation};
 use crate::clustering::cluster_heuristic;
 use crate::pattern::AccessPattern;
 use crate::points::GridPoint;
@@ -25,15 +25,24 @@ use crate::transform::coldstart_partition;
 use crate::workspace::StepWorkspace;
 
 /// The Heuristic-RP kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Heuristic {
     /// Threads per block for the fallback pass.
     pub fallback_tpb: usize,
+    /// The spatial tiles of the step being planned, kept for observe()'s
+    /// per-group fallback diagnostics.
+    tiles: Vec<Vec<u32>>,
+    /// Reusable accumulators for those diagnostics.
+    scratch: ClusterScratch,
 }
 
 impl Default for Heuristic {
     fn default() -> Self {
-        Self { fallback_tpb: 256 }
+        Self {
+            fallback_tpb: 256,
+            tiles: Vec::new(),
+            scratch: ClusterScratch::default(),
+        }
     }
 }
 
@@ -82,13 +91,16 @@ impl PotentialsKernel for Heuristic {
         }
 
         // Spatial tiles with workload balancing (the heuristics of [10]).
+        // The tiles are kept on the kernel so observe() can attribute the
+        // step's fallback volume to the groups that planned it.
         let clusters = cluster_heuristic(problem.geometry, points);
         let warp = problem.device.warp_size.max(1);
         let tpb = clusters
             .max_size()
             .next_multiple_of(warp)
             .clamp(warp, problem.device.max_threads_per_block);
-        for cluster in &clusters.members {
+        self.tiles = clusters.members;
+        for cluster in &self.tiles {
             for &i in cluster {
                 let part = points[i as usize].partition.as_ref().expect("set above");
                 ws.cells.push_lane(i, part.iter_cells());
@@ -103,5 +115,19 @@ impl PotentialsKernel for Heuristic {
             fallback_tpb: self.fallback_tpb,
             clustering_time: Duration::ZERO,
         }
+    }
+
+    fn observe(
+        &mut self,
+        _problem: &RpProblem<'_>,
+        points: &[GridPoint],
+        observation: &StepObservation<'_>,
+    ) -> Duration {
+        observation.record_group_fallback(
+            &mut self.scratch,
+            points.len(),
+            self.tiles.iter().map(Vec::as_slice),
+        );
+        Duration::ZERO
     }
 }

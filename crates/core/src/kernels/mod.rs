@@ -31,7 +31,7 @@ use crate::driver::{KernelKind, SimulationConfig};
 use crate::layout::DeviceLayout;
 use crate::points::{build_points, GridPoint};
 use crate::predictor::Predictor;
-use crate::workspace::StepWorkspace;
+use crate::workspace::{CellLists, StepWorkspace};
 
 pub use heuristic::Heuristic;
 pub use predictive::Predictive;
@@ -44,6 +44,22 @@ pub use two_phase::TwoPhase;
 pub static FALLBACK_CELLS: Counter = Counter::new("kernels.fallback_cells");
 /// Simulated kernel launches across all kernels and steps.
 pub static LAUNCHES: Counter = Counter::new("kernels.launches");
+
+/// Distribution of τ-miss depth: for every cell the main pass failed to
+/// converge, the ratio of its Simpson error estimate to its apportioned
+/// tolerance. Always ≥ 1 (a cell fails *because* its error exceeded the
+/// tolerance); the tail shows how badly the plan under-resolved its worst
+/// cells, which a perfect forecast would keep hugging 1.
+static TAU_MISS_DEPTH: obs::Histogram = obs::Histogram::new("predict.tau_miss_depth");
+/// Per-lockstep-group fallback fraction: failed cells / planned cells
+/// within one warp/tile/block group. In [0, 1]; the paper's clustering
+/// argument predicts a heavy mass at 0 with a short tail.
+static CLUSTER_FALLBACK_FRAC: obs::Histogram = obs::Histogram::new("cluster.fallback_frac");
+/// Raw failed-cell count per lockstep group. Integer-valued, so the
+/// histogram's running *sum* stays exactly equal to the
+/// `kernels.fallback_cells` counter over the same window —
+/// `tests/prediction_quality.rs` pins this for all three kernels.
+static CLUSTER_FALLBACK_CELLS: obs::Histogram = obs::Histogram::new("cluster.fallback_cells");
 
 /// Everything a kernel needs to evaluate step `k`'s potentials.
 pub struct RpProblem<'a> {
@@ -108,10 +124,16 @@ pub trait PotentialsKernel: Send {
         ws: &mut StepWorkspace,
     ) -> ExecutionPlan;
 
-    /// Observes the step's finalized points (ONLINE-LEARNING); returns the
-    /// host time spent training. The default does nothing.
-    fn observe(&mut self, problem: &RpProblem<'_>, points: &[GridPoint]) -> Duration {
-        let _ = (problem, points);
+    /// Observes the step's finalized points (ONLINE-LEARNING) together with
+    /// the engine's execution record for the step; returns the host time
+    /// spent training. The default does nothing.
+    fn observe(
+        &mut self,
+        problem: &RpProblem<'_>,
+        points: &[GridPoint],
+        observation: &StepObservation<'_>,
+    ) -> Duration {
+        let _ = (problem, points, observation);
         Duration::ZERO
     }
 
@@ -186,6 +208,68 @@ pub struct FallbackTask {
     pub b: f64,
     /// Absolute tolerance for this cell.
     pub tolerance: f64,
+    /// How deep the main pass missed τ on this cell: its Simpson error
+    /// estimate divided by `tolerance` (always > 1).
+    pub miss: f64,
+}
+
+/// The engine's execution record for one step, handed to
+/// [`PotentialsKernel::observe`] so kernels can grade their own plans
+/// (per-cluster fallback fractions, prediction error) without re-deriving
+/// what the engine already knows.
+pub struct StepObservation<'a> {
+    /// Failed cells the main pass forwarded to the adaptive fallback (the
+    /// paper's list `L`).
+    pub fallback_tasks: &'a [FallbackTask],
+    /// The planned lane assignments the main pass executed.
+    pub cells: &'a CellLists,
+    /// Point-level error tolerance τ of the step.
+    pub tolerance: f64,
+}
+
+/// Reusable per-point accumulators for [`StepObservation::record_group_fallback`]
+/// — kernels keep one across steps so observing allocates nothing in steady
+/// state (the workspace discipline extends to diagnostics).
+#[derive(Debug, Default)]
+pub struct ClusterScratch {
+    planned: Vec<f64>,
+    fallback: Vec<f64>,
+}
+
+impl StepObservation<'_> {
+    /// Records the `cluster.fallback_frac` / `cluster.fallback_cells`
+    /// histograms over the kernel's lockstep groups: `groups` yields each
+    /// group's member point indices (every point in at most one group;
+    /// points outside all groups have no lanes and thus no failures).
+    pub fn record_group_fallback<'g>(
+        &self,
+        scratch: &mut ClusterScratch,
+        n_points: usize,
+        groups: impl Iterator<Item = &'g [u32]>,
+    ) {
+        scratch.planned.clear();
+        scratch.planned.resize(n_points, 0.0);
+        scratch.fallback.clear();
+        scratch.fallback.resize(n_points, 0.0);
+        for tid in 0..self.cells.len() {
+            if let Some((point, lane_cells)) = self.cells.lane(tid) {
+                scratch.planned[point as usize] += lane_cells.len() as f64;
+            }
+        }
+        for task in self.fallback_tasks {
+            scratch.fallback[task.point as usize] += 1.0;
+        }
+        for group in groups {
+            let planned: f64 = group.iter().map(|&i| scratch.planned[i as usize]).sum();
+            let failed: f64 = group.iter().map(|&i| scratch.fallback[i as usize]).sum();
+            CLUSTER_FALLBACK_CELLS.record(failed);
+            if planned > 0.0 {
+                // Failed cells are a subset of planned cells, so the
+                // fraction is in [0, 1] by construction.
+                CLUSTER_FALLBACK_FRAC.record(failed / planned);
+            }
+        }
+    }
 }
 
 /// `COMPUTE-POTENTIALS`: the shared engine. Builds the step's point set,
@@ -203,7 +287,14 @@ pub fn compute_potentials(
     let plan = kernel.plan(problem, &mut points, ws);
     let outcome = execute_plan(problem, &mut points, &plan, ws);
     finalize_points(&mut points, ws);
-    let training_time = kernel.observe(problem, &points);
+    // The main pass's task list and lane assignments survive until the next
+    // `begin_step`, so observe can grade the plan they record.
+    let observation = StepObservation {
+        fallback_tasks: &ws.tasks,
+        cells: &ws.cells,
+        tolerance: problem.tolerance,
+    };
+    let training_time = kernel.observe(problem, &points, &observation);
 
     FALLBACK_CELLS.add(outcome.fallback_cells as u64);
     LAUNCHES.add(outcome.launches as u64);
@@ -259,6 +350,9 @@ fn execute_plan(
     );
 
     let fallback_cells = ws.tasks.len();
+    for task in &ws.tasks {
+        TAU_MISS_DEPTH.record(task.miss);
+    }
     let mut fallback_stats = KernelStats::default();
     let mut launches = 1;
     if !ws.tasks.is_empty() {
@@ -333,12 +427,14 @@ pub(crate) fn apply_results(
         for &b in &r.breaks {
             break_edges.push((r.point, b));
         }
-        for &(a, b) in &r.failed {
+        for &(a, b, err) in &r.failed {
+            let cell_tol = cell_tolerance(tolerance, b - a, p.radius);
             tasks.push(FallbackTask {
                 point: r.point,
                 a,
                 b,
-                tolerance: cell_tolerance(tolerance, b - a, p.radius),
+                tolerance: cell_tol,
+                miss: err / cell_tol.max(f64::MIN_POSITIVE),
             });
         }
     }

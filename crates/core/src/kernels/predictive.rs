@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use beamdyn_obs as obs;
 
-use super::{ExecutionPlan, PotentialsKernel, RpProblem};
+use super::{ClusterScratch, ExecutionPlan, PotentialsKernel, RpProblem, StepObservation};
 use crate::clustering::cluster_by_pattern;
 use crate::driver::SimulationConfig;
 use crate::pattern::AccessPattern;
@@ -63,6 +63,15 @@ static CLUSTERS: obs::Gauge = obs::Gauge::new("predictive.clusters");
 /// the step actually observed (cells per subregion; forecastable points
 /// only). NaN-free: unset until the predictor has trained once.
 static FORECAST_MSE: obs::Gauge = obs::Gauge::new("predictive.forecast_mse");
+/// Distribution of per-point forecast error: for every forecastable point,
+/// the mean absolute per-subregion difference between the predicted and the
+/// observed access pattern (cells per subregion). The quantiles tell how
+/// tight the predictor's typical forecast is (p50) versus its worst points
+/// (p99/max) — the shape the scalar MSE gauge flattens away.
+static PREDICT_ABS_ERROR: obs::Histogram = obs::Histogram::new("predict.abs_error");
+/// Mean of the per-point forecast absolute errors this step (companion
+/// gauge to the `predict.abs_error` histogram).
+static PREDICT_MEAN_ABS_ERROR: obs::Gauge = obs::Gauge::new("predict.mean_abs_error");
 
 /// The Predictive-RP kernel (this paper's contribution).
 pub struct Predictive {
@@ -71,6 +80,13 @@ pub struct Predictive {
     /// Per-point forecasts of the step being planned, kept so observe() can
     /// score them against the observed patterns; reused across steps.
     forecasts: Vec<Option<AccessPattern>>,
+    /// Cluster-ordered point indices of the step being planned (warp-sized
+    /// lockstep groups are `order.chunks(warp)`); kept for observe().
+    order: Vec<u32>,
+    /// Warp size the order was carved by.
+    warp: usize,
+    /// Reusable accumulators for the per-group fallback diagnostics.
+    scratch: ClusterScratch,
 }
 
 impl Predictive {
@@ -80,6 +96,9 @@ impl Predictive {
             predictor,
             options,
             forecasts: Vec::new(),
+            order: Vec::new(),
+            warp: 1,
+            scratch: ClusterScratch::default(),
         }
     }
 
@@ -163,9 +182,12 @@ impl PotentialsKernel for Predictive {
                 .sum();
             (total / members.len().max(1), members.first().copied())
         });
-        let order: Vec<u32> = ordered_clusters.into_iter().flatten().copied().collect();
+        self.order.clear();
+        self.order
+            .extend(ordered_clusters.into_iter().flatten().copied());
+        self.warp = warp;
 
-        for group in order.chunks(warp) {
+        for group in self.order.chunks(warp) {
             let merged = match self.options.transform {
                 // Uniform mode merges at *pattern* level: the group partition
                 // is the dyadic uniform transform of the element-wise max
@@ -204,21 +226,48 @@ impl PotentialsKernel for Predictive {
         }
     }
 
-    fn observe(&mut self, _problem: &RpProblem<'_>, points: &[GridPoint]) -> Duration {
+    fn observe(
+        &mut self,
+        _problem: &RpProblem<'_>,
+        points: &[GridPoint],
+        observation: &StepObservation<'_>,
+    ) -> Duration {
         // Score this step's forecasts against the observed patterns the step
-        // just finalized (mean squared per-subregion count error, over the
-        // points that had a forecast).
+        // just finalized: mean squared per-subregion count error over the
+        // points that had a forecast (the scalar gauge) plus the per-point
+        // mean absolute error distribution (the histogram).
         let mut mse_sum = 0.0;
         let mut mse_n = 0usize;
+        let mut abs_sum = 0.0;
+        let mut abs_n = 0usize;
         for (p, forecast) in points.iter().zip(&self.forecasts) {
             if let Some(f) = forecast {
                 mse_sum += f.distance2(&p.pattern);
                 mse_n += p.pattern.len().max(1);
+                let kappa = f.len().max(p.pattern.len()).max(1);
+                let abs: f64 = (0..kappa)
+                    .map(|j| (f.count(j) - p.pattern.count(j)).abs())
+                    .sum::<f64>()
+                    / kappa as f64;
+                PREDICT_ABS_ERROR.record(abs);
+                abs_sum += abs;
+                abs_n += 1;
             }
         }
         if mse_n > 0 {
             FORECAST_MSE.set(mse_sum / mse_n as f64);
         }
+        if abs_n > 0 {
+            PREDICT_MEAN_ABS_ERROR.set(abs_sum / abs_n as f64);
+        }
+
+        // Per-warp-group fallback volume: how much of each lockstep group's
+        // planned work the main pass failed to converge.
+        observation.record_group_fallback(
+            &mut self.scratch,
+            points.len(),
+            self.order.chunks(self.warp.max(1)),
+        );
 
         // Line 25: ONLINE-LEARNING on the observed patterns.
         let train_span = obs::span!("train");

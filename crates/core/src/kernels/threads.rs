@@ -35,8 +35,10 @@ pub struct ThreadResult {
     /// Accepted error contribution.
     pub error: f64,
     /// Cells whose Simpson error missed their tolerance (`COMPUTE-RP-
-    /// INTEGRAL`'s list `L'`), empty for the adaptive thread.
-    pub failed: Vec<(f64, f64)>,
+    /// INTEGRAL`'s list `L'`) as `(a, b, error)`, empty for the adaptive
+    /// thread. The error estimate rides along so the host can grade how
+    /// deep each τ-miss was (the `predict.tau_miss_depth` histogram).
+    pub failed: Vec<(f64, f64, f64)>,
     /// Right edges of accepted cells (the partition actually used), in
     /// evaluation order; the host sorts and merges them.
     pub breaks: Vec<f64>,
@@ -150,7 +152,7 @@ impl WarpThread for FixedCellsThread<'_> {
             }
             self.result.breaks.push(b);
         } else {
-            self.result.failed.push((a, b));
+            self.result.failed.push((a, b, est.error));
         }
         true
     }

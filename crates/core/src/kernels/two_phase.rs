@@ -14,22 +14,29 @@
 
 use std::time::Duration;
 
-use super::{ExecutionPlan, PotentialsKernel, RpProblem};
+use super::{ClusterScratch, ExecutionPlan, PotentialsKernel, RpProblem, StepObservation};
 use crate::points::GridPoint;
 use crate::transform::coldstart_partition;
 use crate::workspace::StepWorkspace;
 
 /// The Two-Phase-RP kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TwoPhase {
     /// Threads per block for both phases.
     pub threads_per_block: usize,
+    /// Row-major point indices, cached so observe() can chunk them into the
+    /// blocks phase one launched (its only grouping structure).
+    indices: Vec<u32>,
+    /// Reusable accumulators for the per-group fallback diagnostics.
+    scratch: ClusterScratch,
 }
 
 impl Default for TwoPhase {
     fn default() -> Self {
         Self {
             threads_per_block: 256,
+            indices: Vec::new(),
+            scratch: ClusterScratch::default(),
         }
     }
 }
@@ -45,14 +52,32 @@ impl PotentialsKernel for TwoPhase {
         points: &mut [GridPoint],
         ws: &mut StepWorkspace,
     ) -> ExecutionPlan {
+        self.indices.clear();
         for (i, p) in points.iter().enumerate() {
             let coarse = coldstart_partition(&problem.config, p.radius);
             ws.cells.push_lane(i as u32, coarse.iter_cells());
+            self.indices.push(i as u32);
         }
         ExecutionPlan {
             threads_per_block: self.threads_per_block,
             fallback_tpb: self.threads_per_block,
             clustering_time: Duration::ZERO,
         }
+    }
+
+    fn observe(
+        &mut self,
+        _problem: &RpProblem<'_>,
+        points: &[GridPoint],
+        observation: &StepObservation<'_>,
+    ) -> Duration {
+        // Phase one's only lockstep structure is the row-major block: chunk
+        // the point list by threads-per-block, mirroring the launch.
+        observation.record_group_fallback(
+            &mut self.scratch,
+            points.len(),
+            self.indices.chunks(self.threads_per_block.max(1)),
+        );
+        Duration::ZERO
     }
 }

@@ -38,7 +38,7 @@ pub mod transform;
 pub mod workspace;
 
 pub use driver::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
-pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem};
+pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem, StepObservation};
 pub use pattern::AccessPattern;
 pub use predictor::{Predictor, PredictorKind};
 pub use workspace::{CellLists, StepWorkspace};

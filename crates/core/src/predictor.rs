@@ -8,9 +8,18 @@
 //! (last observed pattern at the same point) as the ablation floor.
 
 use beamdyn_ml::{KnnRegressor, LinearRegressor, Samples, StandardScaler};
+use beamdyn_obs as obs;
 
 use crate::pattern::AccessPattern;
 use crate::points::GridPoint;
+
+/// How far the training targets moved between consecutive retraining
+/// rounds: per point, the mean absolute per-subregion difference between
+/// the pattern observed this step and the one observed last step. Near-zero
+/// drift means the workload has settled and retraining is insurance; a fat
+/// tail flags the points whose needs are still evolving (and which the
+/// one-step-ahead target exists to chase).
+static RETRAIN_DRIFT: obs::Histogram = obs::Histogram::new("predict.retrain_drift");
 
 /// Which learning algorithm backs the predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +103,18 @@ impl Predictor {
         assert!(!points.is_empty(), "cannot train on zero points");
         self.trained_steps += 1;
         let previous = self.previous.take();
+        if let Some(prev) = previous.as_ref() {
+            for (i, p) in points.iter().enumerate() {
+                if let Some(q) = prev.get(i) {
+                    let kappa = p.pattern.len().max(q.len()).max(1);
+                    let drift: f64 = (0..kappa)
+                        .map(|j| (p.pattern.count(j) - q.count(j)).abs())
+                        .sum::<f64>()
+                        / kappa as f64;
+                    RETRAIN_DRIFT.record(drift);
+                }
+            }
+        }
         let target = |i: usize, p: &GridPoint| -> AccessPattern {
             let mut t = pad(&p.pattern, self.kappa);
             if let Some(prev) = previous.as_ref().and_then(|v| v.get(i)) {

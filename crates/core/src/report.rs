@@ -95,6 +95,88 @@ pub fn render_counters() -> String {
     for (name, value) in &snap.gauges {
         out.push_str(&format!("{name:32} {value:.6}\n"));
     }
+    out.push_str("-- histograms --\n");
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{:32} {:8}x mean {:12.4} p50 {:12.4} p90 {:12.4} p99 {:12.4} max {:12.4}\n",
+            name,
+            h.count(),
+            h.mean(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max().unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+/// Prediction-quality metrics of one step, read back from a
+/// [`obs::StepFlush`]: the paper's accuracy story (how good the forecasts
+/// are, how much work leaks into the fallback pass) as numbers per step.
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Step index of the flush.
+    pub step: usize,
+    /// `predict.mean_abs_error` gauge (mean per-point forecast error,
+    /// cells per subregion); zero until the predictor has trained.
+    pub mean_abs_error: f64,
+    /// `predict.abs_error` p90 (cumulative over the run so far).
+    pub abs_error_p90: f64,
+    /// `cluster.fallback_frac` p90 — 90 % of lockstep groups leak at most
+    /// this fraction of their planned cells into the fallback pass.
+    pub fallback_frac_p90: f64,
+    /// `predict.tau_miss_depth` p90 — how badly the typical-worst failed
+    /// cell overshot its tolerance (≥ 1 whenever any cell failed).
+    pub tau_miss_p90: f64,
+    /// `kernels.fallback_cells` counter (cumulative failed cells).
+    pub fallback_cells: u64,
+}
+
+/// Extracts one [`QualityRow`] per recorded step flush.
+pub fn quality_rows(flushes: &[obs::StepFlush]) -> Vec<QualityRow> {
+    let histogram_p90 = |f: &obs::StepFlush, name: &str| {
+        f.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, h)| h.p90())
+    };
+    flushes
+        .iter()
+        .map(|f| QualityRow {
+            step: f.step,
+            mean_abs_error: f
+                .gauges
+                .iter()
+                .find(|(n, _)| *n == "predict.mean_abs_error")
+                .map_or(0.0, |&(_, v)| v),
+            abs_error_p90: histogram_p90(f, "predict.abs_error"),
+            fallback_frac_p90: histogram_p90(f, "cluster.fallback_frac"),
+            tau_miss_p90: histogram_p90(f, "predict.tau_miss_depth"),
+            fallback_cells: f
+                .counters
+                .iter()
+                .find(|(n, _)| *n == "kernels.fallback_cells")
+                .map_or(0, |&(_, v)| v),
+        })
+        .collect()
+}
+
+/// Renders the prediction-quality series as a fixed-width text table.
+pub fn render_quality(flushes: &[obs::StepFlush]) -> String {
+    let mut out =
+        String::from("step | mean_abs_err | abs_err_p90 | fb_frac_p90 | tau_miss_p90 | fb_cells\n");
+    for row in quality_rows(flushes) {
+        out.push_str(&format!(
+            "{:4} | {:12.4} | {:11.4} | {:11.4} | {:12.2} | {:8}\n",
+            row.step,
+            row.mean_abs_error,
+            row.abs_error_p90,
+            row.fallback_frac_p90,
+            row.tau_miss_p90,
+            row.fallback_cells,
+        ));
+    }
     out
 }
 

@@ -1,0 +1,398 @@
+//! Log-bucketed histogram metrics.
+//!
+//! A [`Histogram`] is the distribution-valued sibling of [`crate::Counter`]
+//! and [`crate::Gauge`]: a `static`-friendly, self-registering accumulator
+//! whose [`Histogram::record`] is lock-free (relaxed atomic bumps plus CAS
+//! loops for sum/min/max), so thread-pool workers can record into one
+//! without coordination. Values are bucketed geometrically — eight
+//! sub-buckets per power of two over `2^-40 ..= 2^40` — which bounds the
+//! relative quantile error at one part in sixteen while keeping the whole
+//! accumulator a fixed-size array of atomics.
+//!
+//! [`HistogramSnapshot`] is the mergeable value form: snapshots taken on
+//! different shards (or built with [`HistogramSnapshot::from_values`]) merge
+//! associatively and commutatively, and answer quantile queries
+//! (p50/p90/p99/max) by walking the cumulative bucket counts.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::registry;
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per power of two.
+const SUB: usize = 1 << SUB_BITS;
+/// Smallest distinguishable exponent; values below `2^MIN_EXP` land in the
+/// zero bucket.
+const MIN_EXP: i32 = -40;
+/// Values at or above `2^MAX_EXP` land in the overflow bucket.
+const MAX_EXP: i32 = 40;
+/// Octave count of the regular bucket region.
+const OCTAVES: usize = (MAX_EXP - MIN_EXP) as usize;
+/// Total buckets: zero/underflow, the regular region, overflow.
+const NUM_BUCKETS: usize = OCTAVES * SUB + 2;
+
+/// Bucket index for a value. Non-finite, non-positive, and sub-`2^-40`
+/// values map to the zero bucket; `>= 2^40` maps to the overflow bucket.
+/// Uses the IEEE-754 exponent/mantissa bits directly, so bucket edges are
+/// exact (no `log2` rounding at power-of-two boundaries).
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        return 0;
+    }
+    if exp >= MAX_EXP {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUB + sub
+}
+
+/// `[lower, upper)` value bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        return (0.0, (2f64).powi(MIN_EXP));
+    }
+    if i >= NUM_BUCKETS - 1 {
+        return ((2f64).powi(MAX_EXP), f64::INFINITY);
+    }
+    let r = i - 1;
+    let scale = (2f64).powi(MIN_EXP + (r / SUB) as i32);
+    let lo = scale * (1.0 + (r % SUB) as f64 / SUB as f64);
+    let hi = scale * (1.0 + (r % SUB + 1) as f64 / SUB as f64);
+    (lo, hi)
+}
+
+/// Representative value reported for bucket `i` (midpoint of its bounds;
+/// the extreme buckets report their finite edge).
+fn bucket_value(i: usize) -> f64 {
+    let (lo, hi) = bucket_bounds(i);
+    if i == 0 {
+        0.0
+    } else if hi.is_infinite() {
+        lo
+    } else {
+        0.5 * (lo + hi)
+    }
+}
+
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+fn atomic_f64_extreme(cell: &AtomicU64, v: f64, keep: fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while keep(v, f64::from_bits(cur)) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A named, self-registering, log-bucketed histogram. Declare as a `static`
+/// and feed with [`Histogram::record`]; it registers with the global
+/// registry on first record, after which snapshots, step flushes, and the
+/// JSONL sink all carry its quantiles.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Creates an unregistered histogram (registration happens on first
+    /// record).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one observation. Lock-free; safe from any thread. Non-finite
+    /// values are clamped to 0 (they land in the zero bucket and contribute
+    /// 0 to the sum) so a stray NaN cannot poison the accumulator.
+    pub fn record(&'static self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_extreme(&self.min_bits, v, |new, cur| new < cur);
+        atomic_f64_extreme(&self.max_bits, v, |new, cur| new > cur);
+        self.ensure_registered();
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy of the full distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    pub(crate) fn reset_values(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && self
+                .registered
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            registry::register_histogram(self);
+        }
+    }
+}
+
+/// The mergeable value form of a [`Histogram`]: sparse bucket counts plus
+/// exact count/sum/min/max. Merging adds bucket counts element-wise, so it
+/// is associative and commutative on the bucketed distribution (the
+/// floating-point `sum` is exact for integer-valued observations below
+/// 2^53 and accurate to rounding otherwise).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, count)`, sorted by index, zero counts omitted.
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a snapshot from raw values (the sequential reference for the
+    /// concurrent [`Histogram::record`] path).
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut dense = [0u64; NUM_BUCKETS];
+        let mut out = Self::new();
+        for value in values {
+            let v = if value.is_finite() {
+                value.max(0.0)
+            } else {
+                0.0
+            };
+            dense[bucket_index(v)] += 1;
+            out.count += 1;
+            out.sum += v;
+            out.min = out.min.min(v);
+            out.max = out.max.max(v);
+        }
+        out.buckets = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect();
+        out
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sparse `(bucket index, count)` pairs, sorted by index.
+    pub fn bucket_counts(&self) -> &[(u32, u64)] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`): walks the cumulative
+    /// bucket counts and reports the hit bucket's representative value,
+    /// clamped into the exactly-tracked `[min, max]` observation range —
+    /// so single-valued distributions answer every quantile exactly.
+    /// Returns 0.0 for an empty distribution.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(i, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_value(i as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Renders the summary statistics (count, mean, quantiles, max) as one
+    /// JSON object — the form the JSONL sink and bench artifacts embed.
+    pub fn summary_json(&self) -> String {
+        let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+        format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            self.count,
+            finite(self.mean()),
+            finite(self.p50()),
+            finite(self.p90()),
+            finite(self.p99()),
+            finite(self.max().unwrap_or(0.0)),
+        )
+    }
+
+    /// Folds `other` into `self`: element-wise bucket addition plus
+    /// count/sum accumulation and min/max widening.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else {
+                        merged.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}

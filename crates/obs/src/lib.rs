@@ -10,12 +10,17 @@
 //!   spans build slash-separated paths (`step/potentials/cluster`), and the
 //!   close of every span accumulates wall time into a global per-path
 //!   statistic and notifies the installed sinks.
-//! * **Counters / gauges** — [`Counter`] and [`Gauge`] are `static`-friendly
-//!   atomic cells (registered on first touch) that are safe to bump from
-//!   thread-pool workers with `Ordering::Relaxed` cost.
+//! * **Counters / gauges / histograms** — [`Counter`] and [`Gauge`] are
+//!   `static`-friendly atomic cells (registered on first touch) that are
+//!   safe to bump from thread-pool workers with `Ordering::Relaxed` cost;
+//!   [`Histogram`] is their distribution-valued sibling: a log-bucketed,
+//!   lock-free accumulator answering p50/p90/p99/max quantile queries via
+//!   mergeable [`HistogramSnapshot`]s.
 //! * **Sinks** — implement [`Sink`] to observe span closes and step
-//!   flushes. Two implementations ship: the in-memory [`Recorder`] that
-//!   tests and benches query, and (behind the `trace` feature) the
+//!   flushes. Three implementations ship: the in-memory [`Recorder`] that
+//!   tests and benches query, the [`PerfettoSink`] emitting Chrome
+//!   trace-event JSON (load a run's stage timeline in
+//!   <https://ui.perfetto.dev>), and (behind the `trace` feature) the
 //!   [`JsonlSink`] writer emitting one JSON object per event.
 //!
 //! With no sink installed the per-span cost is two `Instant::now()` calls
@@ -23,12 +28,17 @@
 //! stages and kernel passes, never per-cell work, so the disabled-path
 //! overhead on the simulation hot loop is far below the 2 % budget.
 
+mod histogram;
+mod perfetto;
 mod registry;
 mod sink;
 mod span;
 
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use perfetto::{install_perfetto, PerfettoSink};
 pub use registry::{
-    counter_value, gauge_value, reset, snapshot, CounterSnapshot, Snapshot, SpanStat,
+    counter_value, gauge_value, histogram_snapshot, reset, snapshot, CounterSnapshot, Snapshot,
+    SpanStat,
 };
 pub use sink::{install, installed_sinks, uninstall_all, Recorder, Sink, SpanEvent, StepFlush};
 pub use span::{enter, SpanGuard};

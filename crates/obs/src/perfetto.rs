@@ -1,0 +1,141 @@
+//! Chrome trace-event export: load a whole run's stage timeline in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+//!
+//! [`PerfettoSink`] buffers every span close as a complete (`"ph":"X"`)
+//! trace event and every step flush as counter (`"ph":"C"`) events plus an
+//! instant (`"ph":"i"`) step marker, then writes one JSON object in the
+//! [trace-event format] when the sink is finished (explicitly via
+//! [`PerfettoSink::finish`], or implicitly on drop — e.g. when
+//! [`crate::uninstall_all`] releases the roster's `Arc`).
+//!
+//! Timestamps are microseconds since the observability epoch; a span's
+//! `ts` is its *start* (`at_ns - ns`), so nested spans render as a flame
+//! graph per thread track.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::sink::{install, json_escape, Sink, SpanEvent, StepFlush};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One buffered trace event, already rendered as a JSON object.
+struct Event(String);
+
+/// A [`Sink`] that collects the span stream and emits Chrome trace-event
+/// JSON (Perfetto / `about:tracing` loadable).
+pub struct PerfettoSink {
+    path: PathBuf,
+    events: Mutex<Vec<Event>>,
+    written: AtomicBool,
+}
+
+impl PerfettoSink {
+    /// Creates the sink and eagerly truncates `path` (so an unwritable
+    /// location fails at install time, not at the end of the run).
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Arc<Self>> {
+        let path = path.as_ref().to_path_buf();
+        File::create(&path)?;
+        Ok(Arc::new(Self {
+            path,
+            events: Mutex::new(Vec::new()),
+            written: AtomicBool::new(false),
+        }))
+    }
+
+    /// Number of buffered trace events.
+    pub fn event_count(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    /// Renders the buffered events as one trace-event JSON object.
+    pub fn render_json(&self) -> String {
+        let events = lock(&self.events);
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, Event(e)) in events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Writes the trace file now (idempotent: later calls and the drop
+    /// handler become no-ops). Returns the path written.
+    pub fn finish(&self) -> std::io::Result<&Path> {
+        if self.written.swap(true, Ordering::AcqRel) {
+            return Ok(&self.path);
+        }
+        let mut file = File::create(&self.path)?;
+        file.write_all(self.render_json().as_bytes())?;
+        file.flush()?;
+        Ok(&self.path)
+    }
+
+    fn push(&self, event: String) {
+        lock(&self.events).push(Event(event));
+    }
+}
+
+impl Drop for PerfettoSink {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+impl Sink for PerfettoSink {
+    fn span_close(&self, event: &SpanEvent) {
+        // `ts` is the span *start*; durations of zero are kept (Perfetto
+        // renders them as zero-width slices).
+        let start_ns = event.at_ns.saturating_sub(event.ns);
+        let name = event.path.rsplit('/').next().unwrap_or(&event.path);
+        self.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"path\":\"{}\"}}}}",
+            json_escape(name),
+            start_ns as f64 / 1e3,
+            event.ns as f64 / 1e3,
+            event.tid,
+            json_escape(&event.path),
+        ));
+    }
+
+    fn step_flush(&self, flush: &StepFlush) {
+        let ts = flush.at_ns as f64 / 1e3;
+        self.push(format!(
+            "{{\"name\":\"step\",\"cat\":\"flush\",\"ph\":\"i\",\"ts\":{ts:.3},\"pid\":1,\"tid\":1,\"s\":\"g\",\"args\":{{\"step\":{}}}}}",
+            flush.step
+        ));
+        for (name, value) in &flush.counters {
+            self.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+                json_escape(name)
+            ));
+        }
+        for (name, value) in &flush.gauges {
+            let v = if value.is_finite() { *value } else { 0.0 };
+            self.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"gauge\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":1,\"args\":{{\"value\":{v}}}}}",
+                json_escape(name)
+            ));
+        }
+    }
+}
+
+/// Creates a [`PerfettoSink`] at `path` and installs it. Keep the returned
+/// `Arc` (or call [`crate::uninstall_all`] before exit) so the buffered
+/// trace gets written.
+pub fn install_perfetto(path: impl AsRef<Path>) -> std::io::Result<Arc<PerfettoSink>> {
+    let sink = PerfettoSink::create(path)?;
+    install(sink.clone());
+    Ok(sink)
+}

@@ -1,11 +1,12 @@
 //! The global accumulation registry: span statistics and the counter /
-//! gauge roster.
+//! gauge / histogram roster.
 
 use std::collections::HashMap;
 use std::sync::{LazyLock, Mutex};
 use std::time::Duration;
 
-use crate::{Counter, Gauge};
+use crate::histogram::HistogramSnapshot;
+use crate::{Counter, Gauge, Histogram};
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -54,6 +55,8 @@ pub struct Snapshot {
     pub counters: Vec<CounterSnapshot>,
     /// Registered gauges (latest observations), sorted by name.
     pub gauges: Vec<(&'static str, f64)>,
+    /// Registered histograms (full distributions), sorted by name.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
 }
 
 impl Snapshot {
@@ -82,18 +85,28 @@ impl Snapshot {
             .find(|c| c.name == name)
             .map(|c| c.value)
     }
+
+    /// Looks up one histogram distribution by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
 }
 
 struct Registry {
     spans: Mutex<HashMap<String, SpanStat>>,
     counters: Mutex<Vec<&'static Counter>>,
     gauges: Mutex<Vec<&'static Gauge>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
 }
 
 static REGISTRY: LazyLock<Registry> = LazyLock::new(|| Registry {
     spans: Mutex::new(HashMap::new()),
     counters: Mutex::new(Vec::new()),
     gauges: Mutex::new(Vec::new()),
+    histograms: Mutex::new(Vec::new()),
 });
 
 pub(crate) fn record_span(path: &str, ns: u64) {
@@ -127,6 +140,10 @@ pub(crate) fn register_gauge(g: &'static Gauge) {
     lock(&REGISTRY.gauges).push(g);
 }
 
+pub(crate) fn register_histogram(h: &'static Histogram) {
+    lock(&REGISTRY.histograms).push(h);
+}
+
 /// Reads one registered counter by name (None if it never incremented).
 pub fn counter_value(name: &str) -> Option<u64> {
     lock(&REGISTRY.counters)
@@ -141,6 +158,14 @@ pub fn gauge_value(name: &str) -> Option<f64> {
         .iter()
         .find(|g| g.name() == name)
         .map(|g| g.get())
+}
+
+/// Snapshots one registered histogram by name (None if it never recorded).
+pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    lock(&REGISTRY.histograms)
+        .iter()
+        .find(|h| h.name() == name)
+        .map(|h| h.snapshot())
 }
 
 /// Takes a consistent snapshot of every span stat, counter, and gauge.
@@ -163,16 +188,22 @@ pub fn snapshot() -> Snapshot {
         .map(|g| (g.name(), g.get()))
         .collect();
     gauges.sort_by_key(|g| g.0);
+    let mut histograms: Vec<(&'static str, HistogramSnapshot)> = lock(&REGISTRY.histograms)
+        .iter()
+        .map(|h| (h.name(), h.snapshot()))
+        .collect();
+    histograms.sort_by_key(|h| h.0);
     Snapshot {
         spans,
         counters,
         gauges,
+        histograms,
     }
 }
 
-/// Zeroes every span stat, counter, and gauge (registrations persist).
-/// Intended for test isolation; concurrent recorders will observe the
-/// reset as a discontinuity.
+/// Zeroes every span stat, counter, gauge, and histogram (registrations
+/// persist). Intended for test isolation; concurrent recorders will observe
+/// the reset as a discontinuity.
 pub fn reset() {
     lock(&REGISTRY.spans).clear();
     for c in lock(&REGISTRY.counters).iter() {
@@ -180,5 +211,8 @@ pub fn reset() {
     }
     for g in lock(&REGISTRY.gauges).iter() {
         g.reset_value();
+    }
+    for h in lock(&REGISTRY.histograms).iter() {
+        h.reset_values();
     }
 }

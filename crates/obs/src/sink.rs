@@ -1,14 +1,26 @@
 //! Pluggable event sinks: the in-memory [`Recorder`] and (behind the
 //! `trace` feature) the JSONL trace writer.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::histogram::HistogramSnapshot;
 use crate::registry;
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A small, stable per-thread ordinal (1-based, in first-span order) used
+/// as the `tid` of trace events — readable in Perfetto, unlike the opaque
+/// OS thread id.
+pub(crate) fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|t| *t)
 }
 
 /// A closed span, as delivered to sinks.
@@ -21,9 +33,11 @@ pub struct SpanEvent {
     /// Nanoseconds since the process's observability epoch (first sink
     /// installation) at which the span *closed*.
     pub at_ns: u64,
+    /// Ordinal of the thread the span ran on (1-based).
+    pub tid: u64,
 }
 
-/// A per-step counter/gauge flush, as delivered to sinks.
+/// A per-step counter/gauge/histogram flush, as delivered to sinks.
 #[derive(Debug, Clone)]
 pub struct StepFlush {
     /// Step index supplied by the caller of [`crate::flush_step`].
@@ -32,6 +46,8 @@ pub struct StepFlush {
     pub counters: Vec<(&'static str, u64)>,
     /// All registered gauges at flush time.
     pub gauges: Vec<(&'static str, f64)>,
+    /// All registered histograms (cumulative distributions) at flush time.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
     /// Nanoseconds since the observability epoch.
     pub at_ns: u64,
 }
@@ -93,6 +109,7 @@ pub(crate) fn emit_span(path: &str, ns: u64) {
         path: path.to_owned(),
         ns,
         at_ns: epoch_ns(),
+        tid: thread_ordinal(),
     };
     for sink in lock(&SINKS.sinks).iter() {
         sink.span_close(&event);
@@ -108,6 +125,7 @@ pub(crate) fn emit_flush(step: usize) {
         step,
         counters: snap.counters.iter().map(|c| (c.name, c.value)).collect(),
         gauges: snap.gauges.clone(),
+        histograms: snap.histograms.clone(),
         at_ns: epoch_ns(),
     };
     for sink in lock(&SINKS.sinks).iter() {
@@ -162,6 +180,17 @@ impl Recorder {
         lock(&self.spans).iter().filter(|e| e.path == path).count() as u64
     }
 
+    /// The named histogram's distribution as of the latest step flush that
+    /// carried it (histograms are cumulative over the run).
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        lock(&self.flushes).iter().rev().find_map(|f| {
+            f.histograms
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, h)| h.clone())
+        })
+    }
+
     /// Drops all recorded events.
     pub fn clear(&self) {
         lock(&self.spans).clear();
@@ -178,6 +207,22 @@ impl Sink for Recorder {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal. Span paths and
+/// metric names are ASCII identifiers by convention, but escape defensively
+/// so sink output is always valid JSON.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut e = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => e.push_str("\\\""),
+            '\\' => e.push_str("\\\\"),
+            c if (c as u32) < 0x20 => e.push_str(&format!("\\u{:04x}", c as u32)),
+            c => e.push(c),
+        }
+    }
+    e
+}
+
 #[cfg(feature = "trace")]
 pub mod jsonl {
     //! One-JSON-object-per-line trace writer (`trace` feature).
@@ -187,28 +232,19 @@ pub mod jsonl {
     use std::path::Path;
     use std::sync::{Arc, Mutex};
 
-    use super::{install, Sink, SpanEvent, StepFlush};
+    use super::{install, json_escape, Sink, SpanEvent, StepFlush};
 
     /// Writes every event as one JSON line:
-    /// `{"type":"span","path":"step/deposit","ns":1234,"at_ns":5678}` and
-    /// `{"type":"flush","step":3,"counters":{...},"gauges":{...},"at_ns":…}`.
+    /// `{"type":"span","path":"step/deposit","ns":1234,"at_ns":5678,"tid":1}`
+    /// and `{"type":"flush","step":3,"counters":{...},"gauges":{...},
+    /// "histograms":{...},"at_ns":…}`.
+    ///
+    /// Span lines stay in the `BufWriter`'s buffer; the file is flushed once
+    /// per step flush, on [`JsonlSink::flush`], and on drop (uninstalling
+    /// the sink drops the roster's `Arc`, so a short run that uninstalls —
+    /// or simply lets its last step flush — never truncates the trace).
     pub struct JsonlSink {
         out: Mutex<BufWriter<File>>,
-    }
-
-    fn escape(s: &str) -> String {
-        // Span paths and counter names are ASCII identifiers by convention,
-        // but escape defensively so the output is always valid JSON.
-        let mut e = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => e.push_str("\\\""),
-                '\\' => e.push_str("\\\\"),
-                c if (c as u32) < 0x20 => e.push_str(&format!("\\u{:04x}", c as u32)),
-                c => e.push(c),
-            }
-        }
-        e
     }
 
     impl JsonlSink {
@@ -220,32 +256,53 @@ pub mod jsonl {
             }))
         }
 
-        fn write_line(&self, line: &str) {
+        /// Flushes buffered trace lines to disk.
+        pub fn flush(&self) {
+            let mut out = self
+                .out
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = out.flush();
+        }
+
+        fn write_line(&self, line: &str, flush: bool) {
             let mut out = self
                 .out
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             // A full disk mid-trace must not take the simulation down.
             let _ = writeln!(out, "{line}");
-            let _ = out.flush();
+            if flush {
+                let _ = out.flush();
+            }
+        }
+    }
+
+    impl Drop for JsonlSink {
+        fn drop(&mut self) {
+            self.flush();
         }
     }
 
     impl Sink for JsonlSink {
         fn span_close(&self, event: &SpanEvent) {
-            self.write_line(&format!(
-                "{{\"type\":\"span\",\"path\":\"{}\",\"ns\":{},\"at_ns\":{}}}",
-                escape(&event.path),
-                event.ns,
-                event.at_ns
-            ));
+            self.write_line(
+                &format!(
+                    "{{\"type\":\"span\",\"path\":\"{}\",\"ns\":{},\"at_ns\":{},\"tid\":{}}}",
+                    json_escape(&event.path),
+                    event.ns,
+                    event.at_ns,
+                    event.tid
+                ),
+                false,
+            );
         }
 
         fn step_flush(&self, flush: &StepFlush) {
             let counters = flush
                 .counters
                 .iter()
-                .map(|(name, v)| format!("\"{}\":{}", escape(name), v))
+                .map(|(name, v)| format!("\"{}\":{}", json_escape(name), v))
                 .collect::<Vec<_>>()
                 .join(",");
             let gauges = flush
@@ -253,14 +310,23 @@ pub mod jsonl {
                 .iter()
                 .map(|(name, v)| {
                     let v = if v.is_finite() { *v } else { 0.0 };
-                    format!("\"{}\":{}", escape(name), v)
+                    format!("\"{}\":{}", json_escape(name), v)
                 })
                 .collect::<Vec<_>>()
                 .join(",");
-            self.write_line(&format!(
-                "{{\"type\":\"flush\",\"step\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"at_ns\":{}}}",
-                flush.step, counters, gauges, flush.at_ns
-            ));
+            let histograms = flush
+                .histograms
+                .iter()
+                .map(|(name, h)| format!("\"{}\":{}", json_escape(name), h.summary_json()))
+                .collect::<Vec<_>>()
+                .join(",");
+            self.write_line(
+                &format!(
+                    "{{\"type\":\"flush\",\"step\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"at_ns\":{}}}",
+                    flush.step, counters, gauges, histograms, flush.at_ns
+                ),
+                true,
+            );
         }
     }
 

@@ -1,7 +1,10 @@
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
-use crate::{flush_step, install, snapshot, uninstall_all, Counter, Gauge, Recorder};
+use crate::{
+    flush_step, install, snapshot, uninstall_all, Counter, Gauge, Histogram, HistogramSnapshot,
+    Recorder,
+};
 
 /// The registry and sink roster are process-global; tests that reset or
 /// install must not interleave.
@@ -192,4 +195,262 @@ fn jsonl_sink_writes_valid_lines() {
             "balanced braces: {line}"
         );
     }
+}
+
+// --- Histogram ---
+
+#[test]
+fn histogram_registers_and_reports_quantiles() {
+    let _gate = serial();
+    crate::reset();
+    static LATENCY: Histogram = Histogram::new("test.latency");
+    for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+        LATENCY.record(v);
+    }
+    let snap = crate::histogram_snapshot("test.latency").expect("registered on first record");
+    assert_eq!(snap.count(), 5);
+    assert_eq!(snap.sum(), 110.0);
+    assert_eq!(snap.max(), Some(100.0));
+    assert_eq!(snap.min(), Some(1.0));
+    // p50 falls in the bucket holding 3.0 (≤ 1/16 relative error, clamped
+    // into [min, max]).
+    let p50 = snap.p50();
+    assert!((2.0..=4.0).contains(&p50), "p50 = {p50}");
+    assert!(snap.p99() <= 100.0);
+    assert!(snap.quantile(1.0) == 100.0);
+    // Histograms flow into the registry snapshot alongside counters.
+    let full = snapshot();
+    assert!(full.histogram("test.latency").is_some());
+}
+
+#[test]
+fn histogram_handles_degenerate_values() {
+    let snap = HistogramSnapshot::from_values([0.0, -3.0, f64::NAN, f64::INFINITY]);
+    // All degenerate values clamp to 0 — nothing can poison the histogram.
+    assert_eq!(snap.count(), 4);
+    assert_eq!(snap.sum(), 0.0);
+    assert_eq!(snap.max(), Some(0.0));
+    assert_eq!(snap.p99(), 0.0);
+    let empty = HistogramSnapshot::new();
+    assert!(empty.is_empty());
+    assert_eq!(empty.quantile(0.5), 0.0);
+    assert_eq!(empty.max(), None);
+}
+
+#[test]
+fn histogram_single_value_answers_all_quantiles_exactly() {
+    let snap = HistogramSnapshot::from_values([0.37]);
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(snap.quantile(q), 0.37, "q = {q}");
+    }
+}
+
+#[test]
+fn histogram_quantile_error_is_bounded() {
+    // Geometric bucketing with 8 sub-buckets per octave bounds the
+    // relative quantile error at 1/16 for any value in range.
+    for v in [1e-9, 3.7e-4, 0.12, 1.0, 7.5, 1234.5, 9.9e8] {
+        let snap = HistogramSnapshot::from_values(std::iter::repeat_n(v, 10));
+        let p90 = snap.p90();
+        assert!(
+            (p90 - v).abs() <= v / 16.0 + f64::EPSILON,
+            "v = {v}, p90 = {p90}"
+        );
+    }
+}
+
+#[test]
+fn histogram_merge_with_empty_is_identity() {
+    let mut a = HistogramSnapshot::from_values([1.0, 5.0, 9.0]);
+    let before = a.bucket_counts().to_vec();
+    a.merge(&HistogramSnapshot::new());
+    assert_eq!(a.bucket_counts(), &before[..]);
+    assert_eq!(a.count(), 3);
+
+    let mut empty = HistogramSnapshot::new();
+    empty.merge(&a);
+    assert_eq!(empty.bucket_counts(), a.bucket_counts());
+    assert_eq!(empty.max(), a.max());
+    assert_eq!(empty.min(), a.min());
+}
+
+fn same_distribution(a: &HistogramSnapshot, b: &HistogramSnapshot) -> bool {
+    a.bucket_counts() == b.bucket_counts()
+        && a.count() == b.count()
+        && a.min() == b.min()
+        && a.max() == b.max()
+        && (a.sum() - b.sum()).abs() <= 1e-9 * (1.0 + a.sum().abs())
+}
+
+mod histogram_properties {
+    use super::{same_distribution, HistogramSnapshot};
+    use proptest::prelude::*;
+
+    fn values() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(0.0f64..1e6, 0..64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn merge_is_commutative(xs in values(), ys in values()) {
+            let (a, b) = (
+                HistogramSnapshot::from_values(xs.iter().copied()),
+                HistogramSnapshot::from_values(ys.iter().copied()),
+            );
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert!(same_distribution(&ab, &ba));
+        }
+
+        #[test]
+        fn merge_is_associative(
+            xs in values(),
+            ys in values(),
+            zs in values(),
+        ) {
+            let a = HistogramSnapshot::from_values(xs.iter().copied());
+            let b = HistogramSnapshot::from_values(ys.iter().copied());
+            let c = HistogramSnapshot::from_values(zs.iter().copied());
+            // (a ∪ b) ∪ c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a ∪ (b ∪ c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert!(same_distribution(&left, &right));
+        }
+
+        #[test]
+        fn merge_equals_concatenation(xs in values(), ys in values()) {
+            let mut merged = HistogramSnapshot::from_values(xs.iter().copied());
+            merged.merge(&HistogramSnapshot::from_values(ys.iter().copied()));
+            let concat =
+                HistogramSnapshot::from_values(xs.iter().chain(ys.iter()).copied());
+            prop_assert!(same_distribution(&merged, &concat));
+        }
+
+        #[test]
+        fn quantiles_are_monotone_in_q(xs in values(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let snap = HistogramSnapshot::from_values(xs.iter().copied());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(snap.quantile(lo) <= snap.quantile(hi),
+                "quantile({}) = {} > quantile({}) = {}",
+                lo, snap.quantile(lo), hi, snap.quantile(hi));
+            if !xs.is_empty() {
+                prop_assert!(snap.quantile(1.0) <= snap.max().unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_concurrent_records_equal_sequential_totals() {
+    let _gate = serial();
+    crate::reset();
+    static CONCURRENT: Histogram = Histogram::new("test.concurrent_hist");
+    // Four threads record disjoint quarters of one value stream …
+    let all: Vec<f64> = (0..4000).map(|i| 0.001 * (i % 997) as f64).collect();
+    std::thread::scope(|scope| {
+        for chunk in all.chunks(1000) {
+            scope.spawn(move || {
+                for &v in chunk {
+                    CONCURRENT.record(v);
+                }
+            });
+        }
+    });
+    // … and the result matches recording the stream sequentially.
+    let concurrent = CONCURRENT.snapshot();
+    let sequential = HistogramSnapshot::from_values(all.iter().copied());
+    assert_eq!(concurrent.count(), sequential.count());
+    assert_eq!(concurrent.bucket_counts(), sequential.bucket_counts());
+    assert_eq!(concurrent.min(), sequential.min());
+    assert_eq!(concurrent.max(), sequential.max());
+    assert!((concurrent.sum() - sequential.sum()).abs() <= 1e-9 * sequential.sum().abs());
+}
+
+#[test]
+fn step_flush_carries_histograms() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    static FLUSHED_HIST: Histogram = Histogram::new("test.flushed_hist");
+    FLUSHED_HIST.record(2.5);
+    FLUSHED_HIST.record(7.5);
+    let rec = Recorder::new();
+    install(rec.clone());
+    flush_step(9);
+    let snap = rec.histogram("test.flushed_hist").expect("in flush");
+    assert_eq!(snap.count(), 2);
+    assert_eq!(snap.max(), Some(7.5));
+    assert!(rec.histogram("test.no_such_hist").is_none());
+    uninstall_all();
+}
+
+// --- Perfetto sink ---
+
+#[test]
+fn perfetto_sink_buffers_spans_and_writes_on_uninstall() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let path = std::env::temp_dir().join(format!("obs_perfetto_test_{}.json", std::process::id()));
+    {
+        let sink = crate::install_perfetto(&path).expect("create trace file");
+        {
+            let _outer = crate::span!("perfetto_outer");
+            let _inner = crate::span!("inner");
+        }
+        flush_step(0);
+        assert!(sink.event_count() >= 3, "spans + step marker buffered");
+        uninstall_all();
+        drop(sink); // last Arc → Drop writes the file
+    }
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+    assert!(text.starts_with('{') && text.contains("\"traceEvents\""));
+    assert!(text.contains("\"ph\":\"X\"") && text.contains("perfetto_outer/inner"));
+    assert!(text.contains("\"ph\":\"i\""));
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn jsonl_sink_flushes_buffer_on_uninstall() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let path =
+        std::env::temp_dir().join(format!("obs_trace_drop_test_{}.jsonl", std::process::id()));
+    {
+        let sink = crate::install_jsonl(&path).expect("create trace file");
+        // Span lines are buffered (no step flush happens in this run) …
+        for _ in 0..3 {
+            let _g = crate::span!("drop_flush_test");
+        }
+        uninstall_all();
+        drop(sink); // … and the last Arc dropping flushes the writer.
+    }
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("drop_flush_test"))
+            .count(),
+        3,
+        "no span line was truncated: {text:?}"
+    );
+    let last = lines.last().expect("file not empty");
+    assert!(
+        last.starts_with('{') && last.ends_with('}'),
+        "last line complete: {last:?}"
+    );
 }

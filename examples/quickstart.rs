@@ -5,8 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! With the `trace` feature, the run also writes a JSONL span/counter trace
-//! (one object per span close, one flush per step) to `quickstart_trace.jsonl`:
+//! The run always writes a Chrome trace-event timeline to
+//! `quickstart_trace.perfetto.json` — open it at <https://ui.perfetto.dev>
+//! to see the stage flame graph per thread. With the `trace` feature it
+//! additionally writes a JSONL span/counter trace (one object per span
+//! close, one flush per step) to `quickstart_trace.jsonl`:
 //!
 //! ```bash
 //! cargo run --example quickstart --features trace
@@ -24,6 +27,9 @@ fn main() {
     // lands in quickstart_trace.jsonl.
     #[cfg(feature = "trace")]
     beamdyn::obs::install_jsonl("quickstart_trace.jsonl").expect("trace file");
+    // Perfetto timeline (always on): the whole run as Chrome trace-event
+    // JSON, written when the sinks are uninstalled at the end of main.
+    beamdyn::obs::install_perfetto("quickstart_trace.perfetto.json").expect("perfetto file");
 
     // Host pool (drives the simulated SMs and the CPU stages).
     let pool = ThreadPool::new(4);
@@ -74,6 +80,10 @@ fn main() {
     let predictor = sim.predictor().expect("Predictive-RP carries a predictor");
     println!("predictor trained {} times", predictor.trained_steps());
     println!("\n{}", beamdyn::core::report::render_counters());
+    // Dropping the sinks flushes the JSONL buffer and writes the Perfetto
+    // trace — never exit a traced run without this (or an explicit flush).
+    beamdyn::obs::uninstall_all();
+    println!("perfetto trace written to quickstart_trace.perfetto.json");
     #[cfg(feature = "trace")]
     println!("trace written to quickstart_trace.jsonl");
 }

@@ -1,0 +1,195 @@
+//! Acceptance tests for the prediction-quality diagnostics: the histograms
+//! the kernels record must be queryable through the obs layer, ordered, and
+//! in exact agreement with the telemetry they mirror.
+//!
+//! The obs registry is process-global, so every test takes the `SERIAL`
+//! lock and resets the registry before measuring.
+
+use std::sync::{Mutex, MutexGuard};
+
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::obs;
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn config(kernel: KernelKind) -> SimulationConfig {
+    let mut cfg = SimulationConfig::standard(GridGeometry::unit(16, 16), kernel);
+    cfg.rp = RpConfig {
+        kappa: 4,
+        dt: 0.08,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.25,
+        support_y: 0.12,
+        center: (0.5, 0.5),
+    };
+    cfg.tolerance = 1e-4;
+    cfg
+}
+
+fn bunch() -> GaussianBunch {
+    GaussianBunch {
+        sigma_x: 0.11,
+        sigma_y: 0.09,
+        center_x: 0.5,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.05,
+        chirp: 0.0,
+    }
+}
+
+fn run(kernel: KernelKind, steps: usize) -> Vec<beamdyn::core::StepTelemetry> {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::test_tiny();
+    let mut sim = Simulation::new(&pool, &device, config(kernel), bunch().sample(8000, 3));
+    sim.run(steps)
+}
+
+/// The ISSUE's acceptance check: after a 5-step Predictive run, a Recorder
+/// must expose ordered quantiles for `predict.abs_error` and
+/// `cluster.fallback_frac` via its step flushes.
+#[test]
+fn recorder_exposes_prediction_quality_quantiles() {
+    let _guard = serial();
+    obs::reset();
+    obs::uninstall_all();
+    let recorder = obs::Recorder::new();
+    obs::install(recorder.clone());
+    run(KernelKind::Predictive, 5);
+    obs::uninstall_all();
+
+    for name in ["predict.abs_error", "cluster.fallback_frac"] {
+        let h = recorder
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing from step flushes"));
+        assert!(h.count() > 0, "{name} recorded no values");
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        let max = h.max().expect("non-empty");
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= max,
+            "{name}: p50 {p50} p90 {p90} p99 {p99} max {max}"
+        );
+        assert!(max.is_finite(), "{name}: max must be finite");
+    }
+
+    // The stage-latency histograms ride the same flushes: one sample per
+    // step per stage.
+    for stage in [
+        "stage.deposit_ns",
+        "stage.potentials_ns",
+        "stage.gather_push_ns",
+        "stage.step_ns",
+    ] {
+        let h = recorder
+            .histogram(stage)
+            .unwrap_or_else(|| panic!("{stage} missing"));
+        assert_eq!(h.count(), 5, "{stage}: one sample per step");
+        assert!(h.min().unwrap() > 0.0, "{stage}: stages take nonzero time");
+    }
+}
+
+/// The per-group `cluster.fallback_cells` histogram must account for the
+/// *entire* fallback volume: its running sum equals the telemetry's summed
+/// `fallback_cells` exactly (integer-valued f64 sums are exact), for all
+/// three kernels.
+#[test]
+fn group_fallback_cells_sum_to_telemetry_for_all_kernels() {
+    let _guard = serial();
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
+        obs::reset();
+        let telemetry = run(kernel, 5);
+        let telemetry_fb: f64 = telemetry
+            .iter()
+            .map(|t| t.potentials.fallback_cells as f64)
+            .sum();
+        let h = obs::histogram_snapshot("cluster.fallback_cells")
+            .unwrap_or_else(|| panic!("{kernel:?}: cluster.fallback_cells missing"));
+        assert!(h.count() > 0, "{kernel:?}: no groups recorded");
+        assert_eq!(
+            h.sum(),
+            telemetry_fb,
+            "{kernel:?}: per-group fallback cells must sum to the telemetry total"
+        );
+    }
+}
+
+/// Diagnostic ranges that hold by construction: a fallback fraction is a
+/// fraction, and a τ-miss is a miss (error strictly above tolerance).
+#[test]
+fn diagnostic_histograms_stay_in_range() {
+    let _guard = serial();
+    obs::reset();
+    run(KernelKind::Predictive, 5);
+
+    let frac = obs::histogram_snapshot("cluster.fallback_frac").expect("recorded");
+    assert!(frac.count() > 0);
+    assert!(
+        frac.max().unwrap() <= 1.0,
+        "fallback fraction cannot exceed 1: {}",
+        frac.max().unwrap()
+    );
+    assert!(frac.min().unwrap() >= 0.0);
+
+    if let Some(tau) = obs::histogram_snapshot("predict.tau_miss_depth") {
+        if tau.count() > 0 {
+            assert!(
+                tau.min().unwrap() >= 1.0,
+                "a failed cell's error exceeds its tolerance by definition: min {}",
+                tau.min().unwrap()
+            );
+        }
+    }
+
+    // Retraining happened (5 steps, trains every step after the first), so
+    // drift between consecutive steps was recorded.
+    let drift = obs::histogram_snapshot("predict.retrain_drift").expect("recorded");
+    assert!(drift.count() > 0, "drift recorded after retraining");
+    assert!(drift.min().unwrap() >= 0.0);
+
+    // And the quality report renders the series without panicking.
+    let report = beamdyn::core::report::render_counters();
+    assert!(report.contains("cluster.fallback_frac"), "{report}");
+    assert!(report.contains("-- histograms --"));
+}
+
+/// `report::quality_rows` turns recorded flushes into a per-step series the
+/// harness tables can print.
+#[test]
+fn quality_rows_follow_step_flushes() {
+    let _guard = serial();
+    obs::reset();
+    obs::uninstall_all();
+    let recorder = obs::Recorder::new();
+    obs::install(recorder.clone());
+    run(KernelKind::Predictive, 4);
+    obs::uninstall_all();
+
+    let flushes = recorder.step_flushes();
+    let rows = beamdyn::core::report::quality_rows(&flushes);
+    assert_eq!(rows.len(), 4);
+    assert_eq!(rows.last().unwrap().step, 3);
+    // Cumulative counters never decrease step over step.
+    for pair in rows.windows(2) {
+        assert!(pair[1].fallback_cells >= pair[0].fallback_cells);
+    }
+    // After warm-up the predictor forecasts, so the quality metrics are live.
+    assert!(rows.last().unwrap().fallback_frac_p90 >= 0.0);
+    let rendered = beamdyn::core::report::render_quality(&flushes);
+    assert!(rendered.lines().count() == 5, "{rendered}");
+}
