@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke bench bench-baseline bench-check clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke bench bench-baseline bench-check clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -13,6 +13,7 @@ ci: fmt lint verify
 	$(MAKE) workspace-reuse
 	$(MAKE) kernel-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-check
 
 fmt:
@@ -46,6 +47,20 @@ trace-smoke:
 	test -s quickstart_trace.perfetto.json
 	grep -q '"traceEvents"' quickstart_trace.perfetto.json
 	grep -q '"ph":"X"' quickstart_trace.perfetto.json
+
+# A curl-able live-telemetry daemon on localhost:6310 (README "Live
+# monitoring"): /metrics /status /events /healthz /readyz /quitz.
+serve:
+	cargo run --release --bin beamdyn-daemon -- --steps 60 --step-delay-ms 250
+
+# End-to-end serving smoke (DESIGN.md §11): a real daemon process on an
+# ephemeral port, scraped and streamed by the in-repo client, then shut
+# down via /quitz. Asserts /metrics parses as Prometheus 0.0.4 and agrees
+# with /status, and that live SSE step events arrive.
+serve-smoke:
+	cargo build --release --bin beamdyn-daemon
+	BEAMDYN_DAEMON_BIN=target/release/beamdyn-daemon \
+		cargo run --release -p beamdyn-bench --bin serve_smoke
 
 bench:
 	cargo bench --workspace

@@ -1,0 +1,198 @@
+//! End-to-end smoke test of the live telemetry service (`make serve-smoke`,
+//! CI `serve-smoke` job): starts a real `beamdyn-daemon` process on an
+//! ephemeral port, watches it live with the in-repo scrape client, and
+//! asserts the serving contract:
+//!
+//! * `/healthz` and `/readyz` answer 200 while the run is up;
+//! * `/events` delivers at least one `step` SSE event whose `data:` payload
+//!   is valid JSON;
+//! * after the run settles, `/metrics` is valid Prometheus 0.0.4 text and
+//!   its `beamdyn_kernels_fallback_cells_total` equals the fallback total
+//!   the driver telemetry reports through `/status` — two independent
+//!   paths to the same number;
+//! * `GET /quitz` shuts the daemon down cleanly (exit code 0).
+//!
+//! The daemon binary path comes from `$BEAMDYN_DAEMON_BIN` (default
+//! `target/release/beamdyn-daemon`).
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use beamdyn_bench::scrape::{collect_sse, http_get, parse_exposition};
+
+const STEPS: usize = 6;
+
+fn fail(child: &mut Child, msg: &str) -> ! {
+    let _ = child.kill();
+    let _ = child.wait();
+    eprintln!("serve_smoke: FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let daemon_bin = std::env::var("BEAMDYN_DAEMON_BIN")
+        .unwrap_or_else(|_| "target/release/beamdyn-daemon".to_string());
+    let addr_file =
+        std::env::temp_dir().join(format!("beamdyn_serve_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_file(&addr_file);
+
+    let mut child = Command::new(&daemon_bin)
+        .args([
+            "--port",
+            "0",
+            "--steps",
+            &STEPS.to_string(),
+            "--resolution",
+            "16",
+            "--particles",
+            "4000",
+            "--step-delay-ms",
+            "150",
+            "--addr-file",
+        ])
+        .arg(&addr_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("serve_smoke: cannot spawn {daemon_bin}: {e} (build it first)");
+            std::process::exit(1);
+        });
+
+    // Wait for the daemon to publish its ephemeral address.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            if !addr.trim().is_empty() {
+                break addr.trim().to_string();
+            }
+        }
+        if Instant::now() > deadline {
+            fail(&mut child, "daemon never wrote its address file");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let _ = std::fs::remove_file(&addr_file);
+    println!("serve_smoke: daemon at {addr}");
+
+    // Liveness / readiness while the run is in flight.
+    match http_get(&addr, "/healthz") {
+        Ok((200, _)) => {}
+        other => fail(&mut child, &format!("/healthz: {other:?}")),
+    }
+    match http_get(&addr, "/readyz") {
+        Ok((200, _)) => {}
+        other => fail(&mut child, &format!("/readyz: {other:?}")),
+    }
+    match http_get(&addr, "/no_such_endpoint") {
+        Ok((404, _)) => {}
+        other => fail(&mut child, &format!("unknown endpoint: {other:?}")),
+    }
+
+    // Live SSE stream: at least one step event with a JSON payload (the
+    // stream may have started after step 0 — the per-step 1:1 guarantee is
+    // pinned in-process by tests/serve_live.rs).
+    let events = collect_sse(&addr, "/events", 1, Duration::from_secs(30))
+        .unwrap_or_else(|e| fail(&mut child, &format!("/events: {e}")));
+    if events.is_empty() {
+        fail(&mut child, "no SSE step event arrived");
+    }
+    for e in &events {
+        if e.event != "step" {
+            fail(&mut child, &format!("unexpected SSE event type: {e:?}"));
+        }
+        if beamdyn_bench::json::parse(&e.data).is_err() {
+            fail(
+                &mut child,
+                &format!("SSE data is not valid JSON: {}", e.data),
+            );
+        }
+    }
+    println!("serve_smoke: received {} live step event(s)", events.len());
+
+    // Wait for the run to settle so counters are quiescent.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        let (code, body) = http_get(&addr, "/status")
+            .unwrap_or_else(|e| fail(&mut child, &format!("/status: {e}")));
+        if code != 200 {
+            fail(&mut child, &format!("/status returned {code}"));
+        }
+        let status = beamdyn_bench::json::parse(&body)
+            .unwrap_or_else(|e| fail(&mut child, &format!("/status not JSON: {e}\n{body}")));
+        if status.get("state").and_then(|v| v.as_str()) == Some("done") {
+            break status;
+        }
+        if Instant::now() > deadline {
+            fail(&mut child, "run never reached state=done");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let steps = status
+        .get("steps_completed")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail(&mut child, "status lacks steps_completed"));
+    if steps as usize != STEPS {
+        fail(
+            &mut child,
+            &format!("expected {STEPS} steps, status says {steps}"),
+        );
+    }
+    let status_fallback = status
+        .get("totals")
+        .and_then(|t| t.get("fallback_cells"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail(&mut child, "status lacks totals.fallback_cells"));
+
+    // The Prometheus exposition must parse and agree with /status exactly.
+    let (code, metrics) =
+        http_get(&addr, "/metrics").unwrap_or_else(|e| fail(&mut child, &format!("/metrics: {e}")));
+    if code != 200 {
+        fail(&mut child, &format!("/metrics returned {code}"));
+    }
+    let exposition = parse_exposition(&metrics)
+        .unwrap_or_else(|e| fail(&mut child, &format!("invalid exposition: {e}")));
+    let scraped_fallback = exposition
+        .value("beamdyn_kernels_fallback_cells_total")
+        .unwrap_or_else(|| {
+            fail(
+                &mut child,
+                "metrics lack beamdyn_kernels_fallback_cells_total",
+            )
+        });
+    if scraped_fallback != status_fallback {
+        fail(
+            &mut child,
+            &format!("fallback mismatch: /metrics {scraped_fallback} vs /status {status_fallback}"),
+        );
+    }
+    if exposition
+        .types
+        .get("beamdyn_stage_step_ns")
+        .map(String::as_str)
+        != Some("histogram")
+    {
+        fail(&mut child, "stage.step_ns histogram family missing");
+    }
+    println!("serve_smoke: fallback_cells agree across /metrics and /status ({scraped_fallback})");
+
+    // Graceful shutdown.
+    match http_get(&addr, "/quitz") {
+        Ok((200, _)) => {}
+        other => fail(&mut child, &format!("/quitz: {other:?}")),
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let code = loop {
+        match child.try_wait() {
+            Ok(Some(code)) => break code,
+            Ok(None) if Instant::now() > deadline => fail(&mut child, "daemon ignored /quitz"),
+            Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => fail(&mut child, &format!("waiting on daemon: {e}")),
+        }
+    };
+    if !code.success() {
+        eprintln!("serve_smoke: FAILED: daemon exited with {code}");
+        std::process::exit(1);
+    }
+    println!("serve_smoke: OK (daemon exited cleanly)");
+}

@@ -5,7 +5,10 @@
 //! dependency into the workspace. This parser covers exactly the JSON the
 //! harness emits (and anything standard): objects, arrays, strings with
 //! escapes, numbers, booleans, null. It is a validator too — any syntax
-//! error is reported with its byte offset.
+//! error is reported with its byte offset, and hostile input degrades to
+//! an error, never a panic: nesting deeper than [`MAX_DEPTH`] and duplicate
+//! object keys are rejected (the harness never emits either, so seeing one
+//! means the artifact is corrupt).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -87,12 +90,18 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser accepts. Recursion is bounded by
+/// this, so a `[[[[…` bomb returns a [`ParseError`] instead of overflowing
+/// the stack. Far deeper than any harness artifact (which nest 2–3 levels).
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document (trailing whitespace allowed, trailing
 /// garbage is an error).
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -106,6 +115,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -240,12 +250,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -256,6 +276,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -265,10 +286,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(map));
         }
         loop {
@@ -278,12 +301,15 @@ impl Parser<'_> {
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
-            map.insert(key, value);
+            if map.insert(key.clone(), value).is_some() {
+                return Err(self.err(format!("duplicate key \"{key}\"")));
+            }
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(map));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -318,5 +344,72 @@ mod tests {
         assert!(parse("[1 2]").is_err());
         assert!(parse("{}extra").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse(r#"{"a":1,"b":2,"a":3}"#).unwrap_err();
+        assert!(err.message.contains("duplicate key"), "{err}");
+        // Duplicates hiding below the top level are caught too.
+        assert!(parse(r#"{"outer":{"x":1,"x":1}}"#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        for bomb in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+            let err = parse(&bomb).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+        // Depth just inside the limit still parses.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
+    }
+
+    /// A representative harness artifact line: every syntax form the
+    /// emitters produce, all in ASCII so any byte index is a char boundary.
+    const CORPUS_DOC: &str =
+        r#"{"table":"t1","rows":[1,2.5,-3e2],"obs":{"ok":true,"x":null},"s":"a\n\"b\""}"#;
+
+    mod hostile_input_properties {
+        use super::{parse, CORPUS_DOC};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Truncating a document mid-way is never silently accepted:
+            /// every strict prefix of an object document is invalid JSON.
+            #[test]
+            fn truncated_documents_always_error(cut in 0usize..CORPUS_DOC.len()) {
+                prop_assert!(parse(&CORPUS_DOC[..cut]).is_err());
+            }
+
+            /// Single-byte corruption must produce Ok or Err — never a
+            /// panic or a hang.
+            #[test]
+            fn corrupted_bytes_never_panic(
+                idx in 0usize..CORPUS_DOC.len(),
+                byte in 0u16..256u16,
+            ) {
+                let mut bytes = CORPUS_DOC.as_bytes().to_vec();
+                bytes[idx] = byte as u8;
+                if let Ok(s) = String::from_utf8(bytes) {
+                    let _ = parse(&s);
+                }
+            }
+
+            /// Arbitrary ASCII garbage parses or errors, without panicking.
+            #[test]
+            fn random_garbage_never_panics(bytes in prop::collection::vec(0u8..128u8, 0..64usize)) {
+                let s: String = bytes.iter().map(|&b| b as char).collect();
+                let _ = parse(&s);
+            }
+        }
     }
 }

@@ -6,6 +6,7 @@
 
 pub mod json;
 pub mod regression;
+pub mod scrape;
 
 use beamdyn_beam::{Beam, GaussianBunch, RpConfig};
 use beamdyn_core::{KernelKind, Simulation, SimulationConfig, StepTelemetry};

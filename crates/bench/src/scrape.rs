@@ -1,0 +1,382 @@
+//! Scrape-and-parse test client for the live telemetry server.
+//!
+//! Three small pieces, all dependency-free, mirroring what real operators
+//! point at `beamdyn-serve`:
+//!
+//! * [`http_get`] — a one-shot HTTP/1.1 GET over [`std::net::TcpStream`]
+//!   returning status code and body.
+//! * [`parse_exposition`] — a strict parser for the Prometheus text format
+//!   (0.0.4) `GET /metrics` serves: `# TYPE` tracking, labelled samples
+//!   with escape handling, `NaN`/`±Inf` tokens. Any malformed line is an
+//!   error with its line number, so the serve tests *round-trip* the
+//!   exposition (`obs::prometheus::render` → this parser → value lookup)
+//!   instead of merely grepping it.
+//! * [`collect_sse`] — a Server-Sent-Events reader for `GET /events` that
+//!   gathers `step` events until a count or deadline is reached.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One exposition sample: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs in source order (empty for unlabelled samples).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed `/metrics` body.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Every sample, in source order.
+    pub samples: Vec<Sample>,
+    /// `# TYPE` declarations: family name → `counter` / `gauge` / ….
+    pub types: BTreeMap<String, String>,
+}
+
+impl Exposition {
+    /// The single unlabelled sample named `name`.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The sample named `name` carrying `label == value`.
+    pub fn labelled(&self, name: &str, label: &str, value: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.label(label) == Some(value))
+            .map(|s| s.value)
+    }
+
+    /// All samples of one family (e.g. every `_bucket` of a histogram).
+    pub fn family(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        t => t.parse().map_err(|_| format!("bad sample value '{t}'")),
+    }
+}
+
+/// Label pairs plus the unparsed remainder of the line.
+type LabelsAndRest<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses one `{key="value",…}` label block; `chars` starts after the `{`.
+fn parse_labels(rest: &str) -> Result<LabelsAndRest<'_>, String> {
+    let mut labels = Vec::new();
+    let mut chars = rest.char_indices().peekable();
+    loop {
+        // Key up to '='.
+        let mut key = String::new();
+        for (_, c) in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err("empty label name".into());
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label '{key}' value must be quoted")),
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad label escape {other:?}")),
+                },
+                Some((_, '"')) => break,
+                Some((_, c)) => value.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => return Ok((labels, &rest[i + 1..])),
+            other => return Err(format!("expected ',' or '}}' after label, got {other:?}")),
+        }
+    }
+}
+
+/// Parses a complete Prometheus 0.0.4 text exposition. Comment (`# HELP`)
+/// and blank lines are skipped; `# TYPE` declarations are collected; every
+/// other line must be a well-formed sample.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end_matches('\r');
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            if parts.next() == Some("TYPE") {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE without name".into()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE without kind".into()))?;
+                if !valid_metric_name(name) {
+                    return Err(err(format!("invalid family name '{name}'")));
+                }
+                out.types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .ok_or_else(|| err("sample without value".into()))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(err(format!("invalid metric name '{name}'")));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if let Some(inner) = rest.strip_prefix('{') {
+            parse_labels(inner).map_err(&err)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let mut fields = rest.split_ascii_whitespace();
+        let value =
+            parse_value(fields.next().ok_or_else(|| err("missing value".into()))?).map_err(&err)?;
+        // An optional integer timestamp may follow; anything else is junk.
+        if let Some(ts) = fields.next() {
+            ts.parse::<i64>()
+                .map_err(|_| err(format!("bad timestamp '{ts}'")))?;
+        }
+        if fields.next().is_some() {
+            return Err(err("trailing fields after timestamp".into()));
+        }
+        out.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// One-shot `GET` returning `(status_code, body)`. `addr` is `host:port`.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("response without header terminator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line: {head:?}")))?;
+    Ok((status, body.to_string()))
+}
+
+/// One Server-Sent Event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SseEvent {
+    /// `event:` field (empty when absent).
+    pub event: String,
+    /// `id:` field.
+    pub id: Option<String>,
+    /// Concatenated `data:` lines.
+    pub data: String,
+}
+
+/// Connects to an SSE endpoint and collects events until `min_events` have
+/// arrived or `deadline` elapses (keep-alive comments are skipped). The
+/// connection is then dropped, which the server notices on its next write.
+pub fn collect_sse(
+    addr: &str,
+    path: &str,
+    min_events: usize,
+    deadline: Duration,
+) -> std::io::Result<Vec<SseEvent>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    {
+        let mut stream = &stream;
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: text/event-stream\r\n\r\n"
+        )?;
+        stream.flush()?;
+    }
+    let start = Instant::now();
+    let mut reader = BufReader::new(&stream);
+    // Skip the response headers.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(Vec::new()),
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {}
+            Err(e) if would_block(&e) => {
+                if start.elapsed() > deadline {
+                    return Ok(Vec::new());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let mut events = Vec::new();
+    let mut current = SseEvent {
+        event: String::new(),
+        id: None,
+        data: String::new(),
+    };
+    while events.len() < min_events && start.elapsed() <= deadline {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim_end_matches(['\r', '\n']);
+                if line.is_empty() {
+                    // Dispatch boundary; comment-only blocks carry no data.
+                    if !current.data.is_empty() || !current.event.is_empty() {
+                        events.push(std::mem::replace(
+                            &mut current,
+                            SseEvent {
+                                event: String::new(),
+                                id: None,
+                                data: String::new(),
+                            },
+                        ));
+                    }
+                } else if let Some(v) = line.strip_prefix("event:") {
+                    current.event = v.trim().to_string();
+                } else if let Some(v) = line.strip_prefix("id:") {
+                    current.id = Some(v.trim().to_string());
+                } else if let Some(v) = line.strip_prefix("data:") {
+                    if !current.data.is_empty() {
+                        current.data.push('\n');
+                    }
+                    current.data.push_str(v.trim_start());
+                }
+                // Lines starting with ':' are keep-alive comments — skipped.
+            }
+            Err(e) if would_block(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(events)
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_samples_types_and_labels() {
+        let text = "\
+# HELP beamdyn_x_total help text
+# TYPE beamdyn_x_total counter
+beamdyn_x_total 42
+# TYPE beamdyn_h histogram
+beamdyn_h_bucket{le=\"1.5\"} 1
+beamdyn_h_bucket{le=\"+Inf\"} 3
+beamdyn_h_sum 7.5
+beamdyn_h_count 3
+beamdyn_span_duration_ns_total{path=\"step/deposit\"} 123
+beamdyn_g NaN
+";
+        let exp = parse_exposition(text).expect("valid exposition");
+        assert_eq!(
+            exp.types.get("beamdyn_x_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(exp.value("beamdyn_x_total"), Some(42.0));
+        assert_eq!(exp.labelled("beamdyn_h_bucket", "le", "+Inf"), Some(3.0));
+        assert_eq!(
+            exp.labelled("beamdyn_span_duration_ns_total", "path", "step/deposit"),
+            Some(123.0)
+        );
+        assert!(exp.value("beamdyn_g").unwrap().is_nan());
+        assert_eq!(exp.family("beamdyn_h_bucket").len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_exposition("9bad_name 1").is_err());
+        assert!(parse_exposition("name").is_err());
+        assert!(parse_exposition("name{le=\"unterminated} 1").is_err());
+        assert!(
+            parse_exposition("name{le=1.5} 1").is_err(),
+            "unquoted label"
+        );
+        assert!(parse_exposition("name one").is_err());
+        assert!(parse_exposition("name 1 2 3").is_err());
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let exp = parse_exposition("m{path=\"a\\\"b\\\\c\\nd\"} 1").expect("valid");
+        assert_eq!(exp.samples[0].label("path"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn obs_render_round_trips_through_the_parser() {
+        use beamdyn_obs::prometheus;
+        // Build a synthetic registry snapshot through the public API of the
+        // render side: the live registry of this test process.
+        static SCRAPE_TEST: beamdyn_obs::Counter = beamdyn_obs::Counter::new("scrape.test_total_x");
+        SCRAPE_TEST.add(9);
+        let text = prometheus::render_current();
+        let exp = parse_exposition(&text).expect("render output must parse");
+        assert_eq!(exp.value("beamdyn_scrape_test_total_x_total"), Some(9.0));
+    }
+}

@@ -233,12 +233,12 @@ impl<'a> Simulation<'a> {
         if let Some(evicted) = self.history.push(self.step, grid) {
             self.workspace.recycle_grid(evicted);
         }
-        let deposit_time = deposit_span.stop();
+        let deposit_time = STAGE_DEPOSIT_NS.observe_span(deposit_span);
 
         // --- 2. Compute retarded potentials ---
         let potentials_span = obs::span!("potentials");
         let mut potentials = self.compute_potentials();
-        let potentials_time = potentials_span.stop();
+        STAGE_POTENTIALS_NS.observe_span(potentials_span);
 
         // --- 3 & 4. Self-forces and particle push ---
         let push_span = obs::span!("gather_push");
@@ -254,7 +254,7 @@ impl<'a> Simulation<'a> {
             kick(self.pool, &mut self.beam, &forces, self.config.rp.dt);
             drift(self.pool, &mut self.beam, self.config.rp.dt);
         }
-        let push_time = push_span.stop();
+        let push_time = STAGE_GATHER_PUSH_NS.observe_span(push_span);
         self.last_potentials = Some(field);
 
         // --- Commit: move (not clone) the observed partitions into the
@@ -270,11 +270,7 @@ impl<'a> Simulation<'a> {
         drop(commit_span);
         self.step += 1;
         self.workspace.publish_gauges();
-        let step_time = step_span.stop();
-        STAGE_DEPOSIT_NS.record(deposit_time.as_nanos() as f64);
-        STAGE_POTENTIALS_NS.record(potentials_time.as_nanos() as f64);
-        STAGE_GATHER_PUSH_NS.record(push_time.as_nanos() as f64);
-        STAGE_STEP_NS.record(step_time.as_nanos() as f64);
+        STAGE_STEP_NS.observe_span(step_span);
         obs::flush_step(telemetry.step);
         telemetry
     }

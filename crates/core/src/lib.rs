@@ -34,6 +34,7 @@ pub mod pattern;
 pub mod points;
 pub mod predictor;
 pub mod report;
+pub mod status;
 pub mod transform;
 pub mod workspace;
 
@@ -41,6 +42,7 @@ pub use driver::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
 pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem, StepObservation};
 pub use pattern::AccessPattern;
 pub use predictor::{Predictor, PredictorKind};
+pub use status::{StatusBoard, StatusSnapshot};
 pub use workspace::{CellLists, StepWorkspace};
 
 #[cfg(test)]

@@ -1,0 +1,150 @@
+//! Fan-out of [`StepFlush`] events to live consumers.
+//!
+//! A [`BroadcastSink`] sits between the simulation hot path and any number
+//! of live readers (the SSE endpoint of `crates/serve`, tests, custom
+//! dashboards). Each subscriber owns a **bounded ring buffer**: the
+//! producer side (`step_flush`, called inline on the simulation thread)
+//! only ever pushes into those rings and never waits — when a ring is full
+//! the *oldest* queued event is dropped and the global
+//! `telemetry.dropped_events` counter incremented. A slow or stalled HTTP
+//! client therefore costs the simulation one `VecDeque` rotation per step,
+//! never a block.
+//!
+//! Subscribers that have been dropped are pruned lazily on the next flush,
+//! so disconnecting consumers leave no leak behind.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::sink::{Sink, SpanEvent, StepFlush};
+use crate::Counter;
+
+/// Step-flush events discarded because a subscriber's ring was full
+/// (one increment per discarded event, summed over all subscribers).
+static DROPPED_EVENTS: Counter = Counter::new("telemetry.dropped_events");
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Channel {
+    queue: Mutex<VecDeque<StepFlush>>,
+    available: Condvar,
+    /// Set when the receiver half is dropped; the sink prunes the channel.
+    closed: AtomicBool,
+}
+
+/// A [`Sink`] that fans every step flush out to bounded per-subscriber
+/// ring buffers. Span closes are ignored — live consumers watch step
+/// granularity; per-span streams stay the job of the trace sinks.
+pub struct BroadcastSink {
+    capacity: usize,
+    subscribers: Mutex<Vec<Arc<Channel>>>,
+}
+
+impl BroadcastSink {
+    /// Default ring capacity per subscriber.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Creates a sink whose subscriber rings hold up to `capacity` pending
+    /// events each (`capacity` is clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            capacity: capacity.max(1),
+            subscribers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a sink with [`BroadcastSink::DEFAULT_CAPACITY`].
+    pub fn new() -> Arc<Self> {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Registers a new live consumer; events flushed from now on are
+    /// queued for it (up to the ring capacity).
+    pub fn subscribe(&self) -> BroadcastReceiver {
+        let channel = Arc::new(Channel {
+            queue: Mutex::new(VecDeque::with_capacity(self.capacity)),
+            available: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        lock(&self.subscribers).push(Arc::clone(&channel));
+        BroadcastReceiver { channel }
+    }
+
+    /// Number of live subscribers (dropped receivers count until the next
+    /// flush prunes them).
+    pub fn subscriber_count(&self) -> usize {
+        lock(&self.subscribers).len()
+    }
+}
+
+impl Sink for BroadcastSink {
+    fn span_close(&self, _event: &SpanEvent) {}
+
+    fn step_flush(&self, flush: &StepFlush) {
+        let mut subscribers = lock(&self.subscribers);
+        subscribers.retain(|channel| {
+            if channel.closed.load(Ordering::Acquire) {
+                return false;
+            }
+            let mut queue = lock(&channel.queue);
+            if queue.len() >= self.capacity {
+                queue.pop_front();
+                DROPPED_EVENTS.incr();
+            }
+            queue.push_back(flush.clone());
+            drop(queue);
+            channel.available.notify_one();
+            true
+        });
+    }
+}
+
+/// The consumer half of one [`BroadcastSink`] subscription.
+pub struct BroadcastReceiver {
+    channel: Arc<Channel>,
+}
+
+impl BroadcastReceiver {
+    /// Pops the oldest pending event without waiting.
+    pub fn try_recv(&self) -> Option<StepFlush> {
+        lock(&self.channel.queue).pop_front()
+    }
+
+    /// Waits up to `timeout` for an event. Returns `None` on timeout —
+    /// long-lived consumers (the SSE writer) loop on this so they can
+    /// interleave shutdown checks with waiting.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<StepFlush> {
+        let queue = lock(&self.channel.queue);
+        let (mut queue, _timed_out) = self
+            .channel
+            .available
+            .wait_timeout_while(queue, timeout, |q| q.is_empty())
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        queue.pop_front()
+    }
+
+    /// Drains everything currently pending.
+    pub fn drain(&self) -> Vec<StepFlush> {
+        lock(&self.channel.queue).drain(..).collect()
+    }
+
+    /// Pending events not yet received.
+    pub fn len(&self) -> usize {
+        lock(&self.channel.queue).len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for BroadcastReceiver {
+    fn drop(&mut self) {
+        self.channel.closed.store(true, Ordering::Release);
+    }
+}

@@ -15,8 +15,10 @@
 //! (p50/p90/p99/max) by walking the cumulative bucket counts.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 use crate::registry;
+use crate::span::SpanGuard;
 
 /// log2 of the sub-buckets per octave.
 const SUB_BITS: u32 = 3;
@@ -150,6 +152,24 @@ impl Histogram {
         atomic_f64_extreme(&self.min_bits, v, |new, cur| new < cur);
         atomic_f64_extreme(&self.max_bits, v, |new, cur| new > cur);
         self.ensure_registered();
+    }
+
+    /// Records a wall-clock duration in nanoseconds — the conventional unit
+    /// of the `*_ns` latency histograms.
+    pub fn observe_duration(&'static self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX) as f64);
+    }
+
+    /// Closes `span` and records its duration (in nanoseconds) into this
+    /// histogram, returning the measured [`Duration`]. This is the bridge
+    /// between the two latency systems: the span registry keeps count/total
+    /// per path, the histogram answers p50/p99 — and both see the *same
+    /// measurement*, because [`SpanGuard::stop`] returns exactly the value
+    /// it recorded.
+    pub fn observe_span(&'static self, span: SpanGuard) -> Duration {
+        let elapsed = span.stop();
+        self.observe_duration(elapsed);
+        elapsed
     }
 
     /// Number of recorded observations.
@@ -300,6 +320,22 @@ impl HistogramSnapshot {
     /// Sparse `(bucket index, count)` pairs, sorted by index.
     pub fn bucket_counts(&self) -> &[(u32, u64)] {
         &self.buckets
+    }
+
+    /// The distribution as Prometheus-style cumulative buckets: one
+    /// `(upper_bound, cumulative_count)` pair per *occupied* bucket, sorted
+    /// by bound, counts non-decreasing. The final overflow bucket (bound
+    /// `+Inf`) is implied by [`HistogramSnapshot::count`]; exposition
+    /// appends it explicitly as `le="+Inf"`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cumulative = 0u64;
+        self.buckets
+            .iter()
+            .map(|&(i, n)| {
+                cumulative += n;
+                (bucket_bounds(i as usize).1, cumulative)
+            })
+            .collect()
     }
 
     /// The `q`-quantile (`q` clamped to `[0, 1]`): walks the cumulative

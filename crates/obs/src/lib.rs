@@ -28,12 +28,15 @@
 //! stages and kernel passes, never per-cell work, so the disabled-path
 //! overhead on the simulation hot loop is far below the 2 % budget.
 
+mod broadcast;
 mod histogram;
 mod perfetto;
+pub mod prometheus;
 mod registry;
 mod sink;
 mod span;
 
+pub use broadcast::{BroadcastReceiver, BroadcastSink};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use perfetto::{install_perfetto, PerfettoSink};
 pub use registry::{
@@ -166,6 +169,14 @@ impl Gauge {
 /// simulation step.
 pub fn flush_step(step: usize) {
     sink::emit_flush(step);
+}
+
+/// Whether file-writing trace sinks should be installed by default: `true`
+/// unless the `BEAMDYN_TRACE` environment variable is set to `0` (the
+/// opt-out examples and the daemon honour so ad-hoc runs don't litter the
+/// working directory).
+pub fn trace_enabled() -> bool {
+    std::env::var("BEAMDYN_TRACE").map_or(true, |v| v != "0")
 }
 
 #[cfg(test)]

@@ -1,0 +1,265 @@
+//! Prometheus text-format (0.0.4) exposition of the metrics registry.
+//!
+//! [`render`] turns a registry [`Snapshot`] into the exposition body a
+//! `GET /metrics` endpoint serves (`crates/serve` does exactly that):
+//!
+//! * **Counters** become `beamdyn_<name>_total` with `# HELP` / `# TYPE`
+//!   preamble lines.
+//! * **Gauges** become `beamdyn_<name>`; non-finite observations render as
+//!   the literal tokens `NaN` / `+Inf` / `-Inf` the format defines.
+//! * **Histograms** become the conventional triplet: cumulative
+//!   `beamdyn_<name>_bucket{le="…"}` series over the occupied log buckets
+//!   (closed by an explicit `le="+Inf"`), plus `_sum` and `_count`.
+//! * **Span statistics** are exported as two labelled counter families,
+//!   `beamdyn_span_duration_ns_total{path="…"}` and
+//!   `beamdyn_span_closes_total{path="…"}`, so scrape-side rate math can
+//!   recover mean stage latency without the JSONL trace.
+//!
+//! Metric names are sanitised to the `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar
+//! (dots in registry names — `kernels.fallback_cells` — become
+//! underscores); label values are escaped per the format's `\\`, `\"`,
+//! `\n` rules. The output is deliberately dependency-free and round-trips
+//! through the scrape client in `beamdyn-bench` (`promtext`), which the
+//! serve tests use to pin exposition validity.
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+
+/// Prefix of every exposed metric family.
+const NAMESPACE: &str = "beamdyn";
+
+/// Sanitises a registry metric name into the Prometheus name grammar:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gains a `_` prefix. (`kernels.fallback_cells` →
+/// `kernels_fallback_cells`.)
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote, and newline, per the
+/// exposition format.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one sample value. Prometheus accepts Go-syntax floats plus the
+/// special tokens `NaN`, `+Inf`, and `-Inf`.
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn family_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    // HELP text escapes backslash and newline only (not quotes).
+    let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders a registry snapshot as a complete Prometheus 0.0.4 exposition
+/// body. Families appear in a stable order (counters, gauges, histograms,
+/// span stats), each sorted by name, so consecutive scrapes diff cleanly.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    for c in &snap.counters {
+        let name = format!("{NAMESPACE}_{}_total", sanitize_name(c.name));
+        family_header(
+            &mut out,
+            &name,
+            &format!("Monotonic counter `{}`.", c.name),
+            "counter",
+        );
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+
+    for (raw, v) in &snap.gauges {
+        let name = format!("{NAMESPACE}_{}", sanitize_name(raw));
+        family_header(
+            &mut out,
+            &name,
+            &format!("Latest observation of gauge `{raw}`."),
+            "gauge",
+        );
+        let _ = writeln!(out, "{name} {}", render_value(*v));
+    }
+
+    for (raw, h) in &snap.histograms {
+        let name = format!("{NAMESPACE}_{}", sanitize_name(raw));
+        family_header(
+            &mut out,
+            &name,
+            &format!("Log-bucketed distribution `{raw}`."),
+            "histogram",
+        );
+        for (upper, cumulative) in h.cumulative_buckets() {
+            // The registry's own overflow bucket has an infinite upper
+            // bound; it is folded into the mandatory closing +Inf sample.
+            if upper.is_finite() {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    render_value(upper)
+                );
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{name}_sum {}", render_value(h.sum()));
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+
+    if !snap.spans.is_empty() {
+        let dur = format!("{NAMESPACE}_span_duration_ns_total");
+        family_header(
+            &mut out,
+            &dur,
+            "Total wall-clock nanoseconds accumulated per span path.",
+            "counter",
+        );
+        for (path, stat) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "{dur}{{path=\"{}\"}} {}",
+                escape_label_value(path),
+                stat.total_ns
+            );
+        }
+        let closes = format!("{NAMESPACE}_span_closes_total");
+        family_header(
+            &mut out,
+            &closes,
+            "Number of closes per span path.",
+            "counter",
+        );
+        for (path, stat) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "{closes}{{path=\"{}\"}} {}",
+                escape_label_value(path),
+                stat.count
+            );
+        }
+    }
+
+    out
+}
+
+/// [`render`] over a fresh snapshot of the live registry — the body a
+/// `/metrics` endpoint serves.
+pub fn render_current() -> String {
+    render(&crate::registry::snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::HistogramSnapshot;
+    use crate::registry::{CounterSnapshot, SpanStat};
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            spans: vec![(
+                "step/deposit".into(),
+                SpanStat {
+                    count: 3,
+                    total_ns: 4500,
+                },
+            )],
+            counters: vec![CounterSnapshot {
+                name: "kernels.fallback_cells",
+                value: 42,
+            }],
+            gauges: vec![
+                ("workspace.bytes_resident", 1024.0),
+                ("bad.gauge", f64::NAN),
+            ],
+            histograms: vec![(
+                "stage.step_ns",
+                HistogramSnapshot::from_values([1.0, 2.0, 1000.0]),
+            )],
+        }
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(
+            sanitize_name("kernels.fallback_cells"),
+            "kernels_fallback_cells"
+        );
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn renders_counter_gauge_histogram_families() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("# TYPE beamdyn_kernels_fallback_cells_total counter"));
+        assert!(text.contains("beamdyn_kernels_fallback_cells_total 42"));
+        assert!(text.contains("# TYPE beamdyn_workspace_bytes_resident gauge"));
+        assert!(text.contains("beamdyn_workspace_bytes_resident 1024"));
+        assert!(text.contains("beamdyn_bad_gauge NaN"));
+        assert!(text.contains("# TYPE beamdyn_stage_step_ns histogram"));
+        assert!(text.contains("beamdyn_stage_step_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("beamdyn_stage_step_ns_count 3"));
+        assert!(text.contains("beamdyn_stage_step_ns_sum 1003"));
+        assert!(text.contains("beamdyn_span_duration_ns_total{path=\"step/deposit\"} 4500"));
+        assert!(text.contains("beamdyn_span_closes_total{path=\"step/deposit\"} 3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_closed_by_inf() {
+        let h = HistogramSnapshot::from_values([1.0, 1.0, 8.0]);
+        let text = render(&Snapshot {
+            histograms: vec![("h", h.clone())],
+            ..Snapshot::default()
+        });
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("beamdyn_h_bucket{le=\"") {
+                let count: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(count >= last, "bucket counts must be cumulative: {text}");
+                last = count;
+                bucket_lines += 1;
+            }
+        }
+        assert!(bucket_lines >= 3, "two occupied buckets plus +Inf");
+        assert_eq!(last, h.count());
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

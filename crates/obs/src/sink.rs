@@ -52,6 +52,42 @@ pub struct StepFlush {
     pub at_ns: u64,
 }
 
+impl StepFlush {
+    /// Renders the flush as one JSON object — the exact line format of the
+    /// JSONL trace sink, also carried verbatim as the `data:` payload of
+    /// each live SSE step event (DESIGN.md §11), so offline traces and live
+    /// streams stay byte-compatible:
+    /// `{"type":"flush","step":3,"counters":{...},"gauges":{...},
+    /// "histograms":{...},"at_ns":…}`. Non-finite gauge values flatten to 0.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| format!("\"{}\":{}", json_escape(name), v))
+            .collect::<Vec<_>>()
+            .join(",");
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, v)| {
+                let v = if v.is_finite() { *v } else { 0.0 };
+                format!("\"{}\":{}", json_escape(name), v)
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| format!("\"{}\":{}", json_escape(name), h.summary_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"type\":\"flush\",\"step\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"at_ns\":{}}}",
+            self.step, counters, gauges, histograms, self.at_ns
+        )
+    }
+}
+
 /// Observer of observability events. Implementations must be cheap and
 /// non-blocking: they run inline on the instrumented thread.
 pub trait Sink: Send + Sync {
@@ -299,34 +335,7 @@ pub mod jsonl {
         }
 
         fn step_flush(&self, flush: &StepFlush) {
-            let counters = flush
-                .counters
-                .iter()
-                .map(|(name, v)| format!("\"{}\":{}", json_escape(name), v))
-                .collect::<Vec<_>>()
-                .join(",");
-            let gauges = flush
-                .gauges
-                .iter()
-                .map(|(name, v)| {
-                    let v = if v.is_finite() { *v } else { 0.0 };
-                    format!("\"{}\":{}", json_escape(name), v)
-                })
-                .collect::<Vec<_>>()
-                .join(",");
-            let histograms = flush
-                .histograms
-                .iter()
-                .map(|(name, h)| format!("\"{}\":{}", json_escape(name), h.summary_json()))
-                .collect::<Vec<_>>()
-                .join(",");
-            self.write_line(
-                &format!(
-                    "{{\"type\":\"flush\",\"step\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\"at_ns\":{}}}",
-                    flush.step, counters, gauges, histograms, flush.at_ns
-                ),
-                true,
-            );
+            self.write_line(&flush.to_json(), true);
         }
     }
 

@@ -2,8 +2,8 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::{
-    flush_step, install, snapshot, uninstall_all, Counter, Gauge, Histogram, HistogramSnapshot,
-    Recorder,
+    flush_step, install, snapshot, uninstall_all, BroadcastSink, Counter, Gauge, Histogram,
+    HistogramSnapshot, Recorder,
 };
 
 /// The registry and sink roster are process-global; tests that reset or
@@ -392,6 +392,123 @@ fn step_flush_carries_histograms() {
     assert_eq!(snap.max(), Some(7.5));
     assert!(rec.histogram("test.no_such_hist").is_none());
     uninstall_all();
+}
+
+// --- Broadcast sink ---
+
+#[test]
+fn broadcast_delivers_one_event_per_flush_in_order() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let bus = BroadcastSink::new();
+    let rx = bus.subscribe();
+    install(bus.clone());
+    for step in 0..5 {
+        flush_step(step);
+    }
+    let events = rx.drain();
+    assert_eq!(events.len(), 5);
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.step, i);
+    }
+    assert!(rx.is_empty());
+    uninstall_all();
+}
+
+#[test]
+fn broadcast_full_ring_drops_oldest_and_counts() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let bus = BroadcastSink::with_capacity(3);
+    let rx = bus.subscribe();
+    install(bus.clone());
+    for step in 0..7 {
+        flush_step(step);
+    }
+    // Capacity 3: steps 0..4 were dropped oldest-first, 4..7 remain.
+    let events = rx.drain();
+    assert_eq!(events.iter().map(|e| e.step).collect::<Vec<_>>(), [4, 5, 6]);
+    assert_eq!(crate::counter_value("telemetry.dropped_events"), Some(4));
+    uninstall_all();
+}
+
+#[test]
+fn broadcast_prunes_dropped_receivers() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let bus = BroadcastSink::new();
+    let rx_keep = bus.subscribe();
+    let rx_drop = bus.subscribe();
+    install(bus.clone());
+    assert_eq!(bus.subscriber_count(), 2);
+    drop(rx_drop);
+    flush_step(0);
+    assert_eq!(bus.subscriber_count(), 1);
+    assert_eq!(rx_keep.len(), 1);
+    uninstall_all();
+}
+
+#[test]
+fn broadcast_recv_timeout_wakes_on_flush() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    let bus = BroadcastSink::new();
+    let rx = bus.subscribe();
+    install(bus.clone());
+    assert!(rx.recv_timeout(Duration::from_millis(5)).is_none());
+    let waiter = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+    // Give the waiter a moment to park on the condvar, then flush.
+    std::thread::sleep(Duration::from_millis(20));
+    flush_step(17);
+    let got = waiter.join().expect("receiver thread");
+    assert_eq!(got.expect("event delivered").step, 17);
+    uninstall_all();
+}
+
+#[test]
+fn step_flush_to_json_is_one_valid_object() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    static JSON_HITS: Counter = Counter::new("test.json_hits");
+    JSON_HITS.add(3);
+    let bus = BroadcastSink::new();
+    let rx = bus.subscribe();
+    install(bus.clone());
+    flush_step(11);
+    let flush = rx.try_recv().expect("flush delivered");
+    let json = flush.to_json();
+    assert!(json.starts_with("{\"type\":\"flush\",\"step\":11,"));
+    assert!(json.contains("\"test.json_hits\":3"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    uninstall_all();
+}
+
+// --- Histogram ↔ span bridge ---
+
+#[test]
+fn observe_span_feeds_histogram_and_registry_the_same_value() {
+    let _gate = serial();
+    crate::reset();
+    uninstall_all();
+    static SPAN_LATENCY: Histogram = Histogram::new("test.span_latency_ns");
+    let guard = crate::span!("observe_span_test");
+    std::thread::sleep(Duration::from_millis(1));
+    let elapsed = SPAN_LATENCY.observe_span(guard);
+    let snap = crate::histogram_snapshot("test.span_latency_ns").expect("registered");
+    assert_eq!(snap.count(), 1);
+    let recorded_ns = snap.sum();
+    assert_eq!(recorded_ns, elapsed.as_nanos() as f64);
+    // The span registry saw exactly the same measurement.
+    let stat_ns = snapshot()
+        .span("observe_span_test")
+        .expect("span stat")
+        .total_ns;
+    assert_eq!(stat_ns as f64, recorded_ns);
 }
 
 // --- Perfetto sink ---

@@ -1,0 +1,299 @@
+//! The HTTP/1.1 monitor server.
+//!
+//! Deliberately minimal: `GET` only, `Connection: close`, requests parsed
+//! from the first line, bodies ignored. That subset is exactly what
+//! Prometheus scrapers, `curl`, and `EventSource` clients need, and it
+//! keeps the server free of any dependency beyond `std::net` and the
+//! workspace's own thread pool.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use beamdyn_core::StatusBoard;
+use beamdyn_obs::{prometheus, BroadcastSink};
+use beamdyn_par::ThreadPool;
+
+/// How the monitor binds and sizes itself.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`MonitorServer::addr`]).
+    pub addr: String,
+    /// Connection-handling pool width. Each `/events` stream occupies one
+    /// worker for the lifetime of the connection, so this bounds the number
+    /// of concurrent live streams plus in-flight scrapes.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// What the endpoints serve from: the driver's status mailbox, the step
+/// event bus, and the readiness flag the run loop flips once it is up.
+#[derive(Clone)]
+pub struct ServeContext {
+    /// `/status` source.
+    pub status: Arc<StatusBoard>,
+    /// `/events` source: each connection takes one subscription.
+    pub events: Arc<BroadcastSink>,
+    /// `/readyz` turns 200 once this is set.
+    pub ready: Arc<AtomicBool>,
+}
+
+struct Flags {
+    /// Stops the accept loop and every streaming handler.
+    stop: AtomicBool,
+    /// Set by `GET /quitz`; the hosting run loop polls it.
+    quit_requested: AtomicBool,
+}
+
+/// A running monitor. Dropping the handle stops the server; prefer an
+/// explicit [`MonitorServer::shutdown`] + [`MonitorServer::join`] for a
+/// deterministic teardown.
+pub struct MonitorServer {
+    addr: SocketAddr,
+    flags: Arc<Flags>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MonitorServer {
+    /// Binds `config.addr` and starts serving `ctx` in the background.
+    pub fn start(config: ServeConfig, ctx: ServeContext) -> std::io::Result<Self> {
+        let addr = config
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("bind address resolved to nothing"))?;
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept + short sleep: the loop notices the stop flag
+        // within one poll interval without needing a signal or a wake pipe.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let flags = Arc::new(Flags {
+            stop: AtomicBool::new(false),
+            quit_requested: AtomicBool::new(false),
+        });
+        let loop_flags = Arc::clone(&flags);
+        let workers = config.workers.max(1);
+        let accept_thread = std::thread::Builder::new()
+            .name("beamdyn-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, workers, &ctx, &loop_flags))?;
+        Ok(Self {
+            addr,
+            flags,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Convenience: `http://host:port`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// True once a client has hit `GET /quitz`. The hosting run loop polls
+    /// this between steps and winds down at its own pace — the server keeps
+    /// answering (`/status` reports the draining state) until
+    /// [`MonitorServer::shutdown`].
+    pub fn quit_requested(&self) -> bool {
+        self.flags.quit_requested.load(Ordering::Acquire)
+    }
+
+    /// Asks the accept loop and all streaming handlers to stop.
+    pub fn shutdown(&self) {
+        self.flags.stop.store(true, Ordering::Release);
+    }
+
+    /// [`MonitorServer::shutdown`] + wait for the accept loop (and its
+    /// connection pool) to finish.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How long an `/events` writer waits for the next step before checking the
+/// stop flag and emitting an SSE keep-alive comment.
+const EVENT_TICK: Duration = Duration::from_millis(200);
+
+fn accept_loop(listener: &TcpListener, workers: usize, ctx: &ServeContext, flags: &Arc<Flags>) {
+    // Job-per-connection on the workspace's own pool (DESIGN.md §11);
+    // dropping the pool at the end of this function joins the workers, so
+    // `MonitorServer::join` returns only after every handler finished.
+    let pool = ThreadPool::new(workers);
+    while !flags.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let ctx = ctx.clone();
+                let flags = Arc::clone(flags);
+                pool.execute(move || handle_connection(stream, &ctx, &flags));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Parses the request line of one HTTP request; returns `(method, path)`.
+fn read_request(stream: &TcpStream) -> std::io::Result<(String, String)> {
+    let mut reader = BufReader::with_capacity(2048, stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see their request consumed.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::other("malformed request line"));
+    }
+    Ok((method, path))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let (method, path) = match read_request(&stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    if method != "GET" {
+        let _ = write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    // Strip any query string; the endpoints take no parameters.
+    let route = path.split('?').next().unwrap_or(&path);
+    let result = match route {
+        "/metrics" => write_response(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &prometheus::render_current(),
+        ),
+        "/status" => write_response(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &ctx.status.to_json(),
+        ),
+        "/healthz" => write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        "/readyz" => {
+            if ctx.ready.load(Ordering::Acquire) {
+                write_response(
+                    &mut stream,
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    "ready\n",
+                )
+            } else {
+                write_response(
+                    &mut stream,
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "starting\n",
+                )
+            }
+        }
+        "/quitz" => {
+            flags.quit_requested.store(true, Ordering::Release);
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "shutdown requested\n",
+            )
+        }
+        "/events" => stream_events(&mut stream, ctx, flags),
+        _ => write_response(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "unknown endpoint; try /metrics /status /events /healthz /readyz /quitz\n",
+        ),
+    };
+    let _ = result;
+}
+
+/// Serves one Server-Sent Events stream: one `step` event per simulation
+/// step flush, `data:` carrying the flush's canonical JSON (the same line
+/// the JSONL trace sink writes). Ends when the client disconnects or the
+/// server shuts down.
+fn stream_events(stream: &mut TcpStream, ctx: &ServeContext, flags: &Flags) -> std::io::Result<()> {
+    let rx = ctx.events.subscribe();
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    while !flags.stop.load(Ordering::Acquire) {
+        match rx.recv_timeout(EVENT_TICK) {
+            Some(flush) => {
+                write!(
+                    stream,
+                    "event: step\nid: {}\ndata: {}\n\n",
+                    flush.step,
+                    flush.to_json()
+                )?;
+                stream.flush()?;
+            }
+            None => {
+                // SSE comment as keep-alive; also how we notice a client
+                // that went away between steps.
+                write!(stream, ": keep-alive\n\n")?;
+                stream.flush()?;
+            }
+        }
+    }
+    Ok(())
+}

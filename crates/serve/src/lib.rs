@@ -1,0 +1,29 @@
+//! # beamdyn-serve — live telemetry over plain `std::net`
+//!
+//! Every other observability surface in this workspace is post-mortem
+//! (Recorder, JSONL, Perfetto, BENCH artifacts). This crate makes a
+//! *running* simulation observable: a dependency-free HTTP/1.1 monitor on
+//! [`std::net::TcpListener`] that serves, while the driver loop is live:
+//!
+//! | endpoint      | body                                                      |
+//! |---------------|-----------------------------------------------------------|
+//! | `GET /metrics`| Prometheus 0.0.4 text of the whole metrics registry       |
+//! | `GET /status` | JSON snapshot of the driver's [`StatusBoard`]             |
+//! | `GET /events` | Server-Sent Events — one `step` event per simulation step |
+//! | `GET /healthz`| liveness (`200 ok`)                                       |
+//! | `GET /readyz` | readiness (`200` once the run loop is up, else `503`)     |
+//! | `GET /quitz`  | requests graceful shutdown of the hosting run loop        |
+//!
+//! Connections are handled job-per-connection on a small dedicated
+//! [`beamdyn_par::ThreadPool`] — the same pool machinery the simulation
+//! uses for its data parallelism, reused here as the accept-side worker
+//! pool. `/events` streams from a [`BroadcastSink`] subscription, so the
+//! simulation hot path never blocks on a slow client (the sink drops
+//! oldest events per subscriber instead; see `telemetry.dropped_events`).
+//!
+//! See `beamdyn-daemon` (workspace root) for the reference embedding, and
+//! DESIGN.md §11 for the architecture.
+
+mod http;
+
+pub use http::{MonitorServer, ServeConfig, ServeContext};

@@ -5,14 +5,17 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The run always writes a Chrome trace-event timeline to
+//! The run writes a Chrome trace-event timeline to
 //! `quickstart_trace.perfetto.json` — open it at <https://ui.perfetto.dev>
-//! to see the stage flame graph per thread. With the `trace` feature it
-//! additionally writes a JSONL span/counter trace (one object per span
-//! close, one flush per step) to `quickstart_trace.jsonl`:
+//! to see the stage flame graph per thread. Set `BEAMDYN_TRACE=0` to opt
+//! out of all trace files (useful on read-only filesystems or when only the
+//! stdout report is wanted). With the `trace` feature it additionally
+//! writes a JSONL span/counter trace (one object per span close, one flush
+//! per step) to `quickstart_trace.jsonl`:
 //!
 //! ```bash
 //! cargo run --example quickstart --features trace
+//! BEAMDYN_TRACE=0 cargo run --example quickstart   # no files written
 //! ```
 
 use beamdyn::beam::{GaussianBunch, RpConfig};
@@ -22,14 +25,18 @@ use beamdyn::pic::GridGeometry;
 use beamdyn::simt::DeviceConfig;
 
 fn main() {
-    // JSONL trace capture (only with `--features trace`): every stage span
-    // (step/deposit, step/potentials/cluster, …) and per-step counter flush
-    // lands in quickstart_trace.jsonl.
-    #[cfg(feature = "trace")]
-    beamdyn::obs::install_jsonl("quickstart_trace.jsonl").expect("trace file");
-    // Perfetto timeline (always on): the whole run as Chrome trace-event
-    // JSON, written when the sinks are uninstalled at the end of main.
-    beamdyn::obs::install_perfetto("quickstart_trace.perfetto.json").expect("perfetto file");
+    // Trace capture is on by default; BEAMDYN_TRACE=0 runs file-free.
+    let tracing = beamdyn::obs::trace_enabled();
+    if tracing {
+        // JSONL trace capture (only with `--features trace`): every stage
+        // span (step/deposit, step/potentials/cluster, …) and per-step
+        // counter flush lands in quickstart_trace.jsonl.
+        #[cfg(feature = "trace")]
+        beamdyn::obs::install_jsonl("quickstart_trace.jsonl").expect("trace file");
+        // Perfetto timeline: the whole run as Chrome trace-event JSON,
+        // written when the sinks are uninstalled at the end of main.
+        beamdyn::obs::install_perfetto("quickstart_trace.perfetto.json").expect("perfetto file");
+    }
 
     // Host pool (drives the simulated SMs and the CPU stages).
     let pool = ThreadPool::new(4);
@@ -83,7 +90,9 @@ fn main() {
     // Dropping the sinks flushes the JSONL buffer and writes the Perfetto
     // trace — never exit a traced run without this (or an explicit flush).
     beamdyn::obs::uninstall_all();
-    println!("perfetto trace written to quickstart_trace.perfetto.json");
-    #[cfg(feature = "trace")]
-    println!("trace written to quickstart_trace.jsonl");
+    if tracing {
+        println!("perfetto trace written to quickstart_trace.perfetto.json");
+        #[cfg(feature = "trace")]
+        println!("trace written to quickstart_trace.jsonl");
+    }
 }

@@ -1,0 +1,279 @@
+//! `beamdyn-daemon` — a monitored, long-running simulation service.
+//!
+//! Runs a configurable multi-step simulation (optionally looping scenarios
+//! forever) while serving live telemetry over HTTP:
+//!
+//! ```bash
+//! beamdyn-daemon --port 6310 --steps 12 --kernel predictive
+//! curl localhost:6310/status | jq .
+//! curl localhost:6310/metrics | grep fallback
+//! curl -N localhost:6310/events        # one SSE event per step
+//! curl localhost:6310/quitz            # graceful shutdown
+//! ```
+//!
+//! After the configured steps finish the daemon stays up serving the final
+//! telemetry (state `done`) until `/quitz`; with `--loop` it starts the
+//! scenario over instead and runs until asked to stop. Shutdown is
+//! signal-free: the run loop polls the server's quit flag between steps, so
+//! a quit request never interrupts a step mid-flight.
+//!
+//! `--addr-file` writes the bound address (useful with `--port 0`) so
+//! scripts can find an ephemeral port. Set `BEAMDYN_TRACE=1` to also write
+//! a Perfetto timeline of the run on exit; by default the daemon writes no
+//! files at all.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig, StatusBoard};
+use beamdyn::obs;
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::serve::{MonitorServer, ServeConfig, ServeContext};
+use beamdyn::simt::DeviceConfig;
+
+struct Options {
+    host: String,
+    port: u16,
+    steps: usize,
+    loop_scenarios: bool,
+    kernel: KernelKind,
+    resolution: usize,
+    particles: usize,
+    threads: usize,
+    step_delay: Duration,
+    addr_file: Option<String>,
+}
+
+impl Options {
+    fn parse() -> Result<Self, String> {
+        let mut opts = Self {
+            host: "127.0.0.1".to_string(),
+            port: 6310,
+            steps: 6,
+            loop_scenarios: false,
+            kernel: KernelKind::Predictive,
+            resolution: 32,
+            particles: 20_000,
+            threads: 4,
+            step_delay: Duration::ZERO,
+            addr_file: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--host" => {
+                    opts.host = value(&args, i, flag)?;
+                    i += 1;
+                }
+                "--port" => {
+                    opts.port = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--port must be 0..=65535".to_string())?;
+                    i += 1;
+                }
+                "--steps" => {
+                    opts.steps = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--steps must be a count".to_string())?;
+                    i += 1;
+                }
+                "--loop" => opts.loop_scenarios = true,
+                "--kernel" => {
+                    opts.kernel = match value(&args, i, flag)?.as_str() {
+                        "two-phase" => KernelKind::TwoPhase,
+                        "heuristic" => KernelKind::Heuristic,
+                        "predictive" => KernelKind::Predictive,
+                        other => return Err(format!("unknown kernel '{other}'")),
+                    };
+                    i += 1;
+                }
+                "--resolution" => {
+                    opts.resolution = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--resolution must be a grid size".to_string())?;
+                    i += 1;
+                }
+                "--particles" => {
+                    opts.particles = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--particles must be a count".to_string())?;
+                    i += 1;
+                }
+                "--threads" => {
+                    opts.threads = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--threads must be a count".to_string())?;
+                    i += 1;
+                }
+                "--step-delay-ms" => {
+                    let ms: u64 = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--step-delay-ms must be milliseconds".to_string())?;
+                    opts.step_delay = Duration::from_millis(ms);
+                    i += 1;
+                }
+                "--addr-file" => {
+                    opts.addr_file = Some(value(&args, i, flag)?);
+                    i += 1;
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "beamdyn-daemon: live-monitored beam-dynamics simulation\n\n\
+                         --host H            bind host (default 127.0.0.1)\n\
+                         --port P            bind port, 0 = ephemeral (default 6310)\n\
+                         --steps N           steps per scenario (default 6)\n\
+                         --loop              restart the scenario until /quitz\n\
+                         --kernel K          two-phase | heuristic | predictive\n\
+                         --resolution R      grid R x R (default 32)\n\
+                         --particles N       macro-particles (default 20000)\n\
+                         --threads N         host pool width (default 4)\n\
+                         --step-delay-ms MS  pause between steps (default 0)\n\
+                         --addr-file PATH    write the bound address to PATH"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            i += 1;
+        }
+        Ok(opts)
+    }
+}
+
+fn build_simulation<'a>(
+    pool: &'a ThreadPool,
+    device: &'a DeviceConfig,
+    opts: &Options,
+) -> Simulation<'a> {
+    let geometry = GridGeometry::unit(opts.resolution, opts.resolution);
+    let mut config = SimulationConfig::standard(geometry, opts.kernel);
+    config.rp = RpConfig {
+        kappa: 8,
+        dt: 0.35 / 8.0,
+        inner_points: 3,
+        beta: 0.5,
+        support_x: 0.42,
+        support_y: 0.09,
+        center: (0.4, 0.5),
+    };
+    config.tolerance = 1e-6;
+    let bunch = GaussianBunch {
+        sigma_x: 0.12,
+        sigma_y: 0.03,
+        center_x: 0.4,
+        center_y: 0.5,
+        charge: 1.0,
+        velocity_spread: 0.0,
+        drift_vx: 0.2,
+        chirp: 0.0,
+    };
+    let beam = bunch.sample(opts.particles.max(1), 42);
+    Simulation::new(pool, device, config, beam)
+}
+
+fn main() {
+    let opts = match Options::parse() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("beamdyn-daemon: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+
+    // Live-telemetry plumbing: every step flush fans out to /events
+    // subscribers; the status board backs /status.
+    let events = obs::BroadcastSink::new();
+    obs::install(events.clone());
+    // Opt-in Perfetto timeline (BEAMDYN_TRACE=1): written on exit.
+    let trace = if std::env::var("BEAMDYN_TRACE").is_ok_and(|v| v == "1") {
+        Some(obs::install_perfetto("beamdyn_daemon.perfetto.json").expect("perfetto file"))
+    } else {
+        None
+    };
+
+    let pool = ThreadPool::new(opts.threads.max(1));
+    let device = DeviceConfig::tesla_k40();
+    let mut sim = build_simulation(&pool, &device, &opts);
+
+    let status = StatusBoard::new(sim.kernel_name());
+    let ready = Arc::new(AtomicBool::new(false));
+    let server = match MonitorServer::start(
+        ServeConfig {
+            addr: format!("{}:{}", opts.host, opts.port),
+            ..ServeConfig::default()
+        },
+        ServeContext {
+            status: Arc::clone(&status),
+            events: events.clone(),
+            ready: Arc::clone(&ready),
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "beamdyn-daemon: cannot bind {}:{}: {e}",
+                opts.host, opts.port
+            );
+            std::process::exit(1);
+        }
+    };
+    println!("beamdyn-daemon listening on {}", server.base_url());
+    println!("endpoints: /metrics /status /events /healthz /readyz /quitz");
+    if let Some(path) = &opts.addr_file {
+        if let Err(e) = std::fs::write(path, server.addr().to_string()) {
+            eprintln!("beamdyn-daemon: cannot write --addr-file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    ready.store(true, Ordering::Release);
+
+    'scenarios: loop {
+        status.set_state("running");
+        for _ in 0..opts.steps {
+            if server.quit_requested() {
+                break 'scenarios;
+            }
+            let telemetry = sim.run_step();
+            status.record(&telemetry);
+            println!(
+                "step {:4}: fallback {:5} cells, gpu {:.3e} s",
+                telemetry.step,
+                telemetry.potentials.fallback_cells,
+                telemetry.potentials.gpu_time.seconds(),
+            );
+            if !opts.step_delay.is_zero() {
+                std::thread::sleep(opts.step_delay);
+            }
+        }
+        if !opts.loop_scenarios {
+            break;
+        }
+        // Fresh scenario, same serving surfaces: counters keep
+        // accumulating, the step index restarts at 0.
+        sim = build_simulation(&pool, &device, &opts);
+    }
+
+    // Keep serving the final telemetry until a client asks us to quit.
+    status.set_state("done");
+    println!("run finished; serving telemetry until GET /quitz");
+    while !server.quit_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    status.set_state("stopping");
+    println!("quit requested; shutting down");
+    server.join();
+    obs::uninstall_all();
+    if trace.is_some() {
+        println!("perfetto trace written to beamdyn_daemon.perfetto.json");
+    }
+}

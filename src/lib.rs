@@ -15,8 +15,11 @@
 //! * [`core`] — the paper's contribution: Predictive-RP and both baselines.
 //! * [`obs`] — span timers, counters/gauges, trace sinks (see DESIGN.md
 //!   "Observability").
+//! * [`serve`] — live telemetry HTTP monitor: Prometheus `/metrics`, JSON
+//!   `/status`, SSE `/events` (see DESIGN.md "Live telemetry serving").
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `beamdyn-daemon` binary for a monitored long-running simulation.
 
 pub use beamdyn_beam as beam;
 pub use beamdyn_core as core;
@@ -25,4 +28,5 @@ pub use beamdyn_obs as obs;
 pub use beamdyn_par as par;
 pub use beamdyn_pic as pic;
 pub use beamdyn_quad as quad;
+pub use beamdyn_serve as serve;
 pub use beamdyn_simt as simt;

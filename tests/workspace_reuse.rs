@@ -11,6 +11,11 @@
 //! `workspace.grown_this_step` / `workspace.bytes_resident` gauges the
 //! driver publishes each step — the same numbers `BENCH_*.jsonl` artifacts
 //! carry.
+//!
+//! The test runs with a [`obs::BroadcastSink`] installed and a live
+//! subscriber attached — the live-telemetry fan-out must not perturb the
+//! hot path: steady-state steps stay zero-growth and every flush still
+//! reaches the subscriber.
 
 use beamdyn::beam::{GaussianBunch, RpConfig};
 use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
@@ -49,6 +54,13 @@ fn workload(kernel: KernelKind) -> (SimulationConfig, beamdyn::beam::Beam) {
 
 #[test]
 fn steady_state_steps_do_not_grow_the_workspace() {
+    // Live telemetry fan-out installed for the whole run: the invariant
+    // must hold with /events subscribers listening.
+    let events = obs::BroadcastSink::new();
+    let rx = events.subscribe();
+    obs::install(events);
+    let mut flushes = 0usize;
+
     let pool = ThreadPool::new(2);
     let device = DeviceConfig::tesla_k40();
     for kernel in [
@@ -80,6 +92,20 @@ fn steady_state_steps_do_not_grow_the_workspace() {
                      (resident {resident})"
                 );
             }
+            flushes += 1;
         }
     }
+
+    // Every step flush reached the live subscriber, none were dropped.
+    assert_eq!(
+        rx.drain().len(),
+        flushes,
+        "broadcast subscriber must see one event per step"
+    );
+    assert_eq!(
+        obs::counter_value("telemetry.dropped_events").unwrap_or(0),
+        0,
+        "no events may be dropped with an attentive subscriber"
+    );
+    obs::uninstall_all();
 }
