@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke bench bench-baseline bench-check clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke bench bench-baseline bench-check perf-smoke clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -15,6 +15,7 @@ ci: fmt lint verify
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-check
+	$(MAKE) perf-smoke
 
 fmt:
 	cargo fmt --all --check
@@ -74,6 +75,13 @@ bench-baseline:
 # tolerances of the committed BENCH_baseline.json.
 bench-check:
 	cargo run --release -p beamdyn-bench --bin bench_baseline -- --check
+
+# Hot-path perf gate (DESIGN.md §12): prints the GridRp::eval microbench
+# and asserts the integrand-eval budget of the canonical scenario — the
+# sample-reuse machinery must keep real evaluations ≥ 30 % below the
+# abscissae the simulated kernels account for.
+perf-smoke:
+	cargo run --release -p beamdyn-bench --bin perf_smoke
 
 clean:
 	cargo clean

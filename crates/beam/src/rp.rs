@@ -22,7 +22,7 @@
 //!   of Fig. 2: a rigid monochromatic bunch has time-independent moments,
 //!   the one case with an exact solution).
 
-use beamdyn_pic::{GridHistory, Stencil27, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY};
+use beamdyn_pic::{GridHistory, MomentGrid, StencilWindow, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY};
 use beamdyn_quad::NewtonCotes;
 
 use crate::bunch::GaussianBunch;
@@ -32,6 +32,15 @@ use crate::bunch::GaussianBunch;
 pub trait TapSink {
     /// One moment-grid read: time step of the grid, component, cell indices.
     fn tap(&mut self, step: usize, component: usize, ix: usize, iy: usize);
+    /// `n` consecutive same-row reads starting at `ix0` — exactly equivalent
+    /// to `n` [`TapSink::tap`] calls with ascending `ix`. Sinks that map taps
+    /// to addresses can override this to resolve the row's base address once.
+    #[inline]
+    fn tap_row(&mut self, step: usize, component: usize, ix0: usize, iy: usize, n: usize) {
+        for k in 0..n {
+            self.tap(step, component, ix0 + k, iy);
+        }
+    }
     /// `n` double-precision flops spent since the previous call.
     fn flops(&mut self, n: u32);
 }
@@ -147,11 +156,21 @@ impl RpConfig {
 }
 
 /// Grid-backed integrand: the thing the GPU kernels evaluate.
+///
+/// The angular rule is folded into a per-instance table at construction —
+/// one `(weight, sin θ, cos θ)` entry per retained sample, with the closed
+/// rule's wrapping endpoint weight already folded into θ₀ — so evaluations
+/// perform no trigonometry and no rule lookups. The Newton–Cotes rules top
+/// out at 5 points (4 retained samples).
 pub struct GridRp<'a> {
     history: &'a GridHistory,
     config: RpConfig,
     /// Current simulation step `k`.
     step: usize,
+    /// `(folded weight, sin θ, cos θ)` per angular sample.
+    angles: [(f64, f64, f64); 4],
+    /// Number of live entries in `angles` (`inner_points − 1`).
+    n_angles: usize,
 }
 
 /// Flop cost of building one 27-tap stencil sample (weights + accumulate),
@@ -162,12 +181,26 @@ const FLOPS_PER_TAP: u32 = 2;
 const FLOPS_COMBINE: u32 = 12;
 
 impl<'a> GridRp<'a> {
-    /// Creates the integrand view for step `k`.
+    /// Creates the integrand view for step `k`, precomputing the folded
+    /// angular weight/trig table.
     pub fn new(history: &'a GridHistory, config: RpConfig, step: usize) -> Self {
+        let rule = NewtonCotes::new(config.inner_points);
+        let weights = rule.weights();
+        let n = weights.len();
+        // Closed rule on [0, 2π): endpoint wraps; fold its weight into θ₀.
+        let mut angles = [(0.0, 0.0, 0.0); 4];
+        for (jj, &w) in weights.iter().enumerate().take(n - 1) {
+            let w = if jj == 0 { w + weights[n - 1] } else { w };
+            let theta = std::f64::consts::TAU * jj as f64 / (n - 1) as f64;
+            let (sin_t, cos_t) = theta.sin_cos();
+            angles[jj] = (w, sin_t, cos_t);
+        }
         Self {
             history,
             config,
             step,
+            angles,
+            n_angles: n - 1,
         }
     }
 
@@ -184,17 +217,60 @@ impl<'a> GridRp<'a> {
     /// Evaluates the *inner* (angular) integral at outer radius `r` for the
     /// grid point at `(px, py)`, reporting taps and flops to `sink`.
     pub fn eval<S: TapSink>(&self, px: f64, py: f64, r: f64, sink: &mut S) -> f64 {
+        self.eval_impl::<S, true>(px, py, r, sink)
+    }
+
+    /// Replays the exact tap/flop stream [`GridRp::eval`] would report at
+    /// `(px, py, r)` **without performing the numerical work** — the
+    /// device-side cost model of an evaluation whose value the caller
+    /// already holds (sample-reusing quadrature). The simulated machine
+    /// still "executes" the access pattern — that is what it would do on a
+    /// real GPU, where a cached host value has no meaning — so traced
+    /// metrics stay identical whether or not the host reuses samples.
+    pub fn charge<S: TapSink>(&self, px: f64, py: f64, r: f64, sink: &mut S) {
+        self.eval_impl::<S, false>(px, py, r, sink);
+    }
+
+    /// Shared body of [`GridRp::eval`] / [`GridRp::charge`]. With
+    /// `COMPUTE = false` every `sink` call is preserved verbatim but the
+    /// gather/combine arithmetic is skipped (the return value is garbage).
+    ///
+    /// The hot-path structure: `(i, s)` are constants of the call (they
+    /// depend only on `r`), so the three-grid window `D_{i−1}, D_i, D_{i+1}`
+    /// is resolved **once per call** instead of once per tap, and each
+    /// angular sample gathers through [`StencilWindow`] over pre-resolved
+    /// grid references — contiguous 3-cell row slices, no history lookups,
+    /// no tap array.
+    fn eval_impl<S: TapSink, const COMPUTE: bool>(
+        &self,
+        px: f64,
+        py: f64,
+        r: f64,
+        sink: &mut S,
+    ) -> f64 {
         let geometry = self.history.geometry();
         let (i, s) = self.config.retarded(self.step, r);
-        let rule = NewtonCotes::new(self.config.inner_points);
-        let weights = rule.weights();
-        let n = weights.len();
-        // Closed rule on [0, 2π): endpoint wraps; fold its weight into θ₀.
+        // The tap steps the stencil's dt ∈ {−1, 0, +1} levels resolve to
+        // (saturating at step 0, exactly like the per-tap arithmetic did).
+        let steps = [i.saturating_sub(1), i, i + 1];
+        let window: [Option<&MomentGrid>; 3] = [
+            self.history.get_clamped(steps[0]),
+            self.history.get_clamped(steps[1]),
+            self.history.get_clamped(steps[2]),
+        ];
+        // A missing *centre* level means the whole sample is skipped (the
+        // legacy per-sample `get_clamped(i)` guard); a missing outer level —
+        // only ever `i + 1` at the `r = 0` edge, where its Lagrange weight
+        // is 0 — just drops out of the gather and the flop charge.
+        let has_center = window[1].is_some();
+        let present = StencilWindow::present_levels(&window);
+        let comps: &[usize] = if self.config.beta == 0.0 {
+            &[MOMENT_CHARGE]
+        } else {
+            &[MOMENT_CHARGE, MOMENT_JX, MOMENT_JY]
+        };
         let mut acc = 0.0;
-        for (jj, &w) in weights.iter().enumerate().take(n - 1) {
-            let w = if jj == 0 { w + weights[n - 1] } else { w };
-            let theta = std::f64::consts::TAU * jj as f64 / (n - 1) as f64;
-            let (sin_t, cos_t) = theta.sin_cos();
+        for &(w, sin_t, cos_t) in &self.angles[..self.n_angles] {
             // Samples falling outside the moment grid are clamped to the
             // border, where the deposited field is (by the support cut)
             // negligible. This keeps every SIMD lane's control flow
@@ -203,33 +279,31 @@ impl<'a> GridRp<'a> {
             let qx = (px + r * cos_t).clamp(geometry.x_min, geometry.x_max);
             let qy = (py + r * sin_t).clamp(geometry.y_min, geometry.y_max);
             sink.flops(8); // polar→cartesian + trig (nominal)
-            let Some(grid) = self.history.get_clamped(i) else {
+            if !has_center {
                 continue;
-            };
-            let stencil = Stencil27::new(grid, qx, qy, s);
+            }
+            let win = StencilWindow::new(geometry, qx, qy, s);
             sink.flops(FLOPS_STENCIL_SETUP);
             let mut moment = [0.0f64; 3];
-            let comps: &[usize] = if self.config.beta == 0.0 {
-                &[MOMENT_CHARGE]
-            } else {
-                &[MOMENT_CHARGE, MOMENT_JX, MOMENT_JY]
-            };
             for &c in comps {
-                let mut v = 0.0;
-                for tap in stencil.taps() {
-                    let tap_step = i.saturating_add_signed(tap.dt as isize);
-                    sink.tap(tap_step, c, tap.ix, tap.iy);
-                    if let Some(g) = self.history.get_clamped(tap_step) {
-                        v += tap.weight * g.get(c, tap.ix, tap.iy);
+                for &step in &steps {
+                    for yi in 0..3 {
+                        sink.tap_row(step, c, win.x0, win.y0 + yi, 3);
                     }
                 }
-                sink.flops(27 * FLOPS_PER_TAP);
-                moment[c] = v;
+                if COMPUTE {
+                    moment[c] = win.gather(&window, c);
+                }
+                // Flops charged only for the taps that had a grid to read
+                // (a missing level performs no multiply-adds).
+                sink.flops(present * 9 * FLOPS_PER_TAP);
             }
-            let f = moment[MOMENT_CHARGE]
-                - self.config.beta * (moment[MOMENT_JX] * cos_t + moment[MOMENT_JY] * sin_t);
             sink.flops(FLOPS_COMBINE);
-            acc += w * f;
+            if COMPUTE {
+                let f = moment[MOMENT_CHARGE]
+                    - self.config.beta * (moment[MOMENT_JX] * cos_t + moment[MOMENT_JY] * sin_t);
+                acc += w * f;
+            }
         }
         acc * std::f64::consts::TAU
     }

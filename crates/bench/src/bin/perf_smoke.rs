@@ -1,0 +1,124 @@
+//! Perf smoke gate.
+//!
+//! Two quick checks that the rp-integral hot path keeps its performance
+//! contract (DESIGN.md §12):
+//!
+//! * a microbenchmark of `GridRp::eval` on the resolved-window hot path,
+//!   printed for the record (wall-clock is informational — CI machines
+//!   vary, so nothing gates on it);
+//! * the **integrand-eval budget** of the canonical bench scenario: the
+//!   sample-reuse machinery (seeded Simpson + charge replay) must keep the
+//!   *real* integrand evaluations at least 30 % below the total abscissae
+//!   the simulated kernel accounts for. This is deterministic, so it gates.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use beamdyn_beam::{GridRp, NullSink, RpConfig};
+use beamdyn_bench::regression::scenario;
+use beamdyn_bench::{kernel_name, run_steps, standard_workload};
+use beamdyn_core::KernelKind;
+use beamdyn_obs as obs;
+use beamdyn_par::ThreadPool;
+use beamdyn_pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentGrid};
+
+/// Maximum fraction of abscissae the fresh-eval path may account for on the
+/// canonical Two-Phase run; the rest must be served by sample reuse.
+const MAX_FRESH_EVAL_FRACTION: f64 = 0.70;
+
+fn eval_microbench(pool: &ThreadPool) {
+    let g = GridGeometry::unit(20, 20);
+    let bunch = beamdyn_beam::GaussianBunch {
+        center_x: 0.5,
+        center_y: 0.5,
+        ..beamdyn_beam::GaussianBunch::centered(0.12, 0.06)
+    };
+    let beam = bunch.sample(20_000, 17);
+    let samples: Vec<DepositSample> = beam
+        .particles
+        .iter()
+        .map(|p| DepositSample {
+            x: p.x,
+            y: p.y,
+            weight: p.weight,
+            vx: p.vx,
+            vy: p.vy,
+        })
+        .collect();
+    let mut h = GridHistory::new(g, 8);
+    for k in 0..6 {
+        let mut grid = MomentGrid::zeros(g);
+        deposit_cic(pool, &mut grid, &samples);
+        h.push(k, grid);
+    }
+    let rp = GridRp::new(&h, RpConfig::standard(4, 0.08), 5);
+    let corpus = [
+        (0.5f64, 0.5f64, 0.05f64),
+        (0.5, 0.5, 0.0),
+        (0.4, 0.6, 0.21),
+        (0.7, 0.3, 0.30),
+        (0.31, 0.52, 0.12),
+        (0.5, 0.47, 0.29),
+    ];
+    const ROUNDS: usize = 20_000;
+    let mut acc = 0.0f64;
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        for &(x, y, r) in &corpus {
+            acc += rp.eval(x, y, r, &mut NullSink);
+        }
+    }
+    let elapsed = t0.elapsed();
+    let evals = (ROUNDS * corpus.len()) as f64;
+    println!(
+        "GridRp::eval microbench: {:.1} ns/eval over {} evals (checksum {acc:.6e})",
+        elapsed.as_nanos() as f64 / evals,
+        evals as u64,
+    );
+}
+
+fn main() -> ExitCode {
+    let pool = ThreadPool::new(scenario::THREADS);
+    eval_microbench(&pool);
+
+    let mut ok = true;
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
+        obs::reset();
+        let workload = standard_workload(scenario::RESOLUTION, scenario::PARTICLES, kernel);
+        run_steps(&pool, workload, scenario::STEPS);
+        let evals = obs::counter_value("quad.integrand_evals").unwrap_or(0);
+        let replays = obs::counter_value("quad.integrand_replays").unwrap_or(0);
+        let total = evals + replays;
+        let fraction = evals as f64 / total.max(1) as f64;
+        println!(
+            "{}: integrand evals {evals} + replays {replays} -> fresh fraction {:.3}",
+            kernel_name(kernel),
+            fraction
+        );
+        if total == 0 || evals == 0 || replays == 0 {
+            eprintln!(
+                "{}: sample-reuse counters look dead (evals {evals}, replays {replays})",
+                kernel_name(kernel)
+            );
+            ok = false;
+        }
+        if kernel == KernelKind::TwoPhase && fraction > MAX_FRESH_EVAL_FRACTION {
+            eprintln!(
+                "{}: fresh-eval fraction {fraction:.3} exceeds budget {MAX_FRESH_EVAL_FRACTION} \
+                 — sample reuse has regressed",
+                kernel_name(kernel)
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("perf-smoke OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

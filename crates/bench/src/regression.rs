@@ -116,6 +116,27 @@ pub fn tolerance_for(name: &str) -> Tolerance {
     if name.ends_with(".launches") {
         // Launch counts are exactly reproducible.
         Tolerance { rel: 0.0, abs: 0.0 }
+    } else if name.ends_with("_host_ns") {
+        // Host wall-clock: CI machines vary wildly, so this only catches
+        // order-of-magnitude regressions (e.g. an accidental O(n²) loop).
+        Tolerance {
+            rel: 10.0,
+            abs: 1e8,
+        }
+    } else if name.ends_with(".integrand_evals") || name.ends_with(".integrand_replays") {
+        // Real integrand work is deterministic; gate it tightly so the
+        // sample-reuse machinery cannot silently regress.
+        Tolerance {
+            rel: 0.05,
+            abs: 32.0,
+        }
+    } else if name.ends_with(".bytes_resident") {
+        // The canonical run is short of steady state, so allocator headroom
+        // policies legitimately move this; gate only gross growth.
+        Tolerance {
+            rel: 0.5,
+            abs: 4096.0,
+        }
     } else if name.ends_with(".gpu_time_s") || name.ends_with(".overall_time_s") {
         Tolerance {
             rel: 0.05,
@@ -240,6 +261,25 @@ pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
         );
         set.insert(format!("{prefix}.gld_eff"), stats.global_load_efficiency());
         set.insert(format!("{prefix}.l1_hit"), stats.l1_hit_rate());
+
+        // Real host integrand work: the sample-reuse machinery makes these
+        // far smaller than the simulated tap counts, and deterministic.
+        for counter in ["quad.integrand_evals", "quad.integrand_replays"] {
+            if let Some(v) = obs::counter_value(counter) {
+                set.insert(format!("{prefix}.{counter}"), v as f64);
+            }
+        }
+        // Host wall-clock per stage (sum over all steps) and the resident
+        // workspace footprint — loose gates, see `tolerance_for`.
+        let snap = obs::snapshot();
+        for stage in ["deposit", "potentials", "gather_push", "step"] {
+            if let Some(h) = snap.histogram(&format!("stage.{stage}_ns")) {
+                set.insert(format!("{prefix}.stage.{stage}_host_ns"), h.sum());
+            }
+        }
+        if let Some(v) = obs::gauge_value("workspace.bytes_resident") {
+            set.insert(format!("{prefix}.workspace.bytes_resident"), v);
+        }
 
         // Prediction-quality distributions (cumulative over the run).
         for histogram in [

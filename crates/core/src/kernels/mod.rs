@@ -24,7 +24,7 @@ use beamdyn_obs as obs;
 use beamdyn_obs::Counter;
 use beamdyn_par::ThreadPool;
 use beamdyn_pic::{GridGeometry, GridHistory};
-use beamdyn_quad::Partition;
+use beamdyn_quad::{Partition, SimpsonSeed};
 use beamdyn_simt::{DeviceConfig, KernelStats, SimTime};
 
 use crate::driver::{KernelKind, SimulationConfig};
@@ -211,6 +211,11 @@ pub struct FallbackTask {
     /// How deep the main pass missed τ on this cell: its Simpson error
     /// estimate divided by `tolerance` (always > 1).
     pub miss: f64,
+    /// The five Simpson samples the main pass already spent on `[a, b]`,
+    /// so the adaptive root re-estimates the cell with zero fresh
+    /// integrand evaluations (the values are bit-identical by the seeding
+    /// contract, and the traced op stream is replayed unchanged).
+    pub seed: SimpsonSeed,
 }
 
 /// The engine's execution record for one step, handed to
@@ -329,6 +334,10 @@ fn execute_plan(
     plan: &ExecutionPlan,
     ws: &mut StepWorkspace,
 ) -> ExecOutcome {
+    // One pooled scratch slot per main-pass lane; the arena is reused
+    // across launches and steps, so steady-state launches allocate nothing.
+    ws.lane_scratch
+        .prepare_fixed(&ws.cells, problem.config.kappa);
     let main = {
         let _main_span = obs::span!("main_pass");
         let pts: &[GridPoint] = points;
@@ -336,12 +345,24 @@ fn execute_plan(
             let p = &pts[i as usize];
             (p.x, p.y, p.radius)
         };
-        threads::launch_fixed(problem, plan.threads_per_block, &ws.cells, &xyr)
+        threads::launch_fixed(
+            problem,
+            plan.threads_per_block,
+            &ws.cells,
+            &ws.lane_scratch,
+            &xyr,
+        )
     };
-    let mut gpu_time = main.stats.timing(problem.device).total_time();
+    // Destructure so the scratch-borrowing results die with `apply_results`
+    // and the arena can be re-prepared (mutably) for the fallback launch.
+    let beamdyn_simt::LaunchOutput {
+        results: main_results,
+        stats: main_stats,
+    } = main;
+    let mut gpu_time = main_stats.timing(problem.device).total_time();
     apply_results(
         points,
-        main.results.into_iter().flatten(),
+        main_results.into_iter().flatten(),
         problem.tolerance,
         &mut ws.break_edges,
         &mut ws.need,
@@ -357,19 +378,34 @@ fn execute_plan(
     let mut launches = 1;
     if !ws.tasks.is_empty() {
         let _fallback_span = obs::span!("fallback_pass");
+        // Fallback lanes can outnumber main-pass lanes (one lane may fail
+        // several cells), so the arena is re-prepared with the task count.
+        ws.lane_scratch
+            .prepare_adaptive(ws.tasks.len(), problem.config.kappa);
         let fb = {
             let pts: &[GridPoint] = points;
             let xyr = |i: u32| {
                 let p = &pts[i as usize];
                 (p.x, p.y, p.radius)
             };
-            threads::launch_adaptive(problem, plan.fallback_tpb, &ws.tasks, &xyr, 0)
+            threads::launch_adaptive(
+                problem,
+                plan.fallback_tpb,
+                &ws.tasks,
+                &ws.lane_scratch,
+                &xyr,
+                0,
+            )
         };
-        gpu_time += fb.stats.timing(problem.device).total_time();
+        let beamdyn_simt::LaunchOutput {
+            results: fb_results,
+            stats: fb_stats,
+        } = fb;
+        gpu_time += fb_stats.timing(problem.device).total_time();
         launches += 1;
         apply_results(
             points,
-            fb.results.into_iter().flatten(),
+            fb_results.into_iter().flatten(),
             problem.tolerance,
             &mut ws.break_edges,
             &mut ws.need,
@@ -380,11 +416,11 @@ fn execute_plan(
             ws.spare_tasks.is_empty(),
             "adaptive threads never report failures"
         );
-        fallback_stats = fb.stats;
+        fallback_stats = fb_stats;
     }
 
     ExecOutcome {
-        main_stats: main.stats,
+        main_stats,
         fallback_stats,
         gpu_time,
         fallback_cells,
@@ -407,9 +443,9 @@ pub(crate) fn cell_tolerance(total: f64, w: f64, r: f64) -> f64 {
 /// per-point float accumulation order is exactly the per-result order of
 /// the old nested-`Vec` accumulators, so results stay bit-identical across
 /// thread-pool widths (tests/determinism.rs).
-pub(crate) fn apply_results(
+pub(crate) fn apply_results<S: crate::workspace::ScratchLists>(
     points: &mut [GridPoint],
-    results: impl Iterator<Item = threads::ThreadResult>,
+    results: impl Iterator<Item = threads::ThreadResult<S>>,
     tolerance: f64,
     break_edges: &mut Vec<(u32, f64)>,
     need: &mut [f64],
@@ -421,20 +457,21 @@ pub(crate) fn apply_results(
         p.integral += r.integral;
         p.error += r.error;
         let acc = &mut need[r.point as usize * need_width..][..need_width];
-        for (a, n) in acc.iter_mut().zip(&r.need) {
+        for (a, n) in acc.iter_mut().zip(r.scratch.need()) {
             *a += n;
         }
-        for &b in &r.breaks {
+        for &b in r.scratch.breaks() {
             break_edges.push((r.point, b));
         }
-        for &(a, b, err) in &r.failed {
-            let cell_tol = cell_tolerance(tolerance, b - a, p.radius);
+        for cell in r.scratch.failed() {
+            let cell_tol = cell_tolerance(tolerance, cell.b - cell.a, p.radius);
             tasks.push(FallbackTask {
                 point: r.point,
-                a,
-                b,
+                a: cell.a,
+                b: cell.b,
                 tolerance: cell_tol,
-                miss: err / cell_tol.max(f64::MIN_POSITIVE),
+                miss: cell.error / cell_tol.max(f64::MIN_POSITIVE),
+                seed: cell.samples.full_seed(),
             });
         }
     }

@@ -1,11 +1,28 @@
 //! SIMT thread bodies shared by all three kernels.
 
 use beamdyn_beam::{GridRp, TapSink};
-use beamdyn_quad::simpson_estimate;
+use beamdyn_obs::Counter;
+use beamdyn_quad::{simpson_estimate_seeded, SeededEstimate, SimpsonSeed};
 use beamdyn_simt::{launch, LaunchConfig, LaunchOutput, OpRecorder, WarpThread};
 
 use super::{FallbackTask, RpProblem};
 use crate::layout::DeviceLayout;
+use crate::workspace::{AdaptiveScratch, FailedFixedCell, FixedLaneScratch, LaneScratchArena};
+
+/// Host-side integrand evaluations actually performed (each one runs the
+/// full angular gather). Sample-reusing quadrature exists to push this down;
+/// the bench gate pins it per kernel as `quad.integrand_evals`.
+pub static INTEGRAND_EVALS: Counter = Counter::new("quad.integrand_evals");
+/// Integrand abscissae whose value was reused from an earlier evaluation:
+/// the host skipped the arithmetic and only replayed the simulated-device
+/// op stream ([`GridRp::charge`]), so traced metrics are unaffected.
+pub static INTEGRAND_REPLAYS: Counter = Counter::new("quad.integrand_replays");
+
+/// Deepest bisection the adaptive thread will attempt before accepting an
+/// interval regardless of its error estimate (2^-26 of the initial width is
+/// far below any meaningful tolerance share). Also bounds the subdivision
+/// worklist a lane's pooled scratch must hold.
+pub(crate) const MAX_ADAPTIVE_DEPTH: u32 = 26;
 
 /// Bridges integrand taps to traced device loads.
 struct TraceSink<'a> {
@@ -20,35 +37,86 @@ impl TapSink for TraceSink<'_> {
             .load(self.layout.address(step, component, ix, iy), 8);
     }
     #[inline]
+    fn tap_row(&mut self, step: usize, component: usize, ix0: usize, iy: usize, n: usize) {
+        // One address resolution per patch row; consecutive `ix` are
+        // consecutive addresses in the planar layout.
+        let base = self.layout.address(step, component, ix0, iy);
+        for k in 0..n as u64 {
+            self.rec.load(base + k * DeviceLayout::ELEM_BYTES, 8);
+        }
+    }
+    #[inline]
     fn flops(&mut self, n: u32) {
         self.rec.flops(n);
     }
 }
 
-/// Outcome of one thread's rp-integral work.
-#[derive(Debug, Clone)]
-pub struct ThreadResult {
+/// Evaluates (or replays) the integrand for one Simpson application: cached
+/// abscissae replay their op stream through [`GridRp::charge`] and return
+/// the remembered value; fresh abscissae run the real gather. Either way the
+/// simulated-device trace is identical — only host arithmetic is saved.
+#[inline]
+fn traced_simpson(
+    rp: &GridRp<'_>,
+    sink: &mut TraceSink<'_>,
+    x: f64,
+    y: f64,
+    a: f64,
+    b: f64,
+    seed: SimpsonSeed,
+) -> SeededEstimate {
+    simpson_estimate_seeded(
+        |r, known| match known {
+            Some(v) => {
+                INTEGRAND_REPLAYS.incr();
+                rp.charge(x, y, r, sink);
+                v
+            }
+            None => {
+                INTEGRAND_EVALS.incr();
+                rp.eval(x, y, r, sink)
+            }
+        },
+        a,
+        b,
+        seed,
+    )
+}
+
+/// Outcome of one thread's rp-integral work. The variable-length lists
+/// (accepted breaks, failed cells, need estimates, the adaptive worklist)
+/// live in pooled scratch borrowed from the step workspace's
+/// [`LaneScratchArena`], so a launch performs no per-lane heap allocation.
+/// `S` is the lane's scratch view — [`FixedLaneScratch`] for the fixed
+/// pass, `&mut `[`AdaptiveScratch`] for the adaptive pass — read back
+/// uniformly through [`ScratchLists`](crate::workspace::ScratchLists).
+#[derive(Debug)]
+pub struct ThreadResult<S> {
     /// Row-major point index.
     pub point: u32,
     /// Accepted integral contribution.
     pub integral: f64,
     /// Accepted error contribution.
     pub error: f64,
-    /// Cells whose Simpson error missed their tolerance (`COMPUTE-RP-
-    /// INTEGRAL`'s list `L'`) as `(a, b, error)`, empty for the adaptive
-    /// thread. The error estimate rides along so the host can grade how
-    /// deep each τ-miss was (the `predict.tau_miss_depth` histogram).
-    pub failed: Vec<(f64, f64, f64)>,
-    /// Right edges of accepted cells (the partition actually used), in
-    /// evaluation order; the host sorts and merges them.
-    pub breaks: Vec<f64>,
-    /// Per-subregion *need* estimate: each accepted cell contributes
-    /// `(error / tol_cell)^{1/4}` to the subregion containing it. Simpson's
-    /// error scales as h⁴, so this sum estimates the number of cells the
-    /// subregion actually requires independently of how finely it happened
-    /// to be evaluated — the resolution-independent access pattern the
-    /// online model must train on (training on provision ratchets).
-    pub need: Vec<f64>,
+    /// The lane's pooled scratch lists.
+    pub scratch: S,
+}
+
+/// One interval of the adaptive thread's explicit worklist, carrying the
+/// parent's Simpson samples so subdivision re-evaluates only the two new
+/// abscissae.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveItem {
+    /// Interval bounds.
+    pub a: f64,
+    /// Interval bounds.
+    pub b: f64,
+    /// Absolute tolerance apportioned to this interval.
+    pub tol: f64,
+    /// Bisection depth.
+    pub depth: u32,
+    /// Samples inherited from the parent interval.
+    pub seed: SimpsonSeed,
 }
 
 /// `COMPUTE-RP-INTEGRAL`: one thread evaluating a *precomputed* list of
@@ -58,33 +126,39 @@ pub struct ThreadResult {
 /// The cell list is a borrowed slice of the step's packed
 /// [`CellLists`](crate::workspace::CellLists) buffer — lanes share the one
 /// flat allocation the way device threads share a global cell buffer,
-/// instead of each cloning its own `Vec`.
-pub struct FixedCellsThread<'a> {
-    rp: &'a GridRp<'a>,
+/// instead of each cloning its own `Vec`. Adjacent cells share their
+/// boundary evaluation: cell `n`'s `f(b)` seeds cell `n+1`'s `f(a)` when
+/// the edges are the same `f64` (partition cells abut exactly).
+pub struct FixedCellsThread<'rp, 'w> {
+    rp: &'rp GridRp<'rp>,
     layout: DeviceLayout,
     x: f64,
     y: f64,
-    cells: &'a [(f64, f64)],
+    cells: &'rp [(f64, f64)],
     /// Total tolerance for this point; apportioned to cells by width.
     tolerance: f64,
     radius: f64,
     next: usize,
     stored: bool,
-    result: ThreadResult,
+    /// Boundary cache: `(bits of previous cell's b, f(b))`.
+    prev_edge: Option<(u64, f64)>,
+    result: ThreadResult<FixedLaneScratch<'w>>,
 }
 
-impl<'a> FixedCellsThread<'a> {
-    /// Builds the thread for `point` with its clipped cell list.
+impl<'rp, 'w> FixedCellsThread<'rp, 'w> {
+    /// Builds the thread for `point` with its clipped cell list and pooled
+    /// scratch slot.
     #[allow(clippy::too_many_arguments)] // mirrors the simulated launch ABI
     pub fn new(
-        rp: &'a GridRp<'a>,
+        rp: &'rp GridRp<'rp>,
         layout: DeviceLayout,
         point: u32,
         x: f64,
         y: f64,
         radius: f64,
-        cells: &'a [(f64, f64)],
+        cells: &'rp [(f64, f64)],
         tolerance: f64,
+        scratch: FixedLaneScratch<'w>,
     ) -> Self {
         Self {
             rp,
@@ -96,24 +170,24 @@ impl<'a> FixedCellsThread<'a> {
             radius,
             next: 0,
             stored: false,
+            prev_edge: None,
             result: ThreadResult {
                 point,
                 integral: 0.0,
                 error: 0.0,
-                failed: Vec::new(),
-                breaks: Vec::new(),
-                need: vec![0.0; rp.config().kappa],
+                scratch,
             },
         }
     }
 
     /// Consumes the thread after retirement.
-    pub fn into_result(self) -> ThreadResult {
+    pub fn into_result(self) -> ThreadResult<FixedLaneScratch<'w>> {
         self.result
     }
 }
 
-/// Fractional cell-need of one accepted cell (see [`ThreadResult::need`]).
+/// Fractional cell-need of one accepted cell (see
+/// [`FixedLaneScratch::need`]).
 #[inline]
 fn cell_need(error: f64, tol: f64) -> f64 {
     (error / tol.max(f64::MIN_POSITIVE))
@@ -122,7 +196,7 @@ fn cell_need(error: f64, tol: f64) -> f64 {
         .clamp(0.02, 16.0)
 }
 
-impl WarpThread for FixedCellsThread<'_> {
+impl WarpThread for FixedCellsThread<'_, '_> {
     fn step(&mut self, rec: &mut OpRecorder) -> bool {
         if self.next >= self.cells.len() {
             if !self.stored {
@@ -139,20 +213,33 @@ impl WarpThread for FixedCellsThread<'_> {
             rec,
             layout: self.layout,
         };
-        let (x, y) = (self.x, self.y);
         let rp = self.rp;
-        let est = simpson_estimate(|r| rp.eval(x, y, r, &mut sink), a, b);
+        let seed = match self.prev_edge {
+            Some((edge_bits, fb)) if edge_bits == a.to_bits() => SimpsonSeed {
+                fa: Some(fb),
+                ..SimpsonSeed::NONE
+            },
+            _ => SimpsonSeed::NONE,
+        };
+        let seeded = traced_simpson(rp, &mut sink, self.x, self.y, a, b, seed);
+        self.prev_edge = Some((b.to_bits(), seeded.samples.fb));
+        let est = seeded.estimate;
         let tol = super::cell_tolerance(self.tolerance, b - a, self.radius);
         if est.error <= tol {
             self.result.integral += est.integral;
             self.result.error += est.error;
             let j = rp.config().subregion_of(0.5 * (a + b));
-            if let Some(n) = self.result.need.get_mut(j) {
+            if let Some(n) = self.result.scratch.need.get_mut(j) {
                 *n += cell_need(est.error, tol);
             }
-            self.result.breaks.push(b);
+            self.result.scratch.breaks.push(b);
         } else {
-            self.result.failed.push((a, b, est.error));
+            self.result.scratch.failed.push(FailedFixedCell {
+                a,
+                b,
+                error: est.error,
+                samples: seeded.samples,
+            });
         }
         true
     }
@@ -160,24 +247,28 @@ impl WarpThread for FixedCellsThread<'_> {
 
 /// `RP-ADAPTIVEQUADRATURE`: one thread running classic stack-based adaptive
 /// Simpson over its own interval — the divergent workhorse of the fallback
-/// pass and of Two-Phase-RP.
-pub struct AdaptiveThread<'a> {
-    rp: &'a GridRp<'a>,
+/// pass and of Two-Phase-RP. Subdivision seeds each child with the parent's
+/// three shared samples, so only the two new abscissae are evaluated.
+pub struct AdaptiveThread<'rp, 'w> {
+    rp: &'rp GridRp<'rp>,
     layout: DeviceLayout,
     x: f64,
     y: f64,
-    stack: Vec<(f64, f64, f64, u32)>,
     max_depth: u32,
     min_depth: u32,
     stored: bool,
-    result: ThreadResult,
+    result: ThreadResult<&'w mut AdaptiveScratch>,
 }
 
-impl<'a> AdaptiveThread<'a> {
-    /// Builds the thread for one `([a, b], p)` task.
+impl<'rp, 'w> AdaptiveThread<'rp, 'w> {
+    /// Builds the thread for one `([a, b], p)` task with its pooled scratch
+    /// slot (which holds the subdivision worklist). `seed` carries whatever
+    /// samples the task's origin already spent on `[a, b]` — for fallback
+    /// tasks the fixed pass sampled all five abscissae, so the root estimate
+    /// replays them without a single fresh evaluation.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        rp: &'a GridRp<'a>,
+        rp: &'rp GridRp<'rp>,
         layout: DeviceLayout,
         point: u32,
         x: f64,
@@ -185,37 +276,43 @@ impl<'a> AdaptiveThread<'a> {
         a: f64,
         b: f64,
         tolerance: f64,
+        seed: SimpsonSeed,
         min_depth: u32,
+        scratch: &'w mut AdaptiveScratch,
     ) -> Self {
+        scratch.stack.push(AdaptiveItem {
+            a,
+            b,
+            tol: tolerance,
+            depth: 0,
+            seed,
+        });
         Self {
             rp,
             layout,
             x,
             y,
-            stack: vec![(a, b, tolerance, 0)],
-            max_depth: 26,
+            max_depth: MAX_ADAPTIVE_DEPTH,
             min_depth,
             stored: false,
             result: ThreadResult {
                 point,
                 integral: 0.0,
                 error: 0.0,
-                failed: Vec::new(),
-                breaks: Vec::new(),
-                need: vec![0.0; rp.config().kappa],
+                scratch,
             },
         }
     }
 
     /// Consumes the thread after retirement.
-    pub fn into_result(self) -> ThreadResult {
+    pub fn into_result(self) -> ThreadResult<&'w mut AdaptiveScratch> {
         self.result
     }
 }
 
-impl WarpThread for AdaptiveThread<'_> {
+impl WarpThread for AdaptiveThread<'_, '_> {
     fn step(&mut self, rec: &mut OpRecorder) -> bool {
-        let Some((a, b, tol, depth)) = self.stack.pop() else {
+        let Some(item) = self.result.scratch.stack.pop() else {
             if !self.stored {
                 self.stored = true;
                 rec.flops(4);
@@ -228,23 +325,35 @@ impl WarpThread for AdaptiveThread<'_> {
             rec,
             layout: self.layout,
         };
-        let (x, y) = (self.x, self.y);
         let rp = self.rp;
-        let est = simpson_estimate(|r| rp.eval(x, y, r, &mut sink), a, b);
+        let seeded = traced_simpson(rp, &mut sink, self.x, self.y, item.a, item.b, item.seed);
+        let est = seeded.estimate;
         rec.flops(6); // convergence test + accumulation
-        let converged = est.error <= tol && depth >= self.min_depth;
-        if converged || depth >= self.max_depth {
+        let converged = est.error <= item.tol && item.depth >= self.min_depth;
+        if converged || item.depth >= self.max_depth {
             self.result.integral += est.integral;
             self.result.error += est.error;
-            self.result.breaks.push(b);
-            let j = rp.config().subregion_of(0.5 * (a + b));
-            if let Some(n) = self.result.need.get_mut(j) {
-                *n += cell_need(est.error, tol);
+            self.result.scratch.breaks.push(item.b);
+            let j = rp.config().subregion_of(0.5 * (item.a + item.b));
+            if let Some(n) = self.result.scratch.need.get_mut(j) {
+                *n += cell_need(est.error, item.tol);
             }
         } else {
-            let m = 0.5 * (a + b);
-            self.stack.push((m, b, 0.5 * tol, depth + 1));
-            self.stack.push((a, m, 0.5 * tol, depth + 1));
+            let m = 0.5 * (item.a + item.b);
+            self.result.scratch.stack.push(AdaptiveItem {
+                a: m,
+                b: item.b,
+                tol: 0.5 * item.tol,
+                depth: item.depth + 1,
+                seed: seeded.samples.right_seed(),
+            });
+            self.result.scratch.stack.push(AdaptiveItem {
+                a: item.a,
+                b: m,
+                tol: 0.5 * item.tol,
+                depth: item.depth + 1,
+                seed: seeded.samples.left_seed(),
+            });
         }
         true
     }
@@ -254,13 +363,15 @@ impl WarpThread for AdaptiveThread<'_> {
 /// assignments.
 ///
 /// `cells.lane(tid)` gives each simulated thread its point and a borrowed
-/// slice of the packed cell buffer; padding lanes get no thread.
-pub fn launch_fixed(
+/// slice of the packed cell buffer; padding lanes get no thread. `scratch`
+/// must be [`LaneScratchArena::prepare`]d for at least `cells.len()` lanes.
+pub fn launch_fixed<'w>(
     problem: &RpProblem<'_>,
     threads_per_block: usize,
     cells: &crate::workspace::CellLists,
+    scratch: &'w LaneScratchArena,
     point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
-) -> LaunchOutput<ThreadResult> {
+) -> LaunchOutput<ThreadResult<FixedLaneScratch<'w>>> {
     let rp = problem.integrand();
     let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
     let blocks = cells.len().div_ceil(tpb).max(1);
@@ -274,6 +385,10 @@ pub fn launch_fixed(
         |tid| {
             let (point, lane_cells) = cells.lane(tid)?;
             let (x, y, radius) = point_xyr(point);
+            // SAFETY: the launch layer materialises each `tid` exactly once
+            // per launch and `tid` is a lane of the `cells` the arena was
+            // prepared for, so each region is claimed by exactly one lane.
+            let slot = unsafe { scratch.claim_fixed(tid) };
             Some(FixedCellsThread::new(
                 &rp,
                 problem.layout,
@@ -283,6 +398,7 @@ pub fn launch_fixed(
                 radius,
                 lane_cells,
                 problem.tolerance,
+                slot,
             ))
         },
         FixedCellsThread::into_result,
@@ -290,14 +406,17 @@ pub fn launch_fixed(
 }
 
 /// Launches the adaptive kernel, one thread per task (the paper maps the
-/// global list `L` to threads one-to-one).
-pub fn launch_adaptive(
+/// global list `L` to threads one-to-one). `scratch` must be prepared for
+/// at least `tasks.len()` lanes.
+#[allow(clippy::mut_from_ref)] // the `&mut` slots come from the arena's claim contract
+pub fn launch_adaptive<'w>(
     problem: &RpProblem<'_>,
     threads_per_block: usize,
     tasks: &[FallbackTask],
+    scratch: &'w LaneScratchArena,
     point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
     min_depth: u32,
-) -> LaunchOutput<ThreadResult> {
+) -> LaunchOutput<ThreadResult<&'w mut AdaptiveScratch>> {
     let rp = problem.integrand();
     let tpb = threads_per_block.clamp(1, problem.device.max_threads_per_block);
     let blocks = tasks.len().div_ceil(tpb).max(1);
@@ -311,6 +430,9 @@ pub fn launch_adaptive(
         |tid| {
             let task = tasks.get(tid)?;
             let (x, y, _) = point_xyr(task.point);
+            // SAFETY: one claim per materialised `tid`; `tid < tasks.len()`
+            // (prepared size).
+            let slot = unsafe { scratch.claim_adaptive(tid) };
             Some(AdaptiveThread::new(
                 &rp,
                 problem.layout,
@@ -320,7 +442,9 @@ pub fn launch_adaptive(
                 task.a,
                 task.b,
                 task.tolerance,
+                task.seed,
                 min_depth,
+                slot,
             ))
         },
         AdaptiveThread::into_result,

@@ -16,12 +16,15 @@
 //! step) through `beamdyn-obs`, and `tests/workspace_reuse.rs` pins the
 //! steady-state-growth-is-zero invariant for all three kernels.
 
+use std::cell::UnsafeCell;
+use std::fmt;
 use std::mem::size_of;
 
 use beamdyn_obs as obs;
 use beamdyn_pic::{DepositSample, GridGeometry, MomentGrid};
-use beamdyn_quad::Partition;
+use beamdyn_quad::{Partition, SimpsonSamples};
 
+use crate::kernels::threads::AdaptiveItem;
 use crate::kernels::FallbackTask;
 use crate::points::GridPoint;
 
@@ -142,6 +145,361 @@ impl CellLists {
     }
 }
 
+/// A lane's bounded region of a flat scratch buffer, with `Vec::push`-like
+/// ergonomics. The region's capacity is a per-launch bound the arena proved
+/// when it carved the buffer (a fixed-cells lane accepts or fails at most
+/// one entry per planned cell), so pushing never allocates — exceeding the
+/// bound is a logic error and panics via the slice index.
+#[derive(Debug)]
+pub struct LaneList<'w, T> {
+    data: &'w mut [T],
+    len: &'w mut u32,
+}
+
+impl<T> LaneList<'_, T> {
+    /// Appends `v`; panics if the lane exceeds its proven bound.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        let i = *self.len as usize;
+        self.data[i] = v;
+        *self.len = i as u32 + 1;
+    }
+
+    /// The entries pushed so far.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[..*self.len as usize]
+    }
+}
+
+/// A cell the fixed pass failed, with the five Simpson samples it already
+/// spent on it. The error estimate rides along so the host can grade how
+/// deep each τ-miss was (the `predict.tau_miss_depth` histogram); the
+/// samples ride along so the fallback task can re-open the cell with zero
+/// fresh integrand evaluations ([`SimpsonSamples::full_seed`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailedFixedCell {
+    /// Cell lower bound.
+    pub a: f64,
+    /// Cell upper bound.
+    pub b: f64,
+    /// The Simpson error estimate that caused rejection.
+    pub error: f64,
+    /// All five integrand samples of the rejecting estimate.
+    pub samples: SimpsonSamples,
+}
+
+/// One fixed-cells lane's view of the pooled scratch: regions of the
+/// arena's flat CSR buffers, sized by the lane's planned cell count.
+#[derive(Debug)]
+pub struct FixedLaneScratch<'w> {
+    /// Right edges of accepted cells (the partition actually used), in
+    /// evaluation order; the host sorts and merges them.
+    pub breaks: LaneList<'w, f64>,
+    /// Cells whose Simpson error missed their tolerance (`COMPUTE-RP-
+    /// INTEGRAL`'s list `L'`), samples attached.
+    pub failed: LaneList<'w, FailedFixedCell>,
+    /// Per-subregion *need* estimate: each accepted cell contributes
+    /// `(error / tol_cell)^{1/4}` to the subregion containing it. Simpson's
+    /// error scales as h⁴, so this sum estimates the number of cells the
+    /// subregion actually requires independently of how finely it happened
+    /// to be evaluated — the resolution-independent access pattern the
+    /// online model must train on (training on provision ratchets).
+    pub need: &'w mut [f64],
+}
+
+/// One adaptive lane's reusable scratch. Unlike the fixed pass, an adaptive
+/// task has no static bound on its accepted-leaf count, so these stay
+/// per-slot `Vec`s — the adaptive lane population (the fallback task list)
+/// is small and stabilizes with the rest of the workspace.
+#[derive(Debug, Default)]
+pub struct AdaptiveScratch {
+    /// Right edges of accepted leaves (see [`FixedLaneScratch::breaks`]).
+    pub breaks: Vec<f64>,
+    /// Per-subregion need estimate (see [`FixedLaneScratch::need`]).
+    pub need: Vec<f64>,
+    /// The explicit subdivision worklist.
+    pub stack: Vec<AdaptiveItem>,
+}
+
+impl AdaptiveScratch {
+    /// Upper bound on the subdivision worklist: a depth-first bisection
+    /// holds at most one pending sibling per level plus the working item.
+    const STACK_BOUND: usize = crate::kernels::threads::MAX_ADAPTIVE_DEPTH as usize + 2;
+
+    /// One-time sizing when a slot joins the ready pool (and again when the
+    /// arena's breaks quota is lifted): reserve the worklist's hard bound
+    /// and the quota's worth of leaf storage so launches allocate nothing.
+    fn activate(&mut self, breaks_quota: usize, kappa: usize) {
+        self.breaks.clear();
+        self.stack.clear();
+        self.need.clear();
+        if self.stack.capacity() < Self::STACK_BOUND {
+            self.stack.reserve_exact(Self::STACK_BOUND);
+        }
+        if self.breaks.capacity() < breaks_quota {
+            self.breaks.reserve_exact(breaks_quota);
+        }
+        if self.need.capacity() < kappa {
+            self.need.reserve_exact(kappa);
+        }
+    }
+
+    fn reset(&mut self, kappa: usize) {
+        self.breaks.clear();
+        self.stack.clear();
+        self.need.clear();
+        self.need.resize(kappa, 0.0);
+    }
+
+    fn bytes_capacity(&self) -> usize {
+        self.breaks.capacity() * size_of::<f64>()
+            + self.need.capacity() * size_of::<f64>()
+            + self.stack.capacity() * size_of::<AdaptiveItem>()
+    }
+}
+
+/// Uniform read access to a lane's result lists, however they are stored —
+/// lets the engine fold fixed-pass and adaptive-pass results with one code
+/// path ([`apply_results`](crate::kernels)).
+pub trait ScratchLists {
+    /// Accepted right edges, in evaluation order.
+    fn breaks(&self) -> &[f64];
+    /// Failed cells with their spent samples.
+    fn failed(&self) -> &[FailedFixedCell];
+    /// Per-subregion need accumulators.
+    fn need(&self) -> &[f64];
+}
+
+impl ScratchLists for FixedLaneScratch<'_> {
+    fn breaks(&self) -> &[f64] {
+        self.breaks.as_slice()
+    }
+    fn failed(&self) -> &[FailedFixedCell] {
+        self.failed.as_slice()
+    }
+    fn need(&self) -> &[f64] {
+        self.need
+    }
+}
+
+impl ScratchLists for &mut AdaptiveScratch {
+    fn breaks(&self) -> &[f64] {
+        &self.breaks
+    }
+    fn failed(&self) -> &[FailedFixedCell] {
+        // Adaptive threads subdivide to convergence; they never fail cells.
+        &[]
+    }
+    fn need(&self) -> &[f64] {
+        &self.need
+    }
+}
+
+/// Carves `cells[lo..hi]` out as an exclusive region.
+///
+/// # Safety
+/// The caller must guarantee no other live reference overlaps `[lo, hi)`.
+#[allow(clippy::mut_from_ref)]
+unsafe fn cell_region_mut<T>(cells: &[UnsafeCell<T>], lo: usize, hi: usize) -> &mut [T] {
+    // `UnsafeCell<T>` is `repr(transparent)` over `T`.
+    unsafe { std::slice::from_raw_parts_mut(cells[lo..hi].as_ptr() as *mut T, hi - lo) }
+}
+
+/// Per-lane scratch pool shared (read-only from the borrow checker's view)
+/// across the simulated SMs of one launch — the per-thread lists the old
+/// `ThreadResult` heap-allocated afresh on every launch, now pooled in the
+/// workspace and reused across launches and steps.
+///
+/// Region/slot `tid` belongs exclusively to the lane with global thread id
+/// `tid`: the launch layer materialises each thread id exactly once per
+/// launch, so handing lane `tid` a `&mut` into its region through
+/// [`UnsafeCell`] never aliases — the same disjoint-slots argument
+/// `parallel_map_indexed` makes for its output buffer. Regions are indexed
+/// by `tid` (not popped from a shared freelist) so the lane→scratch
+/// pairing, and with it every capacity high-water mark the reuse gauges
+/// report, is scheduling-independent.
+///
+/// The fixed pass uses flat CSR buffers mirroring [`CellLists`]: lane
+/// `tid`'s regions hold exactly its planned cell count (each cell is
+/// accepted or failed, never both), so total capacity tracks the *sum* of
+/// lane demands — stable once the cell lists are — rather than ratcheting
+/// per-slot high-water marks, which under shuffling lane assignments creep
+/// toward `lanes × max` and would never let `workspace.grown_this_step`
+/// settle at zero.
+#[derive(Default)]
+pub struct LaneScratchArena {
+    /// Cell-count prefix sums per fixed lane (copied from [`CellLists`]).
+    fixed_offsets: Vec<u32>,
+    /// Flat accepted-edge storage, region `tid` = `offsets[tid]..offsets[tid+1]`.
+    fixed_breaks: Vec<UnsafeCell<f64>>,
+    /// Flat failed-cell storage, same regions.
+    fixed_failed: Vec<UnsafeCell<FailedFixedCell>>,
+    /// Entries used in each lane's breaks region.
+    breaks_len: Vec<UnsafeCell<u32>>,
+    /// Entries used in each lane's failed region.
+    failed_len: Vec<UnsafeCell<u32>>,
+    /// Flat need accumulators, `need_width` per fixed lane.
+    fixed_need: Vec<UnsafeCell<f64>>,
+    need_width: usize,
+    /// Per-task slots for the adaptive pass.
+    adaptive: Vec<UnsafeCell<AdaptiveScratch>>,
+    /// Slots activated (pre-sized) so far; grown with 1.5× overshoot.
+    adaptive_ready: usize,
+    /// Per-slot breaks reservation every ready slot carries.
+    breaks_quota: usize,
+    /// `kappa` the ready slots were activated with.
+    adaptive_kappa: usize,
+}
+
+// SAFETY: concurrent access is only through `claim_fixed` / `claim_adaptive`,
+// whose contracts limit each launch to one exclusive claim per disjoint
+// region (see type-level comment).
+unsafe impl Sync for LaneScratchArena {}
+
+impl fmt::Debug for LaneScratchArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LaneScratchArena")
+            .field("fixed_lanes", &self.fixed_offsets.len().saturating_sub(1))
+            .field("fixed_cells", &self.fixed_breaks.len())
+            .field("adaptive_slots", &self.adaptive.len())
+            .finish()
+    }
+}
+
+impl LaneScratchArena {
+    /// Sizes the fixed-pass CSR buffers for `cells`' lane layout (growing,
+    /// never shrinking) and zeroes the active lengths and need accumulators.
+    pub(crate) fn prepare_fixed(&mut self, cells: &CellLists, kappa: usize) {
+        self.fixed_offsets.clone_from(&cells.offsets);
+        let lanes = cells.len();
+        let total = cells.total_cells();
+        if self.fixed_breaks.len() < total {
+            self.fixed_breaks.resize_with(total, Default::default);
+        }
+        if self.fixed_failed.len() < total {
+            self.fixed_failed.resize_with(total, Default::default);
+        }
+        if self.breaks_len.len() < lanes {
+            self.breaks_len.resize_with(lanes, Default::default);
+        }
+        if self.failed_len.len() < lanes {
+            self.failed_len.resize_with(lanes, Default::default);
+        }
+        let need_len = lanes * kappa;
+        if self.fixed_need.len() < need_len {
+            self.fixed_need.resize_with(need_len, Default::default);
+        }
+        self.need_width = kappa;
+        for l in &mut self.breaks_len[..lanes] {
+            *l.get_mut() = 0;
+        }
+        for l in &mut self.failed_len[..lanes] {
+            *l.get_mut() = 0;
+        }
+        for n in &mut self.fixed_need[..need_len] {
+            *n.get_mut() = 0.0;
+        }
+    }
+
+    /// Readies the adaptive slot pool for `lanes` tasks and resets the first
+    /// `lanes` slots for a launch with `kappa` subregions.
+    ///
+    /// The adaptive population (the fallback task list) fluctuates from step
+    /// to step, and a task has no static bound on its accepted-leaf count —
+    /// so unlike the fixed pass's exact CSR regions, steadiness here comes
+    /// from *headroom*: the pool is activated with 1.5× overshoot whenever
+    /// the task count sets a record, every ready slot carries the arena-wide
+    /// per-task breaks quota (lifted, rarely, when some task outgrows it),
+    /// and the worklist has a hard depth bound. Record events decay
+    /// geometrically, so steady-state launches allocate nothing even though
+    /// per-launch demands keep shuffling across slots.
+    pub(crate) fn prepare_adaptive(&mut self, lanes: usize, kappa: usize) {
+        // Lift the quota to the largest per-task leaf storage any slot ended
+        // up with (Vec doubling makes that a power of two).
+        let mut quota = self.breaks_quota;
+        for slot in &mut self.adaptive[..self.adaptive_ready] {
+            quota = quota.max(slot.get_mut().breaks.capacity());
+        }
+        let grow_ready = lanes > self.adaptive_ready;
+        if grow_ready {
+            self.adaptive_ready = lanes + lanes / 2;
+            if self.adaptive.len() < self.adaptive_ready {
+                self.adaptive
+                    .resize_with(self.adaptive_ready, Default::default);
+            }
+        }
+        if grow_ready || quota > self.breaks_quota || kappa != self.adaptive_kappa {
+            self.breaks_quota = quota;
+            self.adaptive_kappa = kappa;
+            for slot in &mut self.adaptive[..self.adaptive_ready] {
+                slot.get_mut().activate(quota, kappa);
+            }
+        }
+        for slot in &mut self.adaptive[..lanes] {
+            slot.get_mut().reset(kappa);
+        }
+    }
+
+    /// Exclusive access to fixed lane `tid`'s scratch regions.
+    ///
+    /// # Safety
+    /// `tid` must be a lane of the [`CellLists`] the arena was last
+    /// [`prepare_fixed`](Self::prepare_fixed)'d for, each `tid` must be
+    /// claimed at most once per launch, and all claims must be dropped
+    /// before the next `prepare_*` or
+    /// [`bytes_capacity`](Self::bytes_capacity) call.
+    pub(crate) unsafe fn claim_fixed(&self, tid: usize) -> FixedLaneScratch<'_> {
+        let lo = self.fixed_offsets[tid] as usize;
+        let hi = self.fixed_offsets[tid + 1] as usize;
+        let w = self.need_width;
+        // SAFETY: regions of distinct `tid` are disjoint by CSR construction,
+        // and the caller claims each `tid` at most once per launch.
+        unsafe {
+            FixedLaneScratch {
+                breaks: LaneList {
+                    data: cell_region_mut(&self.fixed_breaks, lo, hi),
+                    len: &mut *self.breaks_len[tid].get(),
+                },
+                failed: LaneList {
+                    data: cell_region_mut(&self.fixed_failed, lo, hi),
+                    len: &mut *self.failed_len[tid].get(),
+                },
+                need: cell_region_mut(&self.fixed_need, tid * w, (tid + 1) * w),
+            }
+        }
+    }
+
+    /// Exclusive access to adaptive lane `tid`'s scratch slot.
+    ///
+    /// # Safety
+    /// Same contract as [`claim_fixed`](Self::claim_fixed), against the last
+    /// [`prepare_adaptive`](Self::prepare_adaptive) call.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn claim_adaptive(&self, tid: usize) -> &mut AdaptiveScratch {
+        unsafe { &mut *self.adaptive[tid].get() }
+    }
+
+    /// Total bytes of capacity held by the pool. Must not race a launch
+    /// (callers only read it between steps).
+    fn bytes_capacity(&self) -> usize {
+        self.fixed_offsets.capacity() * size_of::<u32>()
+            + self.fixed_breaks.capacity() * size_of::<f64>()
+            + self.fixed_failed.capacity() * size_of::<FailedFixedCell>()
+            + self.breaks_len.capacity() * size_of::<u32>()
+            + self.failed_len.capacity() * size_of::<u32>()
+            + self.fixed_need.capacity() * size_of::<f64>()
+            + self.adaptive.capacity() * size_of::<UnsafeCell<AdaptiveScratch>>()
+            + self
+                .adaptive
+                .iter()
+                // SAFETY: no claims are live outside a launch (see
+                // `claim_adaptive`).
+                .map(|slot| unsafe { &*slot.get() }.bytes_capacity())
+                .sum::<usize>()
+    }
+}
+
 /// The per-step working memory owned by a
 /// [`Simulation`](crate::driver::Simulation): every reusable buffer of the
 /// deposit → plan → execute → finalize → commit loop.
@@ -171,6 +529,8 @@ pub struct StepWorkspace {
     /// the step's output points at commit. Read by the Heuristic kernel's
     /// data-reuse pass and Predictive-RP's adaptive transformation.
     pub(crate) previous_partitions: Vec<Option<Partition>>,
+    /// Pooled per-lane result scratch, reused across launches and steps.
+    pub(crate) lane_scratch: LaneScratchArena,
     /// A moment grid evicted from the history ring, reset and reused as the
     /// next step's deposition target.
     recycled_grid: Option<MomentGrid>,
@@ -241,6 +601,15 @@ impl StepWorkspace {
             + self.break_edges.capacity() * size_of::<(u32, f64)>()
             + self.need.capacity() * size_of::<f64>()
             + self.previous_partitions.capacity() * size_of::<Option<Partition>>()
+            + self.lane_scratch.bytes_capacity()
+    }
+
+    /// Bytes of capacity held by the pooled per-lane result scratch (part
+    /// of [`StepWorkspace::bytes_resident`], broken out so tests can pin
+    /// that lane scratch is actually pooled here rather than reallocated
+    /// per launch).
+    pub fn lane_scratch_bytes(&self) -> usize {
+        self.lane_scratch.bytes_capacity()
     }
 
     /// Publishes the reuse gauges (`workspace.bytes_resident`,

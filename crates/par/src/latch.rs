@@ -42,6 +42,20 @@ impl CountLatch {
         }
     }
 
+    /// Blocks until the count reaches zero or `timeout` elapses; returns
+    /// `true` if the latch was released. Unlike [`CountLatch::wait`] this
+    /// wakes at most once, so callers that interleave waiting with other
+    /// duties (e.g. helping run queued jobs) can re-check their queues on a
+    /// bounded cadence without spinning.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        let mut remaining = self.remaining.lock();
+        if *remaining == 0 {
+            return true;
+        }
+        self.cond.wait_for(&mut remaining, timeout);
+        *remaining == 0
+    }
+
     /// Returns `true` once the count has reached zero.
     pub fn is_released(&self) -> bool {
         *self.remaining.lock() == 0

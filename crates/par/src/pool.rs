@@ -26,6 +26,8 @@ static POOL_STEALS: beamdyn_obs::Counter = beamdyn_obs::Counter::new("par.steals
 static POOL_PARKS: beamdyn_obs::Counter = beamdyn_obs::Counter::new("par.parks");
 /// Jobs pulled from the global injector (batch head or single steal).
 static POOL_INJECTOR_POPS: beamdyn_obs::Counter = beamdyn_obs::Counter::new("par.injector_pops");
+/// Times a loop caller found nothing to help with and parked on the latch.
+static POOL_HELPER_PARKS: beamdyn_obs::Counter = beamdyn_obs::Counter::new("par.helper_parks");
 /// Injector depth observed at the most recent submission.
 static POOL_QUEUE_DEPTH: beamdyn_obs::Gauge = beamdyn_obs::Gauge::new("par.queue_depth");
 
@@ -290,10 +292,16 @@ impl ThreadPool {
         while !latch.is_released() {
             if let Some(job) = self.shared.find_job(None) {
                 job();
-            } else if !latch.is_released() {
+            } else {
                 // Nothing to steal: the remaining broadcast jobs are running
-                // on workers. Park briefly instead of spinning.
-                std::thread::sleep(Duration::from_micros(20));
+                // on workers. Park on the latch condvar so the final
+                // count-down wakes us immediately; the timeout bounds how
+                // long a job pushed after our probe (a nested loop's
+                // broadcast landing in the injector) can go unhelped.
+                POOL_HELPER_PARKS.incr();
+                if latch.wait_timeout(Duration::from_millis(1)) {
+                    return;
+                }
             }
         }
     }

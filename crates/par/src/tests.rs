@@ -59,6 +59,56 @@ fn latch_wait_blocks_until_other_thread_releases() {
 }
 
 #[test]
+fn latch_wait_timeout_reports_release_state() {
+    let latch = CountLatch::new(1);
+    let start = std::time::Instant::now();
+    assert!(!latch.wait_timeout(std::time::Duration::from_millis(10)));
+    assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+    latch.count_down();
+    assert!(latch.wait_timeout(std::time::Duration::from_millis(10)));
+}
+
+#[test]
+fn latch_wait_timeout_wakes_on_count_down() {
+    let latch = Arc::new(CountLatch::new(1));
+    let l2 = Arc::clone(&latch);
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        l2.count_down();
+    });
+    // A single long-timeout wait must return as soon as the latch releases,
+    // not run out its timeout.
+    let start = std::time::Instant::now();
+    while !latch.wait_timeout(std::time::Duration::from_millis(500)) {}
+    assert!(start.elapsed() < std::time::Duration::from_millis(400));
+    handle.join().unwrap();
+}
+
+#[test]
+fn caller_parks_instead_of_spinning_while_stragglers_run() {
+    let pool = ThreadPool::new(4);
+    let before = beamdyn_obs::counter_value("par.helper_parks").unwrap_or(0);
+    let mut parks = 0;
+    // Chunk claiming is racy (the caller may grab the slow indices itself),
+    // so retry until a round leaves the caller dry while stragglers run.
+    for _ in 0..20 {
+        pool.parallel_for(0..8, |i| {
+            if i >= 4 {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        });
+        parks = beamdyn_obs::counter_value("par.helper_parks").unwrap_or(0) - before;
+        if parks >= 1 {
+            break;
+        }
+    }
+    assert!(parks >= 1, "caller never parked while stragglers ran");
+    // Each park blocks ~1 ms on the latch condvar; the old 20 µs poll loop
+    // would rack up thousands of wakeups over these 25 ms bodies.
+    assert!(parks < 500, "caller appears to be spinning: {parks} parks");
+}
+
+#[test]
 fn parallel_for_visits_every_index_once() {
     let pool = ThreadPool::new(4);
     let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();

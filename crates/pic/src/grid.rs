@@ -178,6 +178,20 @@ impl MomentGrid {
         &self.data[component * n..(component + 1) * n]
     }
 
+    /// One grid row of one component as a contiguous slice (`ix` ascending).
+    ///
+    /// The planar row-major layout makes any fixed-`(component, iy)` run of
+    /// cells contiguous in memory — the property the 27-tap stencil gather
+    /// exploits to read each 3-cell patch row as one slice instead of three
+    /// indexed lookups.
+    #[inline]
+    pub fn component_row(&self, component: usize, iy: usize) -> &[f64] {
+        debug_assert!(component < N_MOMENTS && iy < self.geometry.ny);
+        let nx = self.geometry.nx;
+        let start = component * self.geometry.len() + iy * nx;
+        &self.data[start..start + nx]
+    }
+
     /// Sum of one component over all cells (e.g. total deposited charge).
     pub fn component_total(&self, component: usize) -> f64 {
         self.component(component).iter().sum()

@@ -138,3 +138,82 @@ impl Stencil27 {
         self.taps.iter().map(|t| t.weight).sum()
     }
 }
+
+/// The 27-point stencil in *resolved window* form: the factored weights and
+/// the patch origin, without materialising 27 tap records.
+///
+/// [`Stencil27`] spells the stencil out tap by tap, which is what the trace
+/// layer wants; the hot numerical path only needs the three weight triples
+/// and the patch corner, and gathers values directly from pre-resolved grid
+/// references ([`StencilWindow::gather`]) — same math, same accumulation
+/// order, no per-sample tap array. `tests` pin the two bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilWindow {
+    /// Leftmost cell of the 3×3 patch (`cx − 1`; `cx` is clamped to
+    /// `[1, nx − 2]`, so the patch never leaves the grid).
+    pub x0: usize,
+    /// Bottom cell of the 3×3 patch (`cy − 1`).
+    pub y0: usize,
+    /// B-spline weights along x.
+    pub wx: [f64; 3],
+    /// B-spline weights along y.
+    pub wy: [f64; 3],
+    /// Lagrange weights along retarded time (levels `i−1, i, i+1`).
+    pub wt: [f64; 3],
+}
+
+impl StencilWindow {
+    /// Builds the factored stencil for physical point `(x, y)` and time
+    /// fraction `s` — the same geometry and weight math as
+    /// [`Stencil27::new`], minus the tap array.
+    pub fn new(geometry: crate::grid::GridGeometry, x: f64, y: f64, s: f64) -> Self {
+        assert!(
+            geometry.nx >= 3 && geometry.ny >= 3,
+            "stencil needs a 3x3 patch"
+        );
+        let (fx, fy) = geometry.fractional(x, y);
+        let cx = (fx.round() as isize).clamp(1, geometry.nx as isize - 2);
+        let cy = (fy.round() as isize).clamp(1, geometry.ny as isize - 2);
+        let ux = fx - cx as f64;
+        let uy = fy - cy as f64;
+        Self {
+            x0: (cx - 1) as usize,
+            y0: (cy - 1) as usize,
+            wx: bspline3(ux),
+            wy: bspline3(uy),
+            wt: lagrange3(s.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Gathers one moment component through the stencil from the resolved
+    /// time window `levels = [D_{i−1}, D_i, D_{i+1}]` (a `None` level —
+    /// possible only at the `r = 0` edge where `i + 1` is the future —
+    /// contributes nothing, exactly as a per-tap missed lookup used to).
+    ///
+    /// The accumulation runs time-major then row-major over a single running
+    /// sum with the weight product associated `(wt · wy) · wx`, matching
+    /// [`Stencil27`]'s tap order and weight construction bit for bit.
+    #[inline]
+    pub fn gather(&self, levels: &[Option<&MomentGrid>; 3], component: usize) -> f64 {
+        let mut acc = 0.0;
+        for (ti, level) in levels.iter().enumerate() {
+            let Some(grid) = level else { continue };
+            let wti = self.wt[ti];
+            for (yi, &wyi) in self.wy.iter().enumerate() {
+                let wty = wti * wyi;
+                let row = &grid.component_row(component, self.y0 + yi)[self.x0..self.x0 + 3];
+                for (wxi, value) in self.wx.iter().zip(row) {
+                    acc += (wty * wxi) * value;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Number of present levels in a resolved window (for flop accounting
+    /// that matches the adds [`StencilWindow::gather`] actually performs).
+    #[inline]
+    pub fn present_levels(levels: &[Option<&MomentGrid>; 3]) -> u32 {
+        levels.iter().filter(|l| l.is_some()).count() as u32
+    }
+}

@@ -15,7 +15,7 @@ mod interp;
 pub use deposit::{deposit_cic, refill_samples, DepositSample};
 pub use grid::{GridGeometry, MomentGrid, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY, N_MOMENTS};
 pub use history::GridHistory;
-pub use interp::{bilinear_gather, Stencil27, StencilTap};
+pub use interp::{bilinear_gather, Stencil27, StencilTap, StencilWindow};
 
 #[cfg(test)]
 mod tests;

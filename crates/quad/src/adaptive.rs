@@ -1,6 +1,6 @@
 //! Adaptive Simpson quadrature with partition logging.
 
-use crate::rules::simpson_estimate;
+use crate::rules::{simpson_estimate_seeded, SimpsonSeed};
 
 /// Tuning knobs for [`adaptive_simpson`].
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +61,10 @@ pub fn adaptive_simpson(
         b: f64,
         tol: f64,
         depth: u32,
+        /// Samples inherited from the parent interval: a child's `a`, `m`,
+        /// `b` abscissae were all evaluated by the parent, so subdivision
+        /// costs 2 fresh evaluations instead of 5.
+        seed: SimpsonSeed,
     }
 
     let mut stack = vec![Item {
@@ -68,6 +72,7 @@ pub fn adaptive_simpson(
         b,
         tol: options.tolerance,
         depth: 0,
+        seed: SimpsonSeed::NONE,
     }];
     let mut integral = 0.0;
     let mut error = 0.0;
@@ -76,7 +81,13 @@ pub fn adaptive_simpson(
     let mut accepted: Vec<(f64, f64)> = Vec::new();
 
     while let Some(item) = stack.pop() {
-        let est = simpson_estimate(&mut f, item.a, item.b);
+        let seeded = simpson_estimate_seeded(
+            |x, known| known.unwrap_or_else(|| f(x)),
+            item.a,
+            item.b,
+            item.seed,
+        );
+        let est = seeded.estimate;
         evals += est.evals;
         let converged = est.error <= item.tol && item.depth >= options.min_depth;
         if converged || item.depth >= options.max_depth {
@@ -93,12 +104,14 @@ pub fn adaptive_simpson(
                 b: item.b,
                 tol: 0.5 * item.tol,
                 depth: item.depth + 1,
+                seed: seeded.samples.right_seed(),
             });
             stack.push(Item {
                 a: item.a,
                 b: m,
                 tol: 0.5 * item.tol,
                 depth: item.depth + 1,
+                seed: seeded.samples.left_seed(),
             });
         }
     }

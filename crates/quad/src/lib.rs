@@ -29,7 +29,10 @@ pub use adaptive::{adaptive_simpson, AdaptiveOptions, AdaptiveResult};
 pub use fixed::{eval_on_partition, FailedCell, PartitionEval};
 pub use partition::{merge_partitions, uniform_partition, Partition};
 pub use romberg::{romberg, RombergResult};
-pub use rules::{newton_cotes, simpson_estimate, NewtonCotes, SimpsonEstimate};
+pub use rules::{
+    newton_cotes, simpson_estimate, simpson_estimate_seeded, NewtonCotes, SeededEstimate,
+    SimpsonEstimate, SimpsonSamples, SimpsonSeed,
+};
 
 #[cfg(test)]
 mod tests;

@@ -91,20 +91,161 @@ pub struct SimpsonEstimate {
 /// estimate. This is the paper's `RP-QUADRULE` shape — the inner integral is
 /// whatever `f` does at each abscissa.
 pub fn simpson_estimate(mut f: impl FnMut(f64) -> f64, a: f64, b: f64) -> SimpsonEstimate {
+    simpson_estimate_seeded(
+        |x, known| known.unwrap_or_else(|| f(x)),
+        a,
+        b,
+        SimpsonSeed::NONE,
+    )
+    .estimate
+}
+
+/// Integrand values already known at the three coarse Simpson abscissae of
+/// an interval — the sample-reuse contract of [`simpson_estimate_seeded`].
+///
+/// A `Some` value **must** be the exact (bit-identical) value the integrand
+/// would produce at that abscissa; seeding exists to skip re-evaluation, not
+/// to approximate. Subdivision seeds come from
+/// [`SimpsonSamples::left_seed`] / [`SimpsonSamples::right_seed`]; adjacent
+/// fixed cells can seed `fa` from the left neighbour's `fb` when the shared
+/// boundary is the same `f64`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimpsonSeed {
+    /// Known value of `f(a)`.
+    pub fa: Option<f64>,
+    /// Known value of `f((a + b) / 2)`.
+    pub fm: Option<f64>,
+    /// Known value of `f(b)`.
+    pub fb: Option<f64>,
+    /// Known value of `f((3a + b) / 4)` (the refinement's left midpoint).
+    pub flm: Option<f64>,
+    /// Known value of `f((a + 3b) / 4)` (the refinement's right midpoint).
+    pub frm: Option<f64>,
+}
+
+impl SimpsonSeed {
+    /// The empty seed: every abscissa must be evaluated.
+    pub const NONE: Self = Self {
+        fa: None,
+        fm: None,
+        fb: None,
+        flm: None,
+        frm: None,
+    };
+}
+
+/// The five integrand samples one Simpson pair consumed, in abscissa order
+/// `a < lm < m < rm < b` — the raw material for seeding both halves of a
+/// subdivision without re-evaluating shared points.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimpsonSamples {
+    /// `f(a)`.
+    pub fa: f64,
+    /// `f((a + m) / 2)`.
+    pub flm: f64,
+    /// `f(m)`.
+    pub fm: f64,
+    /// `f((m + b) / 2)`.
+    pub frm: f64,
+    /// `f(b)`.
+    pub fb: f64,
+}
+
+impl SimpsonSamples {
+    /// Seed for the left child `[a, m]`: its `a`, `m`, `b` abscissae are this
+    /// interval's `a`, `lm`, `m` — all three already sampled.
+    pub fn left_seed(&self) -> SimpsonSeed {
+        SimpsonSeed {
+            fa: Some(self.fa),
+            fm: Some(self.flm),
+            fb: Some(self.fm),
+            ..SimpsonSeed::NONE
+        }
+    }
+
+    /// Seed for the right child `[m, b]` (this interval's `m`, `rm`, `b`).
+    pub fn right_seed(&self) -> SimpsonSeed {
+        SimpsonSeed {
+            fa: Some(self.fm),
+            fm: Some(self.frm),
+            fb: Some(self.fb),
+            ..SimpsonSeed::NONE
+        }
+    }
+
+    /// Seed for re-estimating the *same* interval: all five abscissae are
+    /// known, so the estimate costs zero fresh evaluations. This is how a
+    /// fallback pass re-opens a cell the fixed pass already sampled.
+    pub fn full_seed(&self) -> SimpsonSeed {
+        SimpsonSeed {
+            fa: Some(self.fa),
+            fm: Some(self.fm),
+            fb: Some(self.fb),
+            flm: Some(self.flm),
+            frm: Some(self.frm),
+        }
+    }
+}
+
+/// A [`SimpsonEstimate`] plus the samples that produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededEstimate {
+    /// The Simpson pair estimate; `evals` counts only the abscissae whose
+    /// value was *not* supplied (cached values cost nothing).
+    pub estimate: SimpsonEstimate,
+    /// All five samples, for seeding children / the right-hand neighbour.
+    pub samples: SimpsonSamples,
+}
+
+/// [`simpson_estimate`] with sample reuse: abscissae whose value is already
+/// known (from a parent interval or an adjacent cell) are not re-evaluated.
+///
+/// `f(x, known)` is called once per abscissa in the canonical order
+/// `a, m, b, lm, rm` — the exact evaluation order of [`simpson_estimate`] —
+/// with `known = Some(v)` when the seed supplies the value. The callback
+/// returns the value to use, so callers that trace per-evaluation side
+/// effects (the SIMT kernels) can replay a cached abscissa's op stream
+/// without recomputing it; plain numerical callers use
+/// `|x, known| known.unwrap_or_else(|| g(x))`.
+///
+/// The arithmetic is identical to [`simpson_estimate`] term for term, so a
+/// correctly-seeded call is bit-identical to the unseeded one.
+pub fn simpson_estimate_seeded(
+    mut f: impl FnMut(f64, Option<f64>) -> f64,
+    a: f64,
+    b: f64,
+    seed: SimpsonSeed,
+) -> SeededEstimate {
+    let mut evals = 0usize;
+    let mut take = |x: f64, known: Option<f64>| {
+        if known.is_none() {
+            evals += 1;
+        }
+        f(x, known)
+    };
     let m = 0.5 * (a + b);
-    let fa = f(a);
-    let fm = f(m);
-    let fb = f(b);
+    let fa = take(a, seed.fa);
+    let fm = take(m, seed.fm);
+    let fb = take(b, seed.fb);
     let s1 = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
     let lm = 0.5 * (a + m);
     let rm = 0.5 * (m + b);
-    let flm = f(lm);
-    let frm = f(rm);
+    let flm = take(lm, seed.flm);
+    let frm = take(rm, seed.frm);
     let s2 = (b - a) / 12.0 * (fa + 4.0 * flm + 2.0 * fm + 4.0 * frm + fb);
     let error = (s2 - s1).abs() / 15.0;
-    SimpsonEstimate {
-        integral: s2 + (s2 - s1) / 15.0,
-        error,
-        evals: 5,
+    SeededEstimate {
+        estimate: SimpsonEstimate {
+            integral: s2 + (s2 - s1) / 15.0,
+            error,
+            evals,
+        },
+        samples: SimpsonSamples {
+            fa,
+            flm,
+            fm,
+            frm,
+            fb,
+        },
     }
 }

@@ -283,6 +283,105 @@ fn eval_counts_are_reported() {
     let eval = eval_on_partition(|x| x, &p, 1.0);
     assert_eq!(eval.evals, 50, "5 evals per Simpson cell");
     let res = adaptive_simpson(|x| x, 0.0, 1.0, AdaptiveOptions::default());
-    // min_depth 3 forces the tree down to 8 leaves: (1+2+4+8) rule calls.
-    assert_eq!(res.evals, 75, "forced-depth eval count");
+    // min_depth 3 forces the tree down to 8 leaves: 15 rule applications,
+    // but subdivision reuses the parent's a/m/b samples, so only the root
+    // pays 5 evaluations — every child pays 2 (its lm and rm).
+    assert_eq!(res.evals, 5 + 14 * 2, "forced-depth eval count");
+}
+
+mod seeded_rules {
+    use super::*;
+    use crate::{simpson_estimate_seeded, SimpsonSeed};
+    use proptest::prelude::*;
+
+    fn f(x: f64) -> f64 {
+        (3.1 * x).sin() * (-0.4 * x).exp() + x * x
+    }
+
+    proptest! {
+        #[test]
+        fn seeded_estimate_is_bit_identical_to_plain(
+            a in -3.0f64..3.0,
+            w in 0.01f64..5.0,
+            mask in 0usize..32,
+        ) {
+            // Any subset of correctly-valued seeds must reproduce the plain
+            // estimate bit for bit and charge only the unseeded abscissae.
+            let b = a + w;
+            let plain = simpson_estimate(f, a, b);
+            let m = 0.5 * (a + b);
+            let lm = 0.5 * (a + m);
+            let rm = 0.5 * (m + b);
+            let seed = SimpsonSeed {
+                fa: (mask & 1 != 0).then(|| f(a)),
+                fm: (mask & 2 != 0).then(|| f(m)),
+                fb: (mask & 4 != 0).then(|| f(b)),
+                flm: (mask & 8 != 0).then(|| f(lm)),
+                frm: (mask & 16 != 0).then(|| f(rm)),
+            };
+            let seeded =
+                simpson_estimate_seeded(|x, known| known.unwrap_or_else(|| f(x)), a, b, seed);
+            prop_assert_eq!(seeded.estimate.integral.to_bits(), plain.integral.to_bits());
+            prop_assert_eq!(seeded.estimate.error.to_bits(), plain.error.to_bits());
+            prop_assert_eq!(seeded.estimate.evals, 5 - mask.count_ones() as usize);
+            // The reported samples are the integrand's values, bit for bit,
+            // regardless of which ones arrived via the seed.
+            prop_assert_eq!(seeded.samples.fa.to_bits(), f(a).to_bits());
+            prop_assert_eq!(seeded.samples.flm.to_bits(), f(lm).to_bits());
+            prop_assert_eq!(seeded.samples.fm.to_bits(), f(m).to_bits());
+            prop_assert_eq!(seeded.samples.frm.to_bits(), f(rm).to_bits());
+            prop_assert_eq!(seeded.samples.fb.to_bits(), f(b).to_bits());
+        }
+
+        #[test]
+        fn full_seed_costs_zero_fresh_evaluations(
+            a in -3.0f64..3.0,
+            w in 0.01f64..5.0,
+        ) {
+            // Re-opening an interval with its own samples (the fallback-task
+            // path) is free and bit-identical.
+            let b = a + w;
+            let first =
+                simpson_estimate_seeded(|x, known| known.unwrap_or_else(|| f(x)), a, b, SimpsonSeed::NONE);
+            prop_assert_eq!(first.estimate.evals, 5);
+            let again = simpson_estimate_seeded(
+                |_, known| known.expect("full seed supplies every abscissa"),
+                a,
+                b,
+                first.samples.full_seed(),
+            );
+            prop_assert_eq!(again.estimate.evals, 0);
+            prop_assert_eq!(again.estimate.integral.to_bits(), first.estimate.integral.to_bits());
+            prop_assert_eq!(again.estimate.error.to_bits(), first.estimate.error.to_bits());
+            prop_assert_eq!(again.samples, first.samples);
+        }
+
+        #[test]
+        fn subdivision_seeds_are_bit_exact(
+            a in -3.0f64..3.0,
+            w in 0.01f64..5.0,
+        ) {
+            // left_seed/right_seed hand each child exactly the values a
+            // fresh evaluation of the child interval would compute.
+            let b = a + w;
+            let parent =
+                simpson_estimate_seeded(|x, known| known.unwrap_or_else(|| f(x)), a, b, SimpsonSeed::NONE);
+            let m = 0.5 * (a + b);
+            for (lo, hi, seed) in [
+                (a, m, parent.samples.left_seed()),
+                (m, b, parent.samples.right_seed()),
+            ] {
+                let fresh = simpson_estimate(f, lo, hi);
+                let child = simpson_estimate_seeded(
+                    |x, known| known.unwrap_or_else(|| f(x)),
+                    lo,
+                    hi,
+                    seed,
+                );
+                prop_assert_eq!(child.estimate.evals, 2, "children only pay lm and rm");
+                prop_assert_eq!(child.estimate.integral.to_bits(), fresh.integral.to_bits());
+                prop_assert_eq!(child.estimate.error.to_bits(), fresh.error.to_bits());
+            }
+        }
+    }
 }

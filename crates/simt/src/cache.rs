@@ -65,19 +65,27 @@ impl SetAssocCache {
         self.clock += 1;
         let set = (line % self.sets as u64) as usize;
         let base = set * self.ways;
-        let ways = &mut self.tags[base..base + self.ways];
-        if let Some(w) = ways.iter().position(|&t| t == line) {
-            self.stamps[base + w] = self.clock;
-            self.hits += 1;
-            return true;
+        let tags = &mut self.tags[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
+        // Single pass: probe for the tag while tracking the LRU victim.
+        // Empty ways have stamp 0 and lose ties first; among equal stamps
+        // the lowest way wins, matching true-LRU with deterministic ties.
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (w, (&tag, stamp)) in tags.iter().zip(stamps.iter_mut()).enumerate() {
+            if tag == line {
+                *stamp = self.clock;
+                self.hits += 1;
+                return true;
+            }
+            if *stamp < victim_stamp {
+                victim_stamp = *stamp;
+                victim = w;
+            }
         }
         self.misses += 1;
-        // Choose the LRU way (empty ways have stamp 0 and lose ties first).
-        let victim = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways > 0");
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.clock;
+        tags[victim] = line;
+        stamps[victim] = self.clock;
         false
     }
 

@@ -30,29 +30,58 @@ impl WarpRequest {
 /// `requested_bytes / transferred_bytes` exceeds 1 for broadcast patterns —
 /// the effect the paper reports as >100 % global load efficiency.
 pub fn coalesce(accesses: &[(u64, u32)], line_size: u64) -> WarpRequest {
+    let mut segments = Vec::with_capacity(accesses.len());
+    let mut lines = Vec::with_capacity(accesses.len());
+    let requested = coalesce_into(accesses, line_size, &mut segments, &mut lines);
+    WarpRequest {
+        requested_bytes: requested,
+        segments: segments.len() as u64,
+        lines,
+    }
+}
+
+/// Allocation-free form of [`coalesce`] for hot replay loops: the caller
+/// supplies the segment/line scratch vectors (cleared here, reused across
+/// calls). On return `segments` and `lines` hold the sorted, deduplicated
+/// segment/line addresses; the total requested bytes are returned.
+pub fn coalesce_into(
+    accesses: &[(u64, u32)],
+    line_size: u64,
+    segments: &mut Vec<u64>,
+    lines: &mut Vec<u64>,
+) -> u64 {
+    segments.clear();
+    lines.clear();
     let mut requested = 0u64;
-    let mut segments: Vec<u64> = Vec::with_capacity(accesses.len());
-    let mut lines: Vec<u64> = Vec::with_capacity(accesses.len());
     for &(addr, bytes) in accesses {
         requested += bytes as u64;
         let first_seg = addr / SEGMENT_BYTES;
         let last_seg = (addr + bytes as u64 - 1) / SEGMENT_BYTES;
         for s in first_seg..=last_seg {
-            segments.push(s);
+            insert_sorted_unique(segments, s);
         }
         let first_line = addr / line_size;
         let last_line = (addr + bytes as u64 - 1) / line_size;
         for l in first_line..=last_line {
-            lines.push(l);
+            insert_sorted_unique(lines, l);
         }
     }
-    segments.sort_unstable();
-    segments.dedup();
-    lines.sort_unstable();
-    lines.dedup();
-    WarpRequest {
-        requested_bytes: requested,
-        segments: segments.len() as u64,
-        lines,
+    requested
+}
+
+/// Inserts `x` into the sorted, duplicate-free vector `v`, keeping it sorted
+/// and duplicate-free — the warp access patterns are mostly broadcasts and
+/// ascending lane strides, so the tail fast paths absorb nearly every call.
+#[inline]
+fn insert_sorted_unique(v: &mut Vec<u64>, x: u64) {
+    match v.last() {
+        None => v.push(x),
+        Some(&last) if last == x => {}
+        Some(&last) if last < x => v.push(x),
+        _ => {
+            if let Err(pos) = v.binary_search(&x) {
+                v.insert(pos, x);
+            }
+        }
     }
 }

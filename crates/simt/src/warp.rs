@@ -1,16 +1,30 @@
 //! Warp-lockstep replay against one SM's memory hierarchy.
 
 use crate::cache::SetAssocCache;
-use crate::coalesce::coalesce;
+use crate::coalesce::{coalesce_into, SEGMENT_BYTES};
 use crate::device::DeviceConfig;
 use crate::op::{Op, OpRecorder};
 use crate::stats::KernelStats;
+
+/// Reusable replay scratch, persisted across every warp an SM replays so the
+/// hot lockstep loop performs no heap allocation once the widest warp and
+/// longest iteration have been seen.
+#[derive(Default)]
+pub(crate) struct ReplayScratch {
+    recorders: Vec<OpRecorder>,
+    live: Vec<bool>,
+    loads: Vec<(u64, u32)>,
+    stores: Vec<(u64, u32)>,
+    segments: Vec<u64>,
+    lines: Vec<u64>,
+}
 
 /// Per-SM simulation state: private L1, an L2 slice, and counters.
 pub(crate) struct SmState {
     pub l1: SetAssocCache,
     pub l2: SetAssocCache,
     pub stats: KernelStats,
+    scratch: ReplayScratch,
 }
 
 impl SmState {
@@ -19,6 +33,7 @@ impl SmState {
             l1: SetAssocCache::new(device.l1_bytes, device.l1_line, device.l1_ways),
             l2: SetAssocCache::new(device.l2_slice_bytes(), device.l2_line, device.l2_ways),
             stats: KernelStats::default(),
+            scratch: ReplayScratch::default(),
         }
     }
 }
@@ -44,12 +59,29 @@ pub trait WarpThread {
 pub(crate) fn replay_warp<T: WarpThread>(device: &DeviceConfig, sm: &mut SmState, lanes: &mut [T]) {
     let warp_size = device.warp_size;
     debug_assert!(lanes.len() <= warp_size);
-    sm.stats.warps += 1;
-    sm.stats.threads += lanes.len() as u64;
+    let SmState {
+        l1,
+        l2,
+        stats,
+        scratch,
+    } = sm;
+    stats.warps += 1;
+    stats.threads += lanes.len() as u64;
 
-    let mut recorders: Vec<OpRecorder> = (0..lanes.len()).map(|_| OpRecorder::new()).collect();
-    let mut live: Vec<bool> = vec![true; lanes.len()];
-    let mut scratch: Vec<(u64, u32)> = Vec::with_capacity(warp_size);
+    let ReplayScratch {
+        recorders,
+        live,
+        loads,
+        stores,
+        segments,
+        lines,
+    } = scratch;
+    if recorders.len() < lanes.len() {
+        recorders.resize_with(lanes.len(), OpRecorder::new);
+    }
+    let recorders = &mut recorders[..lanes.len()];
+    live.clear();
+    live.resize(lanes.len(), true);
 
     loop {
         let mut any = false;
@@ -67,7 +99,7 @@ pub(crate) fn replay_warp<T: WarpThread>(device: &DeviceConfig, sm: &mut SmState
         // Lockstep replay: op slot s across all lanes that recorded one.
         let max_ops = recorders
             .iter()
-            .zip(&live)
+            .zip(live.iter())
             .filter(|&(_, &l)| l)
             .map(|(r, _)| r.len())
             .max()
@@ -77,9 +109,9 @@ pub(crate) fn replay_warp<T: WarpThread>(device: &DeviceConfig, sm: &mut SmState
             let mut flop_lanes = 0u64;
             let mut flop_total = 0u64;
             let mut flop_max = 0u64;
-            scratch.clear();
+            loads.clear();
             let mut store_lanes = 0u64;
-            let mut store_scratch: Vec<(u64, u32)> = Vec::new();
+            stores.clear();
             for (i, rec) in recorders.iter().enumerate() {
                 if !live[i] {
                     continue;
@@ -90,52 +122,52 @@ pub(crate) fn replay_warp<T: WarpThread>(device: &DeviceConfig, sm: &mut SmState
                         flop_total += n as u64;
                         flop_max = flop_max.max(n as u64);
                     }
-                    Some(&Op::Load { addr, bytes }) => scratch.push((addr, bytes)),
+                    Some(&Op::Load { addr, bytes }) => loads.push((addr, bytes)),
                     Some(&Op::Store { addr, bytes }) => {
                         store_lanes += 1;
-                        store_scratch.push((addr, bytes));
+                        stores.push((addr, bytes));
                     }
                     None => {}
                 }
             }
 
             if flop_lanes > 0 {
-                sm.stats.issued_instructions += 1;
-                sm.stats.active_lane_instructions += flop_lanes;
-                sm.stats.useful_flops += flop_total;
+                stats.issued_instructions += 1;
+                stats.active_lane_instructions += flop_lanes;
+                stats.useful_flops += flop_total;
                 // The DP pipe is busy for the longest lane across the full
                 // warp width — idle lanes are pure loss.
-                sm.stats.issued_lane_flops += flop_max * warp_size as u64;
+                stats.issued_lane_flops += flop_max * warp_size as u64;
             }
-            if !scratch.is_empty() {
-                sm.stats.issued_instructions += 1;
-                sm.stats.active_lane_instructions += scratch.len() as u64;
-                sm.stats.load_instructions += 1;
-                let req = coalesce(&scratch, device.l1_line as u64);
-                sm.stats.load_requested_bytes += req.requested_bytes;
-                sm.stats.load_transferred_bytes += req.transferred_bytes();
-                for &line in &req.lines {
-                    sm.stats.l1_accesses += 1;
-                    if sm.l1.access_line(line) {
-                        sm.stats.l1_hits += 1;
+            if !loads.is_empty() {
+                stats.issued_instructions += 1;
+                stats.active_lane_instructions += loads.len() as u64;
+                stats.load_instructions += 1;
+                let requested = coalesce_into(loads, device.l1_line as u64, segments, lines);
+                stats.load_requested_bytes += requested;
+                stats.load_transferred_bytes += segments.len() as u64 * SEGMENT_BYTES;
+                for &line in lines.iter() {
+                    stats.l1_accesses += 1;
+                    if l1.access_line(line) {
+                        stats.l1_hits += 1;
                     } else {
-                        sm.stats.l2_accesses += 1;
-                        if sm.l2.access_line(line) {
-                            sm.stats.l2_hits += 1;
+                        stats.l2_accesses += 1;
+                        if l2.access_line(line) {
+                            stats.l2_hits += 1;
                         } else {
-                            sm.stats.dram_bytes += device.l1_line as u64;
+                            stats.dram_bytes += device.l1_line as u64;
                         }
                     }
                 }
             }
             if store_lanes > 0 {
-                sm.stats.issued_instructions += 1;
-                sm.stats.active_lane_instructions += store_lanes;
-                let req = coalesce(&store_scratch, device.l1_line as u64);
-                sm.stats.store_requested_bytes += req.requested_bytes;
+                stats.issued_instructions += 1;
+                stats.active_lane_instructions += store_lanes;
+                let requested = coalesce_into(stores, device.l1_line as u64, segments, lines);
+                stats.store_requested_bytes += requested;
                 // Kepler global stores bypass L1 and write through L2 to
                 // DRAM; account the transferred segments as DRAM traffic.
-                sm.stats.dram_bytes += req.transferred_bytes();
+                stats.dram_bytes += segments.len() as u64 * SEGMENT_BYTES;
             }
         }
     }

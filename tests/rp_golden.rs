@@ -1,0 +1,166 @@
+//! Golden-value pins for the rp-integral hot path.
+//!
+//! The resolved-window `GridRp::eval` refactor and the sample-reusing
+//! (seeded) Simpson pipeline are pure re-arrangements: every value they
+//! produce must be **bit-identical** to the pre-refactor evaluation. These
+//! tests pin that contract to concrete bit patterns recorded from the
+//! original implementation, so any future "optimisation" that perturbs even
+//! the last ulp of the potentials fails loudly instead of drifting the
+//! physics.
+
+use beamdyn::beam::{GaussianBunch, GridRp, NullSink, RpConfig};
+use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentGrid};
+use beamdyn::simt::DeviceConfig;
+
+/// The seeded 20×20 moment-grid history every eval golden uses.
+fn history(pool: &ThreadPool) -> GridHistory {
+    let g = GridGeometry::unit(20, 20);
+    let bunch = GaussianBunch {
+        center_x: 0.5,
+        center_y: 0.5,
+        ..GaussianBunch::centered(0.12, 0.06)
+    };
+    let beam = bunch.sample(20_000, 17);
+    let samples: Vec<DepositSample> = beam
+        .particles
+        .iter()
+        .map(|p| DepositSample {
+            x: p.x,
+            y: p.y,
+            weight: p.weight,
+            vx: p.vx,
+            vy: p.vy,
+        })
+        .collect();
+    let mut h = GridHistory::new(g, 8);
+    for k in 0..6 {
+        let mut grid = MomentGrid::zeros(g);
+        deposit_cic(pool, &mut grid, &samples);
+        h.push(k, grid);
+    }
+    h
+}
+
+/// `(x, y, r, step, expected bits)` recorded from the pre-refactor
+/// implementation. Covers interior points, r = 0, large radii that clip the
+/// support window, off-support points (exactly 0.0), and early steps with a
+/// short history horizon.
+const EVAL_GOLDEN: &[(f64, f64, f64, usize, u64)] = &[
+    (0.5, 0.5, 0.05, 5, 0x405ac8c374013577),
+    (0.5, 0.5, 0.0, 5, 0x405ce439f1759bba),
+    (0.4, 0.6, 0.21, 5, 0x4024d9332bd62d32),
+    (0.7, 0.3, 0.30, 5, 0x3fea7c677a476c61),
+    (0.05, 0.95, 0.15, 4, 0x0),
+    (0.98, 0.02, 0.33, 3, 0x0),
+    (0.31, 0.52, 0.12, 1, 0x4041db50a83bf5cf),
+    (0.5, 0.47, 0.29, 0, 0x401af825286901a5),
+];
+
+#[test]
+fn eval_matches_recorded_bit_patterns() {
+    let pool = ThreadPool::new(2);
+    let h = history(&pool);
+    for &(x, y, r, step, bits) in EVAL_GOLDEN {
+        let rp = GridRp::new(&h, RpConfig::standard(4, 0.08), step);
+        let v = rp.eval(x, y, r, &mut NullSink);
+        assert_eq!(
+            v.to_bits(),
+            bits,
+            "eval({x}, {y}, {r}) at step {step}: got {v:e} = 0x{:016x}, want 0x{bits:016x}",
+            v.to_bits()
+        );
+    }
+}
+
+#[test]
+fn eval_beta_zero_matches_recorded_bit_patterns() {
+    // β = 0 drops the vx/vy moment components from the gather.
+    let golden: &[(f64, f64, f64, usize, u64)] = &[
+        (0.5, 0.5, 0.05, 5, 0x405ac8c374013577),
+        (0.5, 0.5, 0.0, 5, 0x405ce439f1759bba),
+        (0.4, 0.6, 0.21, 5, 0x4024d9332bd62d32),
+    ];
+    let pool = ThreadPool::new(2);
+    let h = history(&pool);
+    for &(x, y, r, step, bits) in golden {
+        let mut cfg = RpConfig::standard(4, 0.08);
+        cfg.beta = 0.0;
+        let rp = GridRp::new(&h, cfg, step);
+        let v = rp.eval(x, y, r, &mut NullSink);
+        assert_eq!(v.to_bits(), bits, "beta=0 eval({x}, {y}, {r}) step {step}");
+    }
+}
+
+#[test]
+fn eval_inner_points_5_matches_recorded_bit_patterns() {
+    // A 5-point inner rule exercises the folded angle table's odd/even
+    // weight split differently from the standard 3-point rule.
+    let golden: &[(f64, f64, f64, usize, u64)] = &[
+        (0.5, 0.5, 0.05, 5, 0x4057b24788ecf604),
+        (0.5, 0.5, 0.0, 5, 0x405ce439f1759bba),
+        (0.4, 0.6, 0.21, 5, 0x4029e739d94e3467),
+    ];
+    let pool = ThreadPool::new(2);
+    let h = history(&pool);
+    for &(x, y, r, step, bits) in golden {
+        let mut cfg = RpConfig::standard(4, 0.08);
+        cfg.inner_points = 5;
+        let rp = GridRp::new(&h, cfg, step);
+        let v = rp.eval(x, y, r, &mut NullSink);
+        assert_eq!(
+            v.to_bits(),
+            bits,
+            "inner_points=5 eval({x}, {y}, {r}) step {step}"
+        );
+    }
+}
+
+/// Per-kernel end-to-end golden: the bit pattern of the summed potentials
+/// (and error estimates) after each of three steps. All three kernels agree
+/// on every step — planning differs, but accepted integrals are the same
+/// numbers accumulated in the same order.
+const KERNEL_GOLDEN: &[(usize, u64, u64)] = &[
+    (0, 0x404a71cc403aa0fa, 0x3ee89950b187dddb),
+    (1, 0x404a71cc403aa0f9, 0x3ee89950b186e89a),
+    (2, 0x405a76ba61fa5f49, 0x3ed9fb2ef3a20574),
+];
+
+#[test]
+fn kernel_potentials_sums_match_recorded_bit_patterns() {
+    let pool = ThreadPool::new(2);
+    let device = DeviceConfig::tesla_k40();
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
+        let geometry = GridGeometry::unit(12, 12);
+        let mut config = SimulationConfig::standard(geometry, kernel);
+        config.rigid = true;
+        let bunch = GaussianBunch {
+            center_x: 0.5,
+            center_y: 0.5,
+            ..GaussianBunch::centered(0.1, 0.04)
+        };
+        let beam = bunch.sample(4_000, 0xD00D);
+        let mut sim = Simulation::new(&pool, &device, config, beam);
+        for &(step, sum_bits, err_bits) in KERNEL_GOLDEN {
+            let t = sim.run_step();
+            let sum: f64 = t.potentials.points.iter().map(|p| p.integral).sum();
+            let err: f64 = t.potentials.points.iter().map(|p| p.error).sum();
+            assert_eq!(
+                sum.to_bits(),
+                sum_bits,
+                "{kernel:?} step {step}: potentials sum 0x{:016x} != golden 0x{sum_bits:016x}",
+                sum.to_bits()
+            );
+            assert_eq!(
+                err.to_bits(),
+                err_bits,
+                "{kernel:?} step {step}: error sum drifted"
+            );
+        }
+    }
+}

@@ -19,6 +19,22 @@ impl TapSink for CountingSink {
     }
 }
 
+/// Records the exact op stream, order included.
+#[derive(Default, PartialEq, Debug)]
+struct StreamSink {
+    ops: Vec<(usize, usize, usize, usize)>,
+    flops: Vec<u32>,
+}
+
+impl TapSink for StreamSink {
+    fn tap(&mut self, s: usize, c: usize, ix: usize, iy: usize) {
+        self.ops.push((s, c, ix, iy));
+    }
+    fn flops(&mut self, n: u32) {
+        self.flops.push(n);
+    }
+}
+
 fn history(pool: &ThreadPool, g: GridGeometry, steps: usize) -> GridHistory {
     let bunch = GaussianBunch {
         center_x: 0.5,
@@ -74,6 +90,32 @@ fn sink_identity_does_not_change_the_value() {
         let a = rp.eval(x, y, r, &mut counting);
         let b = rp.eval(x, y, r, &mut NullSink);
         assert_eq!(a.to_bits(), b.to_bits(), "at ({x},{y},{r})");
+    }
+}
+
+#[test]
+fn charge_replays_the_exact_eval_op_stream() {
+    // `GridRp::charge` is the replay half of the sample-reuse contract: it
+    // must emit the *identical* tap/flop sequence `eval` emits — order
+    // included, since cache-state evolution depends on access order — while
+    // skipping the host arithmetic.
+    let pool = ThreadPool::new(2);
+    let g = GridGeometry::unit(20, 20);
+    let h = history(&pool, g, 5);
+    let cfg = RpConfig::standard(4, 0.08);
+    let rp = GridRp::new(&h, cfg, 4);
+    for &(x, y, r) in &[
+        (0.5, 0.5, 0.05),
+        (0.5, 0.5, 0.0),
+        (0.4, 0.6, 0.21),
+        (0.7, 0.3, 0.3),
+        (0.05, 0.95, 0.15), // off-support: both must emit nothing
+    ] {
+        let mut evaled = StreamSink::default();
+        rp.eval(x, y, r, &mut evaled);
+        let mut charged = StreamSink::default();
+        rp.charge(x, y, r, &mut charged);
+        assert_eq!(evaled, charged, "op streams diverge at ({x},{y},{r})");
     }
 }
 

@@ -85,6 +85,11 @@ fn steady_state_steps_do_not_grow_the_workspace() {
                 sim.workspace().bytes_resident() as f64,
                 "{kernel:?}: gauge must mirror the workspace accounting"
             );
+            assert!(
+                sim.workspace().lane_scratch_bytes() > 0,
+                "{kernel:?}: the pooled lane-scratch arena must hold the \
+                 per-thread result lists after step {step}"
+            );
             if step >= 3 {
                 assert_eq!(
                     grown, 0.0,
