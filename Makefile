@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke bench bench-baseline bench-check perf-smoke clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke bench bench-baseline bench-check backend-check perf-smoke clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -15,6 +15,7 @@ ci: fmt lint verify
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-check
+	$(MAKE) backend-check
 	$(MAKE) perf-smoke
 
 fmt:
@@ -75,6 +76,14 @@ bench-baseline:
 # tolerances of the committed BENCH_baseline.json.
 bench-check:
 	cargo run --release -p beamdyn-bench --bin bench_baseline -- --check
+
+# The differential backend gate (DESIGN.md §13): NativeFast must be
+# bit-identical to TracedSimt on the golden corpus, and the smoke targets
+# must run end to end on the native backend too.
+backend-check:
+	cargo test --release --test backend_equivalence --test rp_golden
+	BEAMDYN_BACKEND=native cargo test --release --test workspace_reuse --test determinism
+	BEAMDYN_BACKEND=native cargo run --release --example kernel_comparison
 
 # Hot-path perf gate (DESIGN.md §12): prints the GridRp::eval microbench
 # and asserts the integrand-eval budget of the canonical scenario — the

@@ -9,7 +9,13 @@
 //! * the **integrand-eval budget** of the canonical bench scenario: the
 //!   sample-reuse machinery (seeded Simpson + charge replay) must keep the
 //!   *real* integrand evaluations at least 30 % below the total abscissae
-//!   the simulated kernel accounts for. This is deterministic, so it gates.
+//!   the simulated kernel accounts for. This is deterministic, so it gates;
+//! * the **backend lane**: the same scenario re-run on the NativeFast
+//!   backend must perform exactly the same real integrand work
+//!   (deterministic, gates) and spend less host wall-clock in the
+//!   potentials stage than TracedSimt (wall-clock, but the traced path
+//!   carries a whole simulated memory system — the margin is a large
+//!   factor, not a few percent).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -17,7 +23,7 @@ use std::time::Instant;
 use beamdyn_beam::{GridRp, NullSink, RpConfig};
 use beamdyn_bench::regression::scenario;
 use beamdyn_bench::{kernel_name, run_steps, standard_workload};
-use beamdyn_core::KernelKind;
+use beamdyn_core::{BackendKind, KernelKind};
 use beamdyn_obs as obs;
 use beamdyn_par::ThreadPool;
 use beamdyn_pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentGrid};
@@ -77,6 +83,22 @@ fn eval_microbench(pool: &ThreadPool) {
     );
 }
 
+/// Runs the canonical scenario on one backend; returns the potentials-stage
+/// host time (summed over all steps) and the integrand-reuse counters.
+fn canonical_run(pool: &ThreadPool, kernel: KernelKind, backend: BackendKind) -> (f64, u64, u64) {
+    obs::reset();
+    let mut workload = standard_workload(scenario::RESOLUTION, scenario::PARTICLES, kernel);
+    workload.config.backend = backend;
+    run_steps(pool, workload, scenario::STEPS);
+    let evals = obs::counter_value("quad.integrand_evals").unwrap_or(0);
+    let replays = obs::counter_value("quad.integrand_replays").unwrap_or(0);
+    let host_ns = obs::snapshot()
+        .histogram("stage.potentials_ns")
+        .map(|h| h.sum())
+        .unwrap_or(0.0);
+    (host_ns, evals, replays)
+}
+
 fn main() -> ExitCode {
     let pool = ThreadPool::new(scenario::THREADS);
     eval_microbench(&pool);
@@ -87,11 +109,7 @@ fn main() -> ExitCode {
         KernelKind::Heuristic,
         KernelKind::Predictive,
     ] {
-        obs::reset();
-        let workload = standard_workload(scenario::RESOLUTION, scenario::PARTICLES, kernel);
-        run_steps(&pool, workload, scenario::STEPS);
-        let evals = obs::counter_value("quad.integrand_evals").unwrap_or(0);
-        let replays = obs::counter_value("quad.integrand_replays").unwrap_or(0);
+        let (traced_ns, evals, replays) = canonical_run(&pool, kernel, BackendKind::TracedSimt);
         let total = evals + replays;
         let fraction = evals as f64 / total.max(1) as f64;
         println!(
@@ -111,6 +129,35 @@ fn main() -> ExitCode {
                 "{}: fresh-eval fraction {fraction:.3} exceeds budget {MAX_FRESH_EVAL_FRACTION} \
                  — sample reuse has regressed",
                 kernel_name(kernel)
+            );
+            ok = false;
+        }
+
+        // NativeFast lane: identical real integrand work, less host time.
+        let (native_ns, native_evals, native_replays) =
+            canonical_run(&pool, kernel, BackendKind::NativeFast);
+        println!(
+            "{}: potentials host time traced {:.1} ms vs native {:.1} ms ({:.1}x)",
+            kernel_name(kernel),
+            traced_ns / 1e6,
+            native_ns / 1e6,
+            traced_ns / native_ns.max(1.0),
+        );
+        if (native_evals, native_replays) != (evals, replays) {
+            eprintln!(
+                "{}: native backend changed the integrand work: evals {evals} -> {native_evals}, \
+                 replays {replays} -> {native_replays} — the backends have diverged",
+                kernel_name(kernel)
+            );
+            ok = false;
+        }
+        if native_ns >= traced_ns {
+            eprintln!(
+                "{}: NativeFast potentials host time {:.1} ms is not below TracedSimt {:.1} ms \
+                 — the native path has lost its reason to exist",
+                kernel_name(kernel),
+                native_ns / 1e6,
+                traced_ns / 1e6,
             );
             ok = false;
         }

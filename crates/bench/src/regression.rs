@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use beamdyn_core::{report, KernelKind};
+use beamdyn_core::{report, BackendKind, KernelKind};
 use beamdyn_obs as obs;
 use beamdyn_par::ThreadPool;
 
@@ -232,6 +232,12 @@ pub fn compare(baseline: &MetricSet, current: &MetricSet) -> Vec<Violation> {
 /// deterministic metric set the gate compares. Resets the obs registry
 /// per kernel (the quality histograms are cumulative), leaving the last
 /// kernel's registry state in place for callers that export it.
+///
+/// Both compute backends run: the traced lane carries the full simulated
+/// machine metrics; the native lane (prefix `<kernel>.native.`) pins the
+/// backend-independent execution facts — fallback volume, launches, real
+/// integrand work — which must track the traced lane exactly (the
+/// bit-identity contract), plus its own loose host-time gate.
 pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
     let mut set = MetricSet::default();
     for kernel in [
@@ -240,7 +246,10 @@ pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
         KernelKind::Predictive,
     ] {
         obs::reset();
-        let workload = standard_workload(scenario::RESOLUTION, scenario::PARTICLES, kernel);
+        // Pin the backend explicitly: the gate must compare the same lanes
+        // whatever BEAMDYN_BACKEND says.
+        let mut workload = standard_workload(scenario::RESOLUTION, scenario::PARTICLES, kernel);
+        workload.config.backend = BackendKind::TracedSimt;
         let telemetry = run_steps(pool, workload, scenario::STEPS);
         let prefix = kernel_name(kernel);
 
@@ -294,6 +303,34 @@ pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
                     set.insert(format!("{prefix}.{histogram}.p90"), h.p90());
                 }
             }
+        }
+    }
+    for kernel in [
+        KernelKind::TwoPhase,
+        KernelKind::Heuristic,
+        KernelKind::Predictive,
+    ] {
+        obs::reset();
+        let mut workload = standard_workload(scenario::RESOLUTION, scenario::PARTICLES, kernel);
+        workload.config.backend = BackendKind::NativeFast;
+        let telemetry = run_steps(pool, workload, scenario::STEPS);
+        let prefix = format!("{}.native", kernel_name(kernel));
+
+        let fallback: usize = telemetry.iter().map(|t| t.potentials.fallback_cells).sum();
+        let launches: usize = telemetry.iter().map(|t| t.potentials.launches).sum();
+        set.insert(format!("{prefix}.fallback_cells"), fallback as f64);
+        set.insert(format!("{prefix}.launches"), launches as f64);
+        for counter in ["quad.integrand_evals", "quad.integrand_replays"] {
+            if let Some(v) = obs::counter_value(counter) {
+                set.insert(format!("{prefix}.{counter}"), v as f64);
+            }
+        }
+        let snap = obs::snapshot();
+        if let Some(h) = snap.histogram("stage.potentials_ns") {
+            set.insert(format!("{prefix}.stage.potentials_host_ns"), h.sum());
+        }
+        if let Some(v) = obs::gauge_value("workspace.bytes_resident") {
+            set.insert(format!("{prefix}.workspace.bytes_resident"), v);
         }
     }
     set

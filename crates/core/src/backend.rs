@@ -1,0 +1,226 @@
+//! Pluggable compute backends: how the planned kernel launches actually
+//! execute.
+//!
+//! The three [`PotentialsKernel`](crate::kernels::PotentialsKernel)
+//! strategies only *plan* — every launch happens inside the shared engine
+//! ([`compute_potentials`](crate::kernels::compute_potentials)), which makes
+//! that engine the single seam where execution strategy can be swapped:
+//!
+//! * [`TracedSimt`] — the reference path. Each lane records its op stream,
+//!   a warp-lockstep replayer simulates the device (coalescing, L1/L2,
+//!   occupancy), and every simulated machine metric the paper profiles is
+//!   produced.
+//! * [`NativeFast`] — the answers-only path. The *same* lane bodies run to
+//!   retirement as plain indexed parallel work, with all tracing
+//!   monomorphized away; simulated metrics come back zero. Per-lane
+//!   arithmetic, the seeded-Simpson plans, the CSR cell lists, and the
+//!   pooled [`LaneScratchArena`] are all shared with the traced path, so
+//!   the potentials are **bit-identical** — `tests/backend_equivalence.rs`
+//!   is the differential harness pinning that contract.
+//!
+//! Selection is per-run: [`SimulationConfig::backend`]
+//! (crate::driver::SimulationConfig::backend) defaults from the
+//! `BEAMDYN_BACKEND` environment variable (`traced` unless told otherwise),
+//! and the daemon/bench surfaces expose explicit flags that override it.
+
+use beamdyn_simt::LaunchOutput;
+
+use crate::kernels::threads::{self, ThreadResult};
+use crate::kernels::{FallbackTask, RpProblem};
+use crate::workspace::{AdaptiveScratch, CellLists, FixedLaneScratch, LaneScratchArena};
+
+/// Per-point `(x, y, radius)` lookup both launch shapes share.
+pub type PointXyr<'a> = &'a (dyn Fn(u32) -> (f64, f64, f64) + Sync);
+
+/// Which compute backend executes the planned launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Simulated-GPU reference path: op recording, warp replay, all gated
+    /// machine metrics.
+    #[default]
+    TracedSimt,
+    /// Host-speed path: identical numerics, zero simulated metrics.
+    NativeFast,
+}
+
+impl BackendKind {
+    /// Parses a backend name as accepted by `BEAMDYN_BACKEND` and the
+    /// `--backend` flags.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "traced" | "traced-simt" | "simt" => Some(Self::TracedSimt),
+            "native" | "native-fast" | "fast" => Some(Self::NativeFast),
+            _ => None,
+        }
+    }
+
+    /// The default backend for this process: `BEAMDYN_BACKEND` when set
+    /// (loudly rejecting unknown values — a typo must not silently run the
+    /// wrong backend), [`BackendKind::TracedSimt`] otherwise.
+    pub fn from_env() -> Self {
+        match std::env::var("BEAMDYN_BACKEND") {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                panic!("BEAMDYN_BACKEND must be 'traced' or 'native', got '{v}'")
+            }),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Canonical name for reports, status surfaces, and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::TracedSimt => "traced-simt",
+            Self::NativeFast => "native-fast",
+        }
+    }
+}
+
+/// A kernel-execution strategy: runs the engine's two launch shapes (the
+/// uniform fixed-cells main pass and the adaptive fallback) over the
+/// workspace's prepared buffers.
+///
+/// Implementations must preserve the engine's result contract:
+/// `results[tid]` holds lane `tid`'s outcome (padding lanes `None`), so the
+/// per-point accumulation order downstream — and with it every produced
+/// bit — is backend-independent.
+pub trait ComputeBackend: Send + Sync {
+    /// Which selector this backend answers to.
+    fn kind(&self) -> BackendKind;
+
+    /// Canonical backend name (mirrors [`BackendKind::name`]).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Runs the planned fixed-cells main pass. `scratch` is prepared for
+    /// `cells`; `threads_per_block` is the plan's block shape (advisory for
+    /// backends with no blocks).
+    fn run_fixed<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        threads_per_block: usize,
+        cells: &CellLists,
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+    ) -> LaunchOutput<ThreadResult<FixedLaneScratch<'w>>>;
+
+    /// Runs the adaptive pass, one lane per task. `scratch` is prepared for
+    /// `tasks.len()` lanes.
+    #[allow(clippy::mut_from_ref)] // the `&mut` slots come from the arena's claim contract
+    fn run_adaptive<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        threads_per_block: usize,
+        tasks: &[FallbackTask],
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+        min_depth: u32,
+    ) -> LaunchOutput<ThreadResult<&'w mut AdaptiveScratch>>;
+}
+
+/// The reference backend: simulated-device launches with full tracing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TracedSimt;
+
+impl ComputeBackend for TracedSimt {
+    fn kind(&self) -> BackendKind {
+        BackendKind::TracedSimt
+    }
+
+    fn run_fixed<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        threads_per_block: usize,
+        cells: &CellLists,
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+    ) -> LaunchOutput<ThreadResult<FixedLaneScratch<'w>>> {
+        threads::launch_fixed(problem, threads_per_block, cells, scratch, point_xyr)
+    }
+
+    fn run_adaptive<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        threads_per_block: usize,
+        tasks: &[FallbackTask],
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+        min_depth: u32,
+    ) -> LaunchOutput<ThreadResult<&'w mut AdaptiveScratch>> {
+        threads::launch_adaptive(
+            problem,
+            threads_per_block,
+            tasks,
+            scratch,
+            point_xyr,
+            min_depth,
+        )
+    }
+}
+
+/// The answers-only backend: identical lane bodies, no simulated device.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NativeFast;
+
+impl ComputeBackend for NativeFast {
+    fn kind(&self) -> BackendKind {
+        BackendKind::NativeFast
+    }
+
+    fn run_fixed<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        _threads_per_block: usize,
+        cells: &CellLists,
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+    ) -> LaunchOutput<ThreadResult<FixedLaneScratch<'w>>> {
+        threads::native_fixed(problem, cells, scratch, point_xyr)
+    }
+
+    fn run_adaptive<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        _threads_per_block: usize,
+        tasks: &[FallbackTask],
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+        min_depth: u32,
+    ) -> LaunchOutput<ThreadResult<&'w mut AdaptiveScratch>> {
+        threads::native_adaptive(problem, tasks, scratch, point_xyr, min_depth)
+    }
+}
+
+/// Builds the backend object a [`BackendKind`] selects.
+pub fn build_backend(kind: BackendKind) -> Box<dyn ComputeBackend> {
+    match kind {
+        BackendKind::TracedSimt => Box::new(TracedSimt),
+        BackendKind::NativeFast => Box::new(NativeFast),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_canonical_and_short_names() {
+        for s in ["traced", "traced-simt", "simt"] {
+            assert_eq!(BackendKind::parse(s), Some(BackendKind::TracedSimt));
+        }
+        for s in ["native", "native-fast", "fast"] {
+            assert_eq!(BackendKind::parse(s), Some(BackendKind::NativeFast));
+        }
+        assert_eq!(BackendKind::parse("cuda"), None);
+        assert_eq!(BackendKind::parse(""), None);
+    }
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for kind in [BackendKind::TracedSimt, BackendKind::NativeFast] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(build_backend(kind).kind(), kind);
+            assert_eq!(build_backend(kind).name(), kind.name());
+        }
+    }
+}

@@ -23,6 +23,7 @@ use beamdyn_par::ThreadPool;
 use beamdyn_pic::{deposit_cic, refill_samples, DepositSample, GridGeometry, GridHistory};
 use beamdyn_simt::{DeviceConfig, SimTime};
 
+use crate::backend::{build_backend, BackendKind, ComputeBackend};
 use crate::kernels::predictive::TransformKind;
 use crate::kernels::{build_kernel, PotentialsKernel, PotentialsOutput, RpProblem};
 use crate::layout::DeviceLayout;
@@ -60,6 +61,9 @@ pub struct SimulationConfig {
     pub tolerance: f64,
     /// Kernel selection.
     pub kernel: KernelKind,
+    /// Compute backend executing the planned launches (traced simulated GPU
+    /// vs. native host loops — identical numerics either way).
+    pub backend: BackendKind,
     /// Predictor backing Predictive-RP (ignored by the baselines).
     pub predictor: PredictorKind,
     /// Pattern→partition transformation for Predictive-RP.
@@ -83,6 +87,10 @@ impl SimulationConfig {
             rp: RpConfig::standard(kappa, 0.35 / kappa as f64),
             tolerance: 1e-6,
             kernel,
+            // Process-wide default: BEAMDYN_BACKEND when set, traced
+            // otherwise — so smoke targets and tests can be matrix-run on
+            // the native backend without touching every call site.
+            backend: BackendKind::from_env(),
             predictor: PredictorKind::default(),
             // Uniform keeps every partition in one globally aligned dyadic
             // family, so the pattern-level group merge cannot inflate and
@@ -130,6 +138,8 @@ pub struct Simulation<'a> {
     step: usize,
     /// The potentials strategy — the only kernel state the driver holds.
     kernel: Box<dyn PotentialsKernel>,
+    /// How planned launches execute (traced simulated GPU or native host).
+    backend: Box<dyn ComputeBackend>,
     /// Reusable per-step buffers (including the previous-partition store
     /// the Heuristic and Predictive kernels read).
     workspace: StepWorkspace,
@@ -160,6 +170,7 @@ impl<'a> Simulation<'a> {
         kernel: Box<dyn PotentialsKernel>,
     ) -> Self {
         let history = GridHistory::new(config.geometry, config.rp.kappa + 3);
+        let backend = build_backend(config.backend);
         Self {
             pool,
             device,
@@ -168,6 +179,7 @@ impl<'a> Simulation<'a> {
             history,
             step: 0,
             kernel,
+            backend,
             workspace: StepWorkspace::new(),
             last_potentials: None,
         }
@@ -197,6 +209,11 @@ impl<'a> Simulation<'a> {
     /// The active kernel's name.
     pub fn kernel_name(&self) -> &'static str {
         self.kernel.name()
+    }
+
+    /// The active compute backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// The step workspace (for inspecting buffer reuse).
@@ -291,7 +308,12 @@ impl<'a> Simulation<'a> {
             step: self.step,
             tolerance: self.config.tolerance,
         };
-        crate::kernels::compute_potentials(self.kernel.as_mut(), &problem, &mut self.workspace)
+        crate::kernels::compute_potentials(
+            self.kernel.as_mut(),
+            self.backend.as_ref(),
+            &problem,
+            &mut self.workspace,
+        )
     }
 }
 

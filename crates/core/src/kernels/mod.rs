@@ -27,6 +27,7 @@ use beamdyn_pic::{GridGeometry, GridHistory};
 use beamdyn_quad::{Partition, SimpsonSeed};
 use beamdyn_simt::{DeviceConfig, KernelStats, SimTime};
 
+use crate::backend::{BackendKind, ComputeBackend};
 use crate::driver::{KernelKind, SimulationConfig};
 use crate::layout::DeviceLayout;
 use crate::points::{build_points, GridPoint};
@@ -279,10 +280,12 @@ impl StepObservation<'_> {
 
 /// `COMPUTE-POTENTIALS`: the shared engine. Builds the step's point set,
 /// has the kernel plan its lane assignments, runs the uniform main pass and
-/// the adaptive fallback over the workspace's buffers, finalizes the
-/// observed patterns/partitions, and gives the kernel its learning pass.
+/// the adaptive fallback over the workspace's buffers — through the
+/// selected [`ComputeBackend`] — finalizes the observed
+/// patterns/partitions, and gives the kernel its learning pass.
 pub fn compute_potentials(
     kernel: &mut dyn PotentialsKernel,
+    backend: &dyn ComputeBackend,
     problem: &RpProblem<'_>,
     ws: &mut StepWorkspace,
 ) -> PotentialsOutput {
@@ -290,7 +293,7 @@ pub fn compute_potentials(
     ws.begin_step(points.len(), problem.config.kappa);
 
     let plan = kernel.plan(problem, &mut points, ws);
-    let outcome = execute_plan(problem, &mut points, &plan, ws);
+    let outcome = execute_plan(backend, problem, &mut points, &plan, ws);
     finalize_points(&mut points, ws);
     // The main pass's task list and lane assignments survive until the next
     // `begin_step`, so observe can grade the plan they record.
@@ -327,8 +330,11 @@ struct ExecOutcome {
 
 /// Runs the planned uniform main pass, gathers its failed cells and runs
 /// the adaptive fallback on them (lines 13–24 of Algorithm 1) — the stage
-/// every kernel shares verbatim.
+/// every kernel shares verbatim. Both launches go through the selected
+/// backend; everything around them (scratch preparation, result folding,
+/// fallback accounting) is backend-independent by construction.
 fn execute_plan(
+    backend: &dyn ComputeBackend,
     problem: &RpProblem<'_>,
     points: &mut [GridPoint],
     plan: &ExecutionPlan,
@@ -345,7 +351,7 @@ fn execute_plan(
             let p = &pts[i as usize];
             (p.x, p.y, p.radius)
         };
-        threads::launch_fixed(
+        backend.run_fixed(
             problem,
             plan.threads_per_block,
             &ws.cells,
@@ -359,7 +365,15 @@ fn execute_plan(
         results: main_results,
         stats: main_stats,
     } = main;
-    let mut gpu_time = main_stats.timing(problem.device).total_time();
+    // Simulated device time exists only when the backend actually traced
+    // the launches; charging the fixed launch overhead for NativeFast would
+    // report phantom gpu_time for a machine that was never modeled.
+    let simulates = backend.kind() == BackendKind::TracedSimt;
+    let mut gpu_time = if simulates {
+        main_stats.timing(problem.device).total_time()
+    } else {
+        beamdyn_simt::SimTime::ZERO
+    };
     apply_results(
         points,
         main_results.into_iter().flatten(),
@@ -388,7 +402,7 @@ fn execute_plan(
                 let p = &pts[i as usize];
                 (p.x, p.y, p.radius)
             };
-            threads::launch_adaptive(
+            backend.run_adaptive(
                 problem,
                 plan.fallback_tpb,
                 &ws.tasks,
@@ -401,7 +415,9 @@ fn execute_plan(
             results: fb_results,
             stats: fb_stats,
         } = fb;
-        gpu_time += fb_stats.timing(problem.device).total_time();
+        if simulates {
+            gpu_time += fb_stats.timing(problem.device).total_time();
+        }
         launches += 1;
         apply_results(
             points,

@@ -1,9 +1,9 @@
 //! SIMT thread bodies shared by all three kernels.
 
-use beamdyn_beam::{GridRp, TapSink};
+use beamdyn_beam::{GridRp, NullSink, TapSink};
 use beamdyn_obs::Counter;
 use beamdyn_quad::{simpson_estimate_seeded, SeededEstimate, SimpsonSeed};
-use beamdyn_simt::{launch, LaunchConfig, LaunchOutput, OpRecorder, WarpThread};
+use beamdyn_simt::{launch, KernelStats, LaunchConfig, LaunchOutput, OpRecorder, WarpThread};
 
 use super::{FallbackTask, RpProblem};
 use crate::layout::DeviceLayout;
@@ -51,36 +51,81 @@ impl TapSink for TraceSink<'_> {
     }
 }
 
-/// Evaluates (or replays) the integrand for one Simpson application: cached
-/// abscissae replay their op stream through [`GridRp::charge`] and return
-/// the remembered value; fresh abscissae run the real gather. Either way the
-/// simulated-device trace is identical — only host arithmetic is saved.
+/// The backend-facing half of a lane's sink. [`TapSink`] carries the
+/// integrand's per-tap device traffic; `LaneSink` adds the two operations
+/// whose *implementation* is what distinguishes the compute backends — how
+/// one Simpson abscissa is evaluated and what a lane's retirement store
+/// does. The thread bodies are generic over it, so TracedSimt and
+/// NativeFast run the exact same per-lane arithmetic in the exact same
+/// order (the bit-identity contract of `tests/backend_equivalence.rs`).
+pub(crate) trait LaneSink: TapSink {
+    /// Final accumulate + output store at lane retirement.
+    fn store_output(&mut self, addr: u64);
+    /// Evaluates (or reuses) the integrand at abscissa `r`; `known` carries
+    /// a value the seeded quadrature already holds.
+    fn integrand(&mut self, rp: &GridRp<'_>, x: f64, y: f64, r: f64, known: Option<f64>) -> f64;
+}
+
+/// TracedSimt: cached abscissae replay their op stream through
+/// [`GridRp::charge`] and return the remembered value; fresh abscissae run
+/// the real gather. Either way the simulated-device trace is identical —
+/// only host arithmetic is saved.
+impl LaneSink for TraceSink<'_> {
+    #[inline]
+    fn store_output(&mut self, addr: u64) {
+        self.rec.store(addr, 8);
+    }
+    #[inline]
+    fn integrand(&mut self, rp: &GridRp<'_>, x: f64, y: f64, r: f64, known: Option<f64>) -> f64 {
+        match known {
+            Some(v) => {
+                INTEGRAND_REPLAYS.incr();
+                rp.charge(x, y, r, self);
+                v
+            }
+            None => {
+                INTEGRAND_EVALS.incr();
+                rp.eval(x, y, r, self)
+            }
+        }
+    }
+}
+
+/// NativeFast: [`NullSink`] *is* the native lane sink — every tap and store
+/// is a monomorphized no-op, a cached abscissa skips even the charge
+/// replay, and a fresh abscissa runs the bare gather arithmetic. The
+/// integrand-reuse counters still tick: real host evaluations are a
+/// backend-independent fact (perf_smoke pins them equal across backends).
+impl LaneSink for NullSink {
+    #[inline]
+    fn store_output(&mut self, _addr: u64) {}
+    #[inline]
+    fn integrand(&mut self, rp: &GridRp<'_>, x: f64, y: f64, r: f64, known: Option<f64>) -> f64 {
+        match known {
+            Some(v) => {
+                INTEGRAND_REPLAYS.incr();
+                v
+            }
+            None => {
+                INTEGRAND_EVALS.incr();
+                rp.eval(x, y, r, self)
+            }
+        }
+    }
+}
+
+/// One seeded Simpson application through the lane's sink.
 #[inline]
-fn traced_simpson(
+fn lane_simpson<S: LaneSink>(
     rp: &GridRp<'_>,
-    sink: &mut TraceSink<'_>,
+    sink: &mut S,
     x: f64,
     y: f64,
     a: f64,
     b: f64,
     seed: SimpsonSeed,
 ) -> SeededEstimate {
-    simpson_estimate_seeded(
-        |r, known| match known {
-            Some(v) => {
-                INTEGRAND_REPLAYS.incr();
-                rp.charge(x, y, r, sink);
-                v
-            }
-            None => {
-                INTEGRAND_EVALS.incr();
-                rp.eval(x, y, r, sink)
-            }
-        },
-        a,
-        b,
-        seed,
-    )
+    simpson_estimate_seeded(|r, known| sink.integrand(rp, x, y, r, known), a, b, seed)
 }
 
 /// Outcome of one thread's rp-integral work. The variable-length lists
@@ -184,35 +229,29 @@ impl<'rp, 'w> FixedCellsThread<'rp, 'w> {
     pub fn into_result(self) -> ThreadResult<FixedLaneScratch<'w>> {
         self.result
     }
-}
 
-/// Fractional cell-need of one accepted cell (see
-/// [`FixedLaneScratch::need`]).
-#[inline]
-fn cell_need(error: f64, tol: f64) -> f64 {
-    (error / tol.max(f64::MIN_POSITIVE))
-        .max(0.0)
-        .powf(0.25)
-        .clamp(0.02, 16.0)
-}
+    /// Runs the lane to retirement with no lockstep scheduler: the same
+    /// cells, the same seeded Simpson applications, the same accumulation
+    /// order as the traced replay — with all tracing compiled out.
+    pub(crate) fn run_native(&mut self) {
+        let mut sink = NullSink;
+        while self.step_with(&mut sink) {}
+    }
 
-impl WarpThread for FixedCellsThread<'_, '_> {
-    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+    /// One cell (or the retirement store) through the given sink; the
+    /// shared body behind both backends.
+    fn step_with<S: LaneSink>(&mut self, sink: &mut S) -> bool {
         if self.next >= self.cells.len() {
             if !self.stored {
                 self.stored = true;
-                rec.flops(4); // final accumulate
-                rec.store(self.layout.output_address(self.result.point as usize), 8);
+                sink.flops(4); // final accumulate
+                sink.store_output(self.layout.output_address(self.result.point as usize));
                 return true;
             }
             return false;
         }
         let (a, b) = self.cells[self.next];
         self.next += 1;
-        let mut sink = TraceSink {
-            rec,
-            layout: self.layout,
-        };
         let rp = self.rp;
         let seed = match self.prev_edge {
             Some((edge_bits, fb)) if edge_bits == a.to_bits() => SimpsonSeed {
@@ -221,7 +260,7 @@ impl WarpThread for FixedCellsThread<'_, '_> {
             },
             _ => SimpsonSeed::NONE,
         };
-        let seeded = traced_simpson(rp, &mut sink, self.x, self.y, a, b, seed);
+        let seeded = lane_simpson(rp, sink, self.x, self.y, a, b, seed);
         self.prev_edge = Some((b.to_bits(), seeded.samples.fb));
         let est = seeded.estimate;
         let tol = super::cell_tolerance(self.tolerance, b - a, self.radius);
@@ -242,6 +281,26 @@ impl WarpThread for FixedCellsThread<'_, '_> {
             });
         }
         true
+    }
+}
+
+/// Fractional cell-need of one accepted cell (see
+/// [`FixedLaneScratch::need`]).
+#[inline]
+fn cell_need(error: f64, tol: f64) -> f64 {
+    (error / tol.max(f64::MIN_POSITIVE))
+        .max(0.0)
+        .powf(0.25)
+        .clamp(0.02, 16.0)
+}
+
+impl WarpThread for FixedCellsThread<'_, '_> {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        let mut sink = TraceSink {
+            rec,
+            layout: self.layout,
+        };
+        self.step_with(&mut sink)
     }
 }
 
@@ -308,27 +367,29 @@ impl<'rp, 'w> AdaptiveThread<'rp, 'w> {
     pub fn into_result(self) -> ThreadResult<&'w mut AdaptiveScratch> {
         self.result
     }
-}
 
-impl WarpThread for AdaptiveThread<'_, '_> {
-    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+    /// Runs the lane's whole subdivision worklist with no lockstep
+    /// scheduler; see [`FixedCellsThread::run_native`].
+    pub(crate) fn run_native(&mut self) {
+        let mut sink = NullSink;
+        while self.step_with(&mut sink) {}
+    }
+
+    /// One worklist item (or the retirement store) through the given sink.
+    fn step_with<S: LaneSink>(&mut self, sink: &mut S) -> bool {
         let Some(item) = self.result.scratch.stack.pop() else {
             if !self.stored {
                 self.stored = true;
-                rec.flops(4);
-                rec.store(self.layout.output_address(self.result.point as usize), 8);
+                sink.flops(4);
+                sink.store_output(self.layout.output_address(self.result.point as usize));
                 return true;
             }
             return false;
         };
-        let mut sink = TraceSink {
-            rec,
-            layout: self.layout,
-        };
         let rp = self.rp;
-        let seeded = traced_simpson(rp, &mut sink, self.x, self.y, item.a, item.b, item.seed);
+        let seeded = lane_simpson(rp, sink, self.x, self.y, item.a, item.b, item.seed);
         let est = seeded.estimate;
-        rec.flops(6); // convergence test + accumulation
+        sink.flops(6); // convergence test + accumulation
         let converged = est.error <= item.tol && item.depth >= self.min_depth;
         if converged || item.depth >= self.max_depth {
             self.result.integral += est.integral;
@@ -356,6 +417,16 @@ impl WarpThread for AdaptiveThread<'_, '_> {
             });
         }
         true
+    }
+}
+
+impl WarpThread for AdaptiveThread<'_, '_> {
+    fn step(&mut self, rec: &mut OpRecorder) -> bool {
+        let mut sink = TraceSink {
+            rec,
+            layout: self.layout,
+        };
+        self.step_with(&mut sink)
     }
 }
 
@@ -449,4 +520,85 @@ pub fn launch_adaptive<'w>(
         },
         AdaptiveThread::into_result,
     )
+}
+
+/// NativeFast twin of [`launch_fixed`]: the same lane bodies over the same
+/// CSR cell lists and pooled scratch, run to retirement as plain indexed
+/// parallel work — no block placement, no warp lockstep, no op recording.
+/// `results[tid]` matches the traced launch slot-for-slot (the simulated
+/// launch only *appends* `None` padding slots past `cells.len()`), and
+/// `parallel_map_indexed` writes disjoint slots deterministically, so the
+/// output is bit-identical to the traced backend at any pool width. The
+/// returned stats are zero — NativeFast computes answers, not machine
+/// metrics (every [`KernelStats`] derived rate degrades to 0 safely).
+pub(crate) fn native_fixed<'w>(
+    problem: &RpProblem<'_>,
+    cells: &crate::workspace::CellLists,
+    scratch: &'w LaneScratchArena,
+    point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
+) -> LaunchOutput<ThreadResult<FixedLaneScratch<'w>>> {
+    let rp = problem.integrand();
+    let results = problem.pool.parallel_map_indexed(cells.len(), |tid| {
+        let (point, lane_cells) = cells.lane(tid)?;
+        let (x, y, radius) = point_xyr(point);
+        // SAFETY: `parallel_map_indexed` materialises each `tid` exactly
+        // once and `tid` is a lane of the `cells` the arena was prepared
+        // for, so each region is claimed by exactly one lane.
+        let slot = unsafe { scratch.claim_fixed(tid) };
+        let mut thread = FixedCellsThread::new(
+            &rp,
+            problem.layout,
+            point,
+            x,
+            y,
+            radius,
+            lane_cells,
+            problem.tolerance,
+            slot,
+        );
+        thread.run_native();
+        Some(thread.into_result())
+    });
+    LaunchOutput {
+        results,
+        stats: KernelStats::default(),
+    }
+}
+
+/// NativeFast twin of [`launch_adaptive`]; see [`native_fixed`].
+#[allow(clippy::mut_from_ref)] // the `&mut` slots come from the arena's claim contract
+pub(crate) fn native_adaptive<'w>(
+    problem: &RpProblem<'_>,
+    tasks: &[FallbackTask],
+    scratch: &'w LaneScratchArena,
+    point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
+    min_depth: u32,
+) -> LaunchOutput<ThreadResult<&'w mut AdaptiveScratch>> {
+    let rp = problem.integrand();
+    let results = problem.pool.parallel_map_indexed(tasks.len(), |tid| {
+        let task = &tasks[tid];
+        let (x, y, _) = point_xyr(task.point);
+        // SAFETY: one claim per materialised `tid`; `tid < tasks.len()`
+        // (prepared size).
+        let slot = unsafe { scratch.claim_adaptive(tid) };
+        let mut thread = AdaptiveThread::new(
+            &rp,
+            problem.layout,
+            task.point,
+            x,
+            y,
+            task.a,
+            task.b,
+            task.tolerance,
+            task.seed,
+            min_depth,
+            slot,
+        );
+        thread.run_native();
+        Some(thread.into_result())
+    });
+    LaunchOutput {
+        results,
+        stats: KernelStats::default(),
+    }
 }

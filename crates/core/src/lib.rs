@@ -26,6 +26,7 @@
 //! The [`driver`] module wires these into the full four-step beam-dynamics
 //! loop (deposition → potentials → self-forces → push).
 
+pub mod backend;
 pub mod clustering;
 pub mod driver;
 pub mod kernels;
@@ -38,6 +39,7 @@ pub mod status;
 pub mod transform;
 pub mod workspace;
 
+pub use backend::{build_backend, BackendKind, ComputeBackend, NativeFast, TracedSimt};
 pub use driver::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
 pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem, StepObservation};
 pub use pattern::AccessPattern;

@@ -54,6 +54,8 @@ pub struct RunTotals {
 pub struct StatusSnapshot {
     /// Name of the active kernel (`Predictive-RP`, …).
     pub kernel: String,
+    /// Name of the active compute backend (`traced-simt`, `native-fast`).
+    pub backend: String,
     /// Free-form lifecycle state (`starting`, `running`, `done`, …) set by
     /// the driver loop.
     pub state: String,
@@ -99,9 +101,11 @@ impl StatusSnapshot {
             ),
         };
         format!(
-            "{{\"kernel\":\"{}\",\"state\":\"{}\",\"steps_completed\":{},\"last_step\":{},\
+            "{{\"kernel\":\"{}\",\"backend\":\"{}\",\"state\":\"{}\",\"steps_completed\":{},\
+             \"last_step\":{},\
              \"totals\":{{\"gpu_time_s\":{},\"fallback_cells\":{},\"launches\":{}}}}}",
             esc(&self.kernel),
+            esc(&self.backend),
             esc(&self.state),
             self.steps_completed,
             last,
@@ -118,11 +122,13 @@ pub struct StatusBoard {
 }
 
 impl StatusBoard {
-    /// Creates a board for a run of the named kernel, in state `starting`.
-    pub fn new(kernel: &str) -> Arc<Self> {
+    /// Creates a board for a run of the named kernel on the named compute
+    /// backend, in state `starting`.
+    pub fn new(kernel: &str, backend: &str) -> Arc<Self> {
         Arc::new(Self {
             inner: Mutex::new(StatusSnapshot {
                 kernel: kernel.to_string(),
+                backend: backend.to_string(),
                 state: "starting".to_string(),
                 steps_completed: 0,
                 last_step: None,

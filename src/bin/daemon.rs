@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use beamdyn::beam::{GaussianBunch, RpConfig};
-use beamdyn::core::{KernelKind, Simulation, SimulationConfig, StatusBoard};
+use beamdyn::core::{BackendKind, KernelKind, Simulation, SimulationConfig, StatusBoard};
 use beamdyn::obs;
 use beamdyn::par::ThreadPool;
 use beamdyn::pic::GridGeometry;
@@ -40,6 +40,7 @@ struct Options {
     steps: usize,
     loop_scenarios: bool,
     kernel: KernelKind,
+    backend: Option<BackendKind>,
     resolution: usize,
     particles: usize,
     threads: usize,
@@ -55,6 +56,7 @@ impl Options {
             steps: 6,
             loop_scenarios: false,
             kernel: KernelKind::Predictive,
+            backend: None,
             resolution: 32,
             particles: 20_000,
             threads: 4,
@@ -97,6 +99,14 @@ impl Options {
                     };
                     i += 1;
                 }
+                "--backend" => {
+                    let v = value(&args, i, flag)?;
+                    opts.backend = Some(
+                        BackendKind::parse(&v)
+                            .ok_or_else(|| format!("unknown backend '{v}' (traced | native)"))?,
+                    );
+                    i += 1;
+                }
                 "--resolution" => {
                     opts.resolution = value(&args, i, flag)?
                         .parse()
@@ -134,6 +144,7 @@ impl Options {
                          --steps N           steps per scenario (default 6)\n\
                          --loop              restart the scenario until /quitz\n\
                          --kernel K          two-phase | heuristic | predictive\n\
+                         --backend B         traced | native (default: BEAMDYN_BACKEND or traced)\n\
                          --resolution R      grid R x R (default 32)\n\
                          --particles N       macro-particles (default 20000)\n\
                          --threads N         host pool width (default 4)\n\
@@ -157,6 +168,10 @@ fn build_simulation<'a>(
 ) -> Simulation<'a> {
     let geometry = GridGeometry::unit(opts.resolution, opts.resolution);
     let mut config = SimulationConfig::standard(geometry, opts.kernel);
+    // An explicit --backend wins over the BEAMDYN_BACKEND default.
+    if let Some(backend) = opts.backend {
+        config.backend = backend;
+    }
     config.rp = RpConfig {
         kappa: 8,
         dt: 0.35 / 8.0,
@@ -205,7 +220,7 @@ fn main() {
     let device = DeviceConfig::tesla_k40();
     let mut sim = build_simulation(&pool, &device, &opts);
 
-    let status = StatusBoard::new(sim.kernel_name());
+    let status = StatusBoard::new(sim.kernel_name(), sim.backend_name());
     let ready = Arc::new(AtomicBool::new(false));
     let server = match MonitorServer::start(
         ServeConfig {
@@ -227,7 +242,12 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("beamdyn-daemon listening on {}", server.base_url());
+    println!(
+        "beamdyn-daemon listening on {} ({} / {})",
+        server.base_url(),
+        sim.kernel_name(),
+        sim.backend_name()
+    );
     println!("endpoints: /metrics /status /events /healthz /readyz /quitz");
     if let Some(path) = &opts.addr_file {
         if let Err(e) = std::fs::write(path, server.addr().to_string()) {

@@ -1,0 +1,251 @@
+//! The differential backend harness: NativeFast must be **bit-identical**
+//! to TracedSimt.
+//!
+//! The two compute backends share the lane bodies, the seeded-Simpson
+//! plans, the CSR cell lists, and the pooled lane scratch; they differ only
+//! in how lanes are driven (warp-lockstep replay with op recording vs.
+//! plain indexed parallel loops). Because per-lane arithmetic is sequential
+//! within a lane and the engine folds `results[tid]` in tid order on both
+//! paths, every produced bit — potentials, error estimates, fallback
+//! volume, launch counts — must agree exactly, for all three kernels, on
+//! any lattice, at any pool width. This harness pins that contract; the
+//! golden corpus (`tests/rp_golden.rs`) additionally pins both backends to
+//! committed bit patterns.
+
+use beamdyn::beam::{GaussianBunch, RpConfig};
+use beamdyn::core::{BackendKind, KernelKind, Simulation, SimulationConfig};
+use beamdyn::par::ThreadPool;
+use beamdyn::pic::GridGeometry;
+use beamdyn::simt::DeviceConfig;
+use proptest::prelude::*;
+
+/// One step's complete observable outcome, everything bit-comparable.
+#[derive(Debug, Clone, PartialEq)]
+struct StepRecord {
+    potentials: Vec<u64>,
+    errors: Vec<u64>,
+    fallback_cells: usize,
+    launches: usize,
+}
+
+/// The two canonical lattices of the experiment harness: the drifting
+/// elongated bunch (collective-effect patterns evolve step over step) and
+/// the rigid centred validation bunch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lattice {
+    Drift,
+    Rigid,
+}
+
+const LATTICES: [Lattice; 2] = [Lattice::Drift, Lattice::Rigid];
+
+fn workload(lattice: Lattice, kernel: KernelKind) -> (SimulationConfig, beamdyn::beam::Beam) {
+    let mut config = SimulationConfig::standard(GridGeometry::unit(12, 12), kernel);
+    match lattice {
+        Lattice::Drift => {
+            config.rp = RpConfig {
+                kappa: 4,
+                dt: 0.08,
+                inner_points: 3,
+                beta: 0.5,
+                support_x: 0.25,
+                support_y: 0.12,
+                center: (0.5, 0.5),
+            };
+            config.tolerance = 1e-4;
+            let bunch = GaussianBunch {
+                sigma_x: 0.11,
+                sigma_y: 0.09,
+                center_x: 0.5,
+                center_y: 0.5,
+                charge: 1.0,
+                velocity_spread: 0.0,
+                drift_vx: 0.05,
+                chirp: 0.0,
+            };
+            (config, bunch.sample(3000, 5))
+        }
+        Lattice::Rigid => {
+            config.rigid = true;
+            let bunch = GaussianBunch {
+                center_x: 0.5,
+                center_y: 0.5,
+                ..GaussianBunch::centered(0.1, 0.04)
+            };
+            (config, bunch.sample(4000, 0xD00D))
+        }
+    }
+}
+
+fn run(
+    lattice: Lattice,
+    kernel: KernelKind,
+    backend: BackendKind,
+    threads: usize,
+    steps: usize,
+) -> Vec<StepRecord> {
+    let pool = ThreadPool::new(threads);
+    // The rigid lattice runs on the full K40 model (nonzero fixed launch
+    // overhead) so the zero-gpu_time caveat below is checked against a
+    // device that would charge overhead if the native path ever ran the
+    // timing model.
+    let device = match lattice {
+        Lattice::Drift => DeviceConfig::test_tiny(),
+        Lattice::Rigid => DeviceConfig::tesla_k40(),
+    };
+    let (mut config, beam) = workload(lattice, kernel);
+    config.backend = backend;
+    let mut sim = Simulation::new(&pool, &device, config, beam);
+    assert_eq!(sim.backend_name(), backend.name());
+    (0..steps)
+        .map(|_| {
+            let t = sim.run_step();
+            // The documented caveat: NativeFast produces answers, not
+            // simulated machine metrics — gpu_time is exactly zero, launch
+            // overhead included.
+            match backend {
+                BackendKind::NativeFast => {
+                    assert_eq!(t.potentials.gpu_time.seconds(), 0.0);
+                }
+                BackendKind::TracedSimt => {
+                    assert!(t.potentials.gpu_time.seconds() > 0.0);
+                }
+            }
+            StepRecord {
+                potentials: t
+                    .potentials
+                    .points
+                    .iter()
+                    .map(|p| p.integral.to_bits())
+                    .collect(),
+                errors: t
+                    .potentials
+                    .points
+                    .iter()
+                    .map(|p| p.error.to_bits())
+                    .collect(),
+                fallback_cells: t.potentials.fallback_cells,
+                launches: t.potentials.launches,
+            }
+        })
+        .collect()
+}
+
+fn assert_identical(want: &[StepRecord], have: &[StepRecord], what: &str) {
+    assert_eq!(want.len(), have.len(), "{what}: step counts differ");
+    for (step, (w, h)) in want.iter().zip(have).enumerate() {
+        assert_eq!(
+            w.fallback_cells, h.fallback_cells,
+            "{what}: step {step} fallback volume diverged"
+        );
+        assert_eq!(
+            w.launches, h.launches,
+            "{what}: step {step} launch count diverged"
+        );
+        for (i, (a, b)) in w.potentials.iter().zip(&h.potentials).enumerate() {
+            assert_eq!(
+                a,
+                b,
+                "{what}: step {step}, point {i}: potentials diverged \
+                 ({:e} vs {:e})",
+                f64::from_bits(*a),
+                f64::from_bits(*b)
+            );
+        }
+        assert_eq!(
+            w.errors, h.errors,
+            "{what}: step {step} error estimates diverged"
+        );
+    }
+}
+
+/// The tentpole contract: all three kernels × both canonical lattices ×
+/// three steps, NativeFast bit-identical to TracedSimt.
+#[test]
+fn native_matches_traced_on_all_kernels_and_lattices() {
+    for lattice in LATTICES {
+        for kernel in [
+            KernelKind::TwoPhase,
+            KernelKind::Heuristic,
+            KernelKind::Predictive,
+        ] {
+            let traced = run(lattice, kernel, BackendKind::TracedSimt, 2, 3);
+            let native = run(lattice, kernel, BackendKind::NativeFast, 2, 3);
+            assert_identical(&traced, &native, &format!("{lattice:?}/{kernel:?}"));
+        }
+    }
+}
+
+/// Extends the determinism.rs invariant to backend choice: NativeFast at
+/// pool widths 0 / 1 / 4 reproduces the traced reference bit-for-bit — the
+/// backend seam must not reintroduce any scheduling dependence.
+#[test]
+fn native_is_pool_width_independent_and_matches_traced() {
+    let reference = run(
+        Lattice::Drift,
+        KernelKind::Predictive,
+        BackendKind::TracedSimt,
+        2,
+        3,
+    );
+    for threads in [0usize, 1, 4] {
+        let native = run(
+            Lattice::Drift,
+            KernelKind::Predictive,
+            BackendKind::NativeFast,
+            threads,
+            3,
+        );
+        assert_identical(
+            &reference,
+            &native,
+            &format!("native pool width {threads} vs traced"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For arbitrary small grids, seeds, and tolerances, the NativeFast
+    /// integrals equal the seeded-Simpson reference pipeline (the traced
+    /// backend) bit-for-bit.
+    #[test]
+    fn native_matches_traced_on_arbitrary_small_grids(
+        resolution in 8usize..13,
+        seed in 0u64..u64::MAX,
+        particles in 500usize..2000,
+        tol_exp in 4u32..7,
+    ) {
+        let pool = ThreadPool::new(2);
+        let device = DeviceConfig::test_tiny();
+        let mut records = Vec::new();
+        for backend in [BackendKind::TracedSimt, BackendKind::NativeFast] {
+            let geometry = GridGeometry::unit(resolution, resolution);
+            let mut config = SimulationConfig::standard(geometry, KernelKind::Predictive);
+            config.rp = RpConfig::standard(4, 0.08);
+            config.tolerance = 10f64.powi(-(tol_exp as i32));
+            config.backend = backend;
+            let bunch = GaussianBunch {
+                center_x: 0.5,
+                center_y: 0.5,
+                ..GaussianBunch::centered(0.12, 0.06)
+            };
+            let beam = bunch.sample(particles, seed);
+            let mut sim = Simulation::new(&pool, &device, config, beam);
+            records.push(
+                (0..2)
+                    .map(|_| {
+                        let t = sim.run_step();
+                        t.potentials
+                            .points
+                            .iter()
+                            .map(|p| (p.integral.to_bits(), p.error.to_bits()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        prop_assert_eq!(&records[0], &records[1]);
+    }
+}

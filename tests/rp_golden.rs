@@ -9,7 +9,7 @@
 //! physics.
 
 use beamdyn::beam::{GaussianBunch, GridRp, NullSink, RpConfig};
-use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::core::{BackendKind, KernelKind, Simulation, SimulationConfig};
 use beamdyn::par::ThreadPool;
 use beamdyn::pic::{deposit_cic, DepositSample, GridGeometry, GridHistory, MomentGrid};
 use beamdyn::simt::DeviceConfig;
@@ -120,47 +120,121 @@ fn eval_inner_points_5_matches_recorded_bit_patterns() {
 /// Per-kernel end-to-end golden: the bit pattern of the summed potentials
 /// (and error estimates) after each of three steps. All three kernels agree
 /// on every step — planning differs, but accepted integrals are the same
-/// numbers accumulated in the same order.
+/// numbers accumulated in the same order. Both compute backends must hit
+/// the same bits: NativeFast is a pure re-arrangement of the traced
+/// execution (`tests/backend_equivalence.rs` is the differential harness;
+/// this pins both paths to committed constants).
 const KERNEL_GOLDEN: &[(usize, u64, u64)] = &[
     (0, 0x404a71cc403aa0fa, 0x3ee89950b187dddb),
     (1, 0x404a71cc403aa0f9, 0x3ee89950b186e89a),
     (2, 0x405a76ba61fa5f49, 0x3ed9fb2ef3a20574),
 ];
 
-#[test]
-fn kernel_potentials_sums_match_recorded_bit_patterns() {
+/// Both backends, in golden-corpus runs.
+const BACKENDS: [BackendKind; 2] = [BackendKind::TracedSimt, BackendKind::NativeFast];
+
+/// Runs the golden 12² rigid scenario for three steps and asserts the
+/// per-step summed-potentials/summed-error bit patterns.
+fn assert_kernel_golden(
+    what: &str,
+    kernel: KernelKind,
+    backend: BackendKind,
+    golden: &[(usize, u64, u64)],
+    mutate: impl Fn(&mut SimulationConfig),
+) {
     let pool = ThreadPool::new(2);
     let device = DeviceConfig::tesla_k40();
-    for kernel in [
-        KernelKind::TwoPhase,
-        KernelKind::Heuristic,
-        KernelKind::Predictive,
-    ] {
-        let geometry = GridGeometry::unit(12, 12);
-        let mut config = SimulationConfig::standard(geometry, kernel);
-        config.rigid = true;
-        let bunch = GaussianBunch {
-            center_x: 0.5,
-            center_y: 0.5,
-            ..GaussianBunch::centered(0.1, 0.04)
-        };
-        let beam = bunch.sample(4_000, 0xD00D);
-        let mut sim = Simulation::new(&pool, &device, config, beam);
-        for &(step, sum_bits, err_bits) in KERNEL_GOLDEN {
-            let t = sim.run_step();
-            let sum: f64 = t.potentials.points.iter().map(|p| p.integral).sum();
-            let err: f64 = t.potentials.points.iter().map(|p| p.error).sum();
-            assert_eq!(
-                sum.to_bits(),
-                sum_bits,
-                "{kernel:?} step {step}: potentials sum 0x{:016x} != golden 0x{sum_bits:016x}",
-                sum.to_bits()
-            );
-            assert_eq!(
-                err.to_bits(),
-                err_bits,
-                "{kernel:?} step {step}: error sum drifted"
-            );
+    let geometry = GridGeometry::unit(12, 12);
+    let mut config = SimulationConfig::standard(geometry, kernel);
+    config.rigid = true;
+    config.backend = backend;
+    mutate(&mut config);
+    let bunch = GaussianBunch {
+        center_x: 0.5,
+        center_y: 0.5,
+        ..GaussianBunch::centered(0.1, 0.04)
+    };
+    let beam = bunch.sample(4_000, 0xD00D);
+    let mut sim = Simulation::new(&pool, &device, config, beam);
+    for &(step, sum_bits, err_bits) in golden {
+        let t = sim.run_step();
+        let sum: f64 = t.potentials.points.iter().map(|p| p.integral).sum();
+        let err: f64 = t.potentials.points.iter().map(|p| p.error).sum();
+        assert_eq!(
+            sum.to_bits(),
+            sum_bits,
+            "{what}: {kernel:?}/{backend:?} step {step}: potentials sum 0x{:016x} != \
+             golden 0x{sum_bits:016x}",
+            sum.to_bits()
+        );
+        assert_eq!(
+            err.to_bits(),
+            err_bits,
+            "{what}: {kernel:?}/{backend:?} step {step}: error sum drifted"
+        );
+    }
+}
+
+#[test]
+fn kernel_potentials_sums_match_recorded_bit_patterns() {
+    for backend in BACKENDS {
+        for kernel in [
+            KernelKind::TwoPhase,
+            KernelKind::Heuristic,
+            KernelKind::Predictive,
+        ] {
+            assert_kernel_golden("standard", kernel, backend, KERNEL_GOLDEN, |_| {});
+        }
+    }
+}
+
+/// A τ three orders tighter than standard drives a fallback-heavy step
+/// (the main pass misses on many cells, so most of the work runs through
+/// the adaptive pass) — the golden corpus's stress case for the
+/// fixed→fallback seed handoff on both backends.
+const FALLBACK_HEAVY_GOLDEN: &[(usize, u64, u64)] = &[
+    (0, 0x404a71cc418f3c25, 0x3e6f1ece20af436b),
+    (1, 0x404a71cc418f3c25, 0x3e6f1ece1fdbfca7),
+    (2, 0x405a76ba65cff04e, 0x3e56118e172fb395),
+];
+
+/// β = 0 drops the vx/vy moment components from the kernel-run gathers
+/// (bit-identical to the standard run for this zero-velocity bunch, as in
+/// the eval-level corpus — pinned so the β path cannot silently perturb).
+const BETA_ZERO_GOLDEN: &[(usize, u64, u64)] = KERNEL_GOLDEN;
+
+/// The 5-point inner rule through full kernel runs.
+const INNER5_GOLDEN: &[(usize, u64, u64)] = &[
+    (0, 0x404a6e2408279749, 0x3ee81a35b2eebb14),
+    (1, 0x404a6e2408279749, 0x3ee81a35b2ede91d),
+    (2, 0x405a6f86acb655f6, 0x3eda8151d8300d74),
+];
+
+/// A golden-corpus config variant: label, expected bits, config mutation.
+type GoldenVariant = (
+    &'static str,
+    &'static [(usize, u64, u64)],
+    fn(&mut SimulationConfig),
+);
+
+#[test]
+fn kernel_golden_corpus_variants_match_on_both_backends() {
+    let variants: [GoldenVariant; 3] = [
+        ("fallback-heavy tau=1e-8", FALLBACK_HEAVY_GOLDEN, |c| {
+            c.tolerance = 1e-8
+        }),
+        ("beta=0", BETA_ZERO_GOLDEN, |c| c.rp.beta = 0.0),
+        ("inner_points=5", INNER5_GOLDEN, |c| c.rp.inner_points = 5),
+    ];
+    for (what, golden, mutate) in variants {
+        for backend in BACKENDS {
+            for kernel in [
+                KernelKind::TwoPhase,
+                KernelKind::Heuristic,
+                KernelKind::Predictive,
+            ] {
+                assert_kernel_golden(what, kernel, backend, golden, mutate);
+            }
         }
     }
 }

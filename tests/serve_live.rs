@@ -68,7 +68,7 @@ fn live_run_serves_metrics_status_and_one_sse_event_per_step() {
     };
     let mut sim = Simulation::new(&pool, &device, config, bunch.sample(3_000, 42));
 
-    let status = StatusBoard::new(sim.kernel_name());
+    let status = StatusBoard::new(sim.kernel_name(), sim.backend_name());
     let ready = Arc::new(AtomicBool::new(false));
     let server = MonitorServer::start(
         ServeConfig {
@@ -181,6 +181,11 @@ fn live_run_serves_metrics_status_and_one_sse_event_per_step() {
     assert_eq!(code, 200);
     let parsed = json::parse(&body).expect("/status is JSON");
     assert_eq!(parsed.get("state").and_then(|v| v.as_str()), Some("done"));
+    assert_eq!(
+        parsed.get("backend").and_then(|v| v.as_str()),
+        Some(sim.backend_name()),
+        "/status names the active compute backend"
+    );
     assert_eq!(
         parsed.get("steps_completed").and_then(|v| v.as_f64()),
         Some(STEPS as f64)

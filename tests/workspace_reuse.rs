@@ -18,7 +18,7 @@
 //! reaches the subscriber.
 
 use beamdyn::beam::{GaussianBunch, RpConfig};
-use beamdyn::core::{KernelKind, Simulation, SimulationConfig};
+use beamdyn::core::{BackendKind, KernelKind, Simulation, SimulationConfig};
 use beamdyn::obs;
 use beamdyn::par::ThreadPool;
 use beamdyn::pic::GridGeometry;
@@ -63,41 +63,47 @@ fn steady_state_steps_do_not_grow_the_workspace() {
 
     let pool = ThreadPool::new(2);
     let device = DeviceConfig::tesla_k40();
-    for kernel in [
-        KernelKind::TwoPhase,
-        KernelKind::Heuristic,
-        KernelKind::Predictive,
-    ] {
-        let (config, beam) = workload(kernel);
-        let mut sim = Simulation::new(&pool, &device, config, beam);
-        for step in 0..8 {
-            sim.run_step();
-            let resident = obs::gauge_value("workspace.bytes_resident")
-                .expect("driver publishes workspace.bytes_resident");
-            let grown = obs::gauge_value("workspace.grown_this_step")
-                .expect("driver publishes workspace.grown_this_step");
-            assert!(
-                resident > 0.0,
-                "{kernel:?}: workspace must hold buffers after step {step}"
-            );
-            assert_eq!(
-                resident,
-                sim.workspace().bytes_resident() as f64,
-                "{kernel:?}: gauge must mirror the workspace accounting"
-            );
-            assert!(
-                sim.workspace().lane_scratch_bytes() > 0,
-                "{kernel:?}: the pooled lane-scratch arena must hold the \
-                 per-thread result lists after step {step}"
-            );
-            if step >= 3 {
-                assert_eq!(
-                    grown, 0.0,
-                    "{kernel:?}: steady-state step {step} grew the workspace by {grown} bytes \
-                     (resident {resident})"
+    // The zero-growth invariant is a property of the workspace discipline,
+    // not of the execution strategy: both compute backends run out of the
+    // same pooled buffers, so both must hold it.
+    for backend in [BackendKind::TracedSimt, BackendKind::NativeFast] {
+        for kernel in [
+            KernelKind::TwoPhase,
+            KernelKind::Heuristic,
+            KernelKind::Predictive,
+        ] {
+            let (mut config, beam) = workload(kernel);
+            config.backend = backend;
+            let mut sim = Simulation::new(&pool, &device, config, beam);
+            for step in 0..8 {
+                sim.run_step();
+                let resident = obs::gauge_value("workspace.bytes_resident")
+                    .expect("driver publishes workspace.bytes_resident");
+                let grown = obs::gauge_value("workspace.grown_this_step")
+                    .expect("driver publishes workspace.grown_this_step");
+                assert!(
+                    resident > 0.0,
+                    "{kernel:?}/{backend:?}: workspace must hold buffers after step {step}"
                 );
+                assert_eq!(
+                    resident,
+                    sim.workspace().bytes_resident() as f64,
+                    "{kernel:?}/{backend:?}: gauge must mirror the workspace accounting"
+                );
+                assert!(
+                    sim.workspace().lane_scratch_bytes() > 0,
+                    "{kernel:?}/{backend:?}: the pooled lane-scratch arena must hold the \
+                     per-thread result lists after step {step}"
+                );
+                if step >= 3 {
+                    assert_eq!(
+                        grown, 0.0,
+                        "{kernel:?}/{backend:?}: steady-state step {step} grew the workspace \
+                         by {grown} bytes (resident {resident})"
+                    );
+                }
+                flushes += 1;
             }
-            flushes += 1;
         }
     }
 
