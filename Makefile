@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke bench bench-baseline bench-check backend-check perf-smoke clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke load-smoke bench bench-baseline bench-check backend-check perf-smoke clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -14,6 +14,7 @@ ci: fmt lint verify
 	$(MAKE) kernel-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) load-smoke
 	$(MAKE) bench-check
 	$(MAKE) backend-check
 	$(MAKE) perf-smoke
@@ -63,6 +64,14 @@ serve-smoke:
 	cargo build --release --bin beamdyn-daemon
 	BEAMDYN_DAEMON_BIN=target/release/beamdyn-daemon \
 		cargo run --release -p beamdyn-bench --bin serve_smoke
+
+# Multi-tenant session-engine load smoke: 144 concurrent sessions (mixed
+# kernels and backends) against a real daemon, with fairness, pool-plateau,
+# and scrape-consistency assertions.
+load-smoke:
+	cargo build --release --bin beamdyn-daemon
+	BEAMDYN_DAEMON_BIN=target/release/beamdyn-daemon \
+		cargo run --release -p beamdyn-bench --bin load_smoke
 
 bench:
 	cargo bench --workspace

@@ -14,7 +14,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use beamdyn_core::{report, BackendKind, KernelKind};
+use beamdyn_core::{
+    report, BackendKind, KernelKind, ScenarioSpec, SessionManager, SessionManagerConfig,
+    SessionState,
+};
 use beamdyn_obs as obs;
 use beamdyn_par::ThreadPool;
 
@@ -115,6 +118,10 @@ pub struct Tolerance {
 pub fn tolerance_for(name: &str) -> Tolerance {
     if name.ends_with(".launches") {
         // Launch counts are exactly reproducible.
+        Tolerance { rel: 0.0, abs: 0.0 }
+    } else if name.ends_with(".completed") {
+        // Session completion counts are exact: every submitted session of
+        // the canonical fleet must finish, every time.
         Tolerance { rel: 0.0, abs: 0.0 }
     } else if name.ends_with("_host_ns") {
         // Host wall-clock: CI machines vary wildly, so this only catches
@@ -333,6 +340,72 @@ pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
             set.insert(format!("{prefix}.workspace.bytes_resident"), v);
         }
     }
+
+    // Multi-tenant session load: a mixed fleet (every kernel on both
+    // backends, twice) multiplexed through the SessionManager on fewer
+    // workspace slots than sessions. Completion/launch/fallback totals are
+    // deterministic (the multiplexed bit-identity contract,
+    // tests/session_identity.rs); the step-latency percentiles are host
+    // wall-clock and gate loosely via the `_host_ns` rule.
+    obs::reset();
+    let manager = SessionManager::start(SessionManagerConfig {
+        threads: scenario::THREADS,
+        step_workers: 2,
+        slots: 4,
+        default_backend: BackendKind::TracedSimt,
+        device: beamdyn_simt::DeviceConfig::tesla_k40(),
+        ..SessionManagerConfig::default()
+    });
+    let mut ids = Vec::new();
+    for _round in 0..2 {
+        for kernel in [
+            KernelKind::TwoPhase,
+            KernelKind::Heuristic,
+            KernelKind::Predictive,
+        ] {
+            for backend in [BackendKind::TracedSimt, BackendKind::NativeFast] {
+                let spec = ScenarioSpec {
+                    kernel,
+                    backend: Some(backend),
+                    nx: 12,
+                    ny: 12,
+                    particles: 1_500,
+                    steps: 3,
+                    ..ScenarioSpec::default()
+                };
+                ids.push(manager.submit(spec).expect("submit canonical session"));
+            }
+        }
+    }
+    assert!(
+        manager.wait_idle(std::time::Duration::from_secs(300)),
+        "canonical session fleet never finished"
+    );
+    let mut completed = 0u64;
+    let mut fallback = 0u64;
+    let mut launches = 0u64;
+    for id in &ids {
+        if manager.state(*id) == Some(SessionState::Done) {
+            completed += 1;
+        }
+        if let Some(snap) = manager.board_snapshot(*id) {
+            fallback += snap.totals.fallback_cells;
+            launches += snap.totals.launches;
+        }
+    }
+    set.insert("sessions.load.completed", completed as f64);
+    set.insert("sessions.load.fallback_cells", fallback as f64);
+    set.insert("sessions.load.launches", launches as f64);
+    if let Some(h) = obs::histogram_snapshot("session.step_ns") {
+        if h.count() > 0 {
+            set.insert("sessions.load.step_p50_host_ns", h.p50());
+            set.insert("sessions.load.step_p99_host_ns", h.p99());
+        }
+    }
+    if let Some(v) = obs::gauge_value("workspace_pool.bytes_resident") {
+        set.insert("sessions.load.pool.bytes_resident", v);
+    }
+    manager.shutdown();
     set
 }
 

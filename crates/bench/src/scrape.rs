@@ -219,6 +219,44 @@ pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     Ok((status, body.to_string()))
 }
 
+/// One-shot `POST` with a JSON body, returning `(status_code, body)`.
+pub fn http_post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    http_with_body(addr, "POST", path, body)
+}
+
+/// One-shot `DELETE`, returning `(status_code, body)`.
+pub fn http_delete(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    http_with_body(addr, "DELETE", path, "")
+}
+
+fn http_with_body(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("response without header terminator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line: {head:?}")))?;
+    Ok((status, body.to_string()))
+}
+
 /// One Server-Sent Event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SseEvent {

@@ -58,12 +58,38 @@ impl BackendKind {
     /// (loudly rejecting unknown values — a typo must not silently run the
     /// wrong backend), [`BackendKind::TracedSimt`] otherwise.
     pub fn from_env() -> Self {
-        match std::env::var("BEAMDYN_BACKEND") {
-            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
-                panic!("BEAMDYN_BACKEND must be 'traced' or 'native', got '{v}'")
-            }),
-            Err(_) => Self::default(),
+        match Self::try_from_env() {
+            Ok(kind) => kind,
+            Err(msg) => panic!("{msg}"),
         }
+    }
+
+    /// Non-panicking [`BackendKind::from_env`]: the service entry points
+    /// (daemon startup, request handlers) use this so an environment typo
+    /// becomes a clean diagnostic instead of a process abort.
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var("BEAMDYN_BACKEND") {
+            Ok(v) => Self::parse(&v).ok_or_else(|| {
+                format!(
+                    "BEAMDYN_BACKEND must be one of {} — got '{v}'",
+                    Self::accepted_values().join(", ")
+                )
+            }),
+            Err(_) => Ok(Self::default()),
+        }
+    }
+
+    /// Every name [`BackendKind::parse`] accepts (for diagnostics and
+    /// structured API errors).
+    pub fn accepted_values() -> &'static [&'static str] {
+        &[
+            "traced",
+            "traced-simt",
+            "simt",
+            "native",
+            "native-fast",
+            "fast",
+        ]
     }
 
     /// Canonical name for reports, status surfaces, and artifacts.

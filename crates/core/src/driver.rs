@@ -1,16 +1,31 @@
 //! The full four-step beam-dynamics simulation loop (paper Sec. II-A).
 //!
-//! Every stage of [`Simulation::run_step`] runs under a `beamdyn-obs` span
-//! (`step/deposit`, `step/potentials`, `step/gather_push`, `step/commit`),
-//! and the per-step telemetry durations are read back from those spans —
-//! the observability layer is the single source of timing truth.
+//! Every stage of a step runs under a `beamdyn-obs` span (`step/deposit`,
+//! `step/potentials`, `step/gather_push`, `step/commit`), and the per-step
+//! telemetry durations are read back from those spans — the observability
+//! layer is the single source of timing truth.
 //!
-//! The driver owns exactly two pieces of cross-step machinery: the
-//! [`PotentialsKernel`] object (strategy + learning state) and the
-//! [`StepWorkspace`] (every reusable per-step buffer). Steady-state steps
-//! recycle the workspace's buffers and the history-evicted moment grid, so
-//! the loop's hot path performs no workspace heap growth
-//! (tests/workspace_reuse.rs pins this via the `workspace.*` gauges).
+//! Ownership is split so a simulation can be *scheduled*, not just run:
+//!
+//! * [`SimCore`] owns everything a simulation **is** — config, beam,
+//!   grid history, step counter, the [`PotentialsKernel`] object
+//!   (strategy + learning state), the compute backend, and the last
+//!   potentials field. It is `Send` and borrows nothing, so a
+//!   [`SessionManager`](crate::session::SessionManager) can hold many and
+//!   move them between scheduler threads.
+//! * [`SimCore::run_step`] borrows what a step **uses**: the shared
+//!   [`ThreadPool`], the device model, and a [`StepWorkspace`] — which in
+//!   the multi-tenant engine comes from a
+//!   [`WorkspacePool`](crate::session::WorkspacePool) lease rather than
+//!   being owned per process.
+//! * [`Simulation`] is the classic single-tenant facade: it bundles a
+//!   `SimCore` with its own workspace and the borrowed pool/device, and
+//!   keeps the exact API every example, test, and bench bin already uses.
+//!
+//! Steady-state steps recycle the workspace's buffers and the
+//! history-evicted moment grid, so the loop's hot path performs no
+//! workspace heap growth (tests/workspace_reuse.rs pins this via the
+//! `workspace.*` gauges).
 
 use std::time::Duration;
 
@@ -81,16 +96,23 @@ pub struct SimulationConfig {
 impl SimulationConfig {
     /// A reasonable default over the unit square.
     pub fn standard(geometry: GridGeometry, kernel: KernelKind) -> Self {
+        // Process-wide default: BEAMDYN_BACKEND when set, traced
+        // otherwise — so smoke targets and tests can be matrix-run on
+        // the native backend without touching every call site.
+        Self::for_backend(geometry, kernel, BackendKind::from_env())
+    }
+
+    /// [`SimulationConfig::standard`] with an explicit backend — the
+    /// service path, which must never consult (or panic on) the
+    /// environment while handling a request.
+    pub fn for_backend(geometry: GridGeometry, kernel: KernelKind, backend: BackendKind) -> Self {
         let kappa = 6;
         Self {
             geometry,
             rp: RpConfig::standard(kappa, 0.35 / kappa as f64),
             tolerance: 1e-6,
             kernel,
-            // Process-wide default: BEAMDYN_BACKEND when set, traced
-            // otherwise — so smoke targets and tests can be matrix-run on
-            // the native backend without touching every call site.
-            backend: BackendKind::from_env(),
+            backend,
             predictor: PredictorKind::default(),
             // Uniform keeps every partition in one globally aligned dyadic
             // family, so the pattern-level group merge cannot inflate and
@@ -128,43 +150,40 @@ impl StepTelemetry {
     }
 }
 
-/// The four-step simulation driver.
-pub struct Simulation<'a> {
-    pool: &'a ThreadPool,
-    device: &'a DeviceConfig,
+/// Everything a simulation *owns* across steps: configuration, particle
+/// state, grid history, the kernel's learning state, and the compute
+/// backend. Borrows nothing — `Send`, storable, schedulable.
+///
+/// Per-step resources (thread pool, device model, workspace) are borrowed
+/// by [`SimCore::run_step`], so the same core runs identically whether it
+/// is the process's only simulation ([`Simulation`]) or one of hundreds
+/// multiplexed by a [`SessionManager`](crate::session::SessionManager) —
+/// determinism of the pool's scoped loops makes the results bit-identical
+/// either way.
+pub struct SimCore {
     config: SimulationConfig,
     beam: Beam,
     history: GridHistory,
     step: usize,
-    /// The potentials strategy — the only kernel state the driver holds.
+    /// The potentials strategy — the only kernel state the core holds.
     kernel: Box<dyn PotentialsKernel>,
     /// How planned launches execute (traced simulated GPU or native host).
     backend: Box<dyn ComputeBackend>,
-    /// Reusable per-step buffers (including the previous-partition store
-    /// the Heuristic and Predictive kernels read).
-    workspace: StepWorkspace,
     /// Potential field of the last completed step.
     last_potentials: Option<ScalarField>,
 }
 
-impl<'a> Simulation<'a> {
-    /// Creates a simulation over an initial beam, with the kernel object
-    /// the config selects.
-    pub fn new(
-        pool: &'a ThreadPool,
-        device: &'a DeviceConfig,
-        config: SimulationConfig,
-        beam: Beam,
-    ) -> Self {
+impl SimCore {
+    /// Creates a core over an initial beam, with the kernel object the
+    /// config selects.
+    pub fn new(config: SimulationConfig, beam: Beam) -> Self {
         let kernel = build_kernel(&config);
-        Self::with_kernel(pool, device, config, beam, kernel)
+        Self::with_kernel(config, beam, kernel)
     }
 
-    /// Creates a simulation driving a caller-supplied kernel object
+    /// Creates a core driving a caller-supplied kernel object
     /// (`config.kernel` is ignored in favour of it).
     pub fn with_kernel(
-        pool: &'a ThreadPool,
-        device: &'a DeviceConfig,
         config: SimulationConfig,
         beam: Beam,
         kernel: Box<dyn PotentialsKernel>,
@@ -172,15 +191,12 @@ impl<'a> Simulation<'a> {
         let history = GridHistory::new(config.geometry, config.rp.kappa + 3);
         let backend = build_backend(config.backend);
         Self {
-            pool,
-            device,
             config,
             beam,
             history,
             step: 0,
             kernel,
             backend,
-            workspace: StepWorkspace::new(),
             last_potentials: None,
         }
     }
@@ -188,6 +204,11 @@ impl<'a> Simulation<'a> {
     /// Current step counter (completed steps).
     pub fn step_index(&self) -> usize {
         self.step
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
     }
 
     /// The beam (e.g. for statistics).
@@ -216,17 +237,18 @@ impl<'a> Simulation<'a> {
         self.backend.name()
     }
 
-    /// The step workspace (for inspecting buffer reuse).
-    pub fn workspace(&self) -> &StepWorkspace {
-        &self.workspace
-    }
-
-    /// Executes one full time step; returns its telemetry.
+    /// Executes one full time step over borrowed step resources; returns
+    /// its telemetry.
     ///
     /// The whole step runs under an obs `step` span; each paper stage gets
     /// a child span, and the telemetry durations are exactly the span
     /// durations ([`obs::SpanGuard::stop`] returns the recorded value).
-    pub fn run_step(&mut self) -> StepTelemetry {
+    pub fn run_step(
+        &mut self,
+        pool: &ThreadPool,
+        device: &DeviceConfig,
+        workspace: &mut StepWorkspace,
+    ) -> StepTelemetry {
         let step_span = obs::span!("step");
         // Track the bunch: the support cut follows the charge centroid, so
         // the integration horizons move with the beam.
@@ -235,9 +257,9 @@ impl<'a> Simulation<'a> {
         }
         // --- 1. Particle deposition ---
         let deposit_span = obs::span!("deposit");
-        let mut grid = self.workspace.take_grid(self.config.geometry);
+        let mut grid = workspace.take_grid(self.config.geometry);
         refill_samples(
-            &mut self.workspace.deposit_samples,
+            &mut workspace.deposit_samples,
             self.beam.particles.iter().map(|p| DepositSample {
                 x: p.x,
                 y: p.y,
@@ -246,30 +268,30 @@ impl<'a> Simulation<'a> {
                 vy: p.vy,
             }),
         );
-        deposit_cic(self.pool, &mut grid, &self.workspace.deposit_samples);
+        deposit_cic(pool, &mut grid, &workspace.deposit_samples);
         if let Some(evicted) = self.history.push(self.step, grid) {
-            self.workspace.recycle_grid(evicted);
+            workspace.recycle_grid(evicted);
         }
         let deposit_time = STAGE_DEPOSIT_NS.observe_span(deposit_span);
 
         // --- 2. Compute retarded potentials ---
         let potentials_span = obs::span!("potentials");
-        let mut potentials = self.compute_potentials();
+        let mut potentials = self.compute_potentials(pool, device, workspace);
         STAGE_POTENTIALS_NS.observe_span(potentials_span);
 
         // --- 3 & 4. Self-forces and particle push ---
         let push_span = obs::span!("gather_push");
         let field = ScalarField::new(self.config.geometry, potentials.potentials());
         if !self.config.rigid {
-            let mut forces = gather_forces(self.pool, &field, &self.beam);
+            let mut forces = gather_forces(pool, &field, &self.beam);
             for f in &mut forces {
                 f.0 *= self.config.force_scale;
                 f.1 *= self.config.force_scale;
             }
             // Leap-frog with velocities staggered by half a step: one kick,
             // one drift per field solve.
-            kick(self.pool, &mut self.beam, &forces, self.config.rp.dt);
-            drift(self.pool, &mut self.beam, self.config.rp.dt);
+            kick(pool, &mut self.beam, &forces, self.config.rp.dt);
+            drift(pool, &mut self.beam, self.config.rp.dt);
         }
         let push_time = STAGE_GATHER_PUSH_NS.observe_span(push_span);
         self.last_potentials = Some(field);
@@ -277,7 +299,7 @@ impl<'a> Simulation<'a> {
         // --- Commit: move (not clone) the observed partitions into the
         // workspace's previous-partition store for the next step's reuse. ---
         let commit_span = obs::span!("commit");
-        self.workspace.store_partitions(&mut potentials.points);
+        workspace.store_partitions(&mut potentials.points);
         let telemetry = StepTelemetry {
             step: self.step,
             potentials,
@@ -286,21 +308,20 @@ impl<'a> Simulation<'a> {
         };
         drop(commit_span);
         self.step += 1;
-        self.workspace.publish_gauges();
+        workspace.publish_gauges();
         STAGE_STEP_NS.observe_span(step_span);
-        obs::flush_step(telemetry.step);
         telemetry
     }
 
-    /// Runs `n` steps, returning all telemetry records.
-    pub fn run(&mut self, n: usize) -> Vec<StepTelemetry> {
-        (0..n).map(|_| self.run_step()).collect()
-    }
-
-    fn compute_potentials(&mut self) -> PotentialsOutput {
+    fn compute_potentials(
+        &mut self,
+        pool: &ThreadPool,
+        device: &DeviceConfig,
+        workspace: &mut StepWorkspace,
+    ) -> PotentialsOutput {
         let problem = RpProblem {
-            pool: self.pool,
-            device: self.device,
+            pool,
+            device,
             history: &self.history,
             config: self.config.rp,
             layout: DeviceLayout::new(self.config.geometry, 0),
@@ -312,8 +333,102 @@ impl<'a> Simulation<'a> {
             self.kernel.as_mut(),
             self.backend.as_ref(),
             &problem,
-            &mut self.workspace,
+            workspace,
         )
+    }
+}
+
+/// The four-step simulation driver: a [`SimCore`] plus the pool, device,
+/// and workspace of a single-tenant run. This is the facade every
+/// example, bench bin, and test drives; multi-tenant callers hold
+/// `SimCore`s directly and lease workspaces from a pool.
+pub struct Simulation<'a> {
+    pool: &'a ThreadPool,
+    device: &'a DeviceConfig,
+    core: SimCore,
+    /// Reusable per-step buffers (including the previous-partition store
+    /// the Heuristic and Predictive kernels read).
+    workspace: StepWorkspace,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation over an initial beam, with the kernel object
+    /// the config selects.
+    pub fn new(
+        pool: &'a ThreadPool,
+        device: &'a DeviceConfig,
+        config: SimulationConfig,
+        beam: Beam,
+    ) -> Self {
+        let kernel = build_kernel(&config);
+        Self::with_kernel(pool, device, config, beam, kernel)
+    }
+
+    /// Creates a simulation driving a caller-supplied kernel object
+    /// (`config.kernel` is ignored in favour of it).
+    pub fn with_kernel(
+        pool: &'a ThreadPool,
+        device: &'a DeviceConfig,
+        config: SimulationConfig,
+        beam: Beam,
+        kernel: Box<dyn PotentialsKernel>,
+    ) -> Self {
+        Self {
+            pool,
+            device,
+            core: SimCore::with_kernel(config, beam, kernel),
+            workspace: StepWorkspace::new(),
+        }
+    }
+
+    /// Current step counter (completed steps).
+    pub fn step_index(&self) -> usize {
+        self.core.step_index()
+    }
+
+    /// The beam (e.g. for statistics).
+    pub fn beam(&self) -> &Beam {
+        self.core.beam()
+    }
+
+    /// Potential field from the most recent step.
+    pub fn last_potentials(&self) -> Option<&ScalarField> {
+        self.core.last_potentials()
+    }
+
+    /// The online predictor, when the active kernel carries one
+    /// (Predictive-RP only).
+    pub fn predictor(&self) -> Option<&Predictor> {
+        self.core.predictor()
+    }
+
+    /// The active kernel's name.
+    pub fn kernel_name(&self) -> &'static str {
+        self.core.kernel_name()
+    }
+
+    /// The active compute backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.core.backend_name()
+    }
+
+    /// The step workspace (for inspecting buffer reuse).
+    pub fn workspace(&self) -> &StepWorkspace {
+        &self.workspace
+    }
+
+    /// Executes one full time step; returns its telemetry.
+    pub fn run_step(&mut self) -> StepTelemetry {
+        let telemetry = self
+            .core
+            .run_step(self.pool, self.device, &mut self.workspace);
+        obs::flush_step(telemetry.step);
+        telemetry
+    }
+
+    /// Runs `n` steps, returning all telemetry records.
+    pub fn run(&mut self, n: usize) -> Vec<StepTelemetry> {
+        (0..n).map(|_| self.run_step()).collect()
     }
 }
 

@@ -35,15 +35,21 @@ pub mod pattern;
 pub mod points;
 pub mod predictor;
 pub mod report;
+pub mod scenario;
+pub mod session;
 pub mod status;
 pub mod transform;
 pub mod workspace;
 
 pub use backend::{build_backend, BackendKind, ComputeBackend, NativeFast, TracedSimt};
-pub use driver::{KernelKind, Simulation, SimulationConfig, StepTelemetry};
+pub use driver::{KernelKind, SimCore, Simulation, SimulationConfig, StepTelemetry};
 pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem, StepObservation};
 pub use pattern::AccessPattern;
 pub use predictor::{Predictor, PredictorKind};
+pub use scenario::{ScenarioSpec, SpecError};
+pub use session::{
+    SessionEvent, SessionManager, SessionManagerConfig, SessionState, WorkspacePool,
+};
 pub use status::{StatusBoard, StatusSnapshot};
 pub use workspace::{CellLists, StepWorkspace};
 

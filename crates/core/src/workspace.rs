@@ -587,6 +587,26 @@ impl StepWorkspace {
         self.recycled_grid = Some(grid);
     }
 
+    /// Clears every cross-step *content* the workspace carries — staged
+    /// samples, CSR lists, task lists, accumulators, and crucially the
+    /// previous-partition store the Heuristic/Predictive kernels read —
+    /// while keeping all buffer capacity. A pooled workspace handed to a
+    /// new session therefore behaves exactly like a fresh one numerically
+    /// (capacities never feed the numerics; `take_grid` zeroes any kept
+    /// recycled grid) but re-allocates nothing, which is what lets a warm
+    /// [`WorkspacePool`](crate::session::WorkspacePool) hold
+    /// `workspace.bytes_resident` flat across session churn.
+    pub fn reset_for_session(&mut self) {
+        self.deposit_samples.clear();
+        self.cells.clear();
+        self.tasks.clear();
+        self.spare_tasks.clear();
+        self.break_edges.clear();
+        self.need.clear();
+        self.need_width = 0;
+        self.previous_partitions.clear();
+    }
+
     /// Total bytes of buffer capacity the workspace holds. Counts the
     /// workspace's own reusable buffers; the *contents* of the
     /// previous-partition store (per-step products moved in from the

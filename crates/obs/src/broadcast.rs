@@ -1,17 +1,21 @@
-//! Fan-out of [`StepFlush`] events to live consumers.
+//! Fan-out of events to live consumers over bounded drop-oldest rings.
 //!
-//! A [`BroadcastSink`] sits between the simulation hot path and any number
-//! of live readers (the SSE endpoint of `crates/serve`, tests, custom
+//! [`Broadcast<T>`] sits between a producer hot path and any number of
+//! live readers (the SSE endpoints of `crates/serve`, tests, custom
 //! dashboards). Each subscriber owns a **bounded ring buffer**: the
-//! producer side (`step_flush`, called inline on the simulation thread)
-//! only ever pushes into those rings and never waits — when a ring is full
-//! the *oldest* queued event is dropped and the global
+//! producer side ([`Broadcast::publish`], called inline on the producing
+//! thread) only ever pushes into those rings and never waits — when a
+//! ring is full the *oldest* queued event is dropped and the global
 //! `telemetry.dropped_events` counter incremented. A slow or stalled HTTP
-//! client therefore costs the simulation one `VecDeque` rotation per step,
+//! client therefore costs the producer one `VecDeque` rotation per event,
 //! never a block.
 //!
-//! Subscribers that have been dropped are pruned lazily on the next flush,
-//! so disconnecting consumers leave no leak behind.
+//! [`BroadcastSink`] is the step-flush specialisation (`Broadcast<StepFlush>`)
+//! that plugs into the sink registry; the session engine reuses the same
+//! machinery for per-session event buses carrying pre-rendered payloads.
+//!
+//! Subscribers that have been dropped are pruned lazily on the next
+//! publish, so disconnecting consumers leave no leak behind.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,35 +25,39 @@ use std::time::Duration;
 use crate::sink::{Sink, SpanEvent, StepFlush};
 use crate::Counter;
 
-/// Step-flush events discarded because a subscriber's ring was full
-/// (one increment per discarded event, summed over all subscribers).
+/// Events discarded because a subscriber's ring was full (one increment
+/// per discarded event, summed over all subscribers of all broadcasts).
 static DROPPED_EVENTS: Counter = Counter::new("telemetry.dropped_events");
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-struct Channel {
-    queue: Mutex<VecDeque<StepFlush>>,
+struct Channel<T> {
+    queue: Mutex<VecDeque<T>>,
     available: Condvar,
-    /// Set when the receiver half is dropped; the sink prunes the channel.
+    /// Set when the receiver half is dropped; the broadcast prunes the
+    /// channel.
     closed: AtomicBool,
 }
 
-/// A [`Sink`] that fans every step flush out to bounded per-subscriber
-/// ring buffers. Span closes are ignored — live consumers watch step
-/// granularity; per-span streams stay the job of the trace sinks.
-pub struct BroadcastSink {
+/// Fans every published event out to bounded per-subscriber ring buffers.
+pub struct Broadcast<T> {
     capacity: usize,
-    subscribers: Mutex<Vec<Arc<Channel>>>,
+    subscribers: Mutex<Vec<Arc<Channel<T>>>>,
 }
 
-impl BroadcastSink {
+/// The [`Sink`] specialisation broadcasting whole step flushes. Span
+/// closes are ignored — live consumers watch step granularity; per-span
+/// streams stay the job of the trace sinks.
+pub type BroadcastSink = Broadcast<StepFlush>;
+
+impl<T: Clone> Broadcast<T> {
     /// Default ring capacity per subscriber.
     pub const DEFAULT_CAPACITY: usize = 256;
 
-    /// Creates a sink whose subscriber rings hold up to `capacity` pending
-    /// events each (`capacity` is clamped to at least 1).
+    /// Creates a broadcast whose subscriber rings hold up to `capacity`
+    /// pending events each (`capacity` is clamped to at least 1).
     pub fn with_capacity(capacity: usize) -> Arc<Self> {
         Arc::new(Self {
             capacity: capacity.max(1),
@@ -57,14 +65,14 @@ impl BroadcastSink {
         })
     }
 
-    /// Creates a sink with [`BroadcastSink::DEFAULT_CAPACITY`].
+    /// Creates a broadcast with [`Broadcast::DEFAULT_CAPACITY`].
     pub fn new() -> Arc<Self> {
         Self::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Registers a new live consumer; events flushed from now on are
+    /// Registers a new live consumer; events published from now on are
     /// queued for it (up to the ring capacity).
-    pub fn subscribe(&self) -> BroadcastReceiver {
+    pub fn subscribe(&self) -> BroadcastReceiver<T> {
         let channel = Arc::new(Channel {
             queue: Mutex::new(VecDeque::with_capacity(self.capacity)),
             available: Condvar::new(),
@@ -75,16 +83,15 @@ impl BroadcastSink {
     }
 
     /// Number of live subscribers (dropped receivers count until the next
-    /// flush prunes them).
+    /// publish prunes them).
     pub fn subscriber_count(&self) -> usize {
         lock(&self.subscribers).len()
     }
-}
 
-impl Sink for BroadcastSink {
-    fn span_close(&self, _event: &SpanEvent) {}
-
-    fn step_flush(&self, flush: &StepFlush) {
+    /// Pushes `event` into every live subscriber's ring, dropping each
+    /// ring's oldest entry (and counting `telemetry.dropped_events`) when
+    /// full. Never blocks on a consumer.
+    pub fn publish(&self, event: &T) {
         let mut subscribers = lock(&self.subscribers);
         subscribers.retain(|channel| {
             if channel.closed.load(Ordering::Acquire) {
@@ -95,7 +102,7 @@ impl Sink for BroadcastSink {
                 queue.pop_front();
                 DROPPED_EVENTS.incr();
             }
-            queue.push_back(flush.clone());
+            queue.push_back(event.clone());
             drop(queue);
             channel.available.notify_one();
             true
@@ -103,21 +110,29 @@ impl Sink for BroadcastSink {
     }
 }
 
-/// The consumer half of one [`BroadcastSink`] subscription.
-pub struct BroadcastReceiver {
-    channel: Arc<Channel>,
+impl Sink for BroadcastSink {
+    fn span_close(&self, _event: &SpanEvent) {}
+
+    fn step_flush(&self, flush: &StepFlush) {
+        self.publish(flush);
+    }
 }
 
-impl BroadcastReceiver {
+/// The consumer half of one [`Broadcast`] subscription.
+pub struct BroadcastReceiver<T = StepFlush> {
+    channel: Arc<Channel<T>>,
+}
+
+impl<T> BroadcastReceiver<T> {
     /// Pops the oldest pending event without waiting.
-    pub fn try_recv(&self) -> Option<StepFlush> {
+    pub fn try_recv(&self) -> Option<T> {
         lock(&self.channel.queue).pop_front()
     }
 
     /// Waits up to `timeout` for an event. Returns `None` on timeout —
-    /// long-lived consumers (the SSE writer) loop on this so they can
+    /// long-lived consumers (the SSE writers) loop on this so they can
     /// interleave shutdown checks with waiting.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<StepFlush> {
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
         let queue = lock(&self.channel.queue);
         let (mut queue, _timed_out) = self
             .channel
@@ -128,7 +143,7 @@ impl BroadcastReceiver {
     }
 
     /// Drains everything currently pending.
-    pub fn drain(&self) -> Vec<StepFlush> {
+    pub fn drain(&self) -> Vec<T> {
         lock(&self.channel.queue).drain(..).collect()
     }
 
@@ -143,7 +158,7 @@ impl BroadcastReceiver {
     }
 }
 
-impl Drop for BroadcastReceiver {
+impl<T> Drop for BroadcastReceiver<T> {
     fn drop(&mut self) {
         self.channel.closed.store(true, Ordering::Release);
     }

@@ -33,10 +33,11 @@ mod histogram;
 mod perfetto;
 pub mod prometheus;
 mod registry;
+pub mod scope;
 mod sink;
 mod span;
 
-pub use broadcast::{BroadcastReceiver, BroadcastSink};
+pub use broadcast::{Broadcast, BroadcastReceiver, BroadcastSink};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use perfetto::{install_perfetto, PerfettoSink};
 pub use registry::{

@@ -25,6 +25,7 @@
 use std::fmt::Write as _;
 
 use crate::registry::Snapshot;
+use crate::scope::{scoped_snapshot, ScopedSnapshot};
 
 /// Prefix of every exposed metric family.
 const NAMESPACE: &str = "beamdyn";
@@ -175,10 +176,63 @@ pub fn render(snap: &Snapshot) -> String {
     out
 }
 
-/// [`render`] over a fresh snapshot of the live registry — the body a
-/// `/metrics` endpoint serves.
+/// Renders the dynamically-scoped (per-session) series as
+/// `session`-labelled families: scoped counters become
+/// `beamdyn_<family>_total{session="<scope>"}`, scoped gauges
+/// `beamdyn_<family>{session="<scope>"}`. One `# TYPE` header per family,
+/// every scope's sample beneath it, so the exposition stays well-formed
+/// no matter how sessions churn between scrapes.
+pub fn render_scoped(scoped: &ScopedSnapshot) -> String {
+    let mut out = String::new();
+    for (family, samples) in &scoped.counters {
+        let name = format!("{NAMESPACE}_{}_total", sanitize_name(family));
+        family_header(
+            &mut out,
+            &name,
+            &format!("Per-session monotonic counter `{family}`."),
+            "counter",
+        );
+        for (scope, value) in samples {
+            let _ = writeln!(
+                out,
+                "{name}{{session=\"{}\"}} {value}",
+                escape_label_value(scope)
+            );
+        }
+    }
+    for (family, samples) in &scoped.gauges {
+        let name = format!("{NAMESPACE}_{}", sanitize_name(family));
+        family_header(
+            &mut out,
+            &name,
+            &format!("Per-session gauge `{family}`."),
+            "gauge",
+        );
+        for (scope, value) in samples {
+            let _ = writeln!(
+                out,
+                "{name}{{session=\"{}\"}} {}",
+                escape_label_value(scope),
+                render_value(*value)
+            );
+        }
+    }
+    out
+}
+
+/// [`render`] over a fresh snapshot of the live registry, followed by the
+/// scoped per-session families — the body a fleet-wide `/metrics`
+/// endpoint serves.
 pub fn render_current() -> String {
-    render(&crate::registry::snapshot())
+    let mut out = render(&crate::registry::snapshot());
+    out.push_str(&render_scoped(&scoped_snapshot(None)));
+    out
+}
+
+/// Renders only the series of one scope (the per-session `/metrics`
+/// endpoint). Empty when the scope holds no series.
+pub fn render_session(scope: &str) -> String {
+    render_scoped(&scoped_snapshot(Some(scope)))
 }
 
 #[cfg(test)]

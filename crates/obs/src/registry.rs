@@ -202,9 +202,11 @@ pub fn snapshot() -> Snapshot {
 }
 
 /// Zeroes every span stat, counter, gauge, and histogram (registrations
-/// persist). Intended for test isolation; concurrent recorders will observe
-/// the reset as a discontinuity.
+/// persist) and drops every dynamically-scoped series. Intended for test
+/// isolation; concurrent recorders will observe the reset as a
+/// discontinuity.
 pub fn reset() {
+    crate::scope::reset_all();
     lock(&REGISTRY.spans).clear();
     for c in lock(&REGISTRY.counters).iter() {
         c.reset_value();

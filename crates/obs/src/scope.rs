@@ -1,0 +1,121 @@
+//! Dynamically-scoped metric series for multi-tenant workloads.
+//!
+//! The main registry only knows `&'static` metrics — perfect for the
+//! process-wide families the simulation hot path bumps, useless for
+//! per-session series whose label set is decided at runtime by whoever
+//! POSTs a scenario. This module fills that gap: a scope is a short
+//! string key (the session id), each scope carries a small map of
+//! counter/gauge families, and [`drop_scope`] removes a finished
+//! session's series so exposition cardinality stays bounded by the number
+//! of *live* sessions, not by everything that ever ran.
+//!
+//! Scoped series are deliberately kept out of [`Snapshot`](crate::Snapshot)
+//! and the per-step [`StepFlush`](crate::StepFlush) — SSE payloads and
+//! trace lines stay one-simulation-sized no matter how many tenants the
+//! process hosts. Prometheus exposition is the one place they surface,
+//! rendered as `beamdyn_<family>{session="<scope>"}` next to the global
+//! families (see [`prometheus`](crate::prometheus)).
+
+use std::collections::BTreeMap;
+use std::sync::{LazyLock, Mutex};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[derive(Default)]
+struct ScopeMetrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+static SCOPES: LazyLock<Mutex<BTreeMap<String, ScopeMetrics>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+/// Adds `n` to the `family` counter of `scope`, creating both on first
+/// touch.
+pub fn scoped_counter_add(scope: &str, family: &'static str, n: u64) {
+    let mut scopes = lock(&SCOPES);
+    let metrics = scopes.entry(scope.to_owned()).or_default();
+    *metrics.counters.entry(family).or_insert(0) += n;
+}
+
+/// Sets the `family` gauge of `scope` to `value`, creating both on first
+/// touch.
+pub fn scoped_gauge_set(scope: &str, family: &'static str, value: f64) {
+    let mut scopes = lock(&SCOPES);
+    let metrics = scopes.entry(scope.to_owned()).or_default();
+    metrics.gauges.insert(family, value);
+}
+
+/// Reads one scoped counter (None if the scope or family was never
+/// touched).
+pub fn scoped_counter_value(scope: &str, family: &str) -> Option<u64> {
+    lock(&SCOPES)
+        .get(scope)
+        .and_then(|m| m.counters.get(family).copied())
+}
+
+/// Reads one scoped gauge (None if the scope or family was never set).
+pub fn scoped_gauge_value(scope: &str, family: &str) -> Option<f64> {
+    lock(&SCOPES)
+        .get(scope)
+        .and_then(|m| m.gauges.get(family).copied())
+}
+
+/// Removes every series of `scope`; returns whether the scope existed.
+/// Call when a session is deleted so exposition cardinality tracks live
+/// sessions only.
+pub fn drop_scope(scope: &str) -> bool {
+    lock(&SCOPES).remove(scope).is_some()
+}
+
+/// Number of live scopes.
+pub fn scope_count() -> usize {
+    lock(&SCOPES).len()
+}
+
+/// A consistent copy of every scoped series, grouped by family so the
+/// Prometheus renderer can emit one `# TYPE` header per family with all
+/// scope labels beneath it. Families and scopes are both sorted.
+#[derive(Debug, Clone, Default)]
+pub struct ScopedSnapshot {
+    /// `(family, [(scope, value)])` for counters.
+    pub counters: Vec<(&'static str, Vec<(String, u64)>)>,
+    /// `(family, [(scope, value)])` for gauges.
+    pub gauges: Vec<(&'static str, Vec<(String, f64)>)>,
+}
+
+/// Snapshots every scoped series. Pass `Some(scope)` to restrict to one
+/// scope (the per-session `/metrics` endpoint), `None` for everything.
+pub fn scoped_snapshot(only: Option<&str>) -> ScopedSnapshot {
+    let scopes = lock(&SCOPES);
+    let mut counters: BTreeMap<&'static str, Vec<(String, u64)>> = BTreeMap::new();
+    let mut gauges: BTreeMap<&'static str, Vec<(String, f64)>> = BTreeMap::new();
+    for (scope, metrics) in scopes.iter() {
+        if only.is_some_and(|s| s != scope) {
+            continue;
+        }
+        for (family, value) in &metrics.counters {
+            counters
+                .entry(family)
+                .or_default()
+                .push((scope.clone(), *value));
+        }
+        for (family, value) in &metrics.gauges {
+            gauges
+                .entry(family)
+                .or_default()
+                .push((scope.clone(), *value));
+        }
+    }
+    ScopedSnapshot {
+        counters: counters.into_iter().collect(),
+        gauges: gauges.into_iter().collect(),
+    }
+}
+
+/// Clears every scope (test isolation; wired into [`crate::reset`]).
+pub(crate) fn reset_all() {
+    lock(&SCOPES).clear();
+}

@@ -1,20 +1,24 @@
-//! The HTTP/1.1 monitor server.
+//! The HTTP/1.1 monitor + session server.
 //!
-//! Deliberately minimal: `GET` only, `Connection: close`, requests parsed
-//! from the first line, bodies ignored. That subset is exactly what
-//! Prometheus scrapers, `curl`, and `EventSource` clients need, and it
-//! keeps the server free of any dependency beyond `std::net` and the
-//! workspace's own thread pool.
+//! Deliberately minimal: `GET`/`POST`/`DELETE`, `Connection: close`,
+//! bodies read only when `Content-Length` says so (capped at 1 MiB).
+//! That subset is exactly what Prometheus scrapers, `curl`, and
+//! `EventSource` clients need, and it keeps the server free of any
+//! dependency beyond `std::net` and the workspace's own thread pool
+//! (plus the in-repo `bench::json` parser for scenario bodies).
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use beamdyn_core::StatusBoard;
+use beamdyn_core::scenario::SpecError;
+use beamdyn_core::{SessionManager, StatusBoard};
 use beamdyn_obs::{prometheus, BroadcastSink};
 use beamdyn_par::ThreadPool;
+
+use crate::spec::parse_scenario;
 
 /// How the monitor binds and sizes itself.
 #[derive(Debug, Clone)]
@@ -38,7 +42,8 @@ impl Default for ServeConfig {
 }
 
 /// What the endpoints serve from: the driver's status mailbox, the step
-/// event bus, and the readiness flag the run loop flips once it is up.
+/// event bus, the readiness flag the run loop flips once it is up, and —
+/// when the host embeds one — the multi-tenant session manager.
 #[derive(Clone)]
 pub struct ServeContext {
     /// `/status` source.
@@ -47,6 +52,9 @@ pub struct ServeContext {
     pub events: Arc<BroadcastSink>,
     /// `/readyz` turns 200 once this is set.
     pub ready: Arc<AtomicBool>,
+    /// `/sessions` backend. `None` makes every session route answer 503 —
+    /// embeddings that only monitor a single fixed run stay valid.
+    pub sessions: Option<Arc<SessionManager>>,
 }
 
 struct Flags {
@@ -140,6 +148,9 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// How long an `/events` writer waits for the next step before checking the
 /// stop flag and emitting an SSE keep-alive comment.
 const EVENT_TICK: Duration = Duration::from_millis(200);
+/// Largest request body the server reads. A scenario spec is a few hundred
+/// bytes; anything past this is a client error, answered 413.
+const MAX_BODY: usize = 1 << 20;
 
 fn accept_loop(listener: &TcpListener, workers: usize, ctx: &ServeContext, flags: &Arc<Flags>) {
     // Job-per-connection on the workspace's own pool (DESIGN.md §11);
@@ -161,16 +172,36 @@ fn accept_loop(listener: &TcpListener, workers: usize, ctx: &ServeContext, flags
     }
 }
 
-/// Parses the request line of one HTTP request; returns `(method, path)`.
-fn read_request(stream: &TcpStream) -> std::io::Result<(String, String)> {
+/// One parsed request: method, path, and the body (empty unless the client
+/// sent `Content-Length`).
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+enum ReadOutcome {
+    Ok(Request),
+    /// `Content-Length` exceeded [`MAX_BODY`]; answer 413.
+    TooLarge,
+}
+
+/// Parses one HTTP request: request line, headers (only `Content-Length`
+/// matters), then exactly that many body bytes.
+fn read_request(stream: &TcpStream) -> std::io::Result<ReadOutcome> {
     let mut reader = BufReader::with_capacity(2048, stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
-    // Drain headers so well-behaved clients see their request consumed.
+    let mut content_length: usize = 0;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
             break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
         }
     }
     let mut parts = request_line.split_whitespace();
@@ -179,7 +210,21 @@ fn read_request(stream: &TcpStream) -> std::io::Result<(String, String)> {
     if method.is_empty() || path.is_empty() {
         return Err(std::io::Error::other("malformed request line"));
     }
-    Ok((method, path))
+    if content_length > MAX_BODY {
+        // Drain (bounded) what the client already committed to sending, so
+        // it can finish writing and read the 413 instead of hitting a
+        // reset pipe.
+        let drain = content_length.min(8 * MAX_BODY) as u64;
+        let _ = std::io::copy(&mut reader.take(drain), &mut std::io::sink());
+        return Ok(ReadOutcome::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    let body =
+        String::from_utf8(body).map_err(|_| std::io::Error::other("request body is not UTF-8"))?;
+    Ok(ReadOutcome::Ok(Request { method, path, body }))
 }
 
 fn write_response(
@@ -196,39 +241,54 @@ fn write_response(
     stream.flush()
 }
 
+fn write_json(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body)
+}
+
+fn not_found(stream: &mut TcpStream) -> std::io::Result<()> {
+    write_response(
+        stream,
+        "404 Not Found",
+        "text/plain; charset=utf-8",
+        "unknown endpoint; try /metrics /status /events /sessions /healthz /readyz /quitz\n",
+    )
+}
+
 fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_nodelay(true);
-    let (method, path) = match read_request(&stream) {
-        Ok(r) => r,
+    let request = match read_request(&stream) {
+        Ok(ReadOutcome::Ok(r)) => r,
+        Ok(ReadOutcome::TooLarge) => {
+            let _ = write_response(
+                &mut stream,
+                "413 Content Too Large",
+                "text/plain; charset=utf-8",
+                "request body too large\n",
+            );
+            return;
+        }
         Err(_) => return,
     };
-    if method != "GET" {
-        let _ = write_response(
-            &mut stream,
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "only GET is supported\n",
-        );
-        return;
-    }
     // Strip any query string; the endpoints take no parameters.
-    let route = path.split('?').next().unwrap_or(&path);
-    let result = match route {
-        "/metrics" => write_response(
+    let route = request
+        .path
+        .split('?')
+        .next()
+        .unwrap_or(&request.path)
+        .to_string();
+    let result = match (request.method.as_str(), route.as_str()) {
+        ("GET", "/metrics") => write_response(
             &mut stream,
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             &prometheus::render_current(),
         ),
-        "/status" => write_response(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &ctx.status.to_json(),
-        ),
-        "/healthz" => write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
-        "/readyz" => {
+        ("GET", "/status") => write_json(&mut stream, "200 OK", &ctx.status.to_json()),
+        ("GET", "/healthz") => {
+            write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n")
+        }
+        ("GET", "/readyz") => {
             if ctx.ready.load(Ordering::Acquire) {
                 write_response(
                     &mut stream,
@@ -245,7 +305,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
                 )
             }
         }
-        "/quitz" => {
+        ("GET", "/quitz") => {
             flags.quit_requested.store(true, Ordering::Release);
             write_response(
                 &mut stream,
@@ -254,15 +314,128 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
                 "shutdown requested\n",
             )
         }
-        "/events" => stream_events(&mut stream, ctx, flags),
+        ("GET", "/events") => stream_events(&mut stream, ctx, flags),
+        (_, route) if route == "/sessions" || route.starts_with("/sessions/") => {
+            handle_sessions(&mut stream, ctx, flags, &request, route)
+        }
+        ("GET", _) => not_found(&mut stream),
         _ => write_response(
             &mut stream,
-            "404 Not Found",
+            "405 Method Not Allowed",
             "text/plain; charset=utf-8",
-            "unknown endpoint; try /metrics /status /events /healthz /readyz /quitz\n",
+            "method not allowed\n",
         ),
     };
     let _ = result;
+}
+
+/// Dispatches everything under `/sessions`. Routes:
+///
+/// | method + path                  | behaviour                               |
+/// |--------------------------------|-----------------------------------------|
+/// | `POST /sessions`               | submit a scenario spec → 201 + id       |
+/// | `GET /sessions`                | fleet listing + counts + pool gauges    |
+/// | `GET /sessions/{id}`           | one session's summary                   |
+/// | `DELETE /sessions/{id}`        | cancel/evict                            |
+/// | `GET /sessions/{id}/status`    | the session's StatusBoard JSON          |
+/// | `GET /sessions/{id}/metrics`   | Prometheus text scoped to the session   |
+/// | `GET /sessions/{id}/events`    | SSE stream of the session's steps       |
+fn handle_sessions(
+    stream: &mut TcpStream,
+    ctx: &ServeContext,
+    flags: &Flags,
+    request: &Request,
+    route: &str,
+) -> std::io::Result<()> {
+    let Some(mgr) = ctx.sessions.as_ref() else {
+        return write_json(
+            stream,
+            "503 Service Unavailable",
+            "{\"error\":\"session engine not enabled on this server\"}",
+        );
+    };
+    let rest = route.strip_prefix("/sessions").unwrap_or_default();
+    match (request.method.as_str(), rest) {
+        ("POST", "") | ("POST", "/") => {
+            // An empty body means "run the default scenario" — same as `{}`.
+            let body = if request.body.trim().is_empty() {
+                "{}"
+            } else {
+                &request.body
+            };
+            let spec = match parse_scenario(body) {
+                Ok(spec) => spec,
+                Err(err) => return write_json(stream, "400 Bad Request", &err.to_json()),
+            };
+            match mgr.submit(spec) {
+                Ok(id) => write_json(
+                    stream,
+                    "201 Created",
+                    &format!(
+                        "{{\"id\":{id},\"state\":\"queued\",\"location\":\"/sessions/{id}\"}}"
+                    ),
+                ),
+                Err(msg) => write_json(
+                    stream,
+                    "400 Bad Request",
+                    &SpecError::range("spec", msg).to_json(),
+                ),
+            }
+        }
+        ("GET", "") | ("GET", "/") => write_json(stream, "200 OK", &mgr.list_json()),
+        (method, rest) => {
+            let rest = rest.trim_start_matches('/');
+            let (id_str, tail) = match rest.split_once('/') {
+                Some((id, tail)) => (id, Some(tail)),
+                None => (rest, None),
+            };
+            let Ok(id) = id_str.parse::<u64>() else {
+                return write_json(
+                    stream,
+                    "400 Bad Request",
+                    "{\"error\":\"session id must be an integer\"}",
+                );
+            };
+            match (method, tail) {
+                ("GET", None) => match mgr.session_json(id) {
+                    Some(json) => write_json(stream, "200 OK", &json),
+                    None => session_not_found(stream, id),
+                },
+                ("DELETE", None) => {
+                    if mgr.delete(id) {
+                        write_json(stream, "200 OK", &format!("{{\"deleted\":{id}}}"))
+                    } else {
+                        session_not_found(stream, id)
+                    }
+                }
+                ("GET", Some("status")) => match mgr.status_json(id) {
+                    Some(json) => write_json(stream, "200 OK", &json),
+                    None => session_not_found(stream, id),
+                },
+                ("GET", Some("metrics")) => {
+                    if mgr.state(id).is_none() {
+                        return session_not_found(stream, id);
+                    }
+                    write_response(
+                        stream,
+                        "200 OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        &prometheus::render_session(&id.to_string()),
+                    )
+                }
+                ("GET", Some("events")) => stream_session_events(stream, mgr, flags, id),
+                _ => not_found(stream),
+            }
+        }
+    }
+}
+
+fn session_not_found(stream: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    write_json(
+        stream,
+        "404 Not Found",
+        &format!("{{\"error\":\"no such session\",\"id\":{id}}}"),
+    )
 }
 
 /// Serves one Server-Sent Events stream: one `step` event per simulation
@@ -290,6 +463,55 @@ fn stream_events(stream: &mut TcpStream, ctx: &ServeContext, flags: &Flags) -> s
             None => {
                 // SSE comment as keep-alive; also how we notice a client
                 // that went away between steps.
+                write!(stream, ": keep-alive\n\n")?;
+                stream.flush()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serves one session's SSE stream. Unlike the fleet-wide `/events`, this
+/// stream *ends*: once the session reaches a terminal state and the
+/// subscriber has drained its ring, a final `end` event is sent and the
+/// connection closes — `curl` on a finished session returns promptly.
+fn stream_session_events(
+    stream: &mut TcpStream,
+    mgr: &Arc<SessionManager>,
+    flags: &Flags,
+    id: u64,
+) -> std::io::Result<()> {
+    let Some(rx) = mgr.subscribe(id) else {
+        return session_not_found(stream, id);
+    };
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    while !flags.stop.load(Ordering::Acquire) {
+        match rx.recv_timeout(EVENT_TICK) {
+            Some(event) => {
+                write!(
+                    stream,
+                    "event: step\nid: {}\ndata: {}\n\n",
+                    event.step, event.json
+                )?;
+                stream.flush()?;
+            }
+            None => {
+                // No event within a tick: if the session is gone or
+                // terminal, the ring is drained — finish the stream.
+                let state = mgr.state(id);
+                if state.as_ref().is_none_or(|s| s.is_terminal()) {
+                    let state_name = state.as_ref().map_or("deleted", |s| s.name());
+                    write!(
+                        stream,
+                        "event: end\ndata: {{\"session\":{id},\"state\":\"{state_name}\"}}\n\n"
+                    )?;
+                    stream.flush()?;
+                    return Ok(());
+                }
                 write!(stream, ": keep-alive\n\n")?;
                 stream.flush()?;
             }

@@ -1,18 +1,34 @@
-//! # beamdyn-serve — live telemetry over plain `std::net`
+//! # beamdyn-serve — session API + live telemetry over plain `std::net`
 //!
 //! Every other observability surface in this workspace is post-mortem
 //! (Recorder, JSONL, Perfetto, BENCH artifacts). This crate makes a
-//! *running* simulation observable: a dependency-free HTTP/1.1 monitor on
-//! [`std::net::TcpListener`] that serves, while the driver loop is live:
+//! *running* service observable and drivable: a dependency-free HTTP/1.1
+//! server on [`std::net::TcpListener`] that serves, while the engine is
+//! live:
 //!
-//! | endpoint      | body                                                      |
-//! |---------------|-----------------------------------------------------------|
-//! | `GET /metrics`| Prometheus 0.0.4 text of the whole metrics registry       |
-//! | `GET /status` | JSON snapshot of the driver's [`StatusBoard`]             |
-//! | `GET /events` | Server-Sent Events — one `step` event per simulation step |
-//! | `GET /healthz`| liveness (`200 ok`)                                       |
-//! | `GET /readyz` | readiness (`200` once the run loop is up, else `503`)     |
-//! | `GET /quitz`  | requests graceful shutdown of the hosting run loop        |
+//! | endpoint                       | body                                          |
+//! |--------------------------------|-----------------------------------------------|
+//! | `GET /metrics`                 | Prometheus 0.0.4 text of the whole registry   |
+//! | `GET /status`                  | JSON snapshot of the daemon's [`StatusBoard`] |
+//! | `GET /events`                  | SSE — one `step` event per engine step flush  |
+//! | `POST /sessions`               | submit a scenario spec → `201` + session id   |
+//! | `GET /sessions`                | fleet listing, state counts, pool gauges      |
+//! | `GET /sessions/{id}`           | one session's summary JSON                    |
+//! | `DELETE /sessions/{id}`        | cancel / evict a session                      |
+//! | `GET /sessions/{id}/status`    | the session's own StatusBoard JSON            |
+//! | `GET /sessions/{id}/metrics`   | Prometheus text scoped to that session        |
+//! | `GET /sessions/{id}/events`    | SSE of that session's steps (ends on finish)  |
+//! | `GET /healthz`                 | liveness (`200 ok`)                           |
+//! | `GET /readyz`                  | readiness (`200` once the engine is up)       |
+//! | `GET /quitz`                   | requests graceful shutdown of the host loop   |
+//!
+//! `POST /sessions` bodies are declarative [`ScenarioSpec`]
+//! (beamdyn_core::ScenarioSpec) JSON parsed by the in-repo `bench::json`
+//! ([`spec::parse_scenario`]); every malformed field answers a structured
+//! 400 naming the field and the accepted values — a tenant typo must
+//! never panic the daemon. Session routes answer 503 when the embedding
+//! runs without a [`SessionManager`](beamdyn_core::SessionManager)
+//! (`ServeContext::sessions` = `None`).
 //!
 //! Connections are handled job-per-connection on a small dedicated
 //! [`beamdyn_par::ThreadPool`] — the same pool machinery the simulation
@@ -22,8 +38,10 @@
 //! oldest events per subscriber instead; see `telemetry.dropped_events`).
 //!
 //! See `beamdyn-daemon` (workspace root) for the reference embedding, and
-//! DESIGN.md §11 for the architecture.
+//! DESIGN.md §11 and §14 for the architecture.
 
 mod http;
+pub mod spec;
 
 pub use http::{MonitorServer, ServeConfig, ServeContext};
+pub use spec::parse_scenario;

@@ -1,21 +1,27 @@
-//! `beamdyn-daemon` — a monitored, long-running simulation service.
+//! `beamdyn-daemon` — the multi-tenant simulation service.
 //!
-//! Runs a configurable multi-step simulation (optionally looping scenarios
-//! forever) while serving live telemetry over HTTP:
+//! Hosts a [`SessionManager`] (pooled workspaces, fair round-robin
+//! stepping) behind the HTTP monitor, and — unless `--no-scenario` —
+//! submits one built-in scenario session at startup so the classic
+//! single-run surfaces (`/status`, `/events`, stdout step lines) behave
+//! exactly as before:
 //!
 //! ```bash
 //! beamdyn-daemon --port 6310 --steps 12 --kernel predictive
 //! curl localhost:6310/status | jq .
 //! curl localhost:6310/metrics | grep fallback
-//! curl -N localhost:6310/events        # one SSE event per step
-//! curl localhost:6310/quitz            # graceful shutdown
+//! curl -N localhost:6310/events                        # one SSE event per step
+//! curl -X POST localhost:6310/sessions -d '{"kernel":"heuristic","steps":4}'
+//! curl localhost:6310/sessions | jq .                  # fleet listing
+//! curl localhost:6310/quitz                            # graceful shutdown
 //! ```
 //!
-//! After the configured steps finish the daemon stays up serving the final
-//! telemetry (state `done`) until `/quitz`; with `--loop` it starts the
-//! scenario over instead and runs until asked to stop. Shutdown is
-//! signal-free: the run loop polls the server's quit flag between steps, so
-//! a quit request never interrupts a step mid-flight.
+//! After the built-in scenario finishes the daemon stays up serving
+//! telemetry and accepting `POST /sessions` (state `done` on `/status`)
+//! until `/quitz`; with `--loop` it restarts the scenario instead and runs
+//! until asked to stop. Shutdown is signal-free: the main loop polls the
+//! server's quit flag, so a quit request never interrupts a step
+//! mid-flight.
 //!
 //! `--addr-file` writes the bound address (useful with `--port 0`) so
 //! scripts can find an ephemeral port. Set `BEAMDYN_TRACE=1` to also write
@@ -26,11 +32,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use beamdyn::beam::{GaussianBunch, RpConfig};
-use beamdyn::core::{BackendKind, KernelKind, Simulation, SimulationConfig, StatusBoard};
+use beamdyn::core::{
+    BackendKind, KernelKind, ScenarioSpec, SessionManager, SessionManagerConfig, StatusBoard,
+};
 use beamdyn::obs;
-use beamdyn::par::ThreadPool;
-use beamdyn::pic::GridGeometry;
 use beamdyn::serve::{MonitorServer, ServeConfig, ServeContext};
 use beamdyn::simt::DeviceConfig;
 
@@ -44,8 +49,11 @@ struct Options {
     resolution: usize,
     particles: usize,
     threads: usize,
-    step_delay: Duration,
+    step_workers: usize,
+    slots: usize,
+    step_delay_ms: u64,
     addr_file: Option<String>,
+    no_scenario: bool,
 }
 
 impl Options {
@@ -60,8 +68,11 @@ impl Options {
             resolution: 32,
             particles: 20_000,
             threads: 4,
-            step_delay: Duration::ZERO,
+            step_workers: 2,
+            slots: 8,
+            step_delay_ms: 0,
             addr_file: None,
+            no_scenario: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -90,6 +101,7 @@ impl Options {
                     i += 1;
                 }
                 "--loop" => opts.loop_scenarios = true,
+                "--no-scenario" => opts.no_scenario = true,
                 "--kernel" => {
                     opts.kernel = match value(&args, i, flag)?.as_str() {
                         "two-phase" => KernelKind::TwoPhase,
@@ -101,10 +113,12 @@ impl Options {
                 }
                 "--backend" => {
                     let v = value(&args, i, flag)?;
-                    opts.backend = Some(
-                        BackendKind::parse(&v)
-                            .ok_or_else(|| format!("unknown backend '{v}' (traced | native)"))?,
-                    );
+                    opts.backend = Some(BackendKind::parse(&v).ok_or_else(|| {
+                        format!(
+                            "unknown backend '{v}' (accepted: {})",
+                            BackendKind::accepted_values().join(", ")
+                        )
+                    })?);
                     i += 1;
                 }
                 "--resolution" => {
@@ -125,11 +139,22 @@ impl Options {
                         .map_err(|_| "--threads must be a count".to_string())?;
                     i += 1;
                 }
+                "--step-workers" => {
+                    opts.step_workers = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--step-workers must be a count".to_string())?;
+                    i += 1;
+                }
+                "--slots" => {
+                    opts.slots = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--slots must be a count".to_string())?;
+                    i += 1;
+                }
                 "--step-delay-ms" => {
-                    let ms: u64 = value(&args, i, flag)?
+                    opts.step_delay_ms = value(&args, i, flag)?
                         .parse()
                         .map_err(|_| "--step-delay-ms must be milliseconds".to_string())?;
-                    opts.step_delay = Duration::from_millis(ms);
                     i += 1;
                 }
                 "--addr-file" => {
@@ -138,17 +163,20 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "beamdyn-daemon: live-monitored beam-dynamics simulation\n\n\
+                        "beamdyn-daemon: multi-tenant live-monitored beam-dynamics service\n\n\
                          --host H            bind host (default 127.0.0.1)\n\
                          --port P            bind port, 0 = ephemeral (default 6310)\n\
-                         --steps N           steps per scenario (default 6)\n\
-                         --loop              restart the scenario until /quitz\n\
+                         --steps N           steps for the built-in scenario (default 6)\n\
+                         --loop              restart the built-in scenario until /quitz\n\
+                         --no-scenario       serve sessions only; submit nothing at startup\n\
                          --kernel K          two-phase | heuristic | predictive\n\
                          --backend B         traced | native (default: BEAMDYN_BACKEND or traced)\n\
                          --resolution R      grid R x R (default 32)\n\
                          --particles N       macro-particles (default 20000)\n\
-                         --threads N         host pool width (default 4)\n\
-                         --step-delay-ms MS  pause between steps (default 0)\n\
+                         --threads N         shared compute pool width (default 4)\n\
+                         --step-workers N    concurrent session steppers (default 2)\n\
+                         --slots N           workspace-pool slots = max admitted sessions (default 8)\n\
+                         --step-delay-ms MS  pause between scenario steps (default 0)\n\
                          --addr-file PATH    write the bound address to PATH"
                     );
                     std::process::exit(0);
@@ -161,39 +189,21 @@ impl Options {
     }
 }
 
-fn build_simulation<'a>(
-    pool: &'a ThreadPool,
-    device: &'a DeviceConfig,
-    opts: &Options,
-) -> Simulation<'a> {
-    let geometry = GridGeometry::unit(opts.resolution, opts.resolution);
-    let mut config = SimulationConfig::standard(geometry, opts.kernel);
-    // An explicit --backend wins over the BEAMDYN_BACKEND default.
-    if let Some(backend) = opts.backend {
-        config.backend = backend;
-    }
-    config.rp = RpConfig {
+/// The built-in scenario: the same drifting-bunch run the daemon has
+/// always served, expressed as the declarative spec tenants POST.
+fn scenario_spec(opts: &Options) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "daemon".to_string(),
+        kernel: opts.kernel,
+        backend: opts.backend,
+        nx: opts.resolution,
+        ny: opts.resolution,
+        particles: opts.particles,
+        steps: opts.steps,
         kappa: 8,
-        dt: 0.35 / 8.0,
-        inner_points: 3,
-        beta: 0.5,
-        support_x: 0.42,
-        support_y: 0.09,
-        center: (0.4, 0.5),
-    };
-    config.tolerance = 1e-6;
-    let bunch = GaussianBunch {
-        sigma_x: 0.12,
-        sigma_y: 0.03,
-        center_x: 0.4,
-        center_y: 0.5,
-        charge: 1.0,
-        velocity_spread: 0.0,
-        drift_vx: 0.2,
-        chirp: 0.0,
-    };
-    let beam = bunch.sample(opts.particles.max(1), 42);
-    Simulation::new(pool, device, config, beam)
+        step_delay_ms: opts.step_delay_ms,
+        ..ScenarioSpec::default()
+    }
 }
 
 fn main() {
@@ -201,6 +211,20 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("beamdyn-daemon: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    // Resolve the process backend up front: a BEAMDYN_BACKEND typo must be
+    // a clean exit-2 diagnostic, never a panic (and never silently the
+    // wrong backend).
+    let default_backend = match opts
+        .backend
+        .map(Ok)
+        .unwrap_or_else(BackendKind::try_from_env)
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("beamdyn-daemon: {e}");
             std::process::exit(2);
         }
     };
@@ -216,11 +240,22 @@ fn main() {
         None
     };
 
-    let pool = ThreadPool::new(opts.threads.max(1));
-    let device = DeviceConfig::tesla_k40();
-    let mut sim = build_simulation(&pool, &device, &opts);
+    let spec = scenario_spec(&opts);
+    if let Err(e) = spec.validate() {
+        eprintln!("beamdyn-daemon: invalid scenario options: {e}");
+        std::process::exit(2);
+    }
 
-    let status = StatusBoard::new(sim.kernel_name(), sim.backend_name());
+    let manager = SessionManager::start(SessionManagerConfig {
+        threads: opts.threads.max(1),
+        step_workers: opts.step_workers.max(1),
+        slots: opts.slots.max(1),
+        default_backend,
+        device: DeviceConfig::tesla_k40(),
+        ..SessionManagerConfig::default()
+    });
+
+    let status = StatusBoard::new(spec.kernel_request_name(), default_backend.name());
     let ready = Arc::new(AtomicBool::new(false));
     let server = match MonitorServer::start(
         ServeConfig {
@@ -231,6 +266,7 @@ fn main() {
             status: Arc::clone(&status),
             events: events.clone(),
             ready: Arc::clone(&ready),
+            sessions: Some(Arc::clone(&manager)),
         },
     ) {
         Ok(s) => s,
@@ -243,55 +279,103 @@ fn main() {
         }
     };
     println!(
-        "beamdyn-daemon listening on {} ({} / {})",
+        "beamdyn-daemon listening on {} ({} / {}, {} workspace slots)",
         server.base_url(),
-        sim.kernel_name(),
-        sim.backend_name()
+        spec.kernel_request_name(),
+        default_backend.name(),
+        opts.slots.max(1),
     );
-    println!("endpoints: /metrics /status /events /healthz /readyz /quitz");
+    println!("endpoints: /metrics /status /events /sessions /healthz /readyz /quitz");
     if let Some(path) = &opts.addr_file {
         if let Err(e) = std::fs::write(path, server.addr().to_string()) {
             eprintln!("beamdyn-daemon: cannot write --addr-file {path}: {e}");
             std::process::exit(1);
         }
     }
+
+    // Per-step stdout lines, fed from the same broadcast bus /events uses.
+    // Counters in a flush are cumulative, so print the per-step delta.
+    let printer_stop = Arc::new(AtomicBool::new(false));
+    let printer = {
+        let rx = events.subscribe();
+        let stop = Arc::clone(&printer_stop);
+        std::thread::spawn(move || {
+            let mut last_fallback: u64 = 0;
+            while !stop.load(Ordering::Acquire) {
+                if let Some(flush) = rx.recv_timeout(Duration::from_millis(100)) {
+                    let fallback = flush
+                        .counters
+                        .iter()
+                        .find(|(name, _)| *name == "kernels.fallback_cells")
+                        .map_or(0, |&(_, v)| v);
+                    println!(
+                        "step {:4}: fallback {:5} cells (total {})",
+                        flush.step,
+                        fallback.saturating_sub(last_fallback),
+                        fallback,
+                    );
+                    last_fallback = fallback;
+                }
+            }
+        })
+    };
+
+    // Submit the built-in scenario (unless asked not to), mirrored onto the
+    // daemon's global status board so /status tracks it like before.
+    let mut scenario: Option<u64> = None;
+    if opts.no_scenario {
+        status.set_state("idle");
+    } else {
+        match manager.submit_mirrored(spec.clone(), Some(Arc::clone(&status))) {
+            Ok(id) => {
+                println!("scenario session {id} submitted ({} steps)", opts.steps);
+                scenario = Some(id);
+            }
+            Err(e) => {
+                eprintln!("beamdyn-daemon: cannot submit scenario: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     ready.store(true, Ordering::Release);
 
-    'scenarios: loop {
-        status.set_state("running");
-        for _ in 0..opts.steps {
-            if server.quit_requested() {
-                break 'scenarios;
-            }
-            let telemetry = sim.run_step();
-            status.record(&telemetry);
-            println!(
-                "step {:4}: fallback {:5} cells, gpu {:.3e} s",
-                telemetry.step,
-                telemetry.potentials.fallback_cells,
-                telemetry.potentials.gpu_time.seconds(),
-            );
-            if !opts.step_delay.is_zero() {
-                std::thread::sleep(opts.step_delay);
-            }
-        }
-        if !opts.loop_scenarios {
-            break;
-        }
-        // Fresh scenario, same serving surfaces: counters keep
-        // accumulating, the step index restarts at 0.
-        sim = build_simulation(&pool, &device, &opts);
-    }
-
-    // Keep serving the final telemetry until a client asks us to quit.
-    status.set_state("done");
-    println!("run finished; serving telemetry until GET /quitz");
+    let mut announced_done = false;
     while !server.quit_requested() {
+        if let Some(id) = scenario {
+            let finished = manager
+                .state(id)
+                .as_ref()
+                .is_none_or(|state| state.is_terminal());
+            if finished {
+                if opts.loop_scenarios {
+                    // Fresh scenario, same serving surfaces: counters keep
+                    // accumulating, the step index restarts at 0.
+                    match manager.submit_mirrored(spec.clone(), Some(Arc::clone(&status))) {
+                        Ok(id) => scenario = Some(id),
+                        Err(e) => {
+                            eprintln!("beamdyn-daemon: cannot resubmit scenario: {e}");
+                            scenario = None;
+                        }
+                    }
+                } else {
+                    scenario = None;
+                    announced_done = true;
+                    println!("scenario finished; serving telemetry and sessions until GET /quitz");
+                }
+            }
+        } else if opts.no_scenario && !announced_done {
+            announced_done = true;
+            println!("serving sessions until GET /quitz (POST /sessions to run one)");
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
+
     status.set_state("stopping");
     println!("quit requested; shutting down");
+    manager.shutdown();
     server.join();
+    printer_stop.store(true, Ordering::Release);
+    let _ = printer.join();
     obs::uninstall_all();
     if trace.is_some() {
         println!("perfetto trace written to beamdyn_daemon.perfetto.json");

@@ -79,6 +79,7 @@ fn live_run_serves_metrics_status_and_one_sse_event_per_step() {
             status: Arc::clone(&status),
             events: events.clone(),
             ready: Arc::clone(&ready),
+            sessions: None,
         },
     )
     .expect("bind ephemeral port");

@@ -1,0 +1,325 @@
+//! The multi-tenant session service, end to end in one process: a real
+//! [`SessionManager`] behind a real [`MonitorServer`] on a TCP socket,
+//! exercised the way tenants and scrapers actually hit it.
+//!
+//! Pins the service acceptance contract (DESIGN.md §14):
+//!
+//! * the `/sessions` route family — POST → 201 + id, listing, per-session
+//!   summary/status/metrics, DELETE — over real HTTP;
+//! * every malformed request (bad JSON, unknown field, bad enum value,
+//!   out-of-range number, oversized body, bad id) answers a *structured*
+//!   4xx naming the field and accepted values — the daemon never panics;
+//! * `/metrics` stays a valid, parseable exposition while sessions churn
+//!   (submit / run / delete) under concurrent scrapers — no torn output;
+//! * per-subscriber event rings drop oldest on overflow and every drop is
+//!   accounted in `telemetry.dropped_events` — verified *exactly* with a
+//!   capacity-2 ring and a deliberately lazy subscriber.
+//!
+//! Kept to a single `#[test]` because the obs registry is process-global.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use beamdyn::core::{
+    BackendKind, ScenarioSpec, SessionManager, SessionManagerConfig, SessionState, StatusBoard,
+};
+use beamdyn::obs;
+use beamdyn::serve::{MonitorServer, ServeConfig, ServeContext};
+use beamdyn::simt::DeviceConfig;
+use beamdyn_bench::json;
+use beamdyn_bench::scrape::{http_delete, http_get, http_post, parse_exposition};
+
+/// Event-ring capacity for every session bus in this test: small enough
+/// that a lazy subscriber overflows it deterministically.
+const EVENTS_CAPACITY: usize = 2;
+
+fn tiny_spec(steps: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        nx: 8,
+        ny: 8,
+        particles: 400,
+        steps,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn wait_for_state(mgr: &SessionManager, id: u64, want: SessionState) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match mgr.state(id) {
+            Some(state) if state == want => return,
+            Some(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(10)),
+            other => panic!("session {id} never reached {want:?} (last: {other:?})"),
+        }
+    }
+}
+
+#[test]
+fn session_service_contract_over_real_http() {
+    obs::uninstall_all();
+    obs::reset();
+
+    let manager = SessionManager::start(SessionManagerConfig {
+        threads: 2,
+        step_workers: 2,
+        // One slot: admission is strictly serial, which both exercises the
+        // pending queue under churn and makes the dropped-events phase
+        // deterministic (we subscribe while the target is still pending).
+        slots: 1,
+        events_capacity: EVENTS_CAPACITY,
+        default_backend: BackendKind::TracedSimt,
+        device: DeviceConfig::tesla_k40(),
+    });
+    let events = obs::BroadcastSink::new();
+    let status = StatusBoard::new("predictive", "traced-simt");
+    let server = MonitorServer::start(
+        ServeConfig::default(),
+        ServeContext {
+            status,
+            events,
+            ready: Arc::new(AtomicBool::new(true)),
+            sessions: Some(Arc::clone(&manager)),
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // --- Structured errors: every malformed request is a 4xx with a JSON
+    // body naming the field; none of them may panic the server.
+    let bad_requests: &[(&str, &str, &[&str])] = &[
+        ("{oops", "body", &[]),
+        ("[1,2]", "body", &[]),
+        (r#"{"kernl":"predictive"}"#, "kernl", &["kernel"]),
+        (r#"{"kernel":"warp"}"#, "kernel", &["predictive"]),
+        (r#"{"backend":"cuda"}"#, "backend", &["traced", "native"]),
+        (r#"{"lattice":"fodo"}"#, "lattice", &["lcls-bend"]),
+        (r#"{"steps":0}"#, "steps", &[]),
+        (r#"{"particles":2.5}"#, "particles", &[]),
+        (r#"{"grid":{"nx":2}}"#, "grid.nx", &[]),
+        (r#"{"bunch":{"sigma_z":1}}"#, "bunch.sigma_z", &["sigma_x"]),
+        (r#"{"tau":-1}"#, "tolerance", &[]),
+    ];
+    for (body, field, accepted) in bad_requests {
+        let (code, response) = http_post(&addr, "/sessions", body).expect("POST");
+        assert_eq!(code, 400, "{body} must be rejected, got {code}: {response}");
+        let parsed = json::parse(&response)
+            .unwrap_or_else(|e| panic!("400 body for {body} is not JSON: {e}\n{response}"));
+        assert_eq!(
+            parsed.get("field").and_then(|v| v.as_str()),
+            Some(*field),
+            "400 for {body} names the offending field"
+        );
+        let listed: Vec<String> = parsed
+            .get("accepted")
+            .and_then(|v| v.as_array())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for want in *accepted {
+            assert!(
+                listed.iter().any(|v| v == want),
+                "400 for {body} must list accepted value {want}, got {listed:?}"
+            );
+        }
+    }
+    // Oversized body → 413, bad ids → 400/404, wrong method → 405.
+    let huge = format!(r#"{{"name":"{}"}}"#, "x".repeat(2 << 20));
+    assert_eq!(
+        http_post(&addr, "/sessions", &huge).expect("POST huge").0,
+        413
+    );
+    assert_eq!(http_get(&addr, "/sessions/abc").expect("bad id").0, 400);
+    assert_eq!(http_get(&addr, "/sessions/999").expect("GET 999").0, 404);
+    assert_eq!(
+        http_delete(&addr, "/sessions/999").expect("DELETE 999").0,
+        404
+    );
+    assert_eq!(
+        http_get(&addr, "/sessions/999/status")
+            .expect("status 999")
+            .0,
+        404
+    );
+    assert_eq!(
+        http_post(&addr, "/metrics", "{}").expect("POST metrics").0,
+        405
+    );
+
+    // --- Happy path: POST → 201 + location, run to completion, per-session
+    // status + scoped metrics, then DELETE.
+    let (code, body) = http_post(
+        &addr,
+        "/sessions",
+        r#"{"resolution":8,"particles":400,"steps":2,"kernel":"heuristic","backend":"native"}"#,
+    )
+    .expect("POST session");
+    assert_eq!(code, 201, "{body}");
+    let created = json::parse(&body).expect("201 body is JSON");
+    let id = created.get("id").and_then(|v| v.as_f64()).expect("id") as u64;
+    assert_eq!(
+        created.get("location").and_then(|v| v.as_str()),
+        Some(format!("/sessions/{id}").as_str())
+    );
+    wait_for_state(&manager, id, SessionState::Done);
+    let (code, body) = http_get(&addr, &format!("/sessions/{id}/status")).expect("status");
+    assert_eq!(code, 200);
+    let session_status = json::parse(&body).expect("status JSON");
+    assert_eq!(
+        session_status
+            .get("steps_completed")
+            .and_then(|v| v.as_f64()),
+        Some(2.0)
+    );
+    assert_eq!(
+        session_status.get("backend").and_then(|v| v.as_str()),
+        Some("native-fast")
+    );
+    let (code, text) = http_get(&addr, &format!("/sessions/{id}/metrics")).expect("metrics");
+    assert_eq!(code, 200);
+    let scoped = parse_exposition(&text).expect("scoped exposition parses");
+    assert_eq!(
+        scoped.labelled("beamdyn_session_steps_total", "session", &id.to_string()),
+        Some(2.0),
+        "per-session step counter scoped by session label"
+    );
+    // The session label also appears in the global exposition without
+    // disturbing the unscoped families.
+    let (_, global) = http_get(&addr, "/metrics").expect("global metrics");
+    let global = parse_exposition(&global).expect("global exposition parses");
+    assert!(
+        global
+            .labelled("beamdyn_session_steps_total", "session", &id.to_string())
+            .is_some(),
+        "global /metrics carries the per-session series"
+    );
+    assert!(
+        global
+            .value("beamdyn_sessions_completed_total")
+            .unwrap_or(0.0)
+            >= 1.0,
+        "fleet-wide session counters advance"
+    );
+    let (code, _) = http_delete(&addr, &format!("/sessions/{id}")).expect("DELETE");
+    assert_eq!(code, 200);
+    assert_eq!(
+        http_get(&addr, &format!("/sessions/{id}")).expect("GET").0,
+        404
+    );
+    assert!(
+        !parse_exposition(&http_get(&addr, "/metrics").expect("metrics").1)
+            .expect("parses")
+            .samples
+            .iter()
+            .any(|s| s.label("session") == Some(id.to_string().as_str())),
+        "deleting a session drops its scoped series (bounded cardinality)"
+    );
+
+    // --- Exact dropped-events accounting: a 6-step session watched by a
+    // subscriber that never drains a capacity-2 ring. The single workspace
+    // slot is held by a blocker, so the subscription provably exists
+    // before the target's first step — every overflow is a counted drop:
+    // 6 published - 2 retained = 4 dropped.
+    let dropped_before = obs::counter_value("telemetry.dropped_events").unwrap_or(0);
+    let mut blocker = tiny_spec(4);
+    blocker.step_delay_ms = 60;
+    let blocker_id = manager.submit(blocker).expect("submit blocker");
+    let target_id = manager.submit(tiny_spec(6)).expect("submit target");
+    assert_eq!(manager.state(target_id), Some(SessionState::Queued));
+    let rx = manager
+        .subscribe(target_id)
+        .expect("subscribe while queued");
+    wait_for_state(&manager, target_id, SessionState::Done);
+    let retained = rx.drain();
+    assert_eq!(
+        retained.len(),
+        EVENTS_CAPACITY,
+        "lazy subscriber keeps exactly the ring capacity"
+    );
+    assert_eq!(
+        retained.iter().map(|e| e.step).collect::<Vec<_>>(),
+        vec![4, 5],
+        "ring keeps the newest events (drop-oldest)"
+    );
+    let dropped_after = obs::counter_value("telemetry.dropped_events").unwrap_or(0);
+    assert_eq!(
+        dropped_after - dropped_before,
+        (6 - EVENTS_CAPACITY) as u64,
+        "every overflow is accounted in telemetry.dropped_events"
+    );
+    assert_eq!(manager.state(blocker_id), Some(SessionState::Done));
+
+    // --- Churn under concurrent scrapers: three threads hammer /metrics
+    // and /sessions while sessions are submitted, run, and deleted. Every
+    // response must be a complete, parseable exposition — a torn or
+    // interleaved body would fail the strict parser.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let (code, text) = http_get(&addr, "/metrics").expect("scrape /metrics");
+                    assert_eq!(code, 200);
+                    parse_exposition(&text).expect("no torn exposition under churn");
+                    let (code, listing) = http_get(&addr, "/sessions").expect("scrape /sessions");
+                    assert_eq!(code, 200);
+                    json::parse(&listing).expect("listing stays valid JSON under churn");
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        })
+        .collect();
+    let mut churn_ids = Vec::new();
+    for i in 0..6 {
+        let (code, body) = http_post(
+            &addr,
+            "/sessions",
+            &format!(r#"{{"name":"churn-{i}","resolution":8,"particles":400,"steps":2}}"#),
+        )
+        .expect("POST churn");
+        assert_eq!(code, 201, "{body}");
+        let id = json::parse(&body)
+            .expect("201 JSON")
+            .get("id")
+            .and_then(|v| v.as_f64())
+            .expect("id") as u64;
+        churn_ids.push(id);
+        // Evict every other session mid-flight — deletes must interleave
+        // cleanly with scrapes and running steps.
+        if i % 2 == 1 {
+            let (code, _) = http_delete(&addr, &format!("/sessions/{id}")).expect("DELETE churn");
+            assert_eq!(code, 200);
+        }
+    }
+    assert!(
+        manager.wait_idle(Duration::from_secs(60)),
+        "churn sessions never settled"
+    );
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let total_scrapes: usize = scrapers
+        .into_iter()
+        .map(|t| t.join().expect("scraper thread panicked"))
+        .sum();
+    assert!(total_scrapes > 0, "scrapers never ran");
+    // Survivors completed despite the churn; the fleet listing agrees.
+    for (i, id) in churn_ids.iter().enumerate() {
+        if i % 2 == 0 {
+            let state = manager.state(*id);
+            assert!(
+                matches!(state, Some(SessionState::Done)),
+                "churn survivor {id} should finish, got {state:?}"
+            );
+        }
+    }
+
+    server.join();
+    manager.shutdown();
+    obs::uninstall_all();
+}
