@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke load-smoke bench bench-baseline bench-check backend-check perf-smoke clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke load-smoke health-smoke bench bench-baseline bench-check backend-check perf-smoke clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -15,6 +15,7 @@ ci: fmt lint verify
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) load-smoke
+	$(MAKE) health-smoke
 	$(MAKE) bench-check
 	$(MAKE) backend-check
 	$(MAKE) perf-smoke
@@ -72,6 +73,17 @@ load-smoke:
 	cargo build --release --bin beamdyn-daemon
 	BEAMDYN_DAEMON_BIN=target/release/beamdyn-daemon \
 		cargo run --release -p beamdyn-bench --bin load_smoke
+
+# Fleet health-engine smoke (DESIGN.md §15): a real daemon, a deliberately
+# stalled session (`step_delay_ms` ≫ stall deadline on one step worker),
+# the `watchdog.session_stalled` alert firing on /alerts within the
+# deadline, /healthz degrading to 503 while /readyz stays 200, the flight
+# rings serving the black-box events, an on-disk post-mortem dump, and a
+# clean recovery after the session is deleted.
+health-smoke:
+	cargo build --release --bin beamdyn-daemon
+	BEAMDYN_DAEMON_BIN=target/release/beamdyn-daemon \
+		cargo run --release -p beamdyn-bench --bin health_smoke
 
 bench:
 	cargo bench --workspace

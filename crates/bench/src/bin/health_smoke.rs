@@ -1,0 +1,223 @@
+//! End-to-end stall drill over real sockets (`make health-smoke`, CI
+//! `health-smoke` job): the health engine must notice a wedged tenant and
+//! explain it. The drill:
+//!
+//! 1. Start a real `beamdyn-daemon` with one step worker and a short
+//!    stall deadline, post-mortems routed to a temp `$BEAMDYN_BENCH_DIR`.
+//! 2. `POST /sessions` a spec whose `step_delay_ms` dwarfs the deadline —
+//!    with a single worker the delay blocks all step progress, which is
+//!    exactly what a wedged session looks like from outside.
+//! 3. Assert `watchdog.session_stalled` fires on `/alerts` within the
+//!    deadline, `/healthz` degrades to 503 while `/readyz` stays 200
+//!    (degraded ≠ not-ready), `/debug/flight` and the session's own
+//!    `/sessions/{id}/debug/flight` carry the session's events, and a
+//!    `POSTMORTEM_stall_*.json` dump appears on disk.
+//! 4. `DELETE` the session and assert the alert resolves and `/healthz`
+//!    recovers to 200.
+//!
+//! The daemon binary path comes from `$BEAMDYN_DAEMON_BIN` (default
+//! `target/release/beamdyn-daemon`).
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use beamdyn_bench::scrape::{firing_alert_names, http_delete, http_get, http_post};
+
+/// The watchdog deadline floor the drill runs with. Small enough that the
+/// whole drill finishes in seconds, large enough to clear a real step.
+const STALL_DEADLINE_MS: u64 = 600;
+/// The stalled session's per-step sleep — must dwarf the deadline.
+const STEP_DELAY_MS: u64 = 5_000;
+
+fn fail(child: &mut Child, msg: &str) -> ! {
+    let _ = child.kill();
+    let _ = child.wait();
+    eprintln!("health_smoke: FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// Polls `check` until it returns true or `deadline` elapses.
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn main() {
+    let daemon_bin = std::env::var("BEAMDYN_DAEMON_BIN")
+        .unwrap_or_else(|_| "target/release/beamdyn-daemon".to_string());
+    let addr_file =
+        std::env::temp_dir().join(format!("beamdyn_health_smoke_{}", std::process::id()));
+    let dump_dir =
+        std::env::temp_dir().join(format!("beamdyn_health_smoke_dumps_{}", std::process::id()));
+    let _ = std::fs::remove_file(&addr_file);
+    let _ = std::fs::remove_dir_all(&dump_dir);
+
+    let mut child = Command::new(&daemon_bin)
+        .args([
+            "--port",
+            "0",
+            "--no-scenario",
+            "--step-workers",
+            "1",
+            "--stall-deadline-ms",
+            &STALL_DEADLINE_MS.to_string(),
+            "--addr-file",
+        ])
+        .arg(&addr_file)
+        .env("BEAMDYN_BENCH_DIR", &dump_dir)
+        .env("BEAMDYN_TRACE", "0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("health_smoke: cannot spawn {daemon_bin}: {e} (build it first)");
+            std::process::exit(1);
+        });
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            if !addr.trim().is_empty() {
+                break addr.trim().to_string();
+            }
+        }
+        if Instant::now() > deadline {
+            fail(&mut child, "daemon never wrote its address file");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let _ = std::fs::remove_file(&addr_file);
+    println!("health_smoke: daemon at {addr}");
+
+    // Healthy start: no alerts, /healthz 200.
+    match http_get(&addr, "/healthz") {
+        Ok((200, _)) => {}
+        other => fail(&mut child, &format!("initial /healthz: {other:?}")),
+    }
+    match http_get(&addr, "/alerts") {
+        Ok((200, body)) if firing_alert_names(&body).is_empty() => {}
+        other => fail(&mut child, &format!("initial /alerts not clean: {other:?}")),
+    }
+
+    // Submit the stall: with one step worker, the post-step sleep blocks
+    // all progress for STEP_DELAY_MS per step.
+    let spec = format!(
+        "{{\"name\":\"stall-drill\",\"steps\":4,\"step_delay_ms\":{STEP_DELAY_MS},\
+         \"resolution\":8,\"particles\":500}}"
+    );
+    let (code, body) = http_post(&addr, "/sessions", &spec)
+        .unwrap_or_else(|e| fail(&mut child, &format!("POST /sessions: {e}")));
+    if code != 201 {
+        fail(&mut child, &format!("POST /sessions: {code} {body}"));
+    }
+    let id = beamdyn_bench::json::parse(&body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(|id| id.as_f64()))
+        .unwrap_or_else(|| fail(&mut child, &format!("no id in {body}"))) as u64;
+    println!("health_smoke: stall session {id} submitted");
+
+    // The stall alert must fire within a few deadlines (one step may
+    // complete first; the sleep after it is what wedges the worker).
+    let stalled = format!("watchdog.session_stalled@{id}");
+    let alert_window = Duration::from_millis(STALL_DEADLINE_MS * 10 + 5_000);
+    if !poll_until(alert_window, || {
+        matches!(http_get(&addr, "/alerts"), Ok((200, body))
+            if firing_alert_names(&body).contains(&stalled))
+    }) {
+        fail(&mut child, &format!("{stalled} never fired on /alerts"));
+    }
+    println!("health_smoke: {stalled} firing");
+
+    // Honest health vs. stable readiness while critical.
+    match http_get(&addr, "/healthz") {
+        Ok((503, _)) => {}
+        other => fail(&mut child, &format!("/healthz while stalled: {other:?}")),
+    }
+    match http_get(&addr, "/readyz") {
+        Ok((200, _)) => {}
+        other => fail(
+            &mut child,
+            &format!("/readyz must stay 200 while degraded: {other:?}"),
+        ),
+    }
+
+    // The flight recorder must be able to explain the moment.
+    match http_get(&addr, "/debug/flight") {
+        Ok((200, body)) if body.contains("\"kind\":\"watchdog\"") => {}
+        other => fail(
+            &mut child,
+            &format!("/debug/flight lacks the watchdog verdict: {other:?}"),
+        ),
+    }
+    match http_get(&addr, &format!("/sessions/{id}/debug/flight")) {
+        Ok((200, body))
+            if body.contains(&format!("\"session\":{id}"))
+                && body.contains("\"kind\":\"lifecycle\"") => {}
+        other => fail(
+            &mut child,
+            &format!("/sessions/{id}/debug/flight incomplete: {other:?}"),
+        ),
+    }
+
+    // The post-mortem dump appears in the artifact dir.
+    let dump_name = format!("POSTMORTEM_stall_session{id}.json");
+    if !poll_until(Duration::from_secs(10), || {
+        dump_dir.join(&dump_name).is_file()
+    }) {
+        fail(&mut child, &format!("{dump_name} never appeared"));
+    }
+    let dump = std::fs::read_to_string(dump_dir.join(&dump_name))
+        .unwrap_or_else(|e| fail(&mut child, &format!("reading {dump_name}: {e}")));
+    if !dump.contains("\"session_flight\"") || !dump.contains("watchdog.session_stalled") {
+        fail(&mut child, &format!("post-mortem incomplete: {dump}"));
+    }
+    println!("health_smoke: post-mortem dump {dump_name} written");
+
+    // DELETE resolves the stall and health recovers.
+    match http_delete(&addr, &format!("/sessions/{id}")) {
+        Ok((200, _)) => {}
+        other => fail(&mut child, &format!("DELETE /sessions/{id}: {other:?}")),
+    }
+    if !poll_until(Duration::from_secs(10), || {
+        matches!(http_get(&addr, "/alerts"), Ok((200, body))
+            if !firing_alert_names(&body).contains(&stalled))
+    }) {
+        fail(
+            &mut child,
+            &format!("{stalled} never resolved after DELETE"),
+        );
+    }
+    if !poll_until(Duration::from_secs(10), || {
+        matches!(http_get(&addr, "/healthz"), Ok((200, _)))
+    }) {
+        fail(&mut child, "/healthz never recovered after DELETE");
+    }
+    println!("health_smoke: alert resolved, /healthz recovered");
+
+    // Graceful shutdown.
+    match http_get(&addr, "/quitz") {
+        Ok((200, _)) => {}
+        other => fail(&mut child, &format!("/quitz: {other:?}")),
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let code = loop {
+        match child.try_wait() {
+            Ok(Some(code)) => break code,
+            Ok(None) if Instant::now() > deadline => fail(&mut child, "daemon ignored /quitz"),
+            Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => fail(&mut child, &format!("waiting on daemon: {e}")),
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    if !code.success() {
+        eprintln!("health_smoke: FAILED: daemon exited with {code}");
+        std::process::exit(1);
+    }
+    println!("health_smoke: OK (stall detected, explained, and recovered)");
+}

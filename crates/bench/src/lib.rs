@@ -190,11 +190,13 @@ fn json_escape(s: &str) -> String {
 }
 
 /// The artifact output directory: `$BEAMDYN_BENCH_DIR` (default: current
-/// directory), created on demand.
+/// directory), created on demand. The resolution lives in
+/// [`beamdyn_obs::artifact_dir`] so the health engine's post-mortem dumps
+/// land in the same place as bench tables and baselines.
 pub fn artifact_dir() -> std::io::Result<std::path::PathBuf> {
-    let dir = std::env::var("BEAMDYN_BENCH_DIR").unwrap_or_else(|_| ".".into());
-    std::fs::create_dir_all(&dir)?;
-    Ok(std::path::PathBuf::from(dir))
+    let path = beamdyn_obs::artifact_dir();
+    std::fs::create_dir_all(&path)?;
+    Ok(path)
 }
 
 /// Writes `contents` to `$BEAMDYN_BENCH_DIR/<file_name>` (creating the

@@ -119,6 +119,18 @@ pub fn tolerance_for(name: &str) -> Tolerance {
     if name.ends_with(".launches") {
         // Launch counts are exactly reproducible.
         Tolerance { rel: 0.0, abs: 0.0 }
+    } else if name.starts_with("alerts.") || name == "flight.events_dropped" {
+        // A healthy canonical run fires no alerts and never laps the
+        // default flight ring — any drift here is a real health regression.
+        Tolerance { rel: 0.0, abs: 0.0 }
+    } else if name == "flight.events_recorded" {
+        // Deterministic in shape (fixed events per submit/admit/step/
+        // grade/finish) but given headroom in case a rare watchdog edge
+        // (CI pause) adds a handful.
+        Tolerance {
+            rel: 0.25,
+            abs: 48.0,
+        }
     } else if name.ends_with(".completed") {
         // Session completion counts are exact: every submitted session of
         // the canonical fleet must finish, every time.
@@ -354,6 +366,15 @@ pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
         slots: 4,
         default_backend: BackendKind::TracedSimt,
         device: beamdyn_simt::DeviceConfig::tesla_k40(),
+        // The flight recorder and watchdog stay on — their overhead is part
+        // of what the step-latency gates measure — but the stall deadline is
+        // generous so a paused CI runner can't fire a spurious alert into
+        // the exact-zero `alerts.*` gate below.
+        health: beamdyn_core::HealthConfig {
+            stall_deadline: std::time::Duration::from_secs(30),
+            postmortem: false,
+            ..beamdyn_core::HealthConfig::default()
+        },
         ..SessionManagerConfig::default()
     });
     let mut ids = Vec::new();
@@ -405,6 +426,26 @@ pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
     if let Some(v) = obs::gauge_value("workspace_pool.bytes_resident") {
         set.insert("sessions.load.pool.bytes_resident", v);
     }
+    // Health-engine facts for the canonical fleet: a healthy run fires
+    // nothing (exact-zero gates), and the flight recorder's event volume is
+    // deterministic — every submit, admission, step, grade, and completion
+    // records a fixed number of events, and the default ring never laps.
+    set.insert(
+        "alerts.fired",
+        obs::counter_value("alerts.fired").unwrap_or(0) as f64,
+    );
+    set.insert(
+        "alerts.active",
+        obs::gauge_value("alerts.active").unwrap_or(0.0),
+    );
+    set.insert(
+        "flight.events_recorded",
+        obs::counter_value("flight.events_recorded").unwrap_or(0) as f64,
+    );
+    set.insert(
+        "flight.events_dropped",
+        obs::counter_value("flight.events_dropped").unwrap_or(0) as f64,
+    );
     manager.shutdown();
     set
 }

@@ -224,6 +224,66 @@ pub fn http_post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, St
     http_with_body(addr, "POST", path, body)
 }
 
+/// One-shot request returning `(status_code, response_headers, body)` —
+/// for assertions on headers the simpler helpers discard (e.g. the 429
+/// answer's `Retry-After`). Header names are lower-cased.
+pub fn http_request_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, BTreeMap<String, String>, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("response without header terminator"))?;
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line: {head:?}")))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers, body.to_string()))
+}
+
+/// The names of currently-firing alerts in a `/alerts` body, with their
+/// `session` field rendered as `name@<id>` for per-session alerts (e.g.
+/// `watchdog.session_stalled@3`).
+pub fn firing_alert_names(alerts_body: &str) -> Vec<String> {
+    let Ok(doc) = crate::json::parse(alerts_body) else {
+        return Vec::new();
+    };
+    let Some(firing) = doc.get("firing").and_then(crate::json::Value::as_array) else {
+        return Vec::new();
+    };
+    firing
+        .iter()
+        .filter_map(|alert| {
+            let name = alert.get("name")?.as_str()?;
+            Some(
+                match alert.get("session").and_then(crate::json::Value::as_f64) {
+                    Some(id) => format!("{name}@{}", id as u64),
+                    None => name.to_string(),
+                },
+            )
+        })
+        .collect()
+}
+
 /// One-shot `DELETE`, returning `(status_code, body)`.
 pub fn http_delete(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     http_with_body(addr, "DELETE", path, "")

@@ -309,7 +309,13 @@ impl SimCore {
         drop(commit_span);
         self.step += 1;
         workspace.publish_gauges();
-        STAGE_STEP_NS.observe_span(step_span);
+        let step_time = STAGE_STEP_NS.observe_span(step_span);
+        let mut event = obs::FlightEvent::new(obs::EventKind::Step);
+        event.step = telemetry.step as u64;
+        event.code = telemetry.potentials.launches as u32;
+        event.value = step_time.as_nanos() as f64;
+        event.extra = telemetry.potentials.fallback_cells as f64;
+        obs::flight::record(event);
         telemetry
     }
 

@@ -1,0 +1,154 @@
+//! The fleet health engine: watchdog rules, typed alert names, and
+//! post-mortem dumps.
+//!
+//! The flight recorder ([`obs::flight`]) remembers what happened; this
+//! module decides what it *means*. A watchdog thread inside the
+//! [`SessionManager`](crate::SessionManager) evaluates a small fixed rule
+//! set every [`HealthConfig::check_interval`]:
+//!
+//! * **`watchdog.session_stalled`** (critical, per-session) — an admitted
+//!   session made no step progress within the stall deadline. The
+//!   deadline adapts to the workload: the configured floor, or 8× the
+//!   observed `session.step_ns` p99, whichever is larger, so slow-but-
+//!   honest scenarios don't page anyone.
+//! * **`queue.backlog`** (warning) — the pending queue crossed ¾ of
+//!   [`HealthConfig::max_pending`]; resolves under ½ (hysteresis).
+//! * **`pool.exhausted`** (warning) — every workspace slot is leased,
+//!   sessions are waiting, and nothing was admitted for a full stall
+//!   deadline.
+//! * **`slo.step_p99`** (warning, opt-in) — the fleet-wide step p99
+//!   exceeds [`HealthConfig::slo_step_p99_ms`].
+//! * **`admission.saturated`** (warning) — submissions are being rejected
+//!   with 429 (fired at rejection time, resolved by the watchdog once the
+//!   queue has room again).
+//!
+//! Alerts carry the firing/resolved lifecycle in [`obs::flight`]; the
+//! serve layer reads the same global registry for `/alerts` and the
+//! honest `/healthz`. On a stall firing edge or a session panic the
+//! engine writes a **post-mortem dump** — alerts + the session's flight
+//! ring + the global tail — through the existing artifact path
+//! ([`obs::write_artifact`], honouring `$BEAMDYN_BENCH_DIR`).
+
+use std::time::Duration;
+
+use beamdyn_obs as obs;
+
+/// Per-session alert: no step progress within the stall deadline.
+pub const ALERT_SESSION_STALLED: &str = "watchdog.session_stalled";
+/// Fleet alert: pending queue crossed ¾ of the admission bound.
+pub const ALERT_QUEUE_BACKLOG: &str = "queue.backlog";
+/// Fleet alert: all slots leased and admissions stopped for a deadline.
+pub const ALERT_POOL_EXHAUSTED: &str = "pool.exhausted";
+/// Fleet alert: fleet-wide step p99 over the configured budget.
+pub const ALERT_SLO_STEP_P99: &str = "slo.step_p99";
+/// Fleet alert: submissions rejected by admission back-pressure.
+pub const ALERT_ADMISSION_SATURATED: &str = "admission.saturated";
+
+/// Health-engine tuning carried by
+/// [`SessionManagerConfig`](crate::SessionManagerConfig).
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Floor of the per-session stall deadline (the effective deadline is
+    /// `max(stall_deadline, 8 × p99(session.step_ns))`).
+    pub stall_deadline: Duration,
+    /// Admission bound: `POST /sessions` answers 429 once this many
+    /// sessions wait for a slot.
+    pub max_pending: usize,
+    /// Optional SLO budget on the fleet-wide step p99, in milliseconds.
+    pub slo_step_p99_ms: Option<f64>,
+    /// Watchdog evaluation cadence.
+    pub check_interval: Duration,
+    /// Write post-mortem dumps on stall / failure (tests turn this off).
+    pub postmortem: bool,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            stall_deadline: Duration::from_secs(10),
+            max_pending: 256,
+            slo_step_p99_ms: None,
+            check_interval: Duration::from_millis(50),
+            postmortem: true,
+        }
+    }
+}
+
+/// The deadline a session must step within: the configured floor, or 8×
+/// the observed fleet-wide step p99 — whichever is larger — so the
+/// watchdog adapts to legitimately heavy scenarios instead of paging on
+/// them.
+pub fn effective_stall_deadline(config: &HealthConfig) -> Duration {
+    let p99_ns = obs::histogram_snapshot("session.step_ns").map_or(0.0, |h| h.p99());
+    let adaptive = Duration::from_nanos((8.0 * p99_ns) as u64);
+    config.stall_deadline.max(adaptive)
+}
+
+/// How many trailing global-ring events a post-mortem embeds.
+const POSTMORTEM_GLOBAL_TAIL: usize = 64;
+
+/// Writes a post-mortem dump for `session` to the artifact dir and
+/// returns its path: the reason, the session summary (when available),
+/// every alert, the session's full flight ring, and the tail of the
+/// global ring. File name is deterministic
+/// (`POSTMORTEM_<reason>_session<id>.json`) so repeated firings refresh
+/// in place; `.gitignore` covers the prefix.
+pub fn write_postmortem(
+    reason: &str,
+    session: u64,
+    summary_json: Option<&str>,
+) -> std::path::PathBuf {
+    let scope = session.to_string();
+    let session_ring = obs::flight::scope_ring(&scope)
+        .map_or_else(|| "null".to_string(), |ring| ring.to_json(&scope));
+    let global = obs::flight::global();
+    let tail = {
+        let events = global.snapshot();
+        let skip = events.len().saturating_sub(POSTMORTEM_GLOBAL_TAIL);
+        let items: Vec<String> = events[skip..]
+            .iter()
+            .map(|e| e.event.to_json(e.seq))
+            .collect();
+        format!("[{}]", items.join(","))
+    };
+    let contents = format!(
+        "{{\"reason\":\"{}\",\"session\":{session},\"at_ns\":{},\
+         \"summary\":{},\"alerts\":{},\"session_flight\":{session_ring},\
+         \"global_flight_tail\":{tail}}}\n",
+        reason.replace('"', "'"),
+        obs::flight::now_ns(),
+        summary_json.unwrap_or("null"),
+        obs::flight::alerts_json(),
+    );
+    obs::write_artifact(
+        &format!("POSTMORTEM_{reason}_session{session}.json"),
+        &contents,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_floor_wins_when_history_is_fast() {
+        let config = HealthConfig {
+            stall_deadline: Duration::from_secs(3600),
+            ..HealthConfig::default()
+        };
+        assert_eq!(effective_stall_deadline(&config), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn postmortem_writes_under_bench_dir() {
+        let dir = std::env::temp_dir().join(format!("beamdyn_pm_test_{}", std::process::id()));
+        std::env::set_var("BEAMDYN_BENCH_DIR", &dir);
+        let path = write_postmortem("unit_test", 7, Some("{\"id\":7}"));
+        std::env::remove_var("BEAMDYN_BENCH_DIR");
+        let body = std::fs::read_to_string(&path).expect("postmortem file");
+        assert!(body.contains("\"reason\":\"unit_test\""), "{body}");
+        assert!(body.contains("\"session\":7"), "{body}");
+        assert!(body.contains("\"global_flight_tail\":["), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -307,6 +307,19 @@ pub fn compute_potentials(
     FALLBACK_CELLS.add(outcome.fallback_cells as u64);
     LAUNCHES.add(outcome.launches as u64);
 
+    // Grade record for the flight recorder: the prediction-health signal
+    // (fallback fraction) the health engine and post-mortems read.
+    let mut grade = obs::FlightEvent::new(obs::EventKind::Grade);
+    grade.step = problem.step as u64;
+    grade.code = outcome.launches as u32;
+    grade.value = if points.is_empty() {
+        0.0
+    } else {
+        outcome.fallback_cells as f64 / points.len() as f64
+    };
+    grade.extra = outcome.fallback_cells as f64;
+    obs::flight::record(grade);
+
     PotentialsOutput {
         points,
         main_stats: outcome.main_stats,

@@ -29,6 +29,7 @@
 pub mod backend;
 pub mod clustering;
 pub mod driver;
+pub mod health;
 pub mod kernels;
 pub mod layout;
 pub mod pattern;
@@ -43,12 +44,13 @@ pub mod workspace;
 
 pub use backend::{build_backend, BackendKind, ComputeBackend, NativeFast, TracedSimt};
 pub use driver::{KernelKind, SimCore, Simulation, SimulationConfig, StepTelemetry};
+pub use health::HealthConfig;
 pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem, StepObservation};
 pub use pattern::AccessPattern;
 pub use predictor::{Predictor, PredictorKind};
 pub use scenario::{ScenarioSpec, SpecError};
 pub use session::{
-    SessionEvent, SessionManager, SessionManagerConfig, SessionState, WorkspacePool,
+    SessionEvent, SessionManager, SessionManagerConfig, SessionState, SubmitError, WorkspacePool,
 };
 pub use status::{StatusBoard, StatusSnapshot};
 pub use workspace::{CellLists, StepWorkspace};

@@ -43,9 +43,11 @@ use std::time::{Duration, Instant};
 use beamdyn_obs as obs;
 use beamdyn_par::ThreadPool;
 use beamdyn_simt::DeviceConfig;
+use obs::flight::{AlertSeverity, EventKind, FlightEvent};
 
 use crate::backend::BackendKind;
 use crate::driver::SimCore;
+use crate::health::{self, HealthConfig};
 use crate::scenario::ScenarioSpec;
 use crate::status::StatusBoard;
 use crate::workspace::StepWorkspace;
@@ -77,6 +79,9 @@ static SESSIONS_QUEUED: obs::Gauge = obs::Gauge::new("sessions.queued");
 /// Host wall-clock nanoseconds per multiplexed session step (fleet-wide
 /// distribution; the load harness reads its p50/p99).
 static SESSION_STEP_NS: obs::Histogram = obs::Histogram::new("session.step_ns");
+/// Sessions refused by admission back-pressure (HTTP 429 at the serve
+/// layer).
+static SESSIONS_REJECTED: obs::Counter = obs::Counter::new("sessions.rejected");
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -246,6 +251,42 @@ pub struct SessionEvent {
     pub json: String,
 }
 
+/// Why [`SessionManager::submit`] refused a spec. The serve layer maps
+/// the variants onto distinct HTTP answers: a [`SubmitError::Rejected`]
+/// spec is the client's fault (400), a [`SubmitError::Saturated`] fleet
+/// is temporary back-pressure (429 + `Retry-After`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The spec failed validation (or the manager is shut down).
+    Rejected(String),
+    /// The pending queue is at the admission bound; retry later.
+    Saturated {
+        /// Sessions currently waiting for a slot.
+        pending: usize,
+        /// The configured bound ([`HealthConfig::max_pending`]).
+        limit: usize,
+        /// Suggested back-off, derived from the observed step p50.
+        retry_after: Duration,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected(msg) => write!(f, "{msg}"),
+            Self::Saturated {
+                pending,
+                limit,
+                retry_after,
+            } => write!(
+                f,
+                "admission queue full ({pending}/{limit} pending); retry in {}s",
+                retry_after.as_secs()
+            ),
+        }
+    }
+}
+
 /// A schedulable simulation: everything the manager tracks per tenant.
 struct Session {
     id: u64,
@@ -276,6 +317,13 @@ struct Session {
     /// clients (and the bit-identity harness) can read the result of a
     /// finished session.
     final_potentials: Option<Vec<f64>>,
+    /// When the session last proved liveness (admission, then every
+    /// completed step) — what the watchdog's stall rule reads.
+    last_progress: Instant,
+    /// The session's own flight ring (shared with the serve layer via
+    /// [`obs::flight::scope_ring`]); held here so the per-step hot path
+    /// records without a registry lookup.
+    flight: Arc<obs::FlightRing>,
 }
 
 impl Session {
@@ -342,6 +390,10 @@ pub struct SessionManagerConfig {
     pub default_backend: BackendKind,
     /// Simulated device model.
     pub device: DeviceConfig,
+    /// Capacity of each session's flight ring.
+    pub flight_capacity: usize,
+    /// Watchdog / admission / SLO tuning.
+    pub health: HealthConfig,
 }
 
 impl Default for SessionManagerConfig {
@@ -353,6 +405,8 @@ impl Default for SessionManagerConfig {
             events_capacity: obs::BroadcastSink::DEFAULT_CAPACITY,
             default_backend: BackendKind::default(),
             device: DeviceConfig::tesla_k40(),
+            flight_capacity: obs::flight::DEFAULT_SESSION_CAPACITY,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -365,6 +419,8 @@ struct Fleet {
     /// Submitted sessions awaiting a workspace slot, oldest first.
     pending: VecDeque<u64>,
     next_id: u64,
+    /// Last time a session was admitted (pool-exhaustion rule input).
+    last_admission: Instant,
 }
 
 impl Fleet {
@@ -388,6 +444,8 @@ struct Shared {
     shutdown: AtomicBool,
     default_backend: BackendKind,
     events_capacity: usize,
+    flight_capacity: usize,
+    health: HealthConfig,
 }
 
 /// The multi-tenant engine: accepts [`ScenarioSpec`]s, admits them
@@ -411,13 +469,16 @@ impl SessionManager {
                 ready: VecDeque::new(),
                 pending: VecDeque::new(),
                 next_id: 1,
+                last_admission: Instant::now(),
             }),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             default_backend: config.default_backend,
             events_capacity: config.events_capacity.max(1),
+            flight_capacity: config.flight_capacity.max(1),
+            health: config.health,
         });
-        let workers = (0..config.step_workers.max(1))
+        let mut workers: Vec<std::thread::JoinHandle<()>> = (0..config.step_workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -426,6 +487,15 @@ impl SessionManager {
                     .expect("spawn scheduler worker")
             })
             .collect();
+        {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("beamdyn-watchdog".to_string())
+                    .spawn(move || watchdog_loop(&shared))
+                    .expect("spawn watchdog"),
+            );
+        }
         Arc::new(Self {
             shared,
             workers: Mutex::new(workers),
@@ -434,7 +504,7 @@ impl SessionManager {
 
     /// Accepts a validated spec; returns the new session id. The session
     /// starts `queued` and is admitted as soon as a workspace slot frees.
-    pub fn submit(&self, spec: ScenarioSpec) -> Result<u64, String> {
+    pub fn submit(&self, spec: ScenarioSpec) -> Result<u64, SubmitError> {
         self.submit_mirrored(spec, None)
     }
 
@@ -446,15 +516,43 @@ impl SessionManager {
         &self,
         spec: ScenarioSpec,
         mirror: Option<Arc<StatusBoard>>,
-    ) -> Result<u64, String> {
+    ) -> Result<u64, SubmitError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
-            return Err("session manager is shut down".to_string());
+            return Err(SubmitError::Rejected(
+                "session manager is shut down".to_string(),
+            ));
         }
-        spec.validate().map_err(|e| e.to_string())?;
+        spec.validate()
+            .map_err(|e| SubmitError::Rejected(e.to_string()))?;
         let backend = spec.backend.unwrap_or(self.shared.default_backend);
         let kernel_name = spec.kernel_request_name().to_string();
         let backend_name = backend.name().to_string();
         let mut fleet = lock(&self.shared.fleet);
+        // Admission back-pressure: a bounded pending queue keeps backlog
+        // memory and time-to-first-step honest; clients get 429 +
+        // Retry-After instead of an unbounded queue.
+        let limit = self.shared.health.max_pending;
+        if fleet.pending.len() >= limit {
+            let pending = fleet.pending.len();
+            drop(fleet);
+            SESSIONS_REJECTED.incr();
+            let retry_after = retry_after_hint(pending);
+            obs::flight::fire_alert(
+                health::ALERT_ADMISSION_SATURATED,
+                None,
+                AlertSeverity::Warning,
+                format!("admission queue full: {pending}/{limit} pending"),
+            );
+            let mut event = FlightEvent::new(EventKind::Admission);
+            event.value = pending as f64;
+            event.extra = limit as f64;
+            obs::flight::record(event);
+            return Err(SubmitError::Saturated {
+                pending,
+                limit,
+                retry_after,
+            });
+        }
         let id = fleet.next_id;
         fleet.next_id += 1;
         let board = StatusBoard::new(&kernel_name, &backend_name);
@@ -462,6 +560,7 @@ impl SessionManager {
         if let Some(mirror) = &mirror {
             mirror.set_state("running");
         }
+        let flight = obs::flight::register_scope(&id.to_string(), self.shared.flight_capacity);
         let session = Session {
             id,
             steps_total: spec.steps,
@@ -481,10 +580,20 @@ impl SessionManager {
             started: None,
             finished: None,
             final_potentials: None,
+            last_progress: Instant::now(),
+            flight: Arc::clone(&flight),
         };
         fleet.sessions.insert(id, session);
         fleet.pending.push_back(id);
         SESSIONS_SUBMITTED.incr();
+        let mut lifecycle = FlightEvent::new(EventKind::Lifecycle);
+        lifecycle.session = id;
+        obs::flight::record_scoped(Some(&flight), lifecycle);
+        let mut queue = FlightEvent::new(EventKind::Queue);
+        queue.session = id;
+        queue.value = fleet.pending.len() as f64;
+        queue.extra = limit as f64;
+        obs::flight::record(queue);
         admit_pending(&self.shared, &mut fleet);
         fleet.publish_gauges();
         drop(fleet);
@@ -518,8 +627,13 @@ impl SessionManager {
         }
         if !was_terminal {
             SESSIONS_CANCELLED.incr();
+            let mut event = FlightEvent::new(EventKind::Lifecycle);
+            event.session = id;
+            event.code = lifecycle_code(&SessionState::Cancelled);
+            obs::flight::record(event);
         }
         obs::scope::drop_scope(&id.to_string());
+        obs::flight::drop_scope(&id.to_string());
         admit_pending(&self.shared, &mut fleet);
         fleet.publish_gauges();
         drop(fleet);
@@ -676,9 +790,40 @@ fn admit_pending(shared: &Shared, fleet: &mut Fleet) {
         session.workspace = Some((lease, workspace));
         session.state = SessionState::Running;
         session.started = Some(Instant::now());
+        session.last_progress = Instant::now();
         session.board.set_state("running");
+        fleet.last_admission = Instant::now();
+        let mut lifecycle = FlightEvent::new(EventKind::Lifecycle);
+        lifecycle.session = id;
+        lifecycle.code = lifecycle_code(&SessionState::Running);
+        obs::flight::record_scoped(Some(&session.flight), lifecycle);
+        let mut pool = FlightEvent::new(EventKind::Pool);
+        pool.session = id;
+        pool.value = shared.wpool.in_use() as f64;
+        pool.extra = shared.wpool.capacity() as f64;
+        obs::flight::record(pool);
         fleet.ready.push_back(id);
     }
+}
+
+/// Wire encoding of [`SessionState`] in [`EventKind::Lifecycle`] events.
+fn lifecycle_code(state: &SessionState) -> u32 {
+    match state {
+        SessionState::Queued => 0,
+        SessionState::Running => 1,
+        SessionState::Done => 2,
+        SessionState::Cancelled => 3,
+        SessionState::Failed => 4,
+    }
+}
+
+/// Suggested client back-off when admission saturates: roughly how long
+/// the fleet needs to drain one slot's worth of work, from the observed
+/// step p50. Clamped to a polite 1–30 s.
+fn retry_after_hint(pending: usize) -> Duration {
+    let p50_ns = obs::histogram_snapshot("session.step_ns").map_or(0.0, |h| h.p50());
+    let secs = (p50_ns * pending as f64 / 1e9).ceil().clamp(1.0, 30.0);
+    Duration::from_secs(secs as u64)
 }
 
 /// Finalises a session in place: records terminal state, releases the
@@ -703,6 +848,11 @@ fn finalize(
         shared.wpool.release(lease, ws);
     }
     let mirror = session.mirror.clone();
+    let mut lifecycle = FlightEvent::new(EventKind::Lifecycle);
+    lifecycle.session = id;
+    lifecycle.step = session.steps_done as u64;
+    lifecycle.code = lifecycle_code(&state);
+    obs::flight::record_scoped(Some(&session.flight), lifecycle);
     match state {
         SessionState::Done => SESSIONS_COMPLETED.incr(),
         SessionState::Failed => SESSIONS_FAILED.incr(),
@@ -713,6 +863,7 @@ fn finalize(
         fleet.sessions.remove(&id);
         fleet.ready.retain(|&q| q != id);
         obs::scope::drop_scope(&id.to_string());
+        obs::flight::drop_scope(&id.to_string());
     }
     if let Some(mirror) = mirror {
         // The mirror goes `done` only when no other mirrored session is
@@ -758,7 +909,8 @@ fn worker_loop(shared: &Shared) {
                         match (core, workspace) {
                             (Some(core), Some(ws)) => {
                                 session.stepping = true;
-                                Some((id, core, ws, session.spec.step_delay_ms))
+                                let flight = Arc::clone(&session.flight);
+                                Some((id, core, ws, session.spec.step_delay_ms, flight))
                             }
                             // Inconsistent entry (should not happen):
                             // drop it from the ring.
@@ -777,7 +929,7 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        let Some((id, mut core, (lease, mut workspace), step_delay_ms)) = claimed else {
+        let Some((id, mut core, (lease, mut workspace), step_delay_ms, flight)) = claimed else {
             continue;
         };
 
@@ -793,15 +945,20 @@ fn worker_loop(shared: &Shared) {
                 // The step panicked: isolate the session, survive the
                 // worker. The workspace may hold arbitrary partial state,
                 // so retire the slot's contents via the normal reset.
+                let mut summary = None;
                 let mut fleet = lock(&shared.fleet);
                 if let Some(session) = fleet.sessions.get_mut(&id) {
                     session.stepping = false;
                     session.workspace = Some((lease, workspace));
                     finalize(shared, &mut fleet, id, SessionState::Failed, None);
+                    summary = fleet.sessions.get(&id).map(Session::summary_json);
                 } else {
                     shared.wpool.release(lease, workspace);
                 }
                 drop(fleet);
+                if shared.health.postmortem {
+                    health::write_postmortem("panic", id, summary.as_deref());
+                }
                 shared.work_ready.notify_all();
             }
             Ok(telemetry) => {
@@ -822,6 +979,12 @@ fn worker_loop(shared: &Shared) {
                     telemetry.potentials.launches as u64,
                 );
                 obs::scope::scoped_gauge_set(&scope, "session.last_step_ns", step_ns);
+                let mut step_event = FlightEvent::new(EventKind::SessionStep);
+                step_event.session = id;
+                step_event.step = telemetry.step as u64;
+                step_event.value = step_ns;
+                step_event.extra = telemetry.potentials.fallback_cells as f64;
+                obs::flight::record_scoped(Some(&flight), step_event);
 
                 let event_json = format!(
                     "{{\"session\":{id},\"step\":{},\"gpu_time_s\":{},\"fallback_cells\":{},\
@@ -844,6 +1007,7 @@ fn worker_loop(shared: &Shared) {
                 let finished = if let Some(session) = fleet.sessions.get_mut(&id) {
                     session.stepping = false;
                     session.steps_done += 1;
+                    session.last_progress = Instant::now();
                     session.board.record(&telemetry);
                     if let Some(mirror) = &session.mirror {
                         mirror.record(&telemetry);
@@ -887,6 +1051,161 @@ fn worker_loop(shared: &Shared) {
                     std::thread::sleep(Duration::from_millis(step_delay_ms));
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+/// The health-engine thread: evaluates the watchdog rule set every
+/// [`HealthConfig::check_interval`] until shutdown. See [`crate::health`]
+/// for the rules.
+fn watchdog_loop(shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(shared.health.check_interval);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        evaluate_health(shared);
+    }
+}
+
+/// One watchdog tick: fire newly-violated rules, resolve no-longer-true
+/// ones, and write stall post-mortems (file IO strictly outside the fleet
+/// lock).
+fn evaluate_health(shared: &Shared) {
+    let config = &shared.health;
+    let deadline = health::effective_stall_deadline(config);
+    let mut stalled_now: Vec<(u64, String)> = Vec::new();
+
+    let (pending_len, exhausted) = {
+        let fleet = lock(&shared.fleet);
+        for (&id, session) in &fleet.sessions {
+            if session.state != SessionState::Running {
+                continue;
+            }
+            let silent = session.last_progress.elapsed();
+            if silent <= deadline {
+                continue;
+            }
+            let newly = obs::flight::fire_alert(
+                health::ALERT_SESSION_STALLED,
+                Some(id),
+                AlertSeverity::Critical,
+                format!(
+                    "session {id} made no step progress for {:.1}s (deadline {:.1}s)",
+                    silent.as_secs_f64(),
+                    deadline.as_secs_f64()
+                ),
+            );
+            if newly {
+                let mut event = FlightEvent::new(EventKind::Watchdog);
+                event.session = id;
+                event.step = session.steps_done as u64;
+                event.code = 1;
+                event.value = silent.as_nanos() as f64;
+                event.extra = deadline.as_nanos() as f64;
+                obs::flight::record_scoped(Some(&session.flight), event);
+                stalled_now.push((id, session.summary_json()));
+            }
+        }
+        let pending_len = fleet.pending.len();
+        let exhausted = shared.wpool.in_use() >= shared.wpool.capacity()
+            && pending_len > 0
+            && fleet.last_admission.elapsed() > deadline;
+        (pending_len, exhausted)
+    };
+
+    if pending_len * 4 >= config.max_pending.max(1) * 3 {
+        let newly = obs::flight::fire_alert(
+            health::ALERT_QUEUE_BACKLOG,
+            None,
+            AlertSeverity::Warning,
+            format!(
+                "pending queue at {pending_len}/{} (¾ bound crossed)",
+                config.max_pending
+            ),
+        );
+        if newly {
+            let mut event = FlightEvent::new(EventKind::Queue);
+            event.value = pending_len as f64;
+            event.extra = config.max_pending as f64;
+            obs::flight::record(event);
+        }
+    }
+
+    if exhausted {
+        let newly = obs::flight::fire_alert(
+            health::ALERT_POOL_EXHAUSTED,
+            None,
+            AlertSeverity::Warning,
+            format!(
+                "all {} workspace slots leased, {pending_len} waiting, no admission for {:.1}s",
+                shared.wpool.capacity(),
+                deadline.as_secs_f64()
+            ),
+        );
+        if newly {
+            let mut event = FlightEvent::new(EventKind::Pool);
+            event.value = shared.wpool.in_use() as f64;
+            event.extra = shared.wpool.capacity() as f64;
+            obs::flight::record(event);
+        }
+    }
+
+    let p99_ms = obs::histogram_snapshot("session.step_ns").map_or(0.0, |h| h.p99()) / 1e6;
+    if let Some(budget_ms) = config.slo_step_p99_ms {
+        if p99_ms > budget_ms {
+            obs::flight::fire_alert(
+                health::ALERT_SLO_STEP_P99,
+                None,
+                AlertSeverity::Warning,
+                format!("step p99 {p99_ms:.2}ms over SLO budget {budget_ms:.2}ms"),
+            );
+        }
+    }
+
+    // Resolution pass: stateless — scan what fires and retract anything
+    // whose condition no longer holds. Unknown alert names (fired by
+    // other components or tests) are left alone.
+    for alert in obs::flight::firing_alerts() {
+        let resolve = match alert.name.as_str() {
+            health::ALERT_SESSION_STALLED => match alert.session {
+                Some(id) => {
+                    let fleet = lock(&shared.fleet);
+                    fleet.sessions.get(&id).is_none_or(|s| {
+                        s.state != SessionState::Running || s.last_progress.elapsed() <= deadline
+                    })
+                }
+                None => true,
+            },
+            health::ALERT_QUEUE_BACKLOG => pending_len * 2 <= config.max_pending,
+            health::ALERT_ADMISSION_SATURATED => pending_len < config.max_pending,
+            health::ALERT_POOL_EXHAUSTED => !exhausted,
+            health::ALERT_SLO_STEP_P99 => {
+                config.slo_step_p99_ms.is_none_or(|budget| p99_ms <= budget)
+            }
+            _ => false,
+        };
+        if resolve
+            && obs::flight::resolve_alert(&alert.name, alert.session)
+            && alert.name == health::ALERT_SESSION_STALLED
+        {
+            let mut event = FlightEvent::new(EventKind::Watchdog);
+            event.session = alert.session.unwrap_or(0);
+            event.code = 0;
+            obs::flight::record(event);
+        }
+    }
+
+    if config.postmortem {
+        for (id, summary) in stalled_now {
+            health::write_postmortem("stall", id, Some(&summary));
         }
     }
 }

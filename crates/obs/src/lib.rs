@@ -29,6 +29,7 @@
 //! overhead on the simulation hot loop is far below the 2 % budget.
 
 mod broadcast;
+pub mod flight;
 mod histogram;
 mod perfetto;
 pub mod prometheus;
@@ -38,6 +39,7 @@ mod sink;
 mod span;
 
 pub use broadcast::{Broadcast, BroadcastReceiver, BroadcastSink};
+pub use flight::{Alert, AlertSeverity, EventKind, FlightEvent, FlightRing};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use perfetto::{install_perfetto, PerfettoSink};
 pub use registry::{
@@ -178,6 +180,27 @@ pub fn flush_step(step: usize) {
 /// working directory).
 pub fn trace_enabled() -> bool {
     std::env::var("BEAMDYN_TRACE").map_or(true, |v| v != "0")
+}
+
+/// Directory artifacts (bench tables, baselines, post-mortem dumps) are
+/// written to: `$BEAMDYN_BENCH_DIR`, defaulting to the working directory.
+/// Created on demand.
+pub fn artifact_dir() -> std::path::PathBuf {
+    let dir = std::env::var("BEAMDYN_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// Writes `contents` to `file_name` inside [`artifact_dir`], returning the
+/// full path. Errors are reported to stderr, never panicked on — artifact
+/// writes must not take down a simulation or a serving fleet.
+pub fn write_artifact(file_name: &str, contents: &str) -> std::path::PathBuf {
+    let path = artifact_dir().join(file_name);
+    if let Err(err) = std::fs::write(&path, contents) {
+        eprintln!("warning: could not write {}: {err}", path.display());
+    }
+    path
 }
 
 #[cfg(test)]

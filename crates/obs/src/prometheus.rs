@@ -221,11 +221,12 @@ pub fn render_scoped(scoped: &ScopedSnapshot) -> String {
 }
 
 /// [`render`] over a fresh snapshot of the live registry, followed by the
-/// scoped per-session families — the body a fleet-wide `/metrics`
-/// endpoint serves.
+/// scoped per-session families and the firing-alert family — the body a
+/// fleet-wide `/metrics` endpoint serves.
 pub fn render_current() -> String {
     let mut out = render(&crate::registry::snapshot());
     out.push_str(&render_scoped(&scoped_snapshot(None)));
+    out.push_str(&crate::flight::render_alert_family());
     out
 }
 

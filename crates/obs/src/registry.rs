@@ -207,6 +207,7 @@ pub fn snapshot() -> Snapshot {
 /// discontinuity.
 pub fn reset() {
     crate::scope::reset_all();
+    crate::flight::reset_all();
     lock(&REGISTRY.spans).clear();
     for c in lock(&REGISTRY.counters).iter() {
         c.reset_value();

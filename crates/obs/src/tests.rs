@@ -571,3 +571,86 @@ fn jsonl_sink_flushes_buffer_on_uninstall() {
         "last line complete: {last:?}"
     );
 }
+
+/// Property coverage for the flight recorder's drop-oldest contract:
+/// whatever the interleaving of concurrent writers, the ring retains exactly
+/// the newest `capacity` events and accounts for every displaced one.
+mod flight_ring_properties {
+    use crate::flight::{EventKind, FlightEvent, FlightRing};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// After all writers quiesce: `recorded == total`,
+        /// `dropped == max(0, total - capacity)`, and the surviving
+        /// sequence numbers are exactly the top `min(total, capacity)`.
+        #[test]
+        fn drop_oldest_accounting_is_exact_under_concurrent_writers(
+            capacity in 1usize..24,
+            per_writer in 0usize..32,
+            writers in 1usize..5,
+        ) {
+            let ring = Arc::new(FlightRing::with_capacity(capacity));
+            let handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    let ring = Arc::clone(&ring);
+                    std::thread::spawn(move || {
+                        for i in 0..per_writer {
+                            let mut event = FlightEvent::new(EventKind::Step);
+                            event.session = w as u64;
+                            event.step = i as u64;
+                            event.value = (w * per_writer + i) as f64;
+                            ring.record(&event);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("writer panicked");
+            }
+
+            let total = (writers * per_writer) as u64;
+            prop_assert_eq!(ring.recorded(), total);
+            prop_assert_eq!(
+                ring.dropped(),
+                total.saturating_sub(capacity as u64),
+                "dropped must equal total - capacity once the ring wraps"
+            );
+
+            let snapshot = ring.snapshot();
+            let survivors = total.min(capacity as u64);
+            prop_assert_eq!(snapshot.len() as u64, survivors);
+            // Sorted snapshot must be exactly [total - survivors, total).
+            for (offset, entry) in snapshot.iter().enumerate() {
+                prop_assert_eq!(entry.seq, total - survivors + offset as u64);
+            }
+        }
+
+        /// Single-writer order: the snapshot preserves write order and the
+        /// payloads of the retained suffix are intact.
+        #[test]
+        fn single_writer_retains_newest_payloads(
+            capacity in 1usize..16,
+            total in 0usize..48,
+        ) {
+            let ring = FlightRing::with_capacity(capacity);
+            for i in 0..total {
+                let mut event = FlightEvent::new(EventKind::Queue);
+                event.step = i as u64;
+                event.value = i as f64;
+                ring.record(&event);
+            }
+            let snapshot = ring.snapshot();
+            let survivors = total.min(capacity);
+            prop_assert_eq!(snapshot.len(), survivors);
+            for (offset, entry) in snapshot.iter().enumerate() {
+                let expect = total - survivors + offset;
+                prop_assert_eq!(entry.seq, expect as u64);
+                prop_assert_eq!(entry.event.step, expect as u64);
+                prop_assert_eq!(entry.event.value, expect as f64);
+            }
+        }
+    }
+}

@@ -14,8 +14,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use beamdyn_core::scenario::SpecError;
-use beamdyn_core::{SessionManager, StatusBoard};
-use beamdyn_obs::{prometheus, BroadcastSink};
+use beamdyn_core::{SessionManager, StatusBoard, SubmitError};
+use beamdyn_obs::{flight, prometheus, BroadcastSink};
 use beamdyn_par::ThreadPool;
 
 use crate::spec::parse_scenario;
@@ -233,9 +233,25 @@ fn write_response(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra headers (`name: value` pairs) — how the
+/// 429 back-pressure answer carries `Retry-After`.
+fn write_response_with(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut headers = String::new();
+    for (name, value) in extra_headers {
+        headers.push_str(&format!("{name}: {value}\r\n"));
+    }
     write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{headers}Connection: close\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
@@ -250,7 +266,7 @@ fn not_found(stream: &mut TcpStream) -> std::io::Result<()> {
         stream,
         "404 Not Found",
         "text/plain; charset=utf-8",
-        "unknown endpoint; try /metrics /status /events /sessions /healthz /readyz /quitz\n",
+        "unknown endpoint; try /metrics /status /events /sessions /alerts /debug/flight /healthz /readyz /quitz\n",
     )
 }
 
@@ -285,8 +301,28 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
             &prometheus::render_current(),
         ),
         ("GET", "/status") => write_json(&mut stream, "200 OK", &ctx.status.to_json()),
+        // Liveness vs. readiness vs. health are three distinct answers:
+        // the process is *live* as long as it answers at all, *ready*
+        // (`/readyz`) once startup finished — and stays ready while
+        // degraded — and *healthy* only while no critical alert fires.
+        // Orchestrators restart on liveness, drain on readiness, page on
+        // health; conflating them turns one stalled tenant into a restart
+        // loop (pinned by tests/health_engine.rs).
         ("GET", "/healthz") => {
-            write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n")
+            if flight::any_critical_firing() {
+                write_response(
+                    &mut stream,
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "critical alert firing; see /alerts\n",
+                )
+            } else {
+                write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n")
+            }
+        }
+        ("GET", "/alerts") => write_json(&mut stream, "200 OK", &flight::alerts_json()),
+        ("GET", "/debug/flight") => {
+            write_json(&mut stream, "200 OK", &flight::global().to_json("global"))
         }
         ("GET", "/readyz") => {
             if ctx.ready.load(Ordering::Acquire) {
@@ -340,6 +376,10 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
 /// | `GET /sessions/{id}/status`    | the session's StatusBoard JSON          |
 /// | `GET /sessions/{id}/metrics`   | Prometheus text scoped to the session   |
 /// | `GET /sessions/{id}/events`    | SSE stream of the session's steps       |
+/// | `GET /sessions/{id}/debug/flight` | the session's flight-ring dump       |
+///
+/// `POST /sessions` can also answer `429 Too Many Requests` (+
+/// `Retry-After`) when admission back-pressure engages.
 fn handle_sessions(
     stream: &mut TcpStream,
     ctx: &ServeContext,
@@ -375,7 +415,22 @@ fn handle_sessions(
                         "{{\"id\":{id},\"state\":\"queued\",\"location\":\"/sessions/{id}\"}}"
                     ),
                 ),
-                Err(msg) => write_json(
+                Err(SubmitError::Saturated {
+                    pending,
+                    limit,
+                    retry_after,
+                }) => write_response_with(
+                    stream,
+                    "429 Too Many Requests",
+                    "application/json",
+                    &[("Retry-After", &retry_after.as_secs().to_string())],
+                    &format!(
+                        "{{\"error\":\"admission queue full\",\"pending\":{pending},\
+                         \"limit\":{limit},\"retry_after_s\":{}}}",
+                        retry_after.as_secs()
+                    ),
+                ),
+                Err(SubmitError::Rejected(msg)) => write_json(
                     stream,
                     "400 Bad Request",
                     &SpecError::range("spec", msg).to_json(),
@@ -424,6 +479,16 @@ fn handle_sessions(
                     )
                 }
                 ("GET", Some("events")) => stream_session_events(stream, mgr, flags, id),
+                ("GET", Some("debug/flight")) => {
+                    if mgr.state(id).is_none() {
+                        return session_not_found(stream, id);
+                    }
+                    let scope = id.to_string();
+                    match flight::scope_ring(&scope) {
+                        Some(ring) => write_json(stream, "200 OK", &ring.to_json(&scope)),
+                        None => session_not_found(stream, id),
+                    }
+                }
                 _ => not_found(stream),
             }
         }

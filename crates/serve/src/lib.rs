@@ -18,8 +18,11 @@
 //! | `GET /sessions/{id}/status`    | the session's own StatusBoard JSON            |
 //! | `GET /sessions/{id}/metrics`   | Prometheus text scoped to that session        |
 //! | `GET /sessions/{id}/events`    | SSE of that session's steps (ends on finish)  |
-//! | `GET /healthz`                 | liveness (`200 ok`)                           |
-//! | `GET /readyz`                  | readiness (`200` once the engine is up)       |
+//! | `GET /sessions/{id}/debug/flight` | the session's flight-recorder ring (JSON)  |
+//! | `GET /alerts`                  | firing + recently-resolved alerts (JSON)      |
+//! | `GET /debug/flight`            | the global flight-recorder ring (JSON)        |
+//! | `GET /healthz`                 | health (`200 ok`, `503` while a critical alert fires) |
+//! | `GET /readyz`                  | readiness (`200` once the engine is up; stays `200` while degraded) |
 //! | `GET /quitz`                   | requests graceful shutdown of the host loop   |
 //!
 //! `POST /sessions` bodies are declarative [`ScenarioSpec`]

@@ -33,7 +33,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use beamdyn::core::{
-    BackendKind, KernelKind, ScenarioSpec, SessionManager, SessionManagerConfig, StatusBoard,
+    BackendKind, HealthConfig, KernelKind, ScenarioSpec, SessionManager, SessionManagerConfig,
+    StatusBoard,
 };
 use beamdyn::obs;
 use beamdyn::serve::{MonitorServer, ServeConfig, ServeContext};
@@ -54,6 +55,10 @@ struct Options {
     step_delay_ms: u64,
     addr_file: Option<String>,
     no_scenario: bool,
+    flight_capacity: usize,
+    stall_deadline_ms: u64,
+    max_pending: usize,
+    slo_step_p99_ms: Option<f64>,
 }
 
 impl Options {
@@ -73,6 +78,10 @@ impl Options {
             step_delay_ms: 0,
             addr_file: None,
             no_scenario: false,
+            flight_capacity: 0,
+            stall_deadline_ms: 10_000,
+            max_pending: 256,
+            slo_step_p99_ms: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -161,6 +170,32 @@ impl Options {
                     opts.addr_file = Some(value(&args, i, flag)?);
                     i += 1;
                 }
+                "--flight-capacity" => {
+                    opts.flight_capacity = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--flight-capacity must be an event count".to_string())?;
+                    i += 1;
+                }
+                "--stall-deadline-ms" => {
+                    opts.stall_deadline_ms = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--stall-deadline-ms must be milliseconds".to_string())?;
+                    i += 1;
+                }
+                "--max-pending" => {
+                    opts.max_pending = value(&args, i, flag)?
+                        .parse()
+                        .map_err(|_| "--max-pending must be a count".to_string())?;
+                    i += 1;
+                }
+                "--slo-step-p99-ms" => {
+                    opts.slo_step_p99_ms = Some(
+                        value(&args, i, flag)?
+                            .parse()
+                            .map_err(|_| "--slo-step-p99-ms must be milliseconds".to_string())?,
+                    );
+                    i += 1;
+                }
                 "--help" | "-h" => {
                     println!(
                         "beamdyn-daemon: multi-tenant live-monitored beam-dynamics service\n\n\
@@ -177,7 +212,11 @@ impl Options {
                          --step-workers N    concurrent session steppers (default 2)\n\
                          --slots N           workspace-pool slots = max admitted sessions (default 8)\n\
                          --step-delay-ms MS  pause between scenario steps (default 0)\n\
-                         --addr-file PATH    write the bound address to PATH"
+                         --addr-file PATH    write the bound address to PATH\n\
+                         --flight-capacity N global flight-recorder ring size (default 2048)\n\
+                         --stall-deadline-ms MS  watchdog stall deadline floor (default 10000)\n\
+                         --max-pending N     admission bound; beyond it POST /sessions answers 429 (default 256)\n\
+                         --slo-step-p99-ms MS  alert when fleet step p99 exceeds this budget (default off)"
                     );
                     std::process::exit(0);
                 }
@@ -246,12 +285,24 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Size the global flight ring before anything records into it (the
+    // ring is built lazily on first use and keeps its capacity for the
+    // process lifetime).
+    if opts.flight_capacity > 0 {
+        obs::flight::configure_global_capacity(opts.flight_capacity);
+    }
     let manager = SessionManager::start(SessionManagerConfig {
         threads: opts.threads.max(1),
         step_workers: opts.step_workers.max(1),
         slots: opts.slots.max(1),
         default_backend,
         device: DeviceConfig::tesla_k40(),
+        health: HealthConfig {
+            stall_deadline: Duration::from_millis(opts.stall_deadline_ms.max(1)),
+            max_pending: opts.max_pending.max(1),
+            slo_step_p99_ms: opts.slo_step_p99_ms,
+            ..HealthConfig::default()
+        },
         ..SessionManagerConfig::default()
     });
 
@@ -285,7 +336,9 @@ fn main() {
         default_backend.name(),
         opts.slots.max(1),
     );
-    println!("endpoints: /metrics /status /events /sessions /healthz /readyz /quitz");
+    println!(
+        "endpoints: /metrics /status /events /sessions /alerts /debug/flight /healthz /readyz /quitz"
+    );
     if let Some(path) = &opts.addr_file {
         if let Err(e) = std::fs::write(path, server.addr().to_string()) {
             eprintln!("beamdyn-daemon: cannot write --addr-file {path}: {e}");

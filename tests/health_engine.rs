@@ -1,0 +1,291 @@
+//! The fleet health engine, end to end in one process: a real
+//! [`SessionManager`] with its watchdog thread behind a real
+//! [`MonitorServer`], driven into a stall and back out over real sockets.
+//!
+//! Pins the observability acceptance contract (DESIGN.md §15):
+//!
+//! * a session whose `step_delay_ms` dwarfs the stall deadline trips
+//!   `watchdog.session_stalled` on `/alerts` (firing → resolved lifecycle),
+//!   degrades `/healthz` to 503, and leaves an on-disk post-mortem whose
+//!   flight-ring tail explains the stall;
+//! * `/readyz` stays 200 the whole time — *degraded* (failing SLOs) and
+//!   *not ready* (don't route to me) are different signals, and the
+//!   watchdog must never conflate them;
+//! * admission back-pressure: once `pending == max_pending`, POST
+//!   `/sessions` answers 429 with a `Retry-After` header, bumps
+//!   `sessions.rejected`, and reports `admission.saturated` on `/alerts`;
+//! * `/debug/flight` (global ring) and `/sessions/{id}/debug/flight`
+//!   (per-session ring) both serve the black-box events as JSON, and the
+//!   firing alert is visible as `beamdyn_alerts_firing` on `/metrics`.
+//!
+//! Kept to a single `#[test]` because the obs registry — and with it the
+//! alert registry and flight recorder — is process-global.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use beamdyn::core::{
+    BackendKind, HealthConfig, SessionManager, SessionManagerConfig, SessionState, StatusBoard,
+};
+use beamdyn::obs;
+use beamdyn::serve::{MonitorServer, ServeConfig, ServeContext};
+use beamdyn::simt::DeviceConfig;
+use beamdyn_bench::json;
+use beamdyn_bench::scrape::{
+    firing_alert_names, http_delete, http_get, http_post, http_request_raw, parse_exposition,
+};
+
+/// The drill's watchdog deadline floor: far shorter than the stalled
+/// session's `step_delay_ms`, far longer than a real 8×8 step.
+const STALL_DEADLINE: Duration = Duration::from_millis(300);
+/// Admission bound: small enough to fill with three queued sessions.
+const MAX_PENDING: usize = 3;
+
+fn poll_until(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !check() {
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn firing(addr: &str) -> Vec<String> {
+    let (code, body) = http_get(addr, "/alerts").expect("GET /alerts");
+    assert_eq!(code, 200, "{body}");
+    firing_alert_names(&body)
+}
+
+#[test]
+fn stall_drill_fires_explains_and_recovers() {
+    obs::uninstall_all();
+    obs::reset();
+    // Route post-mortem dumps (and nothing else in this test writes
+    // artifacts) to a private temp dir.
+    let dump_dir =
+        std::env::temp_dir().join(format!("beamdyn_health_engine_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    std::env::set_var("BEAMDYN_BENCH_DIR", &dump_dir);
+
+    // One step worker and one workspace slot: the stalled session wedges
+    // the entire stepping plane and holds the only slot, so queued fillers
+    // stay deterministically pending (no second stall can fire).
+    let manager = SessionManager::start(SessionManagerConfig {
+        threads: 2,
+        step_workers: 1,
+        slots: 1,
+        default_backend: BackendKind::TracedSimt,
+        device: DeviceConfig::tesla_k40(),
+        health: HealthConfig {
+            stall_deadline: STALL_DEADLINE,
+            max_pending: MAX_PENDING,
+            ..HealthConfig::default()
+        },
+        ..SessionManagerConfig::default()
+    });
+    let server = MonitorServer::start(
+        ServeConfig::default(),
+        ServeContext {
+            status: StatusBoard::new("predictive", "traced-simt"),
+            events: obs::BroadcastSink::new(),
+            ready: Arc::new(AtomicBool::new(true)),
+            sessions: Some(Arc::clone(&manager)),
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // Healthy start.
+    assert_eq!(http_get(&addr, "/healthz").expect("healthz").0, 200);
+    assert!(firing(&addr).is_empty(), "no alerts on a fresh fleet");
+
+    // --- The stall: a session that sleeps 5 s per step on the only worker.
+    let (code, body) = http_post(
+        &addr,
+        "/sessions",
+        r#"{"name":"stall-drill","resolution":8,"particles":400,"steps":3,"step_delay_ms":5000}"#,
+    )
+    .expect("POST stall session");
+    assert_eq!(code, 201, "{body}");
+    let stall_id = json::parse(&body)
+        .expect("201 JSON")
+        .get("id")
+        .and_then(|v| v.as_f64())
+        .expect("id") as u64;
+    poll_until("stall session admitted", Duration::from_secs(30), || {
+        manager.state(stall_id) == Some(SessionState::Running)
+    });
+
+    // --- Back-pressure while the worker is wedged: fill the pending queue
+    // to its bound, then one more POST must bounce with 429 + Retry-After.
+    let rejected_before = obs::counter_value("sessions.rejected").unwrap_or(0);
+    for i in 0..MAX_PENDING {
+        let (code, body) = http_post(
+            &addr,
+            "/sessions",
+            &format!(r#"{{"name":"filler-{i}","resolution":8,"particles":400,"steps":1}}"#),
+        )
+        .expect("POST filler");
+        assert_eq!(code, 201, "filler {i} must queue: {body}");
+    }
+    let (code, headers, body) = http_request_raw(
+        &addr,
+        "POST",
+        "/sessions",
+        r#"{"name":"one-too-many","resolution":8,"particles":400,"steps":1}"#,
+    )
+    .expect("POST over bound");
+    assert_eq!(code, 429, "queue at bound must reject: {body}");
+    let retry_after: u64 = headers
+        .get("retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is integral seconds");
+    assert!(
+        (1..=30).contains(&retry_after),
+        "Retry-After hint must be a sane bound, got {retry_after}"
+    );
+    let rejection = json::parse(&body).expect("429 body is JSON");
+    assert_eq!(
+        rejection.get("limit").and_then(|v| v.as_f64()),
+        Some(MAX_PENDING as f64)
+    );
+    assert_eq!(
+        obs::counter_value("sessions.rejected").unwrap_or(0),
+        rejected_before + 1,
+        "every rejection is counted"
+    );
+    poll_until(
+        "admission.saturated on /alerts",
+        Duration::from_secs(10),
+        || firing(&addr).iter().any(|a| a == "admission.saturated"),
+    );
+
+    // --- The watchdog verdict: the stall alert fires within a few
+    // deadlines (the first step completes before the 5 s sleep bites).
+    let stalled = format!("watchdog.session_stalled@{stall_id}");
+    poll_until(&stalled, Duration::from_secs(20), || {
+        firing(&addr).contains(&stalled)
+    });
+
+    // Honest health, stable readiness — the pin for the §15 semantics:
+    // /healthz answers "am I healthy" (503 while a critical alert fires),
+    // /readyz answers "can I take traffic" (yes — degraded is not down).
+    let (code, body) = http_get(&addr, "/healthz").expect("healthz while stalled");
+    assert_eq!(code, 503, "critical alert must degrade /healthz: {body}");
+    assert_eq!(
+        http_get(&addr, "/readyz").expect("readyz while stalled").0,
+        200,
+        "/readyz must stay 200 while /healthz is alert-degraded"
+    );
+
+    // The alert is visible to Prometheus scrapers too.
+    let (code, text) = http_get(&addr, "/metrics").expect("metrics while stalled");
+    assert_eq!(code, 200);
+    let exposition = parse_exposition(&text).expect("valid exposition while firing");
+    assert_eq!(
+        exposition.labelled("beamdyn_alerts_firing", "alert", "watchdog.session_stalled"),
+        Some(1.0),
+        "firing alert must be a labelled gauge on /metrics"
+    );
+
+    // --- The flight recorder explains the moment, globally and per session.
+    let (code, body) = http_get(&addr, "/debug/flight").expect("GET /debug/flight");
+    assert_eq!(code, 200);
+    let global_ring = json::parse(&body).expect("/debug/flight is JSON");
+    assert!(
+        global_ring
+            .get("events")
+            .and_then(|v| v.as_array())
+            .is_some_and(|events| {
+                events
+                    .iter()
+                    .any(|e| e.get("kind").and_then(|k| k.as_str()) == Some("watchdog"))
+            }),
+        "global ring must carry the watchdog verdict: {body}"
+    );
+    let (code, body) =
+        http_get(&addr, &format!("/sessions/{stall_id}/debug/flight")).expect("session flight");
+    assert_eq!(code, 200);
+    let session_ring = json::parse(&body).expect("session flight is JSON");
+    let events = session_ring
+        .get("events")
+        .and_then(|v| v.as_array())
+        .expect("session ring has events");
+    assert!(
+        events
+            .iter()
+            .all(|e| e.get("session").and_then(|s| s.as_f64()) == Some(stall_id as f64)),
+        "per-session ring must only hold this session's events"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("kind").and_then(|k| k.as_str()) == Some("lifecycle")),
+        "per-session ring records the lifecycle transitions"
+    );
+    assert_eq!(
+        http_get(&addr, "/sessions/999/debug/flight")
+            .expect("unknown session flight")
+            .0,
+        404
+    );
+
+    // --- The post-mortem dump: written on the firing edge, named after
+    // the session, carrying its flight tail.
+    let dump = dump_dir.join(format!("POSTMORTEM_stall_session{stall_id}.json"));
+    poll_until("post-mortem dump on disk", Duration::from_secs(10), || {
+        dump.is_file()
+    });
+    let dump_body = std::fs::read_to_string(&dump).expect("post-mortem readable");
+    assert!(
+        dump_body.contains("\"session_flight\"") && dump_body.contains("watchdog.session_stalled"),
+        "post-mortem must carry the session flight ring and the alert: {dump_body}"
+    );
+
+    // --- Recovery: evict the wedged session; the fillers drain, every
+    // alert resolves, and /healthz goes honest-green again.
+    assert_eq!(
+        http_delete(&addr, &format!("/sessions/{stall_id}"))
+            .expect("DELETE stall")
+            .0,
+        200
+    );
+    poll_until("all alerts resolved", Duration::from_secs(60), || {
+        firing(&addr).is_empty()
+    });
+    poll_until("/healthz recovered", Duration::from_secs(10), || {
+        http_get(&addr, "/healthz").expect("healthz").0 == 200
+    });
+    // The firing→resolved lifecycle is preserved in the /alerts history.
+    let (code, body) = http_get(&addr, "/alerts").expect("GET /alerts after recovery");
+    assert_eq!(code, 200);
+    let alerts = json::parse(&body).expect("/alerts is JSON");
+    assert_eq!(
+        alerts.get("healthy"),
+        Some(&json::Value::Bool(true)),
+        "/alerts must report healthy after recovery: {body}"
+    );
+    let resolved = alerts
+        .get("resolved")
+        .and_then(|v| v.as_array())
+        .expect("resolved history");
+    assert!(
+        resolved.iter().any(|a| {
+            a.get("name").and_then(|n| n.as_str()) == Some("watchdog.session_stalled")
+                && a.get("resolved_at_ns").and_then(|v| v.as_f64()).is_some()
+        }),
+        "resolved history must keep the stall with its resolution time: {body}"
+    );
+    assert!(
+        manager.wait_idle(Duration::from_secs(60)),
+        "fillers never drained after the stall was evicted"
+    );
+
+    server.shutdown();
+    server.join();
+    manager.shutdown();
+    std::env::remove_var("BEAMDYN_BENCH_DIR");
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    obs::uninstall_all();
+}

@@ -70,6 +70,7 @@ fn session_service_contract_over_real_http() {
         events_capacity: EVENTS_CAPACITY,
         default_backend: BackendKind::TracedSimt,
         device: DeviceConfig::tesla_k40(),
+        ..SessionManagerConfig::default()
     });
     let events = obs::BroadcastSink::new();
     let status = StatusBoard::new("predictive", "traced-simt");

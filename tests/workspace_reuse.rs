@@ -107,6 +107,16 @@ fn steady_state_steps_do_not_grow_the_workspace() {
         }
     }
 
+    // The always-on flight recorder was live for every one of those steps
+    // (one `step` event per driver step, plus kernel grades) — the
+    // zero-growth invariant above therefore holds *with* the black box
+    // recording, not in a stripped build.
+    assert!(
+        obs::flight::global().recorded() >= flushes as u64,
+        "flight recorder must have captured at least one event per step ({} < {flushes})",
+        obs::flight::global().recorded()
+    );
+
     // Every step flush reached the live subscriber, none were dropped.
     assert_eq!(
         rx.drain().len(),
