@@ -1,7 +1,7 @@
 # Developer entry points. `make verify` mirrors the tier-1 acceptance gate;
 # `make ci` runs everything .github/workflows/ci.yml runs.
 
-.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke load-smoke health-smoke bench bench-baseline bench-check backend-check perf-smoke clean
+.PHONY: verify ci fmt lint test workspace-reuse kernel-smoke trace-smoke serve serve-smoke load-smoke health-smoke timeline-smoke bench bench-baseline bench-check backend-check perf-smoke clean
 
 # Tier-1 gate: exactly what the roadmap requires to stay green.
 verify:
@@ -16,6 +16,7 @@ ci: fmt lint verify
 	$(MAKE) serve-smoke
 	$(MAKE) load-smoke
 	$(MAKE) health-smoke
+	$(MAKE) timeline-smoke
 	$(MAKE) bench-check
 	$(MAKE) backend-check
 	$(MAKE) perf-smoke
@@ -84,6 +85,16 @@ health-smoke:
 	cargo build --release --bin beamdyn-daemon
 	BEAMDYN_DAEMON_BIN=target/release/beamdyn-daemon \
 		cargo run --release -p beamdyn-bench --bin health_smoke
+
+# Timeline/rules/webhook smoke (DESIGN.md §16): a real daemon loading
+# alert rules from a spec file (malformed files must exit 2 with a
+# structured error), pushing firing→resolved transitions — with timeline
+# excerpts — to a local webhook sink, and serving /timeline history whose
+# counter-delta sums equal the /metrics scrape exactly.
+timeline-smoke:
+	cargo build --release --bin beamdyn-daemon
+	BEAMDYN_DAEMON_BIN=target/release/beamdyn-daemon \
+		cargo run --release -p beamdyn-bench --bin timeline_smoke
 
 bench:
 	cargo bench --workspace

@@ -123,6 +123,17 @@ pub fn tolerance_for(name: &str) -> Tolerance {
         // A healthy canonical run fires no alerts and never laps the
         // default flight ring — any drift here is a real health regression.
         Tolerance { rel: 0.0, abs: 0.0 }
+    } else if name == "timeline.samples_dropped" || name.starts_with("webhook.") {
+        // The canonical fleet's history must fit its rings (no evictions)
+        // and — with no webhooks configured — the notifier must be inert.
+        Tolerance { rel: 0.0, abs: 0.0 }
+    } else if name == "timeline.samples_recorded" {
+        // Change-compressed sample volume: driven by metric activity, but
+        // the watchdog-tick feed adds a timing-dependent handful.
+        Tolerance {
+            rel: 1.0,
+            abs: 1024.0,
+        }
     } else if name == "flight.events_recorded" {
         // Deterministic in shape (fixed events per submit/admit/step/
         // grade/finish) but given headroom in case a rare watchdog edge
@@ -445,6 +456,25 @@ pub fn run_canonical(pool: &ThreadPool) -> MetricSet {
     set.insert(
         "flight.events_dropped",
         obs::counter_value("flight.events_dropped").unwrap_or(0) as f64,
+    );
+    // Timeline-store facts: the canonical fleet's history must fit the
+    // per-series rings with nothing evicted (exact-zero drop gate), and —
+    // with no webhooks configured — the notifier must do exactly nothing.
+    set.insert(
+        "timeline.samples_recorded",
+        obs::counter_value("timeline.samples_recorded").unwrap_or(0) as f64,
+    );
+    set.insert(
+        "timeline.samples_dropped",
+        obs::counter_value("timeline.samples_dropped").unwrap_or(0) as f64,
+    );
+    set.insert(
+        "webhook.delivered",
+        obs::counter_value("webhook.delivered").unwrap_or(0) as f64,
+    );
+    set.insert(
+        "webhook.retries",
+        obs::counter_value("webhook.retries").unwrap_or(0) as f64,
     );
     manager.shutdown();
     set

@@ -6,7 +6,7 @@
 //! * [`http_get`] — a one-shot HTTP/1.1 GET over [`std::net::TcpStream`]
 //!   returning status code and body.
 //! * [`parse_exposition`] — a strict parser for the Prometheus text format
-//!   (0.0.4) `GET /metrics` serves: `# TYPE` tracking, labelled samples
+//!   (0.0.4) `GET /metrics` serves: `# TYPE` and `# HELP` tracking, labelled samples
 //!   with escape handling, `NaN`/`±Inf` tokens. Any malformed line is an
 //!   error with its line number, so the serve tests *round-trip* the
 //!   exposition (`obs::prometheus::render` → this parser → value lookup)
@@ -47,6 +47,8 @@ pub struct Exposition {
     pub samples: Vec<Sample>,
     /// `# TYPE` declarations: family name → `counter` / `gauge` / ….
     pub types: BTreeMap<String, String>,
+    /// `# HELP` declarations: family name → help text.
+    pub helps: BTreeMap<String, String>,
 }
 
 impl Exposition {
@@ -136,9 +138,9 @@ fn parse_labels(rest: &str) -> Result<LabelsAndRest<'_>, String> {
     }
 }
 
-/// Parses a complete Prometheus 0.0.4 text exposition. Comment (`# HELP`)
-/// and blank lines are skipped; `# TYPE` declarations are collected; every
-/// other line must be a well-formed sample.
+/// Parses a complete Prometheus 0.0.4 text exposition. Blank lines and
+/// unrecognised comments are skipped; `# TYPE` and `# HELP` declarations
+/// are collected; every other line must be a well-formed sample.
 pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
     let mut out = Exposition::default();
     for (lineno, line) in text.lines().enumerate() {
@@ -149,17 +151,30 @@ pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
         }
         if let Some(comment) = line.strip_prefix('#') {
             let mut parts = comment.trim_start().splitn(3, ' ');
-            if parts.next() == Some("TYPE") {
-                let name = parts
-                    .next()
-                    .ok_or_else(|| err("TYPE without name".into()))?;
-                let kind = parts
-                    .next()
-                    .ok_or_else(|| err("TYPE without kind".into()))?;
-                if !valid_metric_name(name) {
-                    return Err(err(format!("invalid family name '{name}'")));
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("TYPE without name".into()))?;
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| err("TYPE without kind".into()))?;
+                    if !valid_metric_name(name) {
+                        return Err(err(format!("invalid family name '{name}'")));
+                    }
+                    out.types.insert(name.to_string(), kind.to_string());
                 }
-                out.types.insert(name.to_string(), kind.to_string());
+                Some("HELP") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("HELP without name".into()))?;
+                    if !valid_metric_name(name) {
+                        return Err(err(format!("invalid family name '{name}'")));
+                    }
+                    out.helps
+                        .insert(name.to_string(), parts.next().unwrap_or("").to_string());
+                }
+                _ => {}
             }
             continue;
         }
@@ -437,6 +452,10 @@ beamdyn_g NaN
             exp.types.get("beamdyn_x_total").map(String::as_str),
             Some("counter")
         );
+        assert_eq!(
+            exp.helps.get("beamdyn_x_total").map(String::as_str),
+            Some("help text")
+        );
         assert_eq!(exp.value("beamdyn_x_total"), Some(42.0));
         assert_eq!(exp.labelled("beamdyn_h_bucket", "le", "+Inf"), Some(3.0));
         assert_eq!(
@@ -476,5 +495,59 @@ beamdyn_g NaN
         let text = prometheus::render_current();
         let exp = parse_exposition(&text).expect("render output must parse");
         assert_eq!(exp.value("beamdyn_scrape_test_total_x_total"), Some(9.0));
+    }
+
+    /// Pins the exposition contract: every family `obs::prometheus` renders
+    /// carries both a `# HELP` and a `# TYPE` header, and both survive the
+    /// round trip through this parser.
+    #[test]
+    fn every_rendered_family_has_help_and_type() {
+        use beamdyn_obs::prometheus;
+        static HELP_C: beamdyn_obs::Counter = beamdyn_obs::Counter::new("scrape.help_counter");
+        static HELP_G: beamdyn_obs::Gauge = beamdyn_obs::Gauge::new("scrape.help_gauge");
+        static HELP_H: beamdyn_obs::Histogram =
+            beamdyn_obs::Histogram::new("scrape.help_histogram");
+        HELP_C.add(3);
+        HELP_G.set(1.5);
+        HELP_H.record(2.0);
+        let text = prometheus::render_current();
+        let exp = parse_exposition(&text).expect("render output must parse");
+
+        for (family, kind, help) in [
+            (
+                "beamdyn_scrape_help_counter_total",
+                "counter",
+                "Monotonic counter `scrape.help_counter`.",
+            ),
+            (
+                "beamdyn_scrape_help_gauge",
+                "gauge",
+                "Latest observation of gauge `scrape.help_gauge`.",
+            ),
+            (
+                "beamdyn_scrape_help_histogram",
+                "histogram",
+                "Log-bucketed distribution `scrape.help_histogram`.",
+            ),
+        ] {
+            assert_eq!(
+                exp.types.get(family).map(String::as_str),
+                Some(kind),
+                "family {family} must declare # TYPE {kind}"
+            );
+            assert_eq!(
+                exp.helps.get(family).map(String::as_str),
+                Some(help),
+                "family {family} must declare # HELP"
+            );
+        }
+        // The contract is exposition-wide, not just for the families this
+        // test planted: no TYPE'd family may ship without HELP text.
+        for family in exp.types.keys() {
+            assert!(
+                exp.helps.contains_key(family),
+                "family {family} has # TYPE but no # HELP"
+            );
+        }
     }
 }

@@ -32,6 +32,8 @@
 use std::time::Duration;
 
 use beamdyn_obs as obs;
+use obs::timeline::Agg;
+use obs::AlertSeverity;
 
 /// Per-session alert: no step progress within the stall deadline.
 pub const ALERT_SESSION_STALLED: &str = "watchdog.session_stalled";
@@ -60,6 +62,13 @@ pub struct HealthConfig {
     pub check_interval: Duration,
     /// Write post-mortem dumps on stall / failure (tests turn this off).
     pub postmortem: bool,
+    /// The alert rule set the watchdog evaluates. Defaults to
+    /// [`AlertRules::builtin`]; the daemon replaces it from
+    /// `--alert-rules rules.json`.
+    pub rules: AlertRules,
+    /// Webhook URLs that receive firing→resolved alert transitions
+    /// (`--alert-webhook`, repeatable). Empty disables the notifier.
+    pub webhooks: Vec<String>,
 }
 
 impl Default for HealthConfig {
@@ -70,6 +79,8 @@ impl Default for HealthConfig {
             slo_step_p99_ms: None,
             check_interval: Duration::from_millis(50),
             postmortem: true,
+            rules: AlertRules::builtin(),
+            webhooks: Vec::new(),
         }
     }
 }
@@ -79,9 +90,357 @@ impl Default for HealthConfig {
 /// watchdog adapts to legitimately heavy scenarios instead of paging on
 /// them.
 pub fn effective_stall_deadline(config: &HealthConfig) -> Duration {
+    effective_deadline_for(config.stall_deadline)
+}
+
+/// [`effective_stall_deadline`] for an arbitrary floor — rule files may
+/// override the stall deadline per rule.
+pub fn effective_deadline_for(floor: Duration) -> Duration {
     let p99_ns = obs::histogram_snapshot("session.step_ns").map_or(0.0, |h| h.p99());
     let adaptive = Duration::from_nanos((8.0 * p99_ns) as u64);
-    config.stall_deadline.max(adaptive)
+    floor.max(adaptive)
+}
+
+// ---------------------------------------------------------------------------
+// Declarative alert rules
+// ---------------------------------------------------------------------------
+
+/// Comparison operator of a [`MetricRule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `observed > threshold`.
+    Gt,
+    /// `observed >= threshold`.
+    Ge,
+    /// `observed < threshold`.
+    Lt,
+    /// `observed <= threshold`.
+    Le,
+}
+
+impl CmpOp {
+    /// Accepted spellings in a rules file.
+    pub const ACCEPTED: &'static [&'static str] = &["gt", "ge", "lt", "le"];
+
+    /// Parses the `op` field of a metric rule.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "gt" => Some(CmpOp::Gt),
+            "ge" => Some(CmpOp::Ge),
+            "lt" => Some(CmpOp::Lt),
+            "le" => Some(CmpOp::Le),
+            _ => None,
+        }
+    }
+
+    /// Lower-case operator name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+        }
+    }
+
+    /// Whether `observed ⟨op⟩ threshold` holds.
+    pub fn holds(self, observed: f64, threshold: f64) -> bool {
+        match self {
+            CmpOp::Gt => observed > threshold,
+            CmpOp::Ge => observed >= threshold,
+            CmpOp::Lt => observed < threshold,
+            CmpOp::Le => observed <= threshold,
+        }
+    }
+}
+
+/// A generic threshold rule over the [`obs::timeline`] history: fire
+/// when the windowed aggregation of `metric` satisfies `op value`,
+/// resolve once it no longer satisfies `op resolve_value` (hysteresis;
+/// defaults to `value`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRule {
+    /// Timeline metric name (e.g. `session.step_ns.p99`).
+    pub metric: String,
+    /// Windowed aggregation to apply.
+    pub agg: Agg,
+    /// Number of trailing samples aggregated (0 = everything retained).
+    pub window: usize,
+    /// Firing comparison.
+    pub op: CmpOp,
+    /// Firing threshold.
+    pub value: f64,
+    /// Resolution threshold (the alert resolves once `op` no longer
+    /// holds against this).
+    pub resolve_value: f64,
+}
+
+/// What a rule watches. The first five variants are the built-in
+/// watchdog signals (parameterisable via a rules file); [`Metric`] rules
+/// are free-form thresholds over timeline history.
+///
+/// [`Metric`]: RuleKind::Metric
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleKind {
+    /// A running session made no step progress within the deadline.
+    SessionStalled {
+        /// Optional per-rule floor override (milliseconds); the adaptive
+        /// `8 × p99` widening still applies.
+        deadline_ms: Option<u64>,
+    },
+    /// The pending queue crossed `fire_fraction` of `max_pending`.
+    QueueBacklog {
+        /// Fraction of `max_pending` at which the alert fires.
+        fire_fraction: f64,
+        /// Fraction at or below which it resolves (hysteresis).
+        resolve_fraction: f64,
+    },
+    /// All workspace slots leased, sessions waiting, no admission for a
+    /// full stall deadline.
+    PoolExhausted,
+    /// Fleet-wide step p99 over the SLO budget.
+    SloStepP99 {
+        /// Optional per-rule budget override (milliseconds); `None`
+        /// falls back to [`HealthConfig::slo_step_p99_ms`].
+        budget_ms: Option<f64>,
+    },
+    /// Submissions rejected with 429 (fired at rejection time; the rule
+    /// governs the alert's name, severity, and resolution).
+    AdmissionSaturated,
+    /// Free-form timeline threshold.
+    Metric(MetricRule),
+}
+
+impl RuleKind {
+    /// The `type` discriminator used in rules files.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            RuleKind::SessionStalled { .. } => "session_stalled",
+            RuleKind::QueueBacklog { .. } => "queue_backlog",
+            RuleKind::PoolExhausted => "pool_exhausted",
+            RuleKind::SloStepP99 { .. } => "slo_step_p99",
+            RuleKind::AdmissionSaturated => "admission_saturated",
+            RuleKind::Metric(_) => "metric_threshold",
+        }
+    }
+}
+
+/// One alert rule: a watched condition plus the alert identity it fires
+/// under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Alert name (`/alerts` key; built-ins use the `ALERT_*` constants).
+    pub name: String,
+    /// Severity the alert fires with.
+    pub severity: AlertSeverity,
+    /// The watched condition.
+    pub kind: RuleKind,
+}
+
+/// The watchdog's rule set. [`AlertRules::builtin`] reproduces the PR 8
+/// hard-coded rules exactly; a rules file replaces the whole set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRules {
+    /// Evaluated in order each watchdog tick.
+    pub rules: Vec<Rule>,
+}
+
+impl Default for AlertRules {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl AlertRules {
+    /// The built-in rule set — byte-for-byte the behaviour the watchdog
+    /// shipped with before rules became data: stall (critical, adaptive
+    /// deadline), queue backlog at ¾ / ½ hysteresis, pool exhaustion,
+    /// SLO p99 (armed by [`HealthConfig::slo_step_p99_ms`]), and
+    /// admission saturation.
+    pub fn builtin() -> Self {
+        Self {
+            rules: vec![
+                Rule {
+                    name: ALERT_SESSION_STALLED.to_string(),
+                    severity: AlertSeverity::Critical,
+                    kind: RuleKind::SessionStalled { deadline_ms: None },
+                },
+                Rule {
+                    name: ALERT_QUEUE_BACKLOG.to_string(),
+                    severity: AlertSeverity::Warning,
+                    kind: RuleKind::QueueBacklog {
+                        fire_fraction: 0.75,
+                        resolve_fraction: 0.5,
+                    },
+                },
+                Rule {
+                    name: ALERT_POOL_EXHAUSTED.to_string(),
+                    severity: AlertSeverity::Warning,
+                    kind: RuleKind::PoolExhausted,
+                },
+                Rule {
+                    name: ALERT_SLO_STEP_P99.to_string(),
+                    severity: AlertSeverity::Warning,
+                    kind: RuleKind::SloStepP99 { budget_ms: None },
+                },
+                Rule {
+                    name: ALERT_ADMISSION_SATURATED.to_string(),
+                    severity: AlertSeverity::Warning,
+                    kind: RuleKind::AdmissionSaturated,
+                },
+            ],
+        }
+    }
+
+    /// Looks up the rule governing `alert_name` (resolution pass; alerts
+    /// with no rule are left alone).
+    pub fn rule(&self, alert_name: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.name == alert_name)
+    }
+
+    /// The admission-saturation rule, if the set has one — the submit
+    /// path fires under its name/severity.
+    pub fn admission_rule(&self) -> Option<&Rule> {
+        self.rules
+            .iter()
+            .find(|r| matches!(r.kind, RuleKind::AdmissionSaturated))
+    }
+
+    /// The timeline metric whose excerpt accompanies a webhook push for
+    /// `alert_name` — the signal that made the rule fire.
+    pub fn excerpt_metric(&self, alert_name: &str) -> Option<String> {
+        let rule = self.rule(alert_name)?;
+        Some(match &rule.kind {
+            RuleKind::SessionStalled { .. } | RuleKind::SloStepP99 { .. } => {
+                "session.step_ns.p99".to_string()
+            }
+            RuleKind::QueueBacklog { .. } | RuleKind::AdmissionSaturated => {
+                "sessions.queued".to_string()
+            }
+            RuleKind::PoolExhausted => "workspace_pool.in_use".to_string(),
+            RuleKind::Metric(m) => m.metric.clone(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Webhook delivery
+// ---------------------------------------------------------------------------
+
+static WEBHOOK_DELIVERED: obs::Counter = obs::Counter::new("webhook.delivered");
+static WEBHOOK_RETRIES: obs::Counter = obs::Counter::new("webhook.retries");
+static WEBHOOK_FAILED: obs::Counter = obs::Counter::new("webhook.failed");
+
+/// Delivery attempts per transition per URL (first try + retries).
+pub const WEBHOOK_ATTEMPTS: u32 = 3;
+/// Backoff before the first retry; doubles per retry.
+const WEBHOOK_BACKOFF: Duration = Duration::from_millis(50);
+/// Per-connection timeout (connect, read, write).
+const WEBHOOK_IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Trailing samples embedded in a webhook's timeline excerpt.
+pub const WEBHOOK_EXCERPT_WINDOW: usize = 16;
+
+/// Splits a webhook URL into `(authority, path)`. Accepts
+/// `http://host:port/path` and bare `host:port/path`; rejects anything
+/// without an explicit port (no default-port guessing, no TLS).
+pub fn parse_webhook_url(url: &str) -> Result<(String, String), String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    if rest.starts_with("https://") || url.starts_with("https://") {
+        return Err("https webhooks are not supported (no TLS stack)".to_string());
+    }
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let Some((host, port)) = authority.rsplit_once(':') else {
+        return Err(format!("webhook URL '{url}' needs an explicit host:port"));
+    };
+    if host.is_empty() || port.parse::<u16>().is_err() {
+        return Err(format!("webhook URL '{url}' has an invalid host:port"));
+    }
+    Ok((authority.to_string(), path.to_string()))
+}
+
+/// The JSON document POSTed per alert transition: the edge, the alert,
+/// and a timeline excerpt of the metric that drove the rule.
+pub fn webhook_payload(rules: &AlertRules, t: &obs::AlertTransition) -> String {
+    let excerpt = rules
+        .excerpt_metric(&t.alert.name)
+        .and_then(|metric| obs::timeline::excerpt_json(None, &metric, WEBHOOK_EXCERPT_WINDOW))
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"type\":\"alert\",\"seq\":{},\"transition\":\"{}\",\"alert\":{},\
+         \"timeline\":{excerpt},\"at_ns\":{}}}",
+        t.seq,
+        if t.firing { "firing" } else { "resolved" },
+        t.alert.to_json(),
+        obs::flight::now_ns(),
+    )
+}
+
+fn post_once(authority: &str, path: &str, payload: &str) -> bool {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpStream, ToSocketAddrs};
+
+    let Ok(mut addrs) = authority.to_socket_addrs() else {
+        return false;
+    };
+    let Some(addr) = addrs.next() else {
+        return false;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, WEBHOOK_IO_TIMEOUT) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(WEBHOOK_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WEBHOOK_IO_TIMEOUT));
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {authority}\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    if stream.write_all(request.as_bytes()).is_err() {
+        return false;
+    }
+    let mut status_line = String::new();
+    if BufReader::new(stream).read_line(&mut status_line).is_err() {
+        return false;
+    }
+    // "HTTP/1.1 200 OK" — any 2xx counts as delivered.
+    status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .is_some_and(|code| (200..300).contains(&code))
+}
+
+/// Delivers `payload` to one webhook target with bounded retry +
+/// exponential backoff. `abort` is polled between attempts so shutdown
+/// never waits out a backoff ladder. Returns whether a 2xx was seen;
+/// bumps `webhook.delivered` / `webhook.retries` / `webhook.failed`.
+pub fn deliver_webhook(
+    authority: &str,
+    path: &str,
+    payload: &str,
+    abort: &dyn Fn() -> bool,
+) -> bool {
+    let mut backoff = WEBHOOK_BACKOFF;
+    for attempt in 0..WEBHOOK_ATTEMPTS {
+        if abort() {
+            break;
+        }
+        if attempt > 0 {
+            WEBHOOK_RETRIES.incr();
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+        if post_once(authority, path, payload) {
+            WEBHOOK_DELIVERED.incr();
+            return true;
+        }
+    }
+    WEBHOOK_FAILED.incr();
+    false
 }
 
 /// How many trailing global-ring events a post-mortem embeds.
@@ -150,5 +509,90 @@ mod tests {
         assert!(body.contains("\"session\":7"), "{body}");
         assert!(body.contains("\"global_flight_tail\":["), "{body}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cmp_ops_hold_and_parse() {
+        assert!(CmpOp::Gt.holds(2.0, 1.0) && !CmpOp::Gt.holds(1.0, 1.0));
+        assert!(CmpOp::Ge.holds(1.0, 1.0) && !CmpOp::Ge.holds(0.9, 1.0));
+        assert!(CmpOp::Lt.holds(0.9, 1.0) && !CmpOp::Lt.holds(1.0, 1.0));
+        assert!(CmpOp::Le.holds(1.0, 1.0) && !CmpOp::Le.holds(1.1, 1.0));
+        for name in CmpOp::ACCEPTED {
+            assert_eq!(CmpOp::parse(name).map(CmpOp::name), Some(*name));
+        }
+        assert_eq!(CmpOp::parse("eq"), None);
+    }
+
+    #[test]
+    fn webhook_urls_parse_strictly() {
+        assert_eq!(
+            parse_webhook_url("http://127.0.0.1:9000/hook"),
+            Ok(("127.0.0.1:9000".to_string(), "/hook".to_string()))
+        );
+        assert_eq!(
+            parse_webhook_url("localhost:80"),
+            Ok(("localhost:80".to_string(), "/".to_string()))
+        );
+        assert!(parse_webhook_url("https://x:1/h").is_err(), "no TLS stack");
+        assert!(parse_webhook_url("http://nohost/h").is_err(), "needs port");
+        assert!(parse_webhook_url("http://:123/h").is_err(), "needs host");
+        assert!(parse_webhook_url("http://h:notaport/").is_err());
+    }
+
+    #[test]
+    fn builtin_rules_cover_every_alert_name() {
+        let rules = AlertRules::builtin();
+        for name in [
+            ALERT_SESSION_STALLED,
+            ALERT_QUEUE_BACKLOG,
+            ALERT_POOL_EXHAUSTED,
+            ALERT_SLO_STEP_P99,
+            ALERT_ADMISSION_SATURATED,
+        ] {
+            assert!(rules.rule(name).is_some(), "builtin rule {name} missing");
+            assert!(
+                rules.excerpt_metric(name).is_some(),
+                "builtin rule {name} must name an excerpt metric"
+            );
+        }
+        assert_eq!(
+            rules.admission_rule().map(|r| r.name.as_str()),
+            Some(ALERT_ADMISSION_SATURATED)
+        );
+        assert!(rules.rule("no.such.alert").is_none());
+    }
+
+    #[test]
+    fn webhook_payload_carries_the_transition_edge() {
+        let rules = AlertRules::builtin();
+        let t = obs::AlertTransition {
+            seq: 7,
+            firing: true,
+            alert: obs::Alert {
+                name: "unit.alert".to_string(),
+                session: None,
+                severity: obs::AlertSeverity::Warning,
+                message: "unit test".to_string(),
+                fired_at_ns: 1,
+                resolved_at_ns: None,
+            },
+        };
+        let payload = webhook_payload(&rules, &t);
+        assert!(payload.contains("\"type\":\"alert\""), "{payload}");
+        assert!(payload.contains("\"seq\":7"), "{payload}");
+        assert!(payload.contains("\"transition\":\"firing\""), "{payload}");
+        // Unknown rule name → no excerpt metric → explicit null, not junk.
+        assert!(payload.contains("\"timeline\":null"), "{payload}");
+        let resolved = webhook_payload(
+            &rules,
+            &obs::AlertTransition {
+                firing: false,
+                ..t.clone()
+            },
+        );
+        assert!(
+            resolved.contains("\"transition\":\"resolved\""),
+            "{resolved}"
+        );
     }
 }

@@ -44,7 +44,7 @@ pub mod workspace;
 
 pub use backend::{build_backend, BackendKind, ComputeBackend, NativeFast, TracedSimt};
 pub use driver::{KernelKind, SimCore, Simulation, SimulationConfig, StepTelemetry};
-pub use health::HealthConfig;
+pub use health::{AlertRules, CmpOp, HealthConfig, MetricRule, Rule, RuleKind};
 pub use kernels::{ExecutionPlan, PotentialsKernel, PotentialsOutput, RpProblem, StepObservation};
 pub use pattern::AccessPattern;
 pub use predictor::{Predictor, PredictorKind};

@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 use beamdyn_obs as obs;
 use beamdyn_par::ThreadPool;
 use beamdyn_simt::DeviceConfig;
-use obs::flight::{AlertSeverity, EventKind, FlightEvent};
+use obs::flight::{EventKind, FlightEvent};
 
 use crate::backend::BackendKind;
 use crate::driver::SimCore;
@@ -496,6 +496,15 @@ impl SessionManager {
                     .expect("spawn watchdog"),
             );
         }
+        if !shared.health.webhooks.is_empty() {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("beamdyn-webhook".to_string())
+                    .spawn(move || webhook_loop(&shared))
+                    .expect("spawn webhook notifier"),
+            );
+        }
         Arc::new(Self {
             shared,
             workers: Mutex::new(workers),
@@ -537,12 +546,17 @@ impl SessionManager {
             drop(fleet);
             SESSIONS_REJECTED.incr();
             let retry_after = retry_after_hint(pending);
-            obs::flight::fire_alert(
-                health::ALERT_ADMISSION_SATURATED,
-                None,
-                AlertSeverity::Warning,
-                format!("admission queue full: {pending}/{limit} pending"),
-            );
+            // The alert identity comes from the rules engine so a rules
+            // file can rename/re-severity (or drop) admission paging;
+            // the 429 + Retry-After behaviour is unconditional.
+            if let Some(rule) = self.shared.health.rules.admission_rule() {
+                obs::flight::fire_alert(
+                    &rule.name,
+                    None,
+                    rule.severity,
+                    format!("admission queue full: {pending}/{limit} pending"),
+                );
+            }
             let mut event = FlightEvent::new(EventKind::Admission);
             event.value = pending as f64;
             event.extra = limit as f64;
@@ -634,6 +648,7 @@ impl SessionManager {
         }
         obs::scope::drop_scope(&id.to_string());
         obs::flight::drop_scope(&id.to_string());
+        obs::timeline::drop_scope(&id.to_string());
         admit_pending(&self.shared, &mut fleet);
         fleet.publish_gauges();
         drop(fleet);
@@ -864,6 +879,7 @@ fn finalize(
         fleet.ready.retain(|&q| q != id);
         obs::scope::drop_scope(&id.to_string());
         obs::flight::drop_scope(&id.to_string());
+        obs::timeline::drop_scope(&id.to_string());
     }
     if let Some(mirror) = mirror {
         // The mirror goes `done` only when no other mirrored session is
@@ -965,20 +981,37 @@ fn worker_loop(shared: &Shared) {
                 SESSION_STEP_NS.record(step_ns);
                 shared.wpool.note_bytes(lease, workspace.bytes_resident());
                 // Per-session observability: scoped Prometheus series +
-                // the session's own event bus. Scope key = decimal id.
+                // scoped timeline history + the session's own event bus.
+                // Scope key = decimal id; the timeline mirrors the new
+                // cumulative totals so its delta sums stay exact.
                 let scope = id.to_string();
-                obs::scope::scoped_counter_add(&scope, "session.steps", 1);
-                obs::scope::scoped_counter_add(
+                let at = telemetry.step as u64;
+                let steps_total = obs::scope::scoped_counter_add(&scope, "session.steps", 1);
+                obs::timeline::record_scoped_counter(&scope, "session.steps", at, steps_total);
+                let fallback_total = obs::scope::scoped_counter_add(
                     &scope,
                     "session.fallback_cells",
                     telemetry.potentials.fallback_cells as u64,
                 );
-                obs::scope::scoped_counter_add(
+                obs::timeline::record_scoped_counter(
+                    &scope,
+                    "session.fallback_cells",
+                    at,
+                    fallback_total,
+                );
+                let launches_total = obs::scope::scoped_counter_add(
                     &scope,
                     "session.launches",
                     telemetry.potentials.launches as u64,
                 );
+                obs::timeline::record_scoped_counter(
+                    &scope,
+                    "session.launches",
+                    at,
+                    launches_total,
+                );
                 obs::scope::scoped_gauge_set(&scope, "session.last_step_ns", step_ns);
+                obs::timeline::record_scoped_gauge(&scope, "session.last_step_ns", at, step_ns);
                 let mut step_event = FlightEvent::new(EventKind::SessionStep);
                 step_event.session = id;
                 step_event.step = telemetry.step as u64;
@@ -1075,12 +1108,65 @@ fn watchdog_loop(shared: &Shared) {
     }
 }
 
-/// One watchdog tick: fire newly-violated rules, resolve no-longer-true
-/// ones, and write stall post-mortems (file IO strictly outside the fleet
-/// lock).
+/// The webhook notifier thread: polls the bounded alert-transition
+/// queue each [`HealthConfig::check_interval`] and POSTs every edge to
+/// each configured URL. Strictly decoupled from the watchdog — the
+/// watchdog only ever pushes to a drop-oldest queue, so slow or dead
+/// receivers can never block health evaluation or the hot path.
+fn webhook_loop(shared: &Shared) {
+    let targets: Vec<(String, String)> = shared
+        .health
+        .webhooks
+        .iter()
+        .filter_map(|url| health::parse_webhook_url(url).ok())
+        .collect();
+    if targets.is_empty() {
+        return;
+    }
+    let abort = || shared.shutdown.load(Ordering::Acquire);
+    loop {
+        if abort() {
+            return;
+        }
+        std::thread::sleep(shared.health.check_interval);
+        for transition in obs::flight::drain_transitions() {
+            let payload = health::webhook_payload(&shared.health.rules, &transition);
+            for (authority, path) in &targets {
+                if abort() {
+                    return;
+                }
+                health::deliver_webhook(authority, path, &payload, &abort);
+            }
+        }
+    }
+}
+
+/// One watchdog tick: record a timeline tick, fire newly-violated rules
+/// from [`HealthConfig::rules`], resolve no-longer-true ones, and write
+/// stall post-mortems (file IO strictly outside the fleet lock).
+///
+/// The rule set is data ([`health::AlertRules`]); with the built-in
+/// default this reproduces the PR 8 hard-coded watchdog exactly — same
+/// alert names, severities, thresholds, hysteresis, and flight events.
 fn evaluate_health(shared: &Shared) {
     let config = &shared.health;
+    // Tick-feed the timeline so history keeps accruing while sessions
+    // are stalled — exactly when the rules below need it.
+    obs::timeline::record_tick(&obs::snapshot());
+    let rules = &config.rules;
     let deadline = health::effective_stall_deadline(config);
+    // Stall rules may override the deadline floor per rule.
+    let stall_deadlines: Vec<(&health::Rule, Duration)> = rules
+        .rules
+        .iter()
+        .filter_map(|rule| match &rule.kind {
+            health::RuleKind::SessionStalled { deadline_ms } => {
+                let floor = deadline_ms.map_or(config.stall_deadline, Duration::from_millis);
+                Some((rule, health::effective_deadline_for(floor)))
+            }
+            _ => None,
+        })
+        .collect();
     let mut stalled_now: Vec<(u64, String)> = Vec::new();
 
     let (pending_len, exhausted) = {
@@ -1090,28 +1176,30 @@ fn evaluate_health(shared: &Shared) {
                 continue;
             }
             let silent = session.last_progress.elapsed();
-            if silent <= deadline {
-                continue;
-            }
-            let newly = obs::flight::fire_alert(
-                health::ALERT_SESSION_STALLED,
-                Some(id),
-                AlertSeverity::Critical,
-                format!(
-                    "session {id} made no step progress for {:.1}s (deadline {:.1}s)",
-                    silent.as_secs_f64(),
-                    deadline.as_secs_f64()
-                ),
-            );
-            if newly {
-                let mut event = FlightEvent::new(EventKind::Watchdog);
-                event.session = id;
-                event.step = session.steps_done as u64;
-                event.code = 1;
-                event.value = silent.as_nanos() as f64;
-                event.extra = deadline.as_nanos() as f64;
-                obs::flight::record_scoped(Some(&session.flight), event);
-                stalled_now.push((id, session.summary_json()));
+            for (rule, rule_deadline) in &stall_deadlines {
+                if silent <= *rule_deadline {
+                    continue;
+                }
+                let newly = obs::flight::fire_alert(
+                    &rule.name,
+                    Some(id),
+                    rule.severity,
+                    format!(
+                        "session {id} made no step progress for {:.1}s (deadline {:.1}s)",
+                        silent.as_secs_f64(),
+                        rule_deadline.as_secs_f64()
+                    ),
+                );
+                if newly {
+                    let mut event = FlightEvent::new(EventKind::Watchdog);
+                    event.session = id;
+                    event.step = session.steps_done as u64;
+                    event.code = 1;
+                    event.value = silent.as_nanos() as f64;
+                    event.extra = rule_deadline.as_nanos() as f64;
+                    obs::flight::record_scoped(Some(&session.flight), event);
+                    stalled_now.push((id, session.summary_json()));
+                }
             }
         }
         let pending_len = fleet.pending.len();
@@ -1121,80 +1209,134 @@ fn evaluate_health(shared: &Shared) {
         (pending_len, exhausted)
     };
 
-    if pending_len * 4 >= config.max_pending.max(1) * 3 {
-        let newly = obs::flight::fire_alert(
-            health::ALERT_QUEUE_BACKLOG,
-            None,
-            AlertSeverity::Warning,
-            format!(
-                "pending queue at {pending_len}/{} (¾ bound crossed)",
-                config.max_pending
-            ),
-        );
-        if newly {
-            let mut event = FlightEvent::new(EventKind::Queue);
-            event.value = pending_len as f64;
-            event.extra = config.max_pending as f64;
-            obs::flight::record(event);
-        }
-    }
-
-    if exhausted {
-        let newly = obs::flight::fire_alert(
-            health::ALERT_POOL_EXHAUSTED,
-            None,
-            AlertSeverity::Warning,
-            format!(
-                "all {} workspace slots leased, {pending_len} waiting, no admission for {:.1}s",
-                shared.wpool.capacity(),
-                deadline.as_secs_f64()
-            ),
-        );
-        if newly {
-            let mut event = FlightEvent::new(EventKind::Pool);
-            event.value = shared.wpool.in_use() as f64;
-            event.extra = shared.wpool.capacity() as f64;
-            obs::flight::record(event);
-        }
-    }
-
     let p99_ms = obs::histogram_snapshot("session.step_ns").map_or(0.0, |h| h.p99()) / 1e6;
-    if let Some(budget_ms) = config.slo_step_p99_ms {
-        if p99_ms > budget_ms {
-            obs::flight::fire_alert(
-                health::ALERT_SLO_STEP_P99,
-                None,
-                AlertSeverity::Warning,
-                format!("step p99 {p99_ms:.2}ms over SLO budget {budget_ms:.2}ms"),
-            );
+
+    for rule in &rules.rules {
+        match &rule.kind {
+            // Handled in the fleet pass above (needs per-session state).
+            health::RuleKind::SessionStalled { .. } => {}
+            // Fired at rejection time by `submit`; the rule governs the
+            // alert identity and its resolution below.
+            health::RuleKind::AdmissionSaturated => {}
+            health::RuleKind::QueueBacklog { fire_fraction, .. } => {
+                if pending_len as f64 >= fire_fraction * config.max_pending.max(1) as f64 {
+                    let newly = obs::flight::fire_alert(
+                        &rule.name,
+                        None,
+                        rule.severity,
+                        format!(
+                            "pending queue at {pending_len}/{} ({fire_fraction} bound crossed)",
+                            config.max_pending
+                        ),
+                    );
+                    if newly {
+                        let mut event = FlightEvent::new(EventKind::Queue);
+                        event.value = pending_len as f64;
+                        event.extra = config.max_pending as f64;
+                        obs::flight::record(event);
+                    }
+                }
+            }
+            health::RuleKind::PoolExhausted => {
+                if exhausted {
+                    let newly = obs::flight::fire_alert(
+                        &rule.name,
+                        None,
+                        rule.severity,
+                        format!(
+                            "all {} workspace slots leased, {pending_len} waiting, \
+                             no admission for {:.1}s",
+                            shared.wpool.capacity(),
+                            deadline.as_secs_f64()
+                        ),
+                    );
+                    if newly {
+                        let mut event = FlightEvent::new(EventKind::Pool);
+                        event.value = shared.wpool.in_use() as f64;
+                        event.extra = shared.wpool.capacity() as f64;
+                        obs::flight::record(event);
+                    }
+                }
+            }
+            health::RuleKind::SloStepP99 { budget_ms } => {
+                if let Some(budget_ms) = budget_ms.or(config.slo_step_p99_ms) {
+                    if p99_ms > budget_ms {
+                        obs::flight::fire_alert(
+                            &rule.name,
+                            None,
+                            rule.severity,
+                            format!("step p99 {p99_ms:.2}ms over SLO budget {budget_ms:.2}ms"),
+                        );
+                    }
+                }
+            }
+            health::RuleKind::Metric(m) => {
+                if let Some(observed) =
+                    obs::timeline::aggregate_value(None, &m.metric, m.window, m.agg)
+                {
+                    if m.op.holds(observed, m.value) {
+                        obs::flight::fire_alert(
+                            &rule.name,
+                            None,
+                            rule.severity,
+                            format!(
+                                "{}({}, window {}) = {observed} {} {}",
+                                m.agg.name(),
+                                m.metric,
+                                m.window,
+                                m.op.name(),
+                                m.value
+                            ),
+                        );
+                    }
+                }
+            }
         }
     }
 
     // Resolution pass: stateless — scan what fires and retract anything
-    // whose condition no longer holds. Unknown alert names (fired by
-    // other components or tests) are left alone.
+    // whose governing rule no longer holds. Alerts without a rule (fired
+    // by other components or tests) are left alone.
     for alert in obs::flight::firing_alerts() {
-        let resolve = match alert.name.as_str() {
-            health::ALERT_SESSION_STALLED => match alert.session {
-                Some(id) => {
-                    let fleet = lock(&shared.fleet);
-                    fleet.sessions.get(&id).is_none_or(|s| {
-                        s.state != SessionState::Running || s.last_progress.elapsed() <= deadline
-                    })
+        let Some(rule) = rules.rule(&alert.name) else {
+            continue;
+        };
+        let resolve = match &rule.kind {
+            health::RuleKind::SessionStalled { .. } => {
+                let rule_deadline = stall_deadlines
+                    .iter()
+                    .find(|(r, _)| r.name == alert.name)
+                    .map_or(deadline, |(_, d)| *d);
+                match alert.session {
+                    Some(id) => {
+                        let fleet = lock(&shared.fleet);
+                        fleet.sessions.get(&id).is_none_or(|s| {
+                            s.state != SessionState::Running
+                                || s.last_progress.elapsed() <= rule_deadline
+                        })
+                    }
+                    None => true,
                 }
-                None => true,
-            },
-            health::ALERT_QUEUE_BACKLOG => pending_len * 2 <= config.max_pending,
-            health::ALERT_ADMISSION_SATURATED => pending_len < config.max_pending,
-            health::ALERT_POOL_EXHAUSTED => !exhausted,
-            health::ALERT_SLO_STEP_P99 => {
-                config.slo_step_p99_ms.is_none_or(|budget| p99_ms <= budget)
             }
-            _ => false,
+            health::RuleKind::QueueBacklog {
+                resolve_fraction, ..
+            } => pending_len as f64 <= resolve_fraction * config.max_pending as f64,
+            health::RuleKind::AdmissionSaturated => pending_len < config.max_pending,
+            health::RuleKind::PoolExhausted => !exhausted,
+            health::RuleKind::SloStepP99 { budget_ms } => budget_ms
+                .or(config.slo_step_p99_ms)
+                .is_none_or(|budget| p99_ms <= budget),
+            health::RuleKind::Metric(m) => {
+                match obs::timeline::aggregate_value(None, &m.metric, m.window, m.agg) {
+                    // No history left to confirm the condition: resolve.
+                    None => true,
+                    Some(observed) => !m.op.holds(observed, m.resolve_value),
+                }
+            }
         };
         if resolve
             && obs::flight::resolve_alert(&alert.name, alert.session)
-            && alert.name == health::ALERT_SESSION_STALLED
+            && matches!(rule.kind, health::RuleKind::SessionStalled { .. })
         {
             let mut event = FlightEvent::new(EventKind::Watchdog);
             event.session = alert.session.unwrap_or(0);

@@ -563,6 +563,55 @@ struct AlertRegistry {
 static ALERTS: LazyLock<Mutex<AlertRegistry>> =
     LazyLock::new(|| Mutex::new(AlertRegistry::default()));
 
+/// One firing or resolving alert edge, queued for push notifiers.
+#[derive(Debug, Clone)]
+pub struct AlertTransition {
+    /// Monotone sequence number (gaps reveal dropped transitions).
+    pub seq: u64,
+    /// `true` on the firing edge, `false` on resolution.
+    pub firing: bool,
+    /// The alert as of the edge.
+    pub alert: Alert,
+}
+
+/// Bound of the pending-transition queue (drop-oldest beyond it) — the
+/// watchdog only ever pushes here, so a slow or absent consumer can
+/// never block alert evaluation.
+const TRANSITION_CAPACITY: usize = 256;
+
+#[derive(Default)]
+struct TransitionLog {
+    queue: VecDeque<AlertTransition>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+static TRANSITIONS: LazyLock<Mutex<TransitionLog>> =
+    LazyLock::new(|| Mutex::new(TransitionLog::default()));
+
+fn push_transition(firing: bool, alert: Alert) {
+    let mut log = lock(&TRANSITIONS);
+    let seq = log.next_seq;
+    log.next_seq += 1;
+    if log.queue.len() >= TRANSITION_CAPACITY {
+        log.queue.pop_front();
+        log.dropped += 1;
+    }
+    log.queue.push_back(AlertTransition { seq, firing, alert });
+}
+
+/// Takes every queued alert transition, oldest first (the webhook
+/// notifier's poll). Non-destructive observers should use
+/// [`firing_alerts`] instead.
+pub fn drain_transitions() -> Vec<AlertTransition> {
+    lock(&TRANSITIONS).queue.drain(..).collect()
+}
+
+/// Number of transitions evicted before any consumer drained them.
+pub fn transitions_dropped() -> u64 {
+    lock(&TRANSITIONS).dropped
+}
+
 fn publish_alert_gauges(reg: &AlertRegistry) {
     ALERTS_ACTIVE.set(reg.firing.len() as f64);
     ALERTS_ACTIVE_CRITICAL.set(
@@ -587,29 +636,34 @@ pub fn fire_alert(
         let mut reg = lock(&ALERTS);
         let key = (name.to_owned(), session);
         if let std::collections::btree_map::Entry::Vacant(slot) = reg.firing.entry(key) {
-            slot.insert(Alert {
+            let alert = Alert {
                 name: name.to_owned(),
                 session,
                 severity,
                 message: message.into(),
                 fired_at_ns: now_ns(),
                 resolved_at_ns: None,
-            });
+            };
+            slot.insert(alert.clone());
             publish_alert_gauges(&reg);
-            true
+            Some(alert)
         } else {
-            false
+            None
         }
     };
-    if newly {
-        ALERTS_FIRED.incr();
-        let mut event = FlightEvent::new(EventKind::Alert);
-        event.session = session.unwrap_or(0);
-        event.code = severity.code();
-        event.value = 1.0;
-        record(event);
+    match newly {
+        Some(alert) => {
+            ALERTS_FIRED.incr();
+            let mut event = FlightEvent::new(EventKind::Alert);
+            event.session = session.unwrap_or(0);
+            event.code = severity.code();
+            event.value = 1.0;
+            record(event);
+            push_transition(true, alert);
+            true
+        }
+        None => false,
     }
-    newly
 }
 
 /// Resolves the `(name, session)` alert, moving it into the bounded
@@ -640,6 +694,7 @@ pub fn resolve_alert(name: &str, session: Option<u64>) -> bool {
             event.code = alert.severity.code();
             event.value = 0.0;
             record(event);
+            push_transition(false, alert);
             true
         }
     }
@@ -728,6 +783,10 @@ pub(crate) fn reset_all() {
     reg.firing.clear();
     reg.resolved.clear();
     publish_alert_gauges(&reg);
+    drop(reg);
+    let mut log = lock(&TRANSITIONS);
+    log.queue.clear();
+    log.dropped = 0;
 }
 
 fn json_escape(s: &str) -> String {

@@ -37,9 +37,10 @@ mod registry;
 pub mod scope;
 mod sink;
 mod span;
+pub mod timeline;
 
 pub use broadcast::{Broadcast, BroadcastReceiver, BroadcastSink};
-pub use flight::{Alert, AlertSeverity, EventKind, FlightEvent, FlightRing};
+pub use flight::{Alert, AlertSeverity, AlertTransition, EventKind, FlightEvent, FlightRing};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use perfetto::{install_perfetto, PerfettoSink};
 pub use registry::{
@@ -167,11 +168,14 @@ impl Gauge {
     }
 }
 
-/// Emits a per-step flush event to every sink: a snapshot of all registered
-/// counters and gauges, tagged with the step index. Call once per completed
-/// simulation step.
+/// Emits a per-step flush event: a snapshot of all registered counters,
+/// gauges, and histograms, tagged with the step index. Call once per
+/// completed simulation step. The same snapshot feeds the bounded
+/// [`timeline`] history store and (when installed) every sink.
 pub fn flush_step(step: usize) {
-    sink::emit_flush(step);
+    let snap = registry::snapshot();
+    timeline::record_flush(step, &snap);
+    sink::emit_flush(step, &snap);
 }
 
 /// Whether file-writing trace sinks should be installed by default: `true`

@@ -208,6 +208,7 @@ pub fn snapshot() -> Snapshot {
 pub fn reset() {
     crate::scope::reset_all();
     crate::flight::reset_all();
+    crate::timeline::reset_all();
     lock(&REGISTRY.spans).clear();
     for c in lock(&REGISTRY.counters).iter() {
         c.reset_value();

@@ -33,11 +33,15 @@ static SCOPES: LazyLock<Mutex<BTreeMap<String, ScopeMetrics>>> =
     LazyLock::new(|| Mutex::new(BTreeMap::new()));
 
 /// Adds `n` to the `family` counter of `scope`, creating both on first
-/// touch.
-pub fn scoped_counter_add(scope: &str, family: &'static str, n: u64) {
+/// touch. Returns the new cumulative total so callers can mirror it into
+/// derived stores (the session engine feeds
+/// [`timeline`](crate::timeline) with it).
+pub fn scoped_counter_add(scope: &str, family: &'static str, n: u64) -> u64 {
     let mut scopes = lock(&SCOPES);
     let metrics = scopes.entry(scope.to_owned()).or_default();
-    *metrics.counters.entry(family).or_insert(0) += n;
+    let total = metrics.counters.entry(family).or_insert(0);
+    *total += n;
+    *total
 }
 
 /// Sets the `family` gauge of `scope` to `value`, creating both on first

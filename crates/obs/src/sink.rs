@@ -152,11 +152,10 @@ pub(crate) fn emit_span(path: &str, ns: u64) {
     }
 }
 
-pub(crate) fn emit_flush(step: usize) {
+pub(crate) fn emit_flush(step: usize, snap: &registry::Snapshot) {
     if SINKS.count.load(Ordering::Relaxed) == 0 {
         return;
     }
-    let snap = registry::snapshot();
     let flush = StepFlush {
         step,
         counters: snap.counters.iter().map(|c| (c.name, c.value)).collect(),

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use beamdyn_core::scenario::SpecError;
 use beamdyn_core::{SessionManager, StatusBoard, SubmitError};
-use beamdyn_obs::{flight, prometheus, BroadcastSink};
+use beamdyn_obs::{flight, prometheus, timeline, BroadcastSink};
 use beamdyn_par::ThreadPool;
 
 use crate::spec::parse_scenario;
@@ -286,13 +286,12 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
         }
         Err(_) => return,
     };
-    // Strip any query string; the endpoints take no parameters.
-    let route = request
-        .path
-        .split('?')
-        .next()
-        .unwrap_or(&request.path)
-        .to_string();
+    // Split the query string off the route; `/timeline` consumes it,
+    // every other endpoint ignores it.
+    let (route, query) = match request.path.split_once('?') {
+        Some((route, query)) => (route.to_string(), query.to_string()),
+        None => (request.path.clone(), String::new()),
+    };
     let result = match (request.method.as_str(), route.as_str()) {
         ("GET", "/metrics") => write_response(
             &mut stream,
@@ -321,6 +320,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
             }
         }
         ("GET", "/alerts") => write_json(&mut stream, "200 OK", &flight::alerts_json()),
+        ("GET", "/timeline") => serve_timeline(&mut stream, None, &query),
         ("GET", "/debug/flight") => {
             write_json(&mut stream, "200 OK", &flight::global().to_json("global"))
         }
@@ -352,7 +352,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
         }
         ("GET", "/events") => stream_events(&mut stream, ctx, flags),
         (_, route) if route == "/sessions" || route.starts_with("/sessions/") => {
-            handle_sessions(&mut stream, ctx, flags, &request, route)
+            handle_sessions(&mut stream, ctx, flags, &request, route, &query)
         }
         ("GET", _) => not_found(&mut stream),
         _ => write_response(
@@ -376,6 +376,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeContext, flags: &Flags) {
 /// | `GET /sessions/{id}/status`    | the session's StatusBoard JSON          |
 /// | `GET /sessions/{id}/metrics`   | Prometheus text scoped to the session   |
 /// | `GET /sessions/{id}/events`    | SSE stream of the session's steps       |
+/// | `GET /sessions/{id}/timeline`  | scoped metric history (`?metric=…`)     |
 /// | `GET /sessions/{id}/debug/flight` | the session's flight-ring dump       |
 ///
 /// `POST /sessions` can also answer `429 Too Many Requests` (+
@@ -386,6 +387,7 @@ fn handle_sessions(
     flags: &Flags,
     request: &Request,
     route: &str,
+    query: &str,
 ) -> std::io::Result<()> {
     let Some(mgr) = ctx.sessions.as_ref() else {
         return write_json(
@@ -479,6 +481,12 @@ fn handle_sessions(
                     )
                 }
                 ("GET", Some("events")) => stream_session_events(stream, mgr, flags, id),
+                ("GET", Some("timeline")) => {
+                    if mgr.state(id).is_none() {
+                        return session_not_found(stream, id);
+                    }
+                    serve_timeline(stream, Some(&id.to_string()), query)
+                }
                 ("GET", Some("debug/flight")) => {
                     if mgr.state(id).is_none() {
                         return session_not_found(stream, id);
@@ -501,6 +509,75 @@ fn session_not_found(stream: &mut TcpStream, id: u64) -> std::io::Result<()> {
         "404 Not Found",
         &format!("{{\"error\":\"no such session\",\"id\":{id}}}"),
     )
+}
+
+/// Serves `GET /timeline` (and the per-session variant): windowed metric
+/// history from [`beamdyn_obs::timeline`].
+///
+/// Query parameters: `metric=<name>` (omit to list the scope's metric
+/// names), `window=<n>` trailing samples (default all), `agg=raw|mean|
+/// min|max|rate` (default `raw`). Malformed parameters answer structured
+/// 400s; an unknown metric answers 404.
+fn serve_timeline(stream: &mut TcpStream, scope: Option<&str>, query: &str) -> std::io::Result<()> {
+    let mut metric: Option<&str> = None;
+    let mut window: usize = 0;
+    let mut agg = timeline::Agg::Raw;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "metric" => metric = Some(value),
+            "window" => match value.parse::<usize>() {
+                Ok(n) => window = n,
+                Err(_) => {
+                    return write_json(
+                        stream,
+                        "400 Bad Request",
+                        &SpecError::range("window", "must be a non-negative integer").to_json(),
+                    )
+                }
+            },
+            "agg" => match timeline::Agg::parse(value) {
+                Some(parsed) => agg = parsed,
+                None => {
+                    return write_json(
+                        stream,
+                        "400 Bad Request",
+                        &SpecError::choice("agg", value, timeline::Agg::ACCEPTED).to_json(),
+                    )
+                }
+            },
+            other => {
+                return write_json(
+                    stream,
+                    "400 Bad Request",
+                    &SpecError::choice(other, other, &["metric", "window", "agg"]).to_json(),
+                )
+            }
+        }
+    }
+    let Some(metric) = metric else {
+        // No metric selected: list what this scope has history for.
+        let names: Vec<String> = timeline::metric_names(scope)
+            .iter()
+            .map(|n| format!("\"{}\"", n.replace('"', "\\\"")))
+            .collect();
+        return write_json(
+            stream,
+            "200 OK",
+            &format!("{{\"metrics\":[{}]}}", names.join(",")),
+        );
+    };
+    match timeline::query_json(scope, metric, window, agg) {
+        Some(body) => write_json(stream, "200 OK", &body),
+        None => write_json(
+            stream,
+            "404 Not Found",
+            &format!(
+                "{{\"error\":\"no timeline for metric\",\"metric\":\"{}\"}}",
+                metric.replace('"', "\\\"")
+            ),
+        ),
+    }
 }
 
 /// Serves one Server-Sent Events stream: one `step` event per simulation

@@ -20,6 +20,8 @@
 //! | `GET /sessions/{id}/events`    | SSE of that session's steps (ends on finish)  |
 //! | `GET /sessions/{id}/debug/flight` | the session's flight-recorder ring (JSON)  |
 //! | `GET /alerts`                  | firing + recently-resolved alerts (JSON)      |
+//! | `GET /timeline`                | windowed metric history (`?metric=&window=&agg=`) |
+//! | `GET /sessions/{id}/timeline`  | that session's scoped metric history          |
 //! | `GET /debug/flight`            | the global flight-recorder ring (JSON)        |
 //! | `GET /healthz`                 | health (`200 ok`, `503` while a critical alert fires) |
 //! | `GET /readyz`                  | readiness (`200` once the engine is up; stays `200` while degraded) |
@@ -44,7 +46,9 @@
 //! DESIGN.md §11 and §14 for the architecture.
 
 mod http;
+pub mod rules;
 pub mod spec;
 
 pub use http::{MonitorServer, ServeConfig, ServeContext};
+pub use rules::parse_rules;
 pub use spec::parse_scenario;

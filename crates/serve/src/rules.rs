@@ -1,0 +1,450 @@
+//! JSON binding of an `--alert-rules rules.json` file onto
+//! [`AlertRules`], using the in-repo `bench::json` parser — no external
+//! deps, strict field checking, and every failure is a structured
+//! [`SpecError`] (the daemon prints it and exits 2; nothing ever panics
+//! on operator input).
+//!
+//! Accepted shape — a `rules` array replacing the built-in set:
+//!
+//! ```json
+//! {
+//!   "rules": [
+//!     {"type": "session_stalled", "severity": "critical", "deadline_ms": 600},
+//!     {"type": "queue_backlog", "fire_fraction": 0.75, "resolve_fraction": 0.5},
+//!     {"type": "pool_exhausted"},
+//!     {"type": "slo_step_p99", "budget_ms": 50},
+//!     {"type": "admission_saturated"},
+//!     {"type": "metric_threshold", "name": "fallback.surge",
+//!      "metric": "kernels.fallback_cells", "agg": "rate", "window": 32,
+//!      "op": "gt", "value": 1000, "resolve_value": 500}
+//!   ]
+//! }
+//! ```
+//!
+//! Every rule takes optional `name` (defaults to the built-in alert name
+//! for built-in types; required for `metric_threshold`) and `severity`
+//! (`warning` | `critical`, defaulting to the built-in severity —
+//! `critical` for stalls, `warning` otherwise).
+
+use beamdyn_bench::json::{self, Value};
+use beamdyn_core::health::{
+    AlertRules, CmpOp, MetricRule, Rule, RuleKind, ALERT_ADMISSION_SATURATED, ALERT_POOL_EXHAUSTED,
+    ALERT_QUEUE_BACKLOG, ALERT_SESSION_STALLED, ALERT_SLO_STEP_P99,
+};
+use beamdyn_core::scenario::SpecError;
+use beamdyn_obs::timeline::Agg;
+use beamdyn_obs::AlertSeverity;
+
+/// The `type` values a rule may declare.
+const RULE_TYPES: &[&str] = &[
+    "session_stalled",
+    "queue_backlog",
+    "pool_exhausted",
+    "slo_step_p99",
+    "admission_saturated",
+    "metric_threshold",
+];
+
+/// Fields common to every rule object.
+const COMMON_FIELDS: &[&str] = &["type", "name", "severity"];
+
+fn want_str<'v>(value: &'v Value, field: &str) -> Result<&'v str, SpecError> {
+    value
+        .as_str()
+        .ok_or_else(|| SpecError::range(field, "must be a string"))
+}
+
+fn want_f64(value: &Value, field: &str) -> Result<f64, SpecError> {
+    let n = value
+        .as_f64()
+        .ok_or_else(|| SpecError::range(field, "must be a number"))?;
+    if !n.is_finite() {
+        return Err(SpecError::range(field, "must be finite"));
+    }
+    Ok(n)
+}
+
+fn want_u64(value: &Value, field: &str) -> Result<u64, SpecError> {
+    let n = want_f64(value, field)?;
+    if n.fract() != 0.0 || n < 0.0 || n > (1u64 << 53) as f64 {
+        return Err(SpecError::range(field, "must be a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn want_fraction(value: &Value, field: &str) -> Result<f64, SpecError> {
+    let n = want_f64(value, field)?;
+    if !(0.0..=1.0).contains(&n) || n == 0.0 {
+        return Err(SpecError::range(field, "must be in (0, 1]"));
+    }
+    Ok(n)
+}
+
+fn parse_severity(value: &Value, field: &str) -> Result<AlertSeverity, SpecError> {
+    match want_str(value, field)? {
+        "warning" => Ok(AlertSeverity::Warning),
+        "critical" => Ok(AlertSeverity::Critical),
+        other => Err(SpecError::choice(field, other, &["warning", "critical"])),
+    }
+}
+
+struct RawRule<'v> {
+    index: usize,
+    type_name: &'v str,
+    name: Option<String>,
+    severity: Option<AlertSeverity>,
+    extras: Vec<(&'v str, &'v Value)>,
+}
+
+/// One extra field of `raw`, by name; errors on anything unconsumed.
+fn take<'v>(raw: &mut RawRule<'v>, field: &str) -> Option<&'v Value> {
+    let pos = raw.extras.iter().position(|(k, _)| *k == field)?;
+    Some(raw.extras.remove(pos).1)
+}
+
+fn finish_rule(
+    raw: RawRule<'_>,
+    default_name: &str,
+    default_severity: AlertSeverity,
+    kind: RuleKind,
+    accepted_extras: &[&str],
+) -> Result<Rule, SpecError> {
+    if let Some((key, _)) = raw.extras.first() {
+        let mut accepted: Vec<&str> = COMMON_FIELDS.to_vec();
+        accepted.extend_from_slice(accepted_extras);
+        return Err(SpecError::choice(
+            &format!("rules[{}].{key}", raw.index),
+            key,
+            &accepted,
+        ));
+    }
+    Ok(Rule {
+        name: raw.name.unwrap_or_else(|| default_name.to_string()),
+        severity: raw.severity.unwrap_or(default_severity),
+        kind,
+    })
+}
+
+fn parse_rule(index: usize, value: &Value) -> Result<Rule, SpecError> {
+    let field = |suffix: &str| format!("rules[{index}].{suffix}");
+    let Some(object) = value.as_object() else {
+        return Err(SpecError::range(
+            &format!("rules[{index}]"),
+            "must be an object",
+        ));
+    };
+    let mut type_name = None;
+    let mut name = None;
+    let mut severity = None;
+    let mut extras = Vec::new();
+    for (key, v) in object {
+        match key.as_str() {
+            "type" => type_name = Some(want_str(v, &field("type"))?),
+            "name" => name = Some(want_str(v, &field("name"))?.to_string()),
+            "severity" => severity = Some(parse_severity(v, &field("severity"))?),
+            other => extras.push((other, v)),
+        }
+    }
+    let Some(type_name) = type_name else {
+        return Err(SpecError::choice(&field("type"), "(missing)", RULE_TYPES));
+    };
+    let mut raw = RawRule {
+        index,
+        type_name,
+        name,
+        severity,
+        extras,
+    };
+    match raw.type_name {
+        "session_stalled" => {
+            let deadline_ms = take(&mut raw, "deadline_ms")
+                .map(|v| want_u64(v, &field("deadline_ms")))
+                .transpose()?;
+            finish_rule(
+                raw,
+                ALERT_SESSION_STALLED,
+                AlertSeverity::Critical,
+                RuleKind::SessionStalled { deadline_ms },
+                &["deadline_ms"],
+            )
+        }
+        "queue_backlog" => {
+            let fire_fraction = take(&mut raw, "fire_fraction")
+                .map(|v| want_fraction(v, &field("fire_fraction")))
+                .transpose()?
+                .unwrap_or(0.75);
+            let resolve_fraction = take(&mut raw, "resolve_fraction")
+                .map(|v| want_fraction(v, &field("resolve_fraction")))
+                .transpose()?
+                .unwrap_or(0.5);
+            if resolve_fraction > fire_fraction {
+                return Err(SpecError::range(
+                    &field("resolve_fraction"),
+                    "must not exceed fire_fraction (hysteresis)",
+                ));
+            }
+            finish_rule(
+                raw,
+                ALERT_QUEUE_BACKLOG,
+                AlertSeverity::Warning,
+                RuleKind::QueueBacklog {
+                    fire_fraction,
+                    resolve_fraction,
+                },
+                &["fire_fraction", "resolve_fraction"],
+            )
+        }
+        "pool_exhausted" => finish_rule(
+            raw,
+            ALERT_POOL_EXHAUSTED,
+            AlertSeverity::Warning,
+            RuleKind::PoolExhausted,
+            &[],
+        ),
+        "slo_step_p99" => {
+            let budget_ms = take(&mut raw, "budget_ms")
+                .map(|v| want_f64(v, &field("budget_ms")))
+                .transpose()?;
+            if budget_ms.is_some_and(|b| b <= 0.0) {
+                return Err(SpecError::range(&field("budget_ms"), "must be positive"));
+            }
+            finish_rule(
+                raw,
+                ALERT_SLO_STEP_P99,
+                AlertSeverity::Warning,
+                RuleKind::SloStepP99 { budget_ms },
+                &["budget_ms"],
+            )
+        }
+        "admission_saturated" => finish_rule(
+            raw,
+            ALERT_ADMISSION_SATURATED,
+            AlertSeverity::Warning,
+            RuleKind::AdmissionSaturated,
+            &[],
+        ),
+        "metric_threshold" => {
+            if raw.name.is_none() {
+                return Err(SpecError::range(
+                    &field("name"),
+                    "metric_threshold rules must declare an alert name",
+                ));
+            }
+            let metric = take(&mut raw, "metric")
+                .map(|v| want_str(v, &field("metric")).map(str::to_string))
+                .transpose()?
+                .filter(|m| !m.is_empty())
+                .ok_or_else(|| SpecError::range(&field("metric"), "must name a timeline metric"))?;
+            let agg = match take(&mut raw, "agg") {
+                None => Agg::Mean,
+                Some(v) => {
+                    let s = want_str(v, &field("agg"))?;
+                    match Agg::parse(s) {
+                        Some(Agg::Raw) | None => {
+                            return Err(SpecError::choice(
+                                &field("agg"),
+                                s,
+                                &["mean", "min", "max", "rate"],
+                            ))
+                        }
+                        Some(agg) => agg,
+                    }
+                }
+            };
+            let window = take(&mut raw, "window")
+                .map(|v| want_u64(v, &field("window")))
+                .transpose()?
+                .unwrap_or(16);
+            if window == 0 || window > 1 << 20 {
+                return Err(SpecError::range(&field("window"), "must be in 1..=1048576"));
+            }
+            let op = match take(&mut raw, "op") {
+                None => CmpOp::Gt,
+                Some(v) => {
+                    let s = want_str(v, &field("op"))?;
+                    CmpOp::parse(s)
+                        .ok_or_else(|| SpecError::choice(&field("op"), s, CmpOp::ACCEPTED))?
+                }
+            };
+            let value = take(&mut raw, "value")
+                .map(|v| want_f64(v, &field("value")))
+                .transpose()?
+                .ok_or_else(|| SpecError::range(&field("value"), "must set a threshold"))?;
+            let resolve_value = take(&mut raw, "resolve_value")
+                .map(|v| want_f64(v, &field("resolve_value")))
+                .transpose()?
+                .unwrap_or(value);
+            finish_rule(
+                raw,
+                "",
+                AlertSeverity::Warning,
+                RuleKind::Metric(MetricRule {
+                    metric,
+                    agg,
+                    window: window as usize,
+                    op,
+                    value,
+                    resolve_value,
+                }),
+                &["metric", "agg", "window", "op", "value", "resolve_value"],
+            )
+        }
+        other => Err(SpecError::choice(&field("type"), other, RULE_TYPES)),
+    }
+}
+
+/// Parses and validates an `--alert-rules` file into the watchdog's rule
+/// set. Strict: unknown fields and types are rejected naming the
+/// accepted ones, duplicate alert names are rejected, and an empty
+/// `rules` array is rejected (delete the flag to keep the built-ins).
+pub fn parse_rules(body: &str) -> Result<AlertRules, SpecError> {
+    let root =
+        json::parse(body).map_err(|e| SpecError::range("body", format!("invalid JSON: {e}")))?;
+    let Some(object) = root.as_object() else {
+        return Err(SpecError::range("body", "must be a JSON object"));
+    };
+    let mut rules_value = None;
+    for (key, value) in object {
+        match key.as_str() {
+            "rules" => rules_value = Some(value),
+            other => return Err(SpecError::choice(other, other, &["rules"])),
+        }
+    }
+    let Some(rules_value) = rules_value else {
+        return Err(SpecError::range(
+            "rules",
+            "must be present (array of rules)",
+        ));
+    };
+    let Some(items) = rules_value.as_array() else {
+        return Err(SpecError::range("rules", "must be an array"));
+    };
+    if items.is_empty() {
+        return Err(SpecError::range(
+            "rules",
+            "must not be empty (omit --alert-rules to keep the built-in set)",
+        ));
+    }
+    let mut rules = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        rules.push(parse_rule(index, item)?);
+    }
+    for (i, rule) in rules.iter().enumerate() {
+        if rules[..i].iter().any(|r| r.name == rule.name) {
+            return Err(SpecError::range(
+                &format!("rules[{i}].name"),
+                format!("duplicate alert name '{}'", rule.name),
+            ));
+        }
+    }
+    Ok(AlertRules { rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_equivalent_file_round_trips() {
+        let rules = parse_rules(
+            r#"{"rules": [
+                {"type": "session_stalled"},
+                {"type": "queue_backlog"},
+                {"type": "pool_exhausted"},
+                {"type": "slo_step_p99"},
+                {"type": "admission_saturated"}
+            ]}"#,
+        )
+        .expect("builtin-equivalent file");
+        assert_eq!(rules, AlertRules::builtin());
+    }
+
+    #[test]
+    fn overrides_and_metric_rules_parse() {
+        let rules = parse_rules(
+            r#"{"rules": [
+                {"type": "session_stalled", "deadline_ms": 600,
+                 "name": "ops.stall", "severity": "warning"},
+                {"type": "metric_threshold", "name": "fallback.surge",
+                 "metric": "kernels.fallback_cells", "agg": "rate",
+                 "window": 32, "op": "gt", "value": 1000, "resolve_value": 500}
+            ]}"#,
+        )
+        .expect("override file");
+        assert_eq!(rules.rules.len(), 2);
+        assert_eq!(rules.rules[0].name, "ops.stall");
+        assert_eq!(rules.rules[0].severity, AlertSeverity::Warning);
+        assert_eq!(
+            rules.rules[0].kind,
+            RuleKind::SessionStalled {
+                deadline_ms: Some(600)
+            }
+        );
+        let RuleKind::Metric(m) = &rules.rules[1].kind else {
+            panic!("metric rule expected");
+        };
+        assert_eq!(m.metric, "kernels.fallback_cells");
+        assert_eq!(m.agg, Agg::Rate);
+        assert_eq!(m.window, 32);
+        assert_eq!(m.op, CmpOp::Gt);
+        assert_eq!((m.value, m.resolve_value), (1000.0, 500.0));
+    }
+
+    #[test]
+    fn structural_errors_are_structured() {
+        let err = parse_rules("{not json").unwrap_err();
+        assert_eq!(err.field, "body");
+        let err = parse_rules("{}").unwrap_err();
+        assert_eq!(err.field, "rules");
+        let err = parse_rules(r#"{"rules": []}"#).unwrap_err();
+        assert_eq!(err.field, "rules");
+        let err = parse_rules(r#"{"rules": [{"type": "nope"}]}"#).unwrap_err();
+        assert_eq!(err.field, "rules[0].type");
+        assert!(err.accepted.iter().any(|t| t == "metric_threshold"));
+        let err = parse_rules(r#"{"rules": [{"type": "queue_backlog", "typo": 1}]}"#).unwrap_err();
+        assert_eq!(err.field, "rules[0].typo");
+        assert!(err.accepted.iter().any(|f| f == "fire_fraction"));
+    }
+
+    #[test]
+    fn semantic_errors_are_structured() {
+        // Hysteresis inversion.
+        let err = parse_rules(
+            r#"{"rules": [{"type": "queue_backlog",
+                           "fire_fraction": 0.5, "resolve_fraction": 0.9}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.field, "rules[0].resolve_fraction");
+        // Metric rules need a name, metric, and threshold.
+        let err =
+            parse_rules(r#"{"rules": [{"type": "metric_threshold", "metric": "x"}]}"#).unwrap_err();
+        assert_eq!(err.field, "rules[0].name");
+        let err =
+            parse_rules(r#"{"rules": [{"type": "metric_threshold", "name": "a", "metric": "x"}]}"#)
+                .unwrap_err();
+        assert_eq!(err.field, "rules[0].value");
+        // raw is not an aggregation a threshold can use.
+        let err = parse_rules(
+            r#"{"rules": [{"type": "metric_threshold", "name": "a",
+                           "metric": "x", "agg": "raw", "value": 1}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.field, "rules[0].agg");
+        // Duplicate alert names collide in the alert registry.
+        let err =
+            parse_rules(r#"{"rules": [{"type": "pool_exhausted"}, {"type": "pool_exhausted"}]}"#)
+                .unwrap_err();
+        assert_eq!(err.field, "rules[1].name");
+    }
+
+    #[test]
+    fn severity_and_fraction_ranges_are_validated() {
+        let err = parse_rules(r#"{"rules": [{"type": "pool_exhausted", "severity": "sev1"}]}"#)
+            .unwrap_err();
+        assert_eq!(err.field, "rules[0].severity");
+        assert!(err.accepted.iter().any(|s| s == "critical"));
+        let err = parse_rules(r#"{"rules": [{"type": "queue_backlog", "fire_fraction": 1.5}]}"#)
+            .unwrap_err();
+        assert_eq!(err.field, "rules[0].fire_fraction");
+    }
+}

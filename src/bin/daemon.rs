@@ -59,6 +59,8 @@ struct Options {
     stall_deadline_ms: u64,
     max_pending: usize,
     slo_step_p99_ms: Option<f64>,
+    alert_rules: Option<String>,
+    alert_webhooks: Vec<String>,
 }
 
 impl Options {
@@ -82,6 +84,8 @@ impl Options {
             stall_deadline_ms: 10_000,
             max_pending: 256,
             slo_step_p99_ms: None,
+            alert_rules: None,
+            alert_webhooks: Vec::new(),
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -188,6 +192,17 @@ impl Options {
                         .map_err(|_| "--max-pending must be a count".to_string())?;
                     i += 1;
                 }
+                "--alert-rules" => {
+                    opts.alert_rules = Some(value(&args, i, flag)?);
+                    i += 1;
+                }
+                "--alert-webhook" => {
+                    let url = value(&args, i, flag)?;
+                    beamdyn::core::health::parse_webhook_url(&url)
+                        .map_err(|e| format!("--alert-webhook: {e}"))?;
+                    opts.alert_webhooks.push(url);
+                    i += 1;
+                }
                 "--slo-step-p99-ms" => {
                     opts.slo_step_p99_ms = Some(
                         value(&args, i, flag)?
@@ -216,7 +231,9 @@ impl Options {
                          --flight-capacity N global flight-recorder ring size (default 2048)\n\
                          --stall-deadline-ms MS  watchdog stall deadline floor (default 10000)\n\
                          --max-pending N     admission bound; beyond it POST /sessions answers 429 (default 256)\n\
-                         --slo-step-p99-ms MS  alert when fleet step p99 exceeds this budget (default off)"
+                         --slo-step-p99-ms MS  alert when fleet step p99 exceeds this budget (default off)\n\
+                         --alert-rules PATH  load declarative alert rules (JSON) instead of the built-ins\n\
+                         --alert-webhook URL POST alert firing/resolved transitions to URL (repeatable, http only)"
                     );
                     std::process::exit(0);
                 }
@@ -285,6 +302,30 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Alert rules come from the spec file when given, else the built-in
+    // set. A malformed file is a structured exit-2 diagnostic at startup —
+    // never a panic, never a daemon silently running with default rules.
+    let rules = match &opts.alert_rules {
+        Some(path) => {
+            let body = match std::fs::read_to_string(path) {
+                Ok(body) => body,
+                Err(e) => {
+                    eprintln!("beamdyn-daemon: cannot read --alert-rules {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match beamdyn::serve::parse_rules(&body) {
+                Ok(rules) => rules,
+                Err(e) => {
+                    eprintln!("beamdyn-daemon: invalid --alert-rules {path}: {e}");
+                    eprintln!("beamdyn-daemon: {}", e.to_json());
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => beamdyn::core::AlertRules::builtin(),
+    };
+
     // Size the global flight ring before anything records into it (the
     // ring is built lazily on first use and keeps its capacity for the
     // process lifetime).
@@ -301,6 +342,8 @@ fn main() {
             stall_deadline: Duration::from_millis(opts.stall_deadline_ms.max(1)),
             max_pending: opts.max_pending.max(1),
             slo_step_p99_ms: opts.slo_step_p99_ms,
+            rules,
+            webhooks: opts.alert_webhooks.clone(),
             ..HealthConfig::default()
         },
         ..SessionManagerConfig::default()
@@ -337,7 +380,7 @@ fn main() {
         opts.slots.max(1),
     );
     println!(
-        "endpoints: /metrics /status /events /sessions /alerts /debug/flight /healthz /readyz /quitz"
+        "endpoints: /metrics /status /events /sessions /alerts /timeline /debug/flight /healthz /readyz /quitz"
     );
     if let Some(path) = &opts.addr_file {
         if let Err(e) = std::fs::write(path, server.addr().to_string()) {

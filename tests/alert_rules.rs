@@ -1,0 +1,297 @@
+//! Spec-driven alert rules + webhook push, end to end in one process: a
+//! real [`SessionManager`] whose watchdog evaluates rules loaded from a
+//! declarative JSON spec (not the built-ins), pushing firing→resolved
+//! transitions to a local `std::net` webhook sink.
+//!
+//! Pins the rules/webhook acceptance contract (DESIGN.md §16):
+//!
+//! * a rules file with a custom-named `session_stalled` rule (and its own
+//!   `deadline_ms` override) reproduces the PR 8 stall drill — same
+//!   firing→resolved lifecycle, same 503→200 `/healthz` edges — under the
+//!   spec's alert name, with the built-in names nowhere in sight;
+//! * a generic `metric_threshold` rule fires from windowed timeline
+//!   history (`sessions.queued`, `agg=max`) and resolves when the window
+//!   clears;
+//! * every transition is POSTed to the webhook sink as JSON carrying a
+//!   timeline excerpt of the triggering metric, and delivery never fails
+//!   (`webhook.failed == 0`) nor drops transitions.
+//!
+//! Kept to a single `#[test]` because the obs registry — and with it the
+//! alert registry and timeline — is process-global.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use beamdyn::core::{
+    BackendKind, HealthConfig, SessionManager, SessionManagerConfig, SessionState, StatusBoard,
+};
+use beamdyn::obs;
+use beamdyn::serve::{parse_rules, MonitorServer, ServeConfig, ServeContext};
+use beamdyn::simt::DeviceConfig;
+use beamdyn_bench::json;
+use beamdyn_bench::scrape::{firing_alert_names, http_delete, http_get, http_post};
+
+const RULES: &str = r#"{
+  "rules": [
+    {"type": "session_stalled", "name": "drill.stalled", "severity": "critical", "deadline_ms": 300},
+    {"type": "queue_backlog", "name": "drill.backlog", "severity": "warning",
+     "fire_fraction": 0.75, "resolve_fraction": 0.5},
+    {"type": "metric_threshold", "name": "drill.queued", "severity": "warning",
+     "metric": "sessions.queued", "agg": "max", "window": 1, "op": "ge", "value": 1}
+  ]
+}"#;
+
+fn poll_until(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !check() {
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn firing(addr: &str) -> Vec<String> {
+    let (code, body) = http_get(addr, "/alerts").expect("GET /alerts");
+    assert_eq!(code, 200, "{body}");
+    firing_alert_names(&body)
+}
+
+/// A minimal webhook receiver: accepts POSTs, records each body, answers
+/// `200 OK`. Nonblocking accept so the thread can exit on the stop flag.
+struct WebhookSink {
+    addr: String,
+    bodies: Arc<Mutex<Vec<String>>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WebhookSink {
+    fn start() -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind webhook sink");
+        let addr = listener.local_addr().expect("sink addr").to_string();
+        listener.set_nonblocking(true).expect("nonblocking");
+        let bodies = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let bodies = Arc::clone(&bodies);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((mut stream, _)) => {
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(2)))
+                                .expect("read timeout");
+                            let mut raw = Vec::new();
+                            let mut buf = [0u8; 4096];
+                            // The notifier sends `Connection: close` and
+                            // waits for the status line, so read until the
+                            // full Content-Length body has arrived.
+                            loop {
+                                match stream.read(&mut buf) {
+                                    Ok(0) => break,
+                                    Ok(n) => {
+                                        raw.extend_from_slice(&buf[..n]);
+                                        let text = String::from_utf8_lossy(&raw);
+                                        if let Some((head, body)) = text.split_once("\r\n\r\n") {
+                                            let want: usize = head
+                                                .lines()
+                                                .find_map(|l| {
+                                                    l.to_ascii_lowercase()
+                                                        .strip_prefix("content-length:")
+                                                        .map(|v| v.trim().parse().unwrap_or(0))
+                                                })
+                                                .unwrap_or(0);
+                                            if body.len() >= want {
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                            let text = String::from_utf8_lossy(&raw);
+                            if let Some((_, body)) = text.split_once("\r\n\r\n") {
+                                bodies.lock().unwrap().push(body.to_string());
+                            }
+                            let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: close\r\n\r\n");
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Self {
+            addr,
+            bodies,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn bodies(&self) -> Vec<String> {
+        self.bodies.lock().unwrap().clone()
+    }
+
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[test]
+fn spec_rules_reproduce_the_stall_drill_and_push_webhooks() {
+    obs::uninstall_all();
+    obs::reset();
+
+    let rules = parse_rules(RULES).expect("drill rules parse");
+    assert!(rules.rule("drill.stalled").is_some());
+    let sink = WebhookSink::start();
+
+    // One step worker, one slot: the stalled session wedges the stepping
+    // plane; a queued filler drives `sessions.queued` (the metric rule).
+    // The config-level deadline floor is generous — the *rule's*
+    // `deadline_ms: 300` must be what trips the drill.
+    let manager = SessionManager::start(SessionManagerConfig {
+        threads: 2,
+        step_workers: 1,
+        slots: 1,
+        default_backend: BackendKind::TracedSimt,
+        device: DeviceConfig::tesla_k40(),
+        health: HealthConfig {
+            stall_deadline: Duration::from_secs(60),
+            rules,
+            webhooks: vec![format!("http://{}/hook", sink.addr)],
+            ..HealthConfig::default()
+        },
+        ..SessionManagerConfig::default()
+    });
+    let server = MonitorServer::start(
+        ServeConfig::default(),
+        ServeContext {
+            status: StatusBoard::new("predictive", "traced-simt"),
+            events: obs::BroadcastSink::new(),
+            ready: Arc::new(AtomicBool::new(true)),
+            sessions: Some(Arc::clone(&manager)),
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    assert_eq!(http_get(&addr, "/healthz").expect("healthz").0, 200);
+    assert!(firing(&addr).is_empty());
+
+    // The stall, plus one queued filler to move `sessions.queued`.
+    let (code, body) = http_post(
+        &addr,
+        "/sessions",
+        r#"{"name":"stall-drill","resolution":8,"particles":400,"steps":3,"step_delay_ms":5000}"#,
+    )
+    .expect("POST stall session");
+    assert_eq!(code, 201, "{body}");
+    let stall_id = json::parse(&body)
+        .expect("201 JSON")
+        .get("id")
+        .and_then(|v| v.as_f64())
+        .expect("id") as u64;
+    poll_until("stall session admitted", Duration::from_secs(30), || {
+        manager.state(stall_id) == Some(SessionState::Running)
+    });
+    let (code, body) = http_post(
+        &addr,
+        "/sessions",
+        r#"{"name":"filler","resolution":8,"particles":400,"steps":1}"#,
+    )
+    .expect("POST filler");
+    assert_eq!(code, 201, "{body}");
+
+    // The spec's names fire — and only the spec's names.
+    let stalled = format!("drill.stalled@{stall_id}");
+    poll_until(&stalled, Duration::from_secs(20), || {
+        firing(&addr).contains(&stalled)
+    });
+    poll_until("drill.queued fires", Duration::from_secs(20), || {
+        firing(&addr).iter().any(|a| a == "drill.queued")
+    });
+    assert!(
+        firing(&addr).iter().all(|a| a.starts_with("drill.")),
+        "built-in alert names must be fully replaced: {:?}",
+        firing(&addr)
+    );
+    let (code, body) = http_get(&addr, "/healthz").expect("healthz while stalled");
+    assert_eq!(
+        code, 503,
+        "the spec's critical rule must degrade /healthz: {body}"
+    );
+
+    // The firing transition reached the webhook sink, timeline excerpt
+    // attached (the stall rule's excerpt metric is the step-latency p99).
+    poll_until("firing webhook delivered", Duration::from_secs(20), || {
+        sink.bodies().iter().any(|b| {
+            b.contains("\"transition\":\"firing\"")
+                && b.contains("\"name\":\"drill.stalled\"")
+                && b.contains("\"timeline\":{")
+        })
+    });
+    let payload = sink
+        .bodies()
+        .into_iter()
+        .find(|b| b.contains("\"transition\":\"firing\"") && b.contains("drill.stalled"))
+        .expect("firing payload");
+    let parsed = json::parse(&payload).expect("webhook payload is JSON");
+    assert_eq!(parsed.get("type").and_then(|v| v.as_str()), Some("alert"));
+    assert!(
+        parsed
+            .get("timeline")
+            .and_then(|t| t.get("samples"))
+            .and_then(|s| s.as_array())
+            .is_some_and(|s| !s.is_empty()),
+        "excerpt must carry samples: {payload}"
+    );
+
+    // Recovery: evict the wedge; the filler drains, every rule resolves,
+    // and the resolved transitions reach the sink too.
+    assert_eq!(
+        http_delete(&addr, &format!("/sessions/{stall_id}"))
+            .expect("DELETE stall")
+            .0,
+        200
+    );
+    poll_until("all alerts resolved", Duration::from_secs(60), || {
+        firing(&addr).is_empty()
+    });
+    poll_until("/healthz recovered", Duration::from_secs(10), || {
+        http_get(&addr, "/healthz").expect("healthz").0 == 200
+    });
+    poll_until(
+        "resolved webhook delivered",
+        Duration::from_secs(20),
+        || {
+            sink.bodies()
+                .iter()
+                .any(|b| b.contains("\"transition\":\"resolved\"") && b.contains("drill.stalled"))
+        },
+    );
+    assert!(
+        manager.wait_idle(Duration::from_secs(60)),
+        "filler never drained after the stall was evicted"
+    );
+
+    // Delivery accounting: everything delivered, nothing failed or lost.
+    manager.shutdown();
+    assert!(obs::counter_value("webhook.delivered").unwrap_or(0) >= 2);
+    assert_eq!(obs::counter_value("webhook.failed").unwrap_or(0), 0);
+    assert_eq!(obs::flight::transitions_dropped(), 0);
+
+    server.shutdown();
+    server.join();
+    sink.shutdown();
+    obs::uninstall_all();
+}
