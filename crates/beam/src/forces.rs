@@ -5,8 +5,9 @@
 //! central differences on the grid and gathered bilinearly at the particle
 //! position.
 
+use beamdyn_par::simd::F64x4;
 use beamdyn_par::ThreadPool;
-use beamdyn_pic::GridGeometry;
+use beamdyn_pic::{GridGeometry, ParticleSoA};
 
 use crate::particle::Beam;
 use crate::push::Forces;
@@ -31,6 +32,32 @@ impl ScalarField {
     /// An all-zero field.
     pub fn zeros(geometry: GridGeometry) -> Self {
         Self::new(geometry, vec![0.0; geometry.len()])
+    }
+
+    /// A zero-cell placeholder for pooled slots that are (re)shaped with
+    /// [`ScalarField::reset_for`] before first use (also the `Default`).
+    pub fn empty() -> Self {
+        Self::zeros(GridGeometry {
+            nx: 0,
+            ny: 0,
+            x_min: 0.0,
+            x_max: 0.0,
+            y_min: 0.0,
+            y_max: 0.0,
+        })
+    }
+
+    /// Reshapes the field for `geometry`, keeping the existing value
+    /// allocation when large enough — the pooled-scratch reuse primitive.
+    /// Values are *not* cleared; callers overwrite every cell.
+    pub fn reset_for(&mut self, geometry: GridGeometry) {
+        self.geometry = geometry;
+        self.values.resize(geometry.len(), 0.0);
+    }
+
+    /// Heap bytes held by the value storage (capacity, not length).
+    pub fn bytes_capacity(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Geometry of the field.
@@ -72,10 +99,19 @@ impl ScalarField {
     /// Negative-gradient fields `(−∂Φ/∂x, −∂Φ/∂y)` by central differences
     /// (one-sided at the borders).
     pub fn neg_gradient(&self) -> (ScalarField, ScalarField) {
+        let mut fx = ScalarField::empty();
+        let mut fy = ScalarField::empty();
+        self.neg_gradient_into(&mut fx, &mut fy);
+        (fx, fy)
+    }
+
+    /// [`ScalarField::neg_gradient`] into caller-owned (pooled) fields,
+    /// which are reshaped for this field's geometry and fully overwritten.
+    pub fn neg_gradient_into(&self, fx: &mut ScalarField, fy: &mut ScalarField) {
         let g = self.geometry;
         let (dx, dy) = (g.dx(), g.dy());
-        let mut fx = ScalarField::zeros(g);
-        let mut fy = ScalarField::zeros(g);
+        fx.reset_for(g);
+        fy.reset_for(g);
         for iy in 0..g.ny {
             for ix in 0..g.nx {
                 let ddx = match ix {
@@ -92,7 +128,12 @@ impl ScalarField {
                 fy.set(ix, iy, -ddy);
             }
         }
-        (fx, fy)
+    }
+}
+
+impl Default for ScalarField {
+    fn default() -> Self {
+        Self::empty()
     }
 }
 
@@ -102,4 +143,110 @@ pub fn gather_forces(pool: &ThreadPool, potential: &ScalarField, beam: &Beam) ->
     pool.parallel_map(&beam.particles, |p| {
         (fx.sample(p.x, p.y), fy.sample(p.x, p.y))
     })
+}
+
+/// SIMD/SoA twin of [`gather_forces`]: the gradient fields land in the
+/// caller's pooled scratch, the bilinear sample arithmetic runs over 4-wide
+/// particle blocks, and the per-particle force components land in pooled
+/// output columns — zero allocation in the steady state.
+///
+/// Per-lane operations mirror [`ScalarField::sample`] exactly (hoisted
+/// `dx`/`dy` are the same values, no reciprocal substitution, the four
+/// corner terms fold left-to-right), so each particle's force is
+/// bit-identical to the scalar gather at any pool width.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_forces_simd(
+    pool: &ThreadPool,
+    potential: &ScalarField,
+    particles: &ParticleSoA,
+    grad_x: &mut ScalarField,
+    grad_y: &mut ScalarField,
+    out_fx: &mut Vec<f64>,
+    out_fy: &mut Vec<f64>,
+) {
+    potential.neg_gradient_into(grad_x, grad_y);
+    let n = particles.len();
+    out_fx.clear();
+    out_fx.resize(n, 0.0);
+    out_fy.clear();
+    out_fy.resize(n, 0.0);
+    let px = crate::push::ColumnPtr::new(out_fx.as_mut_ptr());
+    let py = crate::push::ColumnPtr::new(out_fy.as_mut_ptr());
+    let (gx, gy) = (&*grad_x, &*grad_y);
+    pool.parallel_for_chunks(0..n, 1024, |range| {
+        let mut i = range.start;
+        while i + 4 <= range.end {
+            let fx4 = sample_block4(gx, &particles.x, &particles.y, i);
+            let fy4 = sample_block4(gy, &particles.x, &particles.y, i);
+            for l in 0..4 {
+                // SAFETY: chunks are disjoint; each slot written once.
+                unsafe {
+                    *px.get().add(i + l) = fx4[l];
+                    *py.get().add(i + l) = fy4[l];
+                }
+            }
+            i += 4;
+        }
+        for j in i..range.end {
+            let (x, y) = (particles.x[j], particles.y[j]);
+            // SAFETY: chunks are disjoint; each slot written once.
+            unsafe {
+                *px.get().add(j) = gx.sample(x, y);
+                *py.get().add(j) = gy.sample(x, y);
+            }
+        }
+    });
+}
+
+/// Bilinear-samples `field` at particles `i..i + 4` with the weight
+/// arithmetic vectorized; per-lane ops mirror [`ScalarField::sample`].
+#[inline]
+fn sample_block4(field: &ScalarField, xs: &[f64], ys: &[f64], i: usize) -> [f64; 4] {
+    let g = field.geometry;
+    let (dx, dy) = (g.dx(), g.dy());
+    let half = F64x4::splat(0.5);
+    let xv = F64x4::load(xs, i);
+    let yv = F64x4::load(ys, i);
+    let fxv = (xv - F64x4::splat(g.x_min)) / F64x4::splat(dx) - half;
+    let fyv = (yv - F64x4::splat(g.y_min)) / F64x4::splat(dy) - half;
+
+    let (fxa, fya) = (fxv.to_array(), fyv.to_array());
+    let mut ix0 = [0usize; 4];
+    let mut iy0 = [0usize; 4];
+    for l in 0..4 {
+        ix0[l] = (fxa[l].floor() as isize).clamp(0, g.nx as isize - 2) as usize;
+        iy0[l] = (fya[l].floor() as isize).clamp(0, g.ny as isize - 2) as usize;
+    }
+    let txv = (fxv - F64x4::new(ix0[0] as f64, ix0[1] as f64, ix0[2] as f64, ix0[3] as f64))
+        .clamp(0.0, 1.0);
+    let tyv = (fyv - F64x4::new(iy0[0] as f64, iy0[1] as f64, iy0[2] as f64, iy0[3] as f64))
+        .clamp(0.0, 1.0);
+    let one = F64x4::splat(1.0);
+    let (sxv, syv) = (one - txv, one - tyv);
+
+    // Per-lane patch base; the clamps above prove ix0 ≤ nx−2, iy0 ≤ ny−2,
+    // so all four corners of every lane's 2×2 patch index inside `values`.
+    let vals = &field.values;
+    let base = [
+        iy0[0] * g.nx + ix0[0],
+        iy0[1] * g.nx + ix0[1],
+        iy0[2] * g.nx + ix0[2],
+        iy0[3] * g.nx + ix0[3],
+    ];
+    let corner = |off: usize| {
+        // SAFETY: base[l] + off ≤ (ny−1)·nx + (nx−1) < nx·ny (see above).
+        unsafe {
+            F64x4::new(
+                *vals.get_unchecked(base[0] + off),
+                *vals.get_unchecked(base[1] + off),
+                *vals.get_unchecked(base[2] + off),
+                *vals.get_unchecked(base[3] + off),
+            )
+        }
+    };
+    let acc = sxv * syv * corner(0)
+        + txv * syv * corner(1)
+        + sxv * tyv * corner(g.nx)
+        + txv * tyv * corner(g.nx + 1);
+    acc.to_array()
 }

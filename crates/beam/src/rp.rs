@@ -22,7 +22,10 @@
 //!   of Fig. 2: a rigid monochromatic bunch has time-independent moments,
 //!   the one case with an exact solution).
 
-use beamdyn_pic::{GridHistory, MomentGrid, StencilWindow, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY};
+use beamdyn_par::simd::F64x4;
+use beamdyn_pic::{
+    GridHistory, MomentGrid, StencilResolver, StencilWindow, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY,
+};
 use beamdyn_quad::NewtonCotes;
 
 use crate::bunch::GaussianBunch;
@@ -306,6 +309,122 @@ impl<'a> GridRp<'a> {
             }
         }
         acc * std::f64::consts::TAU
+    }
+
+    /// Vectorized twin of [`GridRp::eval`]: the same 27-tap stencil gather
+    /// restructured as 4-lane row blocks ([`F64x4`]), with all per-call
+    /// setup (retarded window, component planes) hoisted out of the angular
+    /// loop. No sink — this is the NativeSimd backend's answers-only path;
+    /// the caller accounts evaluations (`SimdSink` batches the counters).
+    ///
+    /// **Not bit-identical to [`GridRp::eval`]**: each 3-value patch row is
+    /// reduced as a lane-parallel partial sum folded by [`F64x4::hsum3`],
+    /// which reassociates the 27-tap accumulation (scalar `gather` runs one
+    /// sequential sum in tap order). The divergence is a deterministic
+    /// function of the inputs — the same bits on every machine, pool width,
+    /// and run — and stays within a few ulp of the scalar value; the
+    /// differential harness bounds the resulting potentials at ≤ 4 ulp per
+    /// cell (DESIGN.md §17).
+    pub fn eval_simd(&self, px: f64, py: f64, r: f64) -> f64 {
+        let (i, s) = self.config.retarded(self.step, r);
+        let steps = [i.saturating_sub(1), i, i + 1];
+        let window: [Option<&MomentGrid>; 3] = [
+            self.history.get_clamped(steps[0]),
+            self.history.get_clamped(steps[1]),
+            self.history.get_clamped(steps[2]),
+        ];
+        if window[1].is_none() {
+            // No centre level: every angular sample is skipped (the same
+            // guard as the scalar path), leaving the zero integrand.
+            return 0.0;
+        }
+        // Hoist the per-(level, component) planes once per call; an absent
+        // level keeps its empty slices (contributes nothing, like the
+        // scalar gather's `None` skip). The scalar path re-resolves a
+        // bounds-checked row slice per tap row — 54 times per β≠0 call.
+        let mut planes: [[&[f64]; 3]; 3] = [[&[]; 3]; 3];
+        let mut present = [false; 3];
+        let n_comps = self.config.components();
+        for (ti, level) in window.iter().enumerate() {
+            if let Some(grid) = level {
+                present[ti] = true;
+                for (c, plane) in planes[ti].iter_mut().enumerate().take(n_comps) {
+                    *plane = grid.component(c);
+                }
+            }
+        }
+        // Monomorphize the gather on the component count so the innermost
+        // loop fully unrolls (β = 0 reads one plane, β ≠ 0 reads three).
+        if n_comps == 1 {
+            self.eval_simd_gather::<1>(px, py, r, s, &planes, &present)
+        } else {
+            self.eval_simd_gather::<3>(px, py, r, s, &planes, &present)
+        }
+    }
+
+    /// The angular loop of [`GridRp::eval_simd`] for a fixed component
+    /// count. All per-call constants (cell sizes, time weights) live in a
+    /// [`StencilResolver`]; each patch row is read as one (possibly
+    /// over-long) 4-wide load whose 4th lane never reaches the result —
+    /// [`F64x4::hsum3`] folds lanes 0–2 only.
+    #[inline]
+    fn eval_simd_gather<const NC: usize>(
+        &self,
+        px: f64,
+        py: f64,
+        r: f64,
+        s: f64,
+        planes: &[[&[f64]; 3]; 3],
+        present: &[bool; 3],
+    ) -> f64 {
+        let geometry = self.history.geometry();
+        let beta = self.config.beta;
+        let nx = geometry.nx;
+        let resolver = StencilResolver::new(geometry, s);
+        let mut acc = 0.0;
+        for &(w, sin_t, cos_t) in &self.angles[..self.n_angles] {
+            let qx = (px + r * cos_t).clamp(geometry.x_min, geometry.x_max);
+            let qy = (py + r * sin_t).clamp(geometry.y_min, geometry.y_max);
+            let win = resolver.window(qx, qy);
+            let wxv = F64x4::new(win.wx[0], win.wx[1], win.wx[2], 0.0);
+            let base0 = win.y0 * nx + win.x0;
+            // Per-component lane accumulators (unread components stay zero,
+            // so the combine below is exact for β = 0 too); each component's
+            // sum accumulates in the same (level, row) order as before.
+            let mut acc_v = [F64x4::ZERO; 3];
+            for (ti, level_planes) in planes.iter().enumerate() {
+                if !present[ti] {
+                    continue;
+                }
+                let wt = win.wt[ti];
+                for (yi, &wy) in win.wy.iter().enumerate() {
+                    let wtyv = F64x4::splat(wt * wy);
+                    let base = base0 + yi * nx;
+                    for c in 0..NC {
+                        let rv = load_patch_row(level_planes[c], base);
+                        acc_v[c] = wtyv.fma(wxv * rv, acc_v[c]);
+                    }
+                }
+            }
+            let f = acc_v[MOMENT_CHARGE].hsum3()
+                - beta * (acc_v[MOMENT_JX].hsum3() * cos_t + acc_v[MOMENT_JY].hsum3() * sin_t);
+            acc += w * f;
+        }
+        acc * std::f64::consts::TAU
+    }
+}
+
+/// Loads the 3-cell patch row at `base` as a 4-wide block: an over-long
+/// unaligned load where the plane allows it, a padded 3-element pack at the
+/// very last row corner. The 4th lane is junk either way — every consumer
+/// multiplies it by a zero weight and folds with [`F64x4::hsum3`], which
+/// ignores lane 3 entirely.
+#[inline(always)]
+fn load_patch_row(plane: &[f64], base: usize) -> F64x4 {
+    if base + 4 <= plane.len() {
+        F64x4::load(plane, base)
+    } else {
+        F64x4::new(plane[base], plane[base + 1], plane[base + 2], 0.0)
     }
 }
 

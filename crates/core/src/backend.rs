@@ -17,6 +17,15 @@
 //!   pooled [`LaneScratchArena`] are all shared with the traced path, so
 //!   the potentials are **bit-identical** — `tests/backend_equivalence.rs`
 //!   is the differential harness pinning that contract.
+//! * [`NativeSimd`] — the data-parallel path. The same lane bodies again,
+//!   but fresh integrand evaluations take the vectorized stencil gather
+//!   and the driver runs the whole particle pipeline (deposit, gather,
+//!   push) over an SoA scratch in 4-wide lane blocks. Control flow and
+//!   operation counts stay exactly equal to the other backends; produced
+//!   *values* differ from them by the documented fixed-order SIMD
+//!   reassociation — deterministic (bit-identical across pool widths and
+//!   runs) but held to a ≤4 ulp per-cell bound rather than bit identity.
+//!   See DESIGN.md §17 for the full contract.
 //!
 //! Selection is per-run: [`SimulationConfig::backend`]
 //! (crate::driver::SimulationConfig::backend) defaults from the
@@ -41,6 +50,9 @@ pub enum BackendKind {
     TracedSimt,
     /// Host-speed path: identical numerics, zero simulated metrics.
     NativeFast,
+    /// SIMD host path: 4-wide lane blocks, fixed-order reductions,
+    /// ≤4 ulp from the scalar backends, zero simulated metrics.
+    NativeSimd,
 }
 
 impl BackendKind {
@@ -50,6 +62,7 @@ impl BackendKind {
         match s {
             "traced" | "traced-simt" | "simt" => Some(Self::TracedSimt),
             "native" | "native-fast" | "fast" => Some(Self::NativeFast),
+            "native-simd" | "simd" => Some(Self::NativeSimd),
             _ => None,
         }
     }
@@ -89,6 +102,8 @@ impl BackendKind {
             "native",
             "native-fast",
             "fast",
+            "native-simd",
+            "simd",
         ]
     }
 
@@ -97,6 +112,17 @@ impl BackendKind {
         match self {
             Self::TracedSimt => "traced-simt",
             Self::NativeFast => "native-fast",
+            Self::NativeSimd => "native-simd",
+        }
+    }
+
+    /// SIMD lane width of the backend's hot loops: 1 for the scalar
+    /// backends, [`beamdyn_par::simd::LANE_WIDTH`] for [`NativeSimd`].
+    /// Surfaced in `/status` and the daemon banner.
+    pub fn lane_width(self) -> usize {
+        match self {
+            Self::TracedSimt | Self::NativeFast => 1,
+            Self::NativeSimd => beamdyn_par::simd::LANE_WIDTH,
         }
     }
 }
@@ -217,11 +243,49 @@ impl ComputeBackend for NativeFast {
     }
 }
 
+/// The SIMD backend: same lane bodies, vectorized fresh evaluations, no
+/// simulated device. Quadrature control flow is shared with [`NativeFast`]
+/// by construction; the SoA particle pipeline is selected by the driver
+/// from [`BackendKind::NativeSimd`] (the backend object only covers the
+/// two launch shapes).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NativeSimd;
+
+impl ComputeBackend for NativeSimd {
+    fn kind(&self) -> BackendKind {
+        BackendKind::NativeSimd
+    }
+
+    fn run_fixed<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        _threads_per_block: usize,
+        cells: &CellLists,
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+    ) -> LaunchOutput<ThreadResult<FixedLaneScratch<'w>>> {
+        threads::simd_fixed(problem, cells, scratch, point_xyr)
+    }
+
+    fn run_adaptive<'w>(
+        &self,
+        problem: &RpProblem<'_>,
+        _threads_per_block: usize,
+        tasks: &[FallbackTask],
+        scratch: &'w LaneScratchArena,
+        point_xyr: PointXyr<'_>,
+        min_depth: u32,
+    ) -> LaunchOutput<ThreadResult<&'w mut AdaptiveScratch>> {
+        threads::simd_adaptive(problem, tasks, scratch, point_xyr, min_depth)
+    }
+}
+
 /// Builds the backend object a [`BackendKind`] selects.
 pub fn build_backend(kind: BackendKind) -> Box<dyn ComputeBackend> {
     match kind {
         BackendKind::TracedSimt => Box::new(TracedSimt),
         BackendKind::NativeFast => Box::new(NativeFast),
+        BackendKind::NativeSimd => Box::new(NativeSimd),
     }
 }
 
@@ -237,16 +301,33 @@ mod tests {
         for s in ["native", "native-fast", "fast"] {
             assert_eq!(BackendKind::parse(s), Some(BackendKind::NativeFast));
         }
+        for s in ["native-simd", "simd"] {
+            assert_eq!(BackendKind::parse(s), Some(BackendKind::NativeSimd));
+        }
         assert_eq!(BackendKind::parse("cuda"), None);
         assert_eq!(BackendKind::parse(""), None);
     }
 
     #[test]
     fn names_roundtrip_through_parse() {
-        for kind in [BackendKind::TracedSimt, BackendKind::NativeFast] {
+        for kind in [
+            BackendKind::TracedSimt,
+            BackendKind::NativeFast,
+            BackendKind::NativeSimd,
+        ] {
             assert_eq!(BackendKind::parse(kind.name()), Some(kind));
             assert_eq!(build_backend(kind).kind(), kind);
             assert_eq!(build_backend(kind).name(), kind.name());
         }
+    }
+
+    #[test]
+    fn lane_widths_reflect_vectorization() {
+        assert_eq!(BackendKind::TracedSimt.lane_width(), 1);
+        assert_eq!(BackendKind::NativeFast.lane_width(), 1);
+        assert_eq!(
+            BackendKind::NativeSimd.lane_width(),
+            beamdyn_par::simd::LANE_WIDTH
+        );
     }
 }

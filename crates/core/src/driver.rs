@@ -31,11 +31,13 @@ use std::time::Duration;
 
 use beamdyn_obs as obs;
 
-use beamdyn_beam::forces::{gather_forces, ScalarField};
-use beamdyn_beam::push::{drift, kick};
+use beamdyn_beam::forces::{gather_forces, gather_forces_simd, ScalarField};
+use beamdyn_beam::push::{drift, kick, push_step_simd};
 use beamdyn_beam::{Beam, RpConfig};
 use beamdyn_par::ThreadPool;
-use beamdyn_pic::{deposit_cic, refill_samples, DepositSample, GridGeometry, GridHistory};
+use beamdyn_pic::{
+    deposit_cic, deposit_cic_simd, refill_samples, DepositSample, GridGeometry, GridHistory,
+};
 use beamdyn_simt::{DeviceConfig, SimTime};
 
 use crate::backend::{build_backend, BackendKind, ComputeBackend};
@@ -136,6 +138,10 @@ pub struct StepTelemetry {
     pub potentials: PotentialsOutput,
     /// Host time spent depositing.
     pub deposit_time: Duration,
+    /// Host wall-clock of the potentials stage (the whole stage span —
+    /// launches plus planning/clustering/training host work). The
+    /// simulated-GPU component is `potentials.gpu_time`.
+    pub potentials_time: Duration,
     /// Host time in force gather + push.
     pub push_time: Duration,
 }
@@ -255,20 +261,27 @@ impl SimCore {
         if !self.beam.is_empty() {
             self.config.rp.center = self.beam.centroid();
         }
+        // The SIMD backend runs the particle pipeline over the workspace's
+        // pooled SoA scratch: filled from the beam once here, pushed in
+        // place, written back after the drift.
+        let simd = self.backend.kind() == BackendKind::NativeSimd;
         // --- 1. Particle deposition ---
         let deposit_span = obs::span!("deposit");
         let mut grid = workspace.take_grid(self.config.geometry);
-        refill_samples(
-            &mut workspace.deposit_samples,
-            self.beam.particles.iter().map(|p| DepositSample {
-                x: p.x,
-                y: p.y,
-                weight: p.weight,
-                vx: p.vx,
-                vy: p.vy,
-            }),
-        );
-        deposit_cic(pool, &mut grid, &workspace.deposit_samples);
+        let samples = self.beam.particles.iter().map(|p| DepositSample {
+            x: p.x,
+            y: p.y,
+            weight: p.weight,
+            vx: p.vx,
+            vy: p.vy,
+        });
+        if simd {
+            workspace.particles.refill(samples);
+            deposit_cic_simd(pool, &mut grid, &workspace.particles);
+        } else {
+            refill_samples(&mut workspace.deposit_samples, samples);
+            deposit_cic(pool, &mut grid, &workspace.deposit_samples);
+        }
         if let Some(evicted) = self.history.push(self.step, grid) {
             workspace.recycle_grid(evicted);
         }
@@ -277,21 +290,45 @@ impl SimCore {
         // --- 2. Compute retarded potentials ---
         let potentials_span = obs::span!("potentials");
         let mut potentials = self.compute_potentials(pool, device, workspace);
-        STAGE_POTENTIALS_NS.observe_span(potentials_span);
+        let potentials_time = STAGE_POTENTIALS_NS.observe_span(potentials_span);
 
         // --- 3 & 4. Self-forces and particle push ---
         let push_span = obs::span!("gather_push");
         let field = ScalarField::new(self.config.geometry, potentials.potentials());
         if !self.config.rigid {
-            let mut forces = gather_forces(pool, &field, &self.beam);
-            for f in &mut forces {
-                f.0 *= self.config.force_scale;
-                f.1 *= self.config.force_scale;
+            if simd {
+                let ws = &mut *workspace;
+                gather_forces_simd(
+                    pool,
+                    &field,
+                    &ws.particles,
+                    &mut ws.gradient_x,
+                    &mut ws.gradient_y,
+                    &mut ws.forces_x,
+                    &mut ws.forces_y,
+                );
+                // Force scaling, kick, drift, and AoS write-back fused into
+                // one parallel pass (bit-identical to the scalar sequence).
+                push_step_simd(
+                    pool,
+                    &mut ws.particles,
+                    &ws.forces_x,
+                    &ws.forces_y,
+                    self.config.force_scale,
+                    self.config.rp.dt,
+                    &mut self.beam,
+                );
+            } else {
+                let mut forces = gather_forces(pool, &field, &self.beam);
+                for f in &mut forces {
+                    f.0 *= self.config.force_scale;
+                    f.1 *= self.config.force_scale;
+                }
+                // Leap-frog with velocities staggered by half a step: one
+                // kick, one drift per field solve.
+                kick(pool, &mut self.beam, &forces, self.config.rp.dt);
+                drift(pool, &mut self.beam, self.config.rp.dt);
             }
-            // Leap-frog with velocities staggered by half a step: one kick,
-            // one drift per field solve.
-            kick(pool, &mut self.beam, &forces, self.config.rp.dt);
-            drift(pool, &mut self.beam, self.config.rp.dt);
         }
         let push_time = STAGE_GATHER_PUSH_NS.observe_span(push_span);
         self.last_potentials = Some(field);
@@ -304,6 +341,7 @@ impl SimCore {
             step: self.step,
             potentials,
             deposit_time,
+            potentials_time,
             push_time,
         };
         drop(commit_span);

@@ -114,6 +114,58 @@ impl LaneSink for NullSink {
     }
 }
 
+/// NativeSimd: an answers-only sink like [`NullSink`], with two twists.
+/// Fresh abscissae run the vectorized gather ([`GridRp::eval_simd`]) —
+/// 4-lane stencil rows, hoisted per-call setup — and the integrand-reuse
+/// counters accumulate locally, flushed once per lane retirement instead
+/// of one shared-cacheline `fetch_add` per abscissa (a measurable
+/// contention cost with several workers). Totals are exactly equal either
+/// way; perf_smoke and the bench baseline pin them across all backends.
+#[derive(Debug, Default)]
+pub(crate) struct SimdSink {
+    evals: u64,
+    replays: u64,
+}
+
+impl SimdSink {
+    /// Publishes the locally-batched counters (call at lane retirement).
+    fn flush(&mut self) {
+        if self.evals > 0 {
+            INTEGRAND_EVALS.add(self.evals);
+        }
+        if self.replays > 0 {
+            INTEGRAND_REPLAYS.add(self.replays);
+        }
+        self.evals = 0;
+        self.replays = 0;
+    }
+}
+
+impl TapSink for SimdSink {
+    #[inline]
+    fn tap(&mut self, _step: usize, _component: usize, _ix: usize, _iy: usize) {}
+    #[inline]
+    fn flops(&mut self, _n: u32) {}
+}
+
+impl LaneSink for SimdSink {
+    #[inline]
+    fn store_output(&mut self, _addr: u64) {}
+    #[inline]
+    fn integrand(&mut self, rp: &GridRp<'_>, x: f64, y: f64, r: f64, known: Option<f64>) -> f64 {
+        match known {
+            Some(v) => {
+                self.replays += 1;
+                v
+            }
+            None => {
+                self.evals += 1;
+                rp.eval_simd(x, y, r)
+            }
+        }
+    }
+}
+
 /// One seeded Simpson application through the lane's sink.
 #[inline]
 fn lane_simpson<S: LaneSink>(
@@ -234,12 +286,18 @@ impl<'rp, 'w> FixedCellsThread<'rp, 'w> {
     /// cells, the same seeded Simpson applications, the same accumulation
     /// order as the traced replay — with all tracing compiled out.
     pub(crate) fn run_native(&mut self) {
-        let mut sink = NullSink;
-        while self.step_with(&mut sink) {}
+        self.run_to_retirement(&mut NullSink);
+    }
+
+    /// Runs the lane to retirement through an arbitrary sink — the shared
+    /// schedulerless driver behind the NativeFast and NativeSimd backends
+    /// (the traced backend steps lanes through the warp scheduler instead).
+    pub(crate) fn run_to_retirement<S: LaneSink>(&mut self, sink: &mut S) {
+        while self.step_with(sink) {}
     }
 
     /// One cell (or the retirement store) through the given sink; the
-    /// shared body behind both backends.
+    /// shared body behind all backends.
     fn step_with<S: LaneSink>(&mut self, sink: &mut S) -> bool {
         if self.next >= self.cells.len() {
             if !self.stored {
@@ -371,8 +429,13 @@ impl<'rp, 'w> AdaptiveThread<'rp, 'w> {
     /// Runs the lane's whole subdivision worklist with no lockstep
     /// scheduler; see [`FixedCellsThread::run_native`].
     pub(crate) fn run_native(&mut self) {
-        let mut sink = NullSink;
-        while self.step_with(&mut sink) {}
+        self.run_to_retirement(&mut NullSink);
+    }
+
+    /// Runs the lane to retirement through an arbitrary sink; see
+    /// [`FixedCellsThread::run_to_retirement`].
+    pub(crate) fn run_to_retirement<S: LaneSink>(&mut self, sink: &mut S) {
+        while self.step_with(sink) {}
     }
 
     /// One worklist item (or the retirement store) through the given sink.
@@ -595,6 +658,89 @@ pub(crate) fn native_adaptive<'w>(
             slot,
         );
         thread.run_native();
+        Some(thread.into_result())
+    });
+    LaunchOutput {
+        results,
+        stats: KernelStats::default(),
+    }
+}
+
+/// NativeSimd twin of [`native_fixed`]: the same schedulerless lane driver
+/// with a [`SimdSink`], so fresh abscissae take the vectorized stencil
+/// gather and the reuse counters batch per lane. Control flow (Simpson
+/// seeding, accept/fail decisions, fallback breaks, eval/replay counts) is
+/// shared with the other backends by construction; only the *values* of
+/// fresh integrand evaluations differ — by the documented reassociation of
+/// the 27-tap stencil sum (see `GridRp::eval_simd`).
+pub(crate) fn simd_fixed<'w>(
+    problem: &RpProblem<'_>,
+    cells: &crate::workspace::CellLists,
+    scratch: &'w LaneScratchArena,
+    point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
+) -> LaunchOutput<ThreadResult<FixedLaneScratch<'w>>> {
+    let rp = problem.integrand();
+    let results = problem.pool.parallel_map_indexed(cells.len(), |tid| {
+        let (point, lane_cells) = cells.lane(tid)?;
+        let (x, y, radius) = point_xyr(point);
+        // SAFETY: `parallel_map_indexed` materialises each `tid` exactly
+        // once and `tid` is a lane of the `cells` the arena was prepared
+        // for, so each region is claimed by exactly one lane.
+        let slot = unsafe { scratch.claim_fixed(tid) };
+        let mut thread = FixedCellsThread::new(
+            &rp,
+            problem.layout,
+            point,
+            x,
+            y,
+            radius,
+            lane_cells,
+            problem.tolerance,
+            slot,
+        );
+        let mut sink = SimdSink::default();
+        thread.run_to_retirement(&mut sink);
+        sink.flush();
+        Some(thread.into_result())
+    });
+    LaunchOutput {
+        results,
+        stats: KernelStats::default(),
+    }
+}
+
+/// NativeSimd twin of [`native_adaptive`]; see [`simd_fixed`].
+#[allow(clippy::mut_from_ref)] // the `&mut` slots come from the arena's claim contract
+pub(crate) fn simd_adaptive<'w>(
+    problem: &RpProblem<'_>,
+    tasks: &[FallbackTask],
+    scratch: &'w LaneScratchArena,
+    point_xyr: &(dyn Fn(u32) -> (f64, f64, f64) + Sync),
+    min_depth: u32,
+) -> LaunchOutput<ThreadResult<&'w mut AdaptiveScratch>> {
+    let rp = problem.integrand();
+    let results = problem.pool.parallel_map_indexed(tasks.len(), |tid| {
+        let task = &tasks[tid];
+        let (x, y, _) = point_xyr(task.point);
+        // SAFETY: one claim per materialised `tid`; `tid < tasks.len()`
+        // (prepared size).
+        let slot = unsafe { scratch.claim_adaptive(tid) };
+        let mut thread = AdaptiveThread::new(
+            &rp,
+            problem.layout,
+            task.point,
+            x,
+            y,
+            task.a,
+            task.b,
+            task.tolerance,
+            task.seed,
+            min_depth,
+            slot,
+        );
+        let mut sink = SimdSink::default();
+        thread.run_to_retirement(&mut sink);
+        sink.flush();
         Some(thread.into_result())
     });
     LaunchOutput {

@@ -36,6 +36,13 @@ pub struct StepStatus {
     pub clustering_s: f64,
     /// Host seconds spent training.
     pub training_s: f64,
+    /// Host nanoseconds of the deposit stage (exact, for dashboards that
+    /// track the per-stage split the SIMD lane optimizes).
+    pub deposit_host_ns: u64,
+    /// Host nanoseconds of the gather + push stage.
+    pub gather_push_host_ns: u64,
+    /// Host nanoseconds of the potentials stage.
+    pub potentials_host_ns: u64,
 }
 
 /// Run-cumulative tallies across every recorded step.
@@ -54,8 +61,12 @@ pub struct RunTotals {
 pub struct StatusSnapshot {
     /// Name of the active kernel (`Predictive-RP`, …).
     pub kernel: String,
-    /// Name of the active compute backend (`traced-simt`, `native-fast`).
+    /// Name of the active compute backend (`traced-simt`, `native-fast`,
+    /// `native-simd`).
     pub backend: String,
+    /// SIMD lane width of the backend's hot loops (1 for the scalar
+    /// backends, 4 for `native-simd`).
+    pub simd_lane_width: usize,
     /// Free-form lifecycle state (`starting`, `running`, `done`, …) set by
     /// the driver loop.
     pub state: String,
@@ -88,7 +99,8 @@ impl StatusSnapshot {
             Some(s) => format!(
                 "{{\"step\":{},\"gpu_time_s\":{},\"overall_time_s\":{},\"fallback_cells\":{},\
                  \"launches\":{},\"deposit_s\":{},\"push_s\":{},\"clustering_s\":{},\
-                 \"training_s\":{}}}",
+                 \"training_s\":{},\"deposit_host_ns\":{},\"gather_push_host_ns\":{},\
+                 \"potentials_host_ns\":{}}}",
                 s.step,
                 finite(s.gpu_time_s),
                 finite(s.overall_time_s),
@@ -98,14 +110,19 @@ impl StatusSnapshot {
                 finite(s.push_s),
                 finite(s.clustering_s),
                 finite(s.training_s),
+                s.deposit_host_ns,
+                s.gather_push_host_ns,
+                s.potentials_host_ns,
             ),
         };
         format!(
-            "{{\"kernel\":\"{}\",\"backend\":\"{}\",\"state\":\"{}\",\"steps_completed\":{},\
+            "{{\"kernel\":\"{}\",\"backend\":\"{}\",\"simd_lane_width\":{},\"state\":\"{}\",\
+             \"steps_completed\":{},\
              \"last_step\":{},\
              \"totals\":{{\"gpu_time_s\":{},\"fallback_cells\":{},\"launches\":{}}}}}",
             esc(&self.kernel),
             esc(&self.backend),
+            self.simd_lane_width,
             esc(&self.state),
             self.steps_completed,
             last,
@@ -123,12 +140,16 @@ pub struct StatusBoard {
 
 impl StatusBoard {
     /// Creates a board for a run of the named kernel on the named compute
-    /// backend, in state `starting`.
+    /// backend, in state `starting`. The SIMD lane width is derived from
+    /// the backend name (1 when the name is not a known backend).
     pub fn new(kernel: &str, backend: &str) -> Arc<Self> {
+        let simd_lane_width = crate::backend::BackendKind::parse(backend)
+            .map_or(1, crate::backend::BackendKind::lane_width);
         Arc::new(Self {
             inner: Mutex::new(StatusSnapshot {
                 kernel: kernel.to_string(),
                 backend: backend.to_string(),
+                simd_lane_width,
                 state: "starting".to_string(),
                 steps_completed: 0,
                 last_step: None,
@@ -161,6 +182,9 @@ impl StatusBoard {
             push_s: telemetry.push_time.as_secs_f64(),
             clustering_s: telemetry.potentials.clustering_time.as_secs_f64(),
             training_s: telemetry.potentials.training_time.as_secs_f64(),
+            deposit_host_ns: telemetry.deposit_time.as_nanos() as u64,
+            gather_push_host_ns: telemetry.push_time.as_nanos() as u64,
+            potentials_host_ns: telemetry.potentials_time.as_nanos() as u64,
         });
     }
 

@@ -20,8 +20,9 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::size_of;
 
+use beamdyn_beam::forces::ScalarField;
 use beamdyn_obs as obs;
-use beamdyn_pic::{DepositSample, GridGeometry, MomentGrid};
+use beamdyn_pic::{DepositSample, GridGeometry, MomentGrid, ParticleSoA};
 use beamdyn_quad::{Partition, SimpsonSamples};
 
 use crate::kernels::threads::AdaptiveItem;
@@ -534,6 +535,18 @@ pub struct StepWorkspace {
     /// A moment grid evicted from the history ring, reset and reused as the
     /// next step's deposition target.
     recycled_grid: Option<MomentGrid>,
+    /// SoA particle scratch of the NativeSimd pipeline: filled from the
+    /// beam once per step, deposited/gathered/pushed column-wise, written
+    /// back after the drift. Pooled like every other buffer here.
+    pub(crate) particles: ParticleSoA,
+    /// Pooled per-particle force columns of the SIMD gather (x component).
+    pub(crate) forces_x: Vec<f64>,
+    /// Pooled per-particle force columns of the SIMD gather (y component).
+    pub(crate) forces_y: Vec<f64>,
+    /// Pooled negative-gradient field `−∂Φ/∂x` of the SIMD gather.
+    pub(crate) gradient_x: ScalarField,
+    /// Pooled negative-gradient field `−∂Φ/∂y` of the SIMD gather.
+    pub(crate) gradient_y: ScalarField,
     /// Bytes of buffer capacity at the previous publish.
     bytes_last: usize,
 }
@@ -605,6 +618,9 @@ impl StepWorkspace {
         self.need.clear();
         self.need_width = 0;
         self.previous_partitions.clear();
+        self.particles.clear();
+        self.forces_x.clear();
+        self.forces_y.clear();
     }
 
     /// Total bytes of buffer capacity the workspace holds. Counts the
@@ -622,6 +638,11 @@ impl StepWorkspace {
             + self.need.capacity() * size_of::<f64>()
             + self.previous_partitions.capacity() * size_of::<Option<Partition>>()
             + self.lane_scratch.bytes_capacity()
+            + self.particles.bytes_capacity()
+            + self.forces_x.capacity() * size_of::<f64>()
+            + self.forces_y.capacity() * size_of::<f64>()
+            + self.gradient_x.bytes_capacity()
+            + self.gradient_y.bytes_capacity()
     }
 
     /// Bytes of capacity held by the pooled per-lane result scratch (part

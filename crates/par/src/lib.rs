@@ -22,6 +22,7 @@
 mod latch;
 mod pool;
 mod range;
+pub mod simd;
 
 pub use latch::CountLatch;
 pub use pool::{global, ThreadPool};

@@ -172,6 +172,14 @@ impl MomentGrid {
         &self.data
     }
 
+    /// Raw planar storage, mutable — the deposition hot path's direct
+    /// scatter target (`component · len() + iy · nx + ix` indexing, the
+    /// same layout [`MomentGrid::index`] computes).
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// One component as a contiguous row-major slice.
     pub fn component(&self, component: usize) -> &[f64] {
         let n = self.geometry.len();

@@ -217,3 +217,54 @@ impl StencilWindow {
         levels.iter().filter(|l| l.is_some()).count() as u32
     }
 }
+
+/// Amortized [`StencilWindow`] construction for evaluations that resolve
+/// many windows against the same geometry and retarded-time fraction: the
+/// cell sizes (two divisions inside `fractional`) and the Lagrange time
+/// weights are computed once here instead of once per sample.
+///
+/// Bit-compatible with [`StencilWindow::new`]: the hoisted `dx`/`dy`/`wt`
+/// are the exact f64 values the per-sample path recomputes, and
+/// [`StencilResolver::window`] performs the remaining ops in the same
+/// order, so the produced windows are identical bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilResolver {
+    geometry: crate::grid::GridGeometry,
+    dx: f64,
+    dy: f64,
+    wt: [f64; 3],
+}
+
+impl StencilResolver {
+    /// Hoists the per-call constants for time fraction `s`.
+    pub fn new(geometry: crate::grid::GridGeometry, s: f64) -> Self {
+        assert!(
+            geometry.nx >= 3 && geometry.ny >= 3,
+            "stencil needs a 3x3 patch"
+        );
+        Self {
+            geometry,
+            dx: geometry.dx(),
+            dy: geometry.dy(),
+            wt: lagrange3(s.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Resolves the window at `(x, y)` — [`StencilWindow::new`] minus the
+    /// redundant per-sample division/weight setup.
+    #[inline]
+    pub fn window(&self, x: f64, y: f64) -> StencilWindow {
+        let g = self.geometry;
+        let fx = (x - g.x_min) / self.dx - 0.5;
+        let fy = (y - g.y_min) / self.dy - 0.5;
+        let cx = (fx.round() as isize).clamp(1, g.nx as isize - 2);
+        let cy = (fy.round() as isize).clamp(1, g.ny as isize - 2);
+        StencilWindow {
+            x0: (cx - 1) as usize,
+            y0: (cy - 1) as usize,
+            wx: bspline3(fx - cx as f64),
+            wy: bspline3(fy - cy as f64),
+            wt: self.wt,
+        }
+    }
+}

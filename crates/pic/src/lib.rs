@@ -11,11 +11,13 @@ mod deposit;
 mod grid;
 mod history;
 mod interp;
+mod soa;
 
-pub use deposit::{deposit_cic, refill_samples, DepositSample};
+pub use deposit::{deposit_cic, deposit_cic_simd, refill_samples, DepositSample};
 pub use grid::{GridGeometry, MomentGrid, MOMENT_CHARGE, MOMENT_JX, MOMENT_JY, N_MOMENTS};
 pub use history::GridHistory;
-pub use interp::{bilinear_gather, Stencil27, StencilTap, StencilWindow};
+pub use interp::{bilinear_gather, Stencil27, StencilResolver, StencilTap, StencilWindow};
+pub use soa::ParticleSoA;
 
 #[cfg(test)]
 mod tests;

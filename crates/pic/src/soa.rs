@@ -1,0 +1,97 @@
+//! Structure-of-arrays particle scratch for the SIMD host pipeline.
+//!
+//! The AoS particle layout ([`DepositSample`] / the beam's particle vector)
+//! is right for bookkeeping but wrong for data parallelism: every vector
+//! lane of a CIC weight or a drift update wants *one* field of *four
+//! consecutive particles*, which in AoS form is a strided gather. The
+//! `NativeSimd` backend therefore converts to this columnar scratch **once
+//! per step** — fill from the beam, run deposit → gather → push over the
+//! columns, write positions/velocities back — with every column pooled in
+//! the step workspace so the steady-state allocation count is zero.
+//!
+//! Conversion is a pure copy: round-tripping AoS → SoA → AoS reproduces
+//! every particle bit-exactly (pinned by proptest in
+//! `tests/determinism.rs`).
+
+use crate::deposit::DepositSample;
+
+/// Particle columns: element `i` of every column describes particle `i`.
+#[derive(Debug, Clone, Default)]
+pub struct ParticleSoA {
+    /// Longitudinal positions.
+    pub x: Vec<f64>,
+    /// Transverse positions.
+    pub y: Vec<f64>,
+    /// Longitudinal velocities.
+    pub vx: Vec<f64>,
+    /// Transverse velocities.
+    pub vy: Vec<f64>,
+    /// Macro-particle charge weights.
+    pub weight: Vec<f64>,
+}
+
+impl ParticleSoA {
+    /// An empty scratch (no capacity yet; [`ParticleSoA::refill`] grows it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of particles held.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when no particles are held.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Drops the particles but keeps every column's capacity.
+    pub fn clear(&mut self) {
+        self.x.clear();
+        self.y.clear();
+        self.vx.clear();
+        self.vy.clear();
+        self.weight.clear();
+    }
+
+    /// Clears and refills the columns from an AoS particle stream, reusing
+    /// the existing capacity — the SoA twin of
+    /// [`refill_samples`](crate::deposit::refill_samples).
+    pub fn refill<I>(&mut self, samples: I)
+    where
+        I: IntoIterator<Item = DepositSample>,
+    {
+        self.clear();
+        for s in samples {
+            self.x.push(s.x);
+            self.y.push(s.y);
+            self.vx.push(s.vx);
+            self.vy.push(s.vy);
+            self.weight.push(s.weight);
+        }
+    }
+
+    /// Reconstructs particle `i` in AoS form (bit-exact round trip).
+    #[inline]
+    pub fn sample(&self, i: usize) -> DepositSample {
+        DepositSample {
+            x: self.x[i],
+            y: self.y[i],
+            weight: self.weight[i],
+            vx: self.vx[i],
+            vy: self.vy[i],
+        }
+    }
+
+    /// Heap bytes held across all columns (capacity, not length) — feeds
+    /// the workspace's `bytes_resident` accounting.
+    pub fn bytes_capacity(&self) -> usize {
+        (self.x.capacity()
+            + self.y.capacity()
+            + self.vx.capacity()
+            + self.vy.capacity()
+            + self.weight.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}

@@ -220,7 +220,7 @@ impl Options {
                          --loop              restart the built-in scenario until /quitz\n\
                          --no-scenario       serve sessions only; submit nothing at startup\n\
                          --kernel K          two-phase | heuristic | predictive\n\
-                         --backend B         traced | native (default: BEAMDYN_BACKEND or traced)\n\
+                         --backend B         traced | native | native-simd (default: BEAMDYN_BACKEND or traced)\n\
                          --resolution R      grid R x R (default 32)\n\
                          --particles N       macro-particles (default 20000)\n\
                          --threads N         shared compute pool width (default 4)\n\
@@ -373,10 +373,11 @@ fn main() {
         }
     };
     println!(
-        "beamdyn-daemon listening on {} ({} / {}, {} workspace slots)",
+        "beamdyn-daemon listening on {} ({} / {}, simd lane width {}, {} workspace slots)",
         server.base_url(),
         spec.kernel_request_name(),
         default_backend.name(),
+        default_backend.lane_width(),
         opts.slots.max(1),
     );
     println!(

@@ -16,8 +16,10 @@
 //!   timeline excerpt of the triggering metric, and delivery never fails
 //!   (`webhook.failed == 0`) nor drops transitions.
 //!
-//! Kept to a single `#[test]` because the obs registry — and with it the
-//! alert registry and timeline — is process-global.
+//! The drill is a single `#[test]` because the obs registry — and with it
+//! the alert registry and timeline — is process-global; the shipped
+//! `examples/alert_rules.json` parse check below is registry-free, so it
+//! can ride alongside.
 
 use std::io::{Read, Write};
 use std::net::TcpListener;
@@ -144,6 +146,44 @@ impl WebhookSink {
             let _ = t.join();
         }
     }
+}
+
+/// The rules file shipped in `examples/` (the README's `--alert-rules`
+/// starting point) must stay valid, keep the built-in rule set, and carry
+/// the step-time watchdog: a `metric_threshold` rule over the windowed
+/// `stage.step_ns.p99` timeline series with a lower resolve threshold
+/// (hysteresis).
+#[test]
+fn shipped_example_rules_parse() {
+    let text = include_str!("../examples/alert_rules.json");
+    let rules = parse_rules(text).expect("examples/alert_rules.json parses");
+    let step = rules
+        .rule("step.p99.slow")
+        .expect("step-time p99 rule present");
+    match &step.kind {
+        beamdyn::core::health::RuleKind::Metric(m) => {
+            assert_eq!(m.metric, "stage.step_ns.p99");
+            assert!(m.window >= 1);
+            assert!(
+                m.resolve_value < m.value,
+                "resolve threshold must sit below the firing threshold"
+            );
+        }
+        other => panic!("step.p99.slow must be a metric_threshold rule, got {other:?}"),
+    }
+    for built_in in [
+        "session_stalled",
+        "queue_backlog",
+        "pool_exhausted",
+        "slo_step_p99",
+        "admission_saturated",
+    ] {
+        assert!(
+            rules.rules.iter().any(|r| r.kind.type_name() == built_in),
+            "example must keep the built-in {built_in} rule"
+        );
+    }
+    assert_eq!(rules.rules.len(), 6, "five built-ins plus the p99 watchdog");
 }
 
 #[test]

@@ -117,6 +117,84 @@ fn eval_inner_points_5_matches_recorded_bit_patterns() {
     }
 }
 
+/// `GridRp::eval_simd` golden bits — the `*.simd` variant of [`EVAL_GOLDEN`].
+///
+/// The vectorized gather reassociates the 27-tap stencil sum (fixed-order
+/// lane fold instead of the scalar accumulation order), so its results are
+/// *deterministically different* from `eval`: identical on every machine and
+/// pool width, but allowed to differ from the scalar corpus by the last few
+/// ulp. Off-support zeros and single-plane cases stay exactly equal.
+const EVAL_SIMD_GOLDEN: &[(f64, f64, f64, usize, u64)] = &[
+    (0.5, 0.5, 0.05, 5, 0x405ac8c374013577),
+    (0.5, 0.5, 0.0, 5, 0x405ce439f1759bba),
+    (0.4, 0.6, 0.21, 5, 0x4024d9332bd62d32),
+    (0.7, 0.3, 0.30, 5, 0x3fea7c677a476c60),
+    (0.05, 0.95, 0.15, 4, 0x0),
+    (0.98, 0.02, 0.33, 3, 0x0),
+    (0.31, 0.52, 0.12, 1, 0x4041db50a83bf5ce),
+    (0.5, 0.47, 0.29, 0, 0x401af825286901a4),
+];
+
+#[test]
+fn eval_simd_matches_recorded_bit_patterns() {
+    let pool = ThreadPool::new(2);
+    let h = history(&pool);
+    for &(x, y, r, step, bits) in EVAL_SIMD_GOLDEN {
+        let rp = GridRp::new(&h, RpConfig::standard(4, 0.08), step);
+        let v = rp.eval_simd(x, y, r);
+        assert_eq!(
+            v.to_bits(),
+            bits,
+            "eval_simd({x}, {y}, {r}) at step {step}: got {v:e} = 0x{:016x}, \
+             want 0x{bits:016x}",
+            v.to_bits()
+        );
+    }
+}
+
+#[test]
+fn eval_simd_config_variants_match_recorded_bit_patterns() {
+    // β = 0 and the 5-point inner rule through the vectorized gather. The
+    // β = 0 bits equal the standard-config bits for this zero-velocity
+    // bunch (as in the scalar corpus); inner5 matches the scalar inner5
+    // corpus exactly at these points (the reassociation happened to round
+    // identically — pinned so that stays an observable fact, not luck).
+    let beta_zero: &[(f64, f64, f64, usize, u64)] = &[
+        (0.5, 0.5, 0.05, 5, 0x405ac8c374013577),
+        (0.5, 0.5, 0.0, 5, 0x405ce439f1759bba),
+        (0.4, 0.6, 0.21, 5, 0x4024d9332bd62d32),
+    ];
+    let inner5: &[(f64, f64, f64, usize, u64)] = &[
+        (0.5, 0.5, 0.05, 5, 0x4057b24788ecf604),
+        (0.5, 0.5, 0.0, 5, 0x405ce439f1759bba),
+        (0.4, 0.6, 0.21, 5, 0x4029e739d94e3467),
+    ];
+    let pool = ThreadPool::new(2);
+    let h = history(&pool);
+    for &(x, y, r, step, bits) in beta_zero {
+        let mut cfg = RpConfig::standard(4, 0.08);
+        cfg.beta = 0.0;
+        let rp = GridRp::new(&h, cfg, step);
+        let v = rp.eval_simd(x, y, r);
+        assert_eq!(
+            v.to_bits(),
+            bits,
+            "beta=0 eval_simd({x}, {y}, {r}) step {step}"
+        );
+    }
+    for &(x, y, r, step, bits) in inner5 {
+        let mut cfg = RpConfig::standard(4, 0.08);
+        cfg.inner_points = 5;
+        let rp = GridRp::new(&h, cfg, step);
+        let v = rp.eval_simd(x, y, r);
+        assert_eq!(
+            v.to_bits(),
+            bits,
+            "inner_points=5 eval_simd({x}, {y}, {r}) step {step}"
+        );
+    }
+}
+
 /// Per-kernel end-to-end golden: the bit pattern of the summed potentials
 /// (and error estimates) after each of three steps. All three kernels agree
 /// on every step — planning differs, but accepted integrals are the same
@@ -235,6 +313,62 @@ fn kernel_golden_corpus_variants_match_on_both_backends() {
             ] {
                 assert_kernel_golden(what, kernel, backend, golden, mutate);
             }
+        }
+    }
+}
+
+/// `*.simd` variants of the kernel golden corpus: the same scenarios run on
+/// `BackendKind::NativeSimd`. The vectorized quadrature reassociates the
+/// stencil fold, so these pin their *own* bit patterns — within 1 ulp of
+/// [`KERNEL_GOLDEN`] on this corpus, but a distinct deterministic contract.
+/// The SoA deposit/gather/push stages are bit-identical to scalar by
+/// construction, so on this rigid lattice the divergence is purely the
+/// quadrature gather. All three kernels agree on every step, as in the
+/// scalar corpus.
+const KERNEL_GOLDEN_SIMD: &[(usize, u64, u64)] = &[
+    (0, 0x404a71cc403aa0f9, 0x3ee89950b18738bf),
+    (1, 0x404a71cc403aa0f9, 0x3ee89950b18680c7),
+    (2, 0x405a76ba61fa5f49, 0x3ed9fb2ef39fccdd),
+];
+
+/// Fallback-heavy (τ = 1e-8) stress case on the SIMD backend.
+const FALLBACK_HEAVY_SIMD: &[(usize, u64, u64)] = &[
+    (0, 0x404a71cc418f3c24, 0x3e6f1ece200f105b),
+    (1, 0x404a71cc418f3c25, 0x3e6f1ece1f4f91d4),
+    (2, 0x405a76ba65cff04e, 0x3e56118e14f27003),
+];
+
+/// β = 0 on the SIMD backend — bit-identical to the standard SIMD run for
+/// this zero-velocity bunch (the J-moment gathers are exact zeros either
+/// way), mirroring the scalar corpus's `BETA_ZERO_GOLDEN = KERNEL_GOLDEN`.
+const BETA_ZERO_SIMD: &[(usize, u64, u64)] = KERNEL_GOLDEN_SIMD;
+
+/// The 5-point inner rule on the SIMD backend.
+const INNER5_SIMD: &[(usize, u64, u64)] = &[
+    (0, 0x404a6e2408279749, 0x3ee81a35b2eddc7c),
+    (1, 0x404a6e2408279749, 0x3ee81a35b2ede876),
+    (2, 0x405a6f86acb655f6, 0x3eda8151d82e835c),
+];
+
+#[test]
+fn kernel_golden_corpus_simd_variants_match() {
+    let variants: [GoldenVariant; 4] = [
+        ("simd standard", KERNEL_GOLDEN_SIMD, |_| {}),
+        ("simd fallback-heavy tau=1e-8", FALLBACK_HEAVY_SIMD, |c| {
+            c.tolerance = 1e-8
+        }),
+        ("simd beta=0", BETA_ZERO_SIMD, |c| c.rp.beta = 0.0),
+        ("simd inner_points=5", INNER5_SIMD, |c| {
+            c.rp.inner_points = 5
+        }),
+    ];
+    for (what, golden, mutate) in variants {
+        for kernel in [
+            KernelKind::TwoPhase,
+            KernelKind::Heuristic,
+            KernelKind::Predictive,
+        ] {
+            assert_kernel_golden(what, kernel, BackendKind::NativeSimd, golden, mutate);
         }
     }
 }
